@@ -1,0 +1,125 @@
+//! One Criterion group per paper artefact: each benchmark runs the exact
+//! simulation that regenerates one point of the corresponding table or
+//! figure (at reduced scale, so `cargo bench` stays minutes, not hours).
+//! The full-resolution regenerators are the `mp2p-experiments` binaries
+//! (`fig7`, `fig8`, `fig9`, `table1`, `all`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mp2p_rpcc::{LevelMix, Strategy, WorkloadMode, World, WorldConfig};
+use mp2p_sim::SimDuration;
+
+/// The benchmark scenario: Table 1 semantics at 20 peers / 8 simulated
+/// minutes.
+fn bench_config(seed: u64) -> WorldConfig {
+    let mut cfg = WorldConfig::paper_default(seed);
+    cfg.n_peers = 20;
+    cfg.terrain = mp2p_mobility::Terrain::new(900.0, 900.0);
+    cfg.c_num = 5;
+    cfg.sim_time = SimDuration::from_mins(8);
+    cfg.warmup = SimDuration::from_mins(2);
+    cfg
+}
+
+fn run(cfg: WorldConfig) -> u64 {
+    let report = World::new(cfg).run();
+    report.traffic.transmissions() + report.audit.served()
+}
+
+/// Table 1: the default scenario itself, once per strategy.
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_default_scenario");
+    group.sample_size(10);
+    for strategy in [Strategy::Pull, Strategy::Push, Strategy::Rpcc] {
+        group.bench_function(strategy.label(), |b| {
+            b.iter(|| {
+                let mut cfg = bench_config(42);
+                cfg.strategy = strategy;
+                black_box(run(cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 7(a) / Fig. 8(a): the update-interval sweep's extreme points.
+fn bench_fig7a_fig8a(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7a_fig8a_update_interval");
+    group.sample_size(10);
+    for (label, secs) in [("update_30s", 30), ("update_8min", 480)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut cfg = bench_config(7);
+                cfg.strategy = Strategy::Rpcc;
+                cfg.level_mix = LevelMix::strong_only();
+                cfg.i_update = SimDuration::from_secs(secs);
+                black_box(run(cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 7(b) / Fig. 8(b): the query-interval sweep's extreme points.
+fn bench_fig7b_fig8b(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7b_fig8b_query_interval");
+    group.sample_size(10);
+    for (label, secs) in [("query_5s", 5), ("query_80s", 80)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut cfg = bench_config(8);
+                cfg.strategy = Strategy::Pull;
+                cfg.i_query = SimDuration::from_secs(secs);
+                black_box(run(cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 7(c) / Fig. 8(c): the cache-number sweep's extreme points.
+fn bench_fig7c_fig8c(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7c_fig8c_cache_number");
+    group.sample_size(10);
+    for (label, c_num) in [("cache_2", 2), ("cache_12", 12)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut cfg = bench_config(9);
+                cfg.strategy = Strategy::Push;
+                cfg.c_num = c_num;
+                black_box(run(cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 9: the single-item TTL sweep's extreme points.
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_invalidation_ttl");
+    group.sample_size(10);
+    for ttl in [1u8, 7u8] {
+        group.bench_function(format!("rpcc_sc_ttl_{ttl}"), |b| {
+            b.iter(|| {
+                let mut cfg = bench_config(10);
+                cfg.workload = WorkloadMode::SingleItem;
+                cfg.strategy = Strategy::Rpcc;
+                cfg.level_mix = LevelMix::strong_only();
+                cfg.proto.invalidation_ttl = ttl;
+                black_box(run(cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_table1,
+    bench_fig7a_fig8a,
+    bench_fig7b_fig8b,
+    bench_fig7c_fig8c,
+    bench_fig9
+);
+criterion_main!(figures);

@@ -1,0 +1,181 @@
+//! Protocol-level benchmarks and the ablations DESIGN.md calls out:
+//! relay-selection hysteresis, the nearest-relay poll optimisation
+//! (flood-only vs unicast-first), and the level mixes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mp2p_cache::{CacheStore, DataItem, Version};
+use mp2p_rpcc::Protocol;
+use mp2p_rpcc::{
+    Coefficients, ConsistencyLevel, Ctx, LevelMix, ProtocolConfig, Rpcc, Strategy, World,
+    WorldConfig,
+};
+use mp2p_sim::{ItemId, NodeId, SimDuration, SimRng, SimTime};
+
+fn scenario(seed: u64) -> WorldConfig {
+    let mut cfg = WorldConfig::paper_default(seed);
+    cfg.n_peers = 20;
+    cfg.terrain = mp2p_mobility::Terrain::new(900.0, 900.0);
+    cfg.c_num = 5;
+    cfg.sim_time = SimDuration::from_mins(8);
+    cfg.warmup = SimDuration::from_mins(2);
+    cfg
+}
+
+/// The consistency-level mixes at identical workloads: how much does each
+/// guarantee cost to *simulate* (a proxy for protocol work)?
+fn bench_level_mixes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rpcc_level_mixes");
+    group.sample_size(10);
+    for (label, mix) in [
+        ("weak", LevelMix::weak_only()),
+        ("delta", LevelMix::delta_only()),
+        ("strong", LevelMix::strong_only()),
+        ("hybrid", LevelMix::hybrid()),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut cfg = scenario(11);
+                cfg.strategy = Strategy::Rpcc;
+                cfg.level_mix = mix;
+                black_box(World::new(cfg).run().audit.served())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: single-tick demotion (the paper's literal Fig. 5 rule) vs
+/// the default two-tick hysteresis.
+fn bench_ablation_demotion_hysteresis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_demotion_hysteresis");
+    group.sample_size(10);
+    for ticks in [1u8, 2, 4] {
+        group.bench_function(format!("grace_{ticks}_ticks"), |b| {
+            b.iter(|| {
+                let mut cfg = scenario(12);
+                cfg.strategy = Strategy::Rpcc;
+                cfg.level_mix = LevelMix::strong_only();
+                cfg.proto.demote_grace_ticks = ticks;
+                let r = World::new(cfg).run();
+                black_box((r.relay_gauge.mean() * 100.0) as u64 + r.traffic.transmissions())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: how the POLL ring's starting TTL trades traffic for misses.
+fn bench_ablation_poll_ring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_poll_ring");
+    group.sample_size(10);
+    for ttl in [1u8, 2, 4, 8] {
+        group.bench_function(format!("first_ttl_{ttl}"), |b| {
+            b.iter(|| {
+                let mut cfg = scenario(13);
+                cfg.strategy = Strategy::Rpcc;
+                cfg.level_mix = LevelMix::strong_only();
+                cfg.proto.poll_ttl = ttl;
+                black_box(World::new(cfg).run().traffic.transmissions())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Raw handler throughput: how fast the RPCC state machine processes a
+/// poll storm (no network, no world — pure protocol work).
+fn bench_handler_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rpcc_handler");
+    group.bench_function("poll_storm_10k", |b| {
+        let cfg = ProtocolConfig::default();
+        b.iter(|| {
+            let mut proto = Rpcc::new(&cfg, true);
+            let mut cache = CacheStore::new(10);
+            cache.insert(ItemId::new(1), Version::INITIAL, 1_024, SimTime::ZERO);
+            let mut own = DataItem::new(ItemId::new(0), 1_024);
+            let mut rng = SimRng::from_seed(1, 0);
+            let mut outputs = 0usize;
+            for i in 0..10_000u64 {
+                let mut ctx = Ctx::new(
+                    SimTime::from_millis(i),
+                    NodeId::new(0),
+                    &mut cache,
+                    &mut own,
+                    &mut rng,
+                    &cfg,
+                    1.0,
+                    true,
+                );
+                proto.on_message(
+                    &mut ctx,
+                    NodeId::new((1 + i % 15) as u32),
+                    mp2p_rpcc::ProtoMsg::Poll {
+                        item: ItemId::new(0),
+                        version: Version::INITIAL,
+                    },
+                );
+                outputs += ctx.take_outputs().len();
+            }
+            black_box(outputs)
+        })
+    });
+    group.bench_function("coefficient_ticks_100k", |b| {
+        b.iter(|| {
+            let mut coeffs = Coefficients::new(0.2);
+            for i in 0..100_000u32 {
+                for _ in 0..(i % 8) {
+                    coeffs.note_access();
+                }
+                coeffs.tick(i % 3 == 0, 0.9);
+            }
+            black_box(coeffs.car() + coeffs.cs() + coeffs.ce())
+        })
+    });
+    group.finish();
+}
+
+/// Keep the query enum exhaustive in benches too.
+fn bench_query_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rpcc_query_paths");
+    let cfg = ProtocolConfig::default();
+    for level in ConsistencyLevel::ALL {
+        group.bench_function(format!("on_query_{level}"), |b| {
+            b.iter(|| {
+                let mut proto = Rpcc::new(&cfg, true);
+                let mut cache = CacheStore::new(10);
+                cache.insert(ItemId::new(1), Version::INITIAL, 1_024, SimTime::ZERO);
+                let mut own = DataItem::new(ItemId::new(0), 1_024);
+                let mut rng = SimRng::from_seed(2, 0);
+                let mut outputs = 0usize;
+                for i in 0..1_000u64 {
+                    let mut ctx = Ctx::new(
+                        SimTime::from_millis(i),
+                        NodeId::new(0),
+                        &mut cache,
+                        &mut own,
+                        &mut rng,
+                        &cfg,
+                        1.0,
+                        true,
+                    );
+                    proto.on_query(&mut ctx, mp2p_rpcc::QueryId(i), ItemId::new(1), level);
+                    outputs += ctx.take_outputs().len();
+                }
+                black_box(outputs)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    protocols,
+    bench_level_mixes,
+    bench_ablation_demotion_hysteresis,
+    bench_ablation_poll_ring,
+    bench_handler_throughput,
+    bench_query_paths
+);
+criterion_main!(protocols);

@@ -1,0 +1,144 @@
+//! Micro-benchmarks of the substrates the simulation is built on: the
+//! event queue, the RNG, mobility advancement, topology construction and
+//! path queries, and the flooding/routing state machines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mp2p_mobility::{MobilityModel, Point, RandomWaypoint, Terrain};
+use mp2p_net::{Frame, NetConfig, NetStack, Topology};
+use mp2p_sim::{EventQueue, NodeId, SimDuration, SimRng, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.bench_function("push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(10_000);
+            let mut rng = SimRng::from_seed(1, 0);
+            for i in 0..10_000u64 {
+                q.push(SimTime::from_millis(rng.uniform_u64(1_000_000)), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            black_box(sum)
+        })
+    });
+    group.finish();
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng");
+    group.bench_function("exponential_100k", |b| {
+        let mut rng = SimRng::from_seed(2, 0);
+        b.iter(|| {
+            let mut total = 0.0;
+            for _ in 0..100_000 {
+                total += rng.exponential(20.0);
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+fn bench_mobility(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mobility");
+    group.bench_function("waypoint_advance_1h_in_1s_steps", |b| {
+        b.iter(|| {
+            let mut m = RandomWaypoint::new(
+                Terrain::paper_default(),
+                1.0,
+                19.0,
+                SimDuration::from_secs(10),
+                SimRng::from_seed(3, 0),
+            );
+            let mut acc = 0.0;
+            for step in 0..3_600u64 {
+                let p = m.position_at(SimTime::from_millis(step * 1_000));
+                acc += p.x;
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_topology(c: &mut Criterion) {
+    let mut rng = SimRng::from_seed(4, 0);
+    let terrain = Terrain::paper_default();
+    let positions: Vec<Point> = (0..50).map(|_| terrain.random_point(&mut rng)).collect();
+    let up = vec![true; 50];
+    let mut group = c.benchmark_group("topology");
+    group.bench_function("build_50_nodes", |b| {
+        b.iter(|| black_box(Topology::new(&positions, &up, 250.0)))
+    });
+    let topo = Topology::new(&positions, &up, 250.0);
+    group.bench_function("shortest_path_all_pairs_from_0", |b| {
+        b.iter(|| {
+            let mut hops = 0u32;
+            for i in 1..50u32 {
+                if let Some(h) = topo.hops(NodeId::new(0), NodeId::new(i)) {
+                    hops += h;
+                }
+            }
+            black_box(hops)
+        })
+    });
+    group.bench_function("within_hops_ttl3", |b| {
+        b.iter(|| black_box(topo.within_hops(NodeId::new(0), 3).len()))
+    });
+    group.finish();
+}
+
+fn bench_netstack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netstack");
+    group.bench_function("flood_dedup_1k_frames", |b| {
+        b.iter(|| {
+            let mut stack: NetStack<u32> = NetStack::new(NodeId::new(0), NetConfig::default());
+            let mut actions = 0usize;
+            for seq in 0..1_000u64 {
+                let frame = Frame::Flood {
+                    id: mp2p_net::FloodId {
+                        origin: NodeId::new(1),
+                        seq,
+                    },
+                    ttl: 3,
+                    hops: 1,
+                    payload: mp2p_net::NetPayload::App(seq as u32),
+                    size: 48,
+                };
+                actions += stack
+                    .on_frame(SimTime::from_millis(seq), NodeId::new(1), frame)
+                    .len();
+                // Duplicate: must be suppressed.
+                let dup = Frame::Flood {
+                    id: mp2p_net::FloodId {
+                        origin: NodeId::new(1),
+                        seq,
+                    },
+                    ttl: 3,
+                    hops: 2,
+                    payload: mp2p_net::NetPayload::App(seq as u32),
+                    size: 48,
+                };
+                actions += stack
+                    .on_frame(SimTime::from_millis(seq), NodeId::new(2), dup)
+                    .len();
+            }
+            black_box(actions)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    substrates,
+    bench_event_queue,
+    bench_rng,
+    bench_mobility,
+    bench_topology,
+    bench_netstack
+);
+criterion_main!(substrates);

@@ -1,0 +1,140 @@
+//! Versioned data items.
+
+use std::fmt;
+
+use mp2p_sim::ItemId;
+
+/// A monotonically increasing data-item version (`VER_d` in Fig. 6(a)).
+///
+/// "The version number is set to zero when the data item is created and is
+/// incremented on each subsequent update" (Section 3).
+///
+/// # Example
+///
+/// ```
+/// use mp2p_cache::Version;
+///
+/// let v = Version::INITIAL;
+/// assert_eq!(v.next(), Version::new(1));
+/// assert!(v < v.next());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Version(u64);
+
+impl Version {
+    /// The version a freshly created item carries.
+    pub const INITIAL: Version = Version(0);
+
+    /// Builds a version from its raw counter.
+    pub const fn new(v: u64) -> Self {
+        Version(v)
+    }
+
+    /// The raw counter.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The version after one more source update.
+    #[must_use]
+    pub const fn next(self) -> Version {
+        Version(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// The master copy of a data item as held by its source host.
+///
+/// # Example
+///
+/// ```
+/// use mp2p_cache::DataItem;
+/// use mp2p_sim::ItemId;
+///
+/// let mut item = DataItem::new(ItemId::new(4), 1_024);
+/// assert_eq!(item.version().get(), 0);
+/// item.update();
+/// assert_eq!(item.version().get(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataItem {
+    id: ItemId,
+    version: Version,
+    size_bytes: u32,
+}
+
+impl DataItem {
+    /// Creates the master copy of `id` with `size_bytes` of content.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size_bytes` is zero.
+    pub fn new(id: ItemId, size_bytes: u32) -> Self {
+        assert!(size_bytes > 0, "data items must have non-zero size");
+        DataItem {
+            id,
+            version: Version::INITIAL,
+            size_bytes,
+        }
+    }
+
+    /// The item's identity.
+    pub fn id(&self) -> ItemId {
+        self.id
+    }
+
+    /// The current master version.
+    pub fn version(&self) -> Version {
+        self.version
+    }
+
+    /// Content size in bytes (drives transfer costs).
+    pub fn size_bytes(&self) -> u32 {
+        self.size_bytes
+    }
+
+    /// Applies one source update ("only the master copy can be modified",
+    /// Section 3) and returns the new version.
+    pub fn update(&mut self) -> Version {
+        self.version = self.version.next();
+        self.version
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn versions_start_at_zero_and_increment() {
+        let mut item = DataItem::new(ItemId::new(0), 512);
+        assert_eq!(item.version(), Version::INITIAL);
+        for expected in 1..=5u64 {
+            assert_eq!(item.update().get(), expected);
+        }
+    }
+
+    #[test]
+    fn version_ordering_tracks_updates() {
+        let old = Version::new(3);
+        assert!(old < old.next());
+        assert_eq!(old.next().get(), 4);
+        assert_eq!(Version::default(), Version::INITIAL);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero size")]
+    fn zero_size_rejected() {
+        let _ = DataItem::new(ItemId::new(0), 0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Version::new(7).to_string(), "v7");
+    }
+}

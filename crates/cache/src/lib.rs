@@ -1,0 +1,27 @@
+//! Cooperative-caching substrate: versioned data items, the per-node LRU
+//! cache store, and the paper's stochastic workload generators.
+//!
+//! Section 3 of the paper fixes the data model: each host `M_i` is the
+//! *source host* of item `D_i` (master copy, the only mutable copy), other
+//! hosts hold up to `C_Num` *cache copies*. Versions start at zero and
+//! increment on every source update.
+//!
+//! The paper assumes "an independent mechanism for replica placement";
+//! here that mechanism is pull-on-miss into an LRU [`CacheStore`], which
+//! the experiments pre-warm to match the paper's steady-state scenarios.
+//!
+//! Workloads follow Section 5: every host generates an independent
+//! exponential stream of updates to its own item (`I_Update`) and an
+//! exponential stream of queries over other hosts' items (`I_Query`),
+//! uniform by default with an optional Zipf popularity extension.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod item;
+mod store;
+mod workload;
+
+pub use item::{DataItem, Version};
+pub use store::{CacheEntry, CacheStore};
+pub use workload::{Popularity, QueryStream, UpdateStream};

@@ -1,0 +1,259 @@
+//! The paper's stochastic workload: exponential query and update streams.
+
+use mp2p_sim::{ItemId, NodeId, SimDuration, SimRng, SimTime, Zipf};
+
+/// Item-popularity distribution for query targets.
+#[derive(Debug, Clone)]
+pub enum Popularity {
+    /// Every foreign item equally likely (the paper's workload).
+    Uniform,
+    /// Zipf-skewed popularity with the given exponent (extension).
+    Zipf(f64),
+    /// All queries target one fixed item (the Fig. 9 scenario: a single
+    /// source whose "data item is cached by all other peers").
+    Single(ItemId),
+}
+
+/// A node's query request stream: exponential inter-arrival times with
+/// mean `I_Query` (Table 1: 20 s), targets drawn from [`Popularity`] over
+/// the items the node does not own.
+///
+/// # Example
+///
+/// ```
+/// use mp2p_cache::{Popularity, QueryStream};
+/// use mp2p_sim::{NodeId, SimDuration, SimRng, SimTime};
+///
+/// let mut stream = QueryStream::new(
+///     NodeId::new(3), 50, SimDuration::from_secs(20),
+///     Popularity::Uniform, SimRng::from_seed(1, 3),
+/// );
+/// let (when, item) = stream.next_query(SimTime::ZERO);
+/// assert!(when > SimTime::ZERO);
+/// assert_ne!(item.source_host(), NodeId::new(3), "nodes query foreign items");
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueryStream {
+    node: NodeId,
+    item_count: usize,
+    mean_interval: SimDuration,
+    popularity: Popularity,
+    zipf: Option<Zipf>,
+    rng: SimRng,
+}
+
+impl QueryStream {
+    /// Creates the stream for `node` over a catalogue of `item_count`
+    /// items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `item_count < 2` with [`Popularity::Uniform`]/
+    /// [`Popularity::Zipf`] (there must be at least one foreign item), or
+    /// if `mean_interval` is zero.
+    pub fn new(
+        node: NodeId,
+        item_count: usize,
+        mean_interval: SimDuration,
+        popularity: Popularity,
+        rng: SimRng,
+    ) -> Self {
+        assert!(!mean_interval.is_zero(), "query interval must be positive");
+        if !matches!(popularity, Popularity::Single(_)) {
+            assert!(item_count >= 2, "need at least one foreign item to query");
+        }
+        let zipf = match popularity {
+            Popularity::Zipf(theta) => Some(Zipf::new(item_count, theta)),
+            _ => None,
+        };
+        QueryStream {
+            node,
+            item_count,
+            mean_interval,
+            popularity,
+            zipf,
+            rng,
+        }
+    }
+
+    /// The node this stream belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Draws the next query: its arrival time (strictly after `now`) and
+    /// target item.
+    pub fn next_query(&mut self, now: SimTime) -> (SimTime, ItemId) {
+        let gap = self.rng.exponential(self.mean_interval.as_secs_f64());
+        let when = now + SimDuration::from_secs_f64(gap).max(SimDuration::from_millis(1));
+        let item = self.pick_item();
+        (when, item)
+    }
+
+    fn pick_item(&mut self) -> ItemId {
+        match &self.popularity {
+            Popularity::Single(item) => *item,
+            Popularity::Uniform => self.pick_foreign_uniform(),
+            Popularity::Zipf(_) => {
+                let zipf = self.zipf.as_ref().expect("zipf sampler built in new()");
+                // Re-draw until the rank maps to a foreign item; rank i is
+                // item (i + node + 1) mod n so each node's hot set differs.
+                loop {
+                    let rank = zipf.sample(&mut self.rng);
+                    let idx = (rank + self.node.index() + 1) % self.item_count;
+                    let item = ItemId::new(idx as u32);
+                    if item.source_host() != self.node {
+                        return item;
+                    }
+                }
+            }
+        }
+    }
+
+    fn pick_foreign_uniform(&mut self) -> ItemId {
+        // Sample uniformly over the n-1 foreign items without rejection.
+        let raw = self.rng.uniform_u64(self.item_count as u64 - 1) as usize;
+        let idx = if raw >= self.node.index() {
+            raw + 1
+        } else {
+            raw
+        };
+        ItemId::new(idx as u32)
+    }
+}
+
+/// A source host's update stream: exponential inter-update times with
+/// mean `I_Update` (Table 1: 2 min) applied to the node's own item.
+///
+/// # Example
+///
+/// ```
+/// use mp2p_cache::UpdateStream;
+/// use mp2p_sim::{NodeId, SimDuration, SimRng, SimTime};
+///
+/// let mut stream = UpdateStream::new(SimDuration::from_mins(2), SimRng::from_seed(1, 7));
+/// let t1 = stream.next_update(SimTime::ZERO);
+/// let t2 = stream.next_update(t1);
+/// assert!(t2 > t1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UpdateStream {
+    mean_interval: SimDuration,
+    rng: SimRng,
+}
+
+impl UpdateStream {
+    /// Creates an update stream with the given mean interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_interval` is zero.
+    pub fn new(mean_interval: SimDuration, rng: SimRng) -> Self {
+        assert!(!mean_interval.is_zero(), "update interval must be positive");
+        UpdateStream { mean_interval, rng }
+    }
+
+    /// The next update instant, strictly after `now`.
+    pub fn next_update(&mut self, now: SimTime) -> SimTime {
+        let gap = self.rng.exponential(self.mean_interval.as_secs_f64());
+        now + SimDuration::from_secs_f64(gap).max(SimDuration::from_millis(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn queries_never_target_own_item() {
+        let mut s = QueryStream::new(
+            NodeId::new(5),
+            10,
+            SimDuration::from_secs(20),
+            Popularity::Uniform,
+            SimRng::from_seed(0, 0),
+        );
+        for _ in 0..1_000 {
+            let (_, item) = s.next_query(SimTime::ZERO);
+            assert_ne!(item.source_host(), NodeId::new(5));
+            assert!(item.index() < 10);
+        }
+    }
+
+    #[test]
+    fn uniform_covers_all_foreign_items() {
+        let mut s = QueryStream::new(
+            NodeId::new(0),
+            5,
+            SimDuration::from_secs(1),
+            Popularity::Uniform,
+            SimRng::from_seed(1, 0),
+        );
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[s.next_query(SimTime::ZERO).1.index()] = true;
+        }
+        assert_eq!(seen, [false, true, true, true, true]);
+    }
+
+    #[test]
+    fn single_item_mode_always_hits_target() {
+        let target = ItemId::new(7);
+        let mut s = QueryStream::new(
+            NodeId::new(0),
+            50,
+            SimDuration::from_secs(20),
+            Popularity::Single(target),
+            SimRng::from_seed(2, 0),
+        );
+        for _ in 0..100 {
+            assert_eq!(s.next_query(SimTime::ZERO).1, target);
+        }
+    }
+
+    #[test]
+    fn zipf_mode_skips_own_item() {
+        let mut s = QueryStream::new(
+            NodeId::new(3),
+            8,
+            SimDuration::from_secs(20),
+            Popularity::Zipf(1.0),
+            SimRng::from_seed(3, 0),
+        );
+        for _ in 0..500 {
+            assert_ne!(s.next_query(SimTime::ZERO).1.index(), 3);
+        }
+    }
+
+    #[test]
+    fn mean_interval_roughly_respected() {
+        let mut s = UpdateStream::new(SimDuration::from_secs(60), SimRng::from_seed(4, 0));
+        let mut now = SimTime::ZERO;
+        let n = 5_000;
+        for _ in 0..n {
+            now = s.next_update(now);
+        }
+        let mean_secs = now.as_secs_f64() / n as f64;
+        assert!((mean_secs - 60.0).abs() < 3.0, "sample mean {mean_secs}s");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_arrival_strictly_advances(seed in any::<u64>(), mean_s in 1u64..600) {
+            let mut q = QueryStream::new(
+                NodeId::new(1), 4, SimDuration::from_secs(mean_s),
+                Popularity::Uniform, SimRng::from_seed(seed, 0),
+            );
+            let mut u = UpdateStream::new(SimDuration::from_secs(mean_s), SimRng::from_seed(seed, 1));
+            let mut now = SimTime::ZERO;
+            for _ in 0..32 {
+                let (t, _) = q.next_query(now);
+                prop_assert!(t > now);
+                let t2 = u.next_update(t);
+                prop_assert!(t2 > t);
+                now = t2;
+            }
+        }
+    }
+}

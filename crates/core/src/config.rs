@@ -1,0 +1,207 @@
+//! Protocol timing and threshold parameters (Table 1 and Section 4).
+
+use mp2p_sim::SimDuration;
+
+/// All protocol-level tunables, defaulting to Table 1 of the paper.
+///
+/// Parameters the paper leaves open are documented as such and set to the
+/// values DESIGN.md Section 5 justifies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProtocolConfig {
+    /// `TTN_OP`: the source's invalidation/notification period (2 min).
+    pub ttn: SimDuration,
+    /// `TTR_RP`: how long a relay copy counts as fresh after a
+    /// confirmation (1.5 min).
+    pub ttr: SimDuration,
+    /// `TTP_CP`: how long a cache copy satisfies Δ-consistency after a
+    /// validation; TTP *is* the Δ value (Section 4.4) (4 min).
+    pub ttp: SimDuration,
+    /// TTL of RPCC's invalidation floods (`TTL_BR` RPS row: 3 hops).
+    pub invalidation_ttl: u8,
+    /// TTL of the baselines' broadcasts (`TTL_BR`: 8 hops).
+    pub broadcast_ttl: u8,
+    /// Initial TTL of a cache peer's POLL flood (paper: "broadcast POLL",
+    /// scope unspecified; DESIGN.md §5.1 — expanding ring from 2).
+    pub poll_ttl: u8,
+    /// Upper TTL bound the POLL ring may expand to.
+    pub poll_ttl_max: u8,
+    /// How long a poller waits for a POLL_ACK before retrying wider.
+    pub poll_timeout: SimDuration,
+    /// POLL attempts (initial + retries) before the query fails.
+    pub poll_attempts: u8,
+    /// After the last POLL attempt, how long the query lingers for a late
+    /// answer from a relay that was holding the poll for the next
+    /// INVALIDATION (Fig. 6(c) line 16) before it finally fails.
+    pub poll_grace: SimDuration,
+    /// Retry timeout for unicast content fetches (cache misses, push
+    /// refreshes). Longer than [`Self::poll_timeout`] because a routed
+    /// unicast may first need a route discovery round.
+    pub fetch_timeout: SimDuration,
+    /// φ: the coefficient recomputation period (paper: "every period of
+    /// time φ", value unspecified; set to TTN).
+    pub phi: SimDuration,
+    /// ω: recency weight of the coefficient EWMAs (0.2).
+    pub omega: f64,
+    /// μ_CAR threshold (0.15): relay candidates need `CAR < μ_CAR`.
+    pub mu_car: f64,
+    /// μ_CS threshold (0.6): relay candidates need `CS > μ_CS`.
+    pub mu_cs: f64,
+    /// μ_CE threshold (0.6): relay candidates need `CE > μ_CE`.
+    pub mu_ce: f64,
+    /// Data-item content size in bytes (drives transfer costs).
+    pub content_bytes: u32,
+    /// How long a push-baseline query waits for the next invalidation
+    /// report before falling back to a direct fetch.
+    pub push_wait_timeout: SimDuration,
+    /// How long a relay keeps an unanswerable POLL queued while waiting
+    /// for the next INVALIDATION (Fig. 6(c) line 16).
+    pub relay_poll_hold: SimDuration,
+    /// Consecutive failing coefficient ticks before a relay/candidate is
+    /// demoted. The paper demotes on the first failing tick, but with
+    /// Table 1's thresholds the qualification test sits exactly at its
+    /// expectation, so single-tick demotion makes the relay population
+    /// flap on Poisson noise (DESIGN.md §5). 1 reproduces the paper's
+    /// literal rule.
+    pub demote_grace_ticks: u8,
+    /// **Extension (paper's future work §6, item 1):** adapt the
+    /// push/pull frequencies to runtime conditions. Sources track their
+    /// own inter-update gaps and stretch/shrink the invalidation period;
+    /// cache peers grow a per-item TTP on every confirmation
+    /// (`POLL_ACK_A`) and shrink it on every change (`POLL_ACK_B`) —
+    /// the classic adaptive-TTL rule. Off by default (paper behaviour).
+    pub adaptive: bool,
+    /// Bounds for the adaptive machinery: effective TTN/TTP stay within
+    /// `[base / adaptive_span, base * adaptive_span]`.
+    pub adaptive_span: f64,
+    /// **Extension (paper's future work §6, item 2):** cap the number of
+    /// relay peers a source approves for its item ("the number of relay
+    /// peers cannot be controlled" in the base protocol). `None`
+    /// reproduces the paper: every qualified applicant is approved.
+    pub max_relays_per_item: Option<usize>,
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig {
+            ttn: SimDuration::from_mins(2),
+            ttr: SimDuration::from_millis(90_000), // 1.5 min
+            ttp: SimDuration::from_mins(4),
+            invalidation_ttl: 3,
+            broadcast_ttl: 8,
+            poll_ttl: 2,
+            poll_ttl_max: 8,
+            poll_timeout: SimDuration::from_millis(500),
+            poll_attempts: 3,
+            poll_grace: SimDuration::from_secs(5),
+            fetch_timeout: SimDuration::from_secs(4),
+            phi: SimDuration::from_mins(2),
+            omega: 0.2,
+            mu_car: 0.15,
+            mu_cs: 0.6,
+            mu_ce: 0.6,
+            content_bytes: 1_024,
+            push_wait_timeout: SimDuration::from_mins(3),
+            relay_poll_hold: SimDuration::from_mins(2),
+            demote_grace_ticks: 2,
+            adaptive: false,
+            adaptive_span: 4.0,
+            max_relays_per_item: None,
+        }
+    }
+}
+
+impl ProtocolConfig {
+    /// The TTL of the `attempt`-th POLL (1-based): an expanding ring that
+    /// doubles from [`Self::poll_ttl`] up to [`Self::poll_ttl_max`].
+    pub fn poll_ttl_for_attempt(&self, attempt: u8) -> u8 {
+        let doublings = attempt.saturating_sub(1).min(6);
+        let ttl = u32::from(self.poll_ttl) << doublings;
+        ttl.min(u32::from(self.poll_ttl_max)).max(1) as u8
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical parameter combinations (zero periods,
+    /// thresholds outside `(0, 1]`, zero TTLs).
+    pub fn validate(&self) {
+        assert!(!self.ttn.is_zero(), "TTN must be positive");
+        assert!(!self.ttr.is_zero(), "TTR must be positive");
+        assert!(!self.ttp.is_zero(), "TTP must be positive");
+        assert!(!self.phi.is_zero(), "phi must be positive");
+        assert!(
+            self.invalidation_ttl >= 1,
+            "invalidation TTL must be at least 1 hop"
+        );
+        assert!(
+            self.broadcast_ttl >= 1,
+            "broadcast TTL must be at least 1 hop"
+        );
+        assert!(
+            self.poll_ttl >= 1 && self.poll_ttl <= self.poll_ttl_max,
+            "bad poll TTL range"
+        );
+        assert!(self.poll_attempts >= 1, "need at least one poll attempt");
+        assert!((0.0..=1.0).contains(&self.omega), "omega must be in [0,1]");
+        for (name, mu) in [
+            ("mu_car", self.mu_car),
+            ("mu_cs", self.mu_cs),
+            ("mu_ce", self.mu_ce),
+        ] {
+            assert!(mu > 0.0 && mu <= 1.0, "{name} must be in (0,1], got {mu}");
+        }
+        assert!(self.content_bytes > 0, "content size must be positive");
+        assert!(
+            self.demote_grace_ticks >= 1,
+            "demotion needs at least one failing tick"
+        );
+        assert!(
+            self.adaptive_span >= 1.0 && self.adaptive_span.is_finite(),
+            "adaptive span must be >= 1"
+        );
+        if let Some(cap) = self.max_relays_per_item {
+            assert!(cap >= 1, "a relay cap of zero disables the protocol");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_1() {
+        let c = ProtocolConfig::default();
+        assert_eq!(c.ttn, SimDuration::from_mins(2));
+        assert_eq!(c.ttr.as_millis(), 90_000);
+        assert_eq!(c.ttp, SimDuration::from_mins(4));
+        assert_eq!(c.invalidation_ttl, 3);
+        assert_eq!(c.broadcast_ttl, 8);
+        assert_eq!(c.omega, 0.2);
+        assert_eq!(c.mu_car, 0.15);
+        assert_eq!(c.mu_cs, 0.6);
+        assert_eq!(c.mu_ce, 0.6);
+        c.validate();
+    }
+
+    #[test]
+    fn poll_ring_expands_and_caps() {
+        let c = ProtocolConfig::default();
+        assert_eq!(c.poll_ttl_for_attempt(1), 2);
+        assert_eq!(c.poll_ttl_for_attempt(2), 4);
+        assert_eq!(c.poll_ttl_for_attempt(3), 8);
+        assert_eq!(c.poll_ttl_for_attempt(4), 8, "capped at poll_ttl_max");
+        assert_eq!(c.poll_ttl_for_attempt(200), 8, "doubling saturates safely");
+    }
+
+    #[test]
+    #[should_panic(expected = "TTN must be positive")]
+    fn validate_rejects_zero_ttn() {
+        let c = ProtocolConfig {
+            ttn: SimDuration::ZERO,
+            ..ProtocolConfig::default()
+        };
+        c.validate();
+    }
+}

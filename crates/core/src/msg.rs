@@ -1,0 +1,237 @@
+//! The protocol message set (Fig. 6(a)) plus the baselines' fetch pair.
+
+use mp2p_cache::Version;
+use mp2p_metrics::MessageClass;
+use mp2p_sim::ItemId;
+
+/// Fixed per-message header overhead in bytes (ids, versions, MAC/IP
+/// framing).
+pub(crate) const HEADER_BYTES: u32 = 40;
+
+/// An application-layer message of the consistency protocols.
+///
+/// The variants mirror Fig. 6(a) of the paper; `Fetch`/`FetchReply` are
+/// the cache-miss/refresh transfer used by the push and pull baselines.
+/// Messages carrying item content (`Update`, `SendNew`, `PollAckB`,
+/// `FetchReply`) have sizes that include `content_bytes`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtoMsg {
+    /// `INVALIDATION(ID_d, OP_d, VER_d)` — periodic source flood.
+    Invalidation {
+        /// The advertised item.
+        item: ItemId,
+        /// Current master version.
+        version: Version,
+    },
+    /// `UPDATE(ID_d, OP_d, RP_d, CT_d, VER_d)` — source pushes fresh
+    /// content to a relay peer.
+    Update {
+        /// The updated item.
+        item: ItemId,
+        /// New master version.
+        version: Version,
+        /// Content payload size.
+        content_bytes: u32,
+    },
+    /// `GET_NEW(ID_d, OP_d, RP_d)` — relay asks the source for content it
+    /// missed while disconnected.
+    GetNew {
+        /// The stale item.
+        item: ItemId,
+    },
+    /// `SEND_NEW(ID_d, RP_d, CT_d, VER_d)` — source answers `GET_NEW`.
+    SendNew {
+        /// The item.
+        item: ItemId,
+        /// Master version shipped.
+        version: Version,
+        /// Content payload size.
+        content_bytes: u32,
+    },
+    /// `APPLY(ID_d, OP_d, RP_d)` — candidate applies for relay promotion.
+    Apply {
+        /// The item the candidate wants to relay.
+        item: ItemId,
+    },
+    /// `APPLY_ACK(ID_d, OP_d, RP_d)` — source approves the candidacy.
+    ApplyAck {
+        /// The item.
+        item: ItemId,
+        /// Master version at approval time (lets a stale new relay
+        /// resynchronise immediately).
+        version: Version,
+    },
+    /// `CANCEL(ID_d, OP_d, RP_d)` — relay resigns.
+    Cancel {
+        /// The item.
+        item: ItemId,
+    },
+    /// `POLL(ID_d, CP_d, VER_d)` — cache peer checks its copy.
+    Poll {
+        /// The polled item.
+        item: ItemId,
+        /// The poller's cached version.
+        version: Version,
+    },
+    /// `POLL_ACK_A(ID_d, CP_d, VER_d)` — the poller's copy is up to date.
+    PollAckA {
+        /// The item.
+        item: ItemId,
+        /// The confirmed version.
+        version: Version,
+    },
+    /// `POLL_ACK_B(ID_d, CP_d, VER_d, CT_d)` — the poller's copy was
+    /// stale; fresh content attached.
+    PollAckB {
+        /// The item.
+        item: ItemId,
+        /// The fresh version.
+        version: Version,
+        /// Content payload size.
+        content_bytes: u32,
+    },
+    /// Baseline cache-miss/refresh request to the source host.
+    Fetch {
+        /// The wanted item.
+        item: ItemId,
+    },
+    /// Baseline fetch answer with content.
+    FetchReply {
+        /// The item.
+        item: ItemId,
+        /// Master version shipped.
+        version: Version,
+        /// Content payload size.
+        content_bytes: u32,
+    },
+    /// **Extension (future work §6 item 3):** a replica write routed to
+    /// the item's source host for serialisation (primary-based
+    /// replication). Handled by the simulation driver, not the
+    /// consistency protocols — the applied write propagates through
+    /// whatever strategy is running.
+    WriteRequest {
+        /// The written item.
+        item: ItemId,
+        /// New content payload size.
+        content_bytes: u32,
+    },
+    /// The source's acknowledgement of an applied replica write, carrying
+    /// the version the write was serialised as.
+    WriteAck {
+        /// The written item.
+        item: ItemId,
+        /// Version assigned by the source.
+        version: Version,
+    },
+}
+
+impl ProtoMsg {
+    /// The item this message concerns.
+    pub fn item(&self) -> ItemId {
+        match *self {
+            ProtoMsg::Invalidation { item, .. }
+            | ProtoMsg::Update { item, .. }
+            | ProtoMsg::GetNew { item }
+            | ProtoMsg::SendNew { item, .. }
+            | ProtoMsg::Apply { item }
+            | ProtoMsg::ApplyAck { item, .. }
+            | ProtoMsg::Cancel { item }
+            | ProtoMsg::Poll { item, .. }
+            | ProtoMsg::PollAckA { item, .. }
+            | ProtoMsg::PollAckB { item, .. }
+            | ProtoMsg::Fetch { item }
+            | ProtoMsg::FetchReply { item, .. }
+            | ProtoMsg::WriteRequest { item, .. }
+            | ProtoMsg::WriteAck { item, .. } => item,
+        }
+    }
+
+    /// On-air size in bytes (header plus any attached content).
+    pub fn size_bytes(&self) -> u32 {
+        let content = match *self {
+            ProtoMsg::Update { content_bytes, .. }
+            | ProtoMsg::SendNew { content_bytes, .. }
+            | ProtoMsg::PollAckB { content_bytes, .. }
+            | ProtoMsg::FetchReply { content_bytes, .. }
+            | ProtoMsg::WriteRequest { content_bytes, .. } => content_bytes,
+            _ => 0,
+        };
+        HEADER_BYTES + content
+    }
+
+    /// The traffic-accounting class of this message.
+    pub fn class(&self) -> MessageClass {
+        match self {
+            ProtoMsg::Invalidation { .. } => MessageClass::Invalidation,
+            ProtoMsg::Update { .. } => MessageClass::Update,
+            ProtoMsg::GetNew { .. } => MessageClass::GetNew,
+            ProtoMsg::SendNew { .. } => MessageClass::SendNew,
+            ProtoMsg::Apply { .. } => MessageClass::Apply,
+            ProtoMsg::ApplyAck { .. } => MessageClass::ApplyAck,
+            ProtoMsg::Cancel { .. } => MessageClass::Cancel,
+            ProtoMsg::Poll { .. } => MessageClass::Poll,
+            ProtoMsg::PollAckA { .. } => MessageClass::PollAckA,
+            ProtoMsg::PollAckB { .. } => MessageClass::PollAckB,
+            ProtoMsg::Fetch { .. } => MessageClass::Fetch,
+            ProtoMsg::FetchReply { .. } => MessageClass::FetchReply,
+            ProtoMsg::WriteRequest { .. } => MessageClass::WriteRequest,
+            ProtoMsg::WriteAck { .. } => MessageClass::WriteAck,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn content_messages_are_bigger() {
+        let small = ProtoMsg::Poll {
+            item: ItemId::new(0),
+            version: Version::new(1),
+        };
+        let big = ProtoMsg::PollAckB {
+            item: ItemId::new(0),
+            version: Version::new(2),
+            content_bytes: 1_024,
+        };
+        assert_eq!(small.size_bytes(), HEADER_BYTES);
+        assert_eq!(big.size_bytes(), HEADER_BYTES + 1_024);
+    }
+
+    #[test]
+    fn class_and_item_roundtrip() {
+        let msgs = [
+            ProtoMsg::Invalidation {
+                item: ItemId::new(3),
+                version: Version::new(1),
+            },
+            ProtoMsg::GetNew {
+                item: ItemId::new(3),
+            },
+            ProtoMsg::Apply {
+                item: ItemId::new(3),
+            },
+            ProtoMsg::ApplyAck {
+                item: ItemId::new(3),
+                version: Version::new(1),
+            },
+            ProtoMsg::Cancel {
+                item: ItemId::new(3),
+            },
+            ProtoMsg::Fetch {
+                item: ItemId::new(3),
+            },
+        ];
+        let mut classes: Vec<_> = msgs.iter().map(|m| m.class()).collect();
+        classes.dedup();
+        assert_eq!(
+            classes.len(),
+            msgs.len(),
+            "each message maps to its own class"
+        );
+        for m in msgs {
+            assert_eq!(m.item(), ItemId::new(3));
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! The consistency-protocol interface and its driver-side context.
+
+use mp2p_cache::{CacheStore, DataItem, Version};
+use mp2p_sim::{ItemId, NodeId, SimDuration, SimRng, SimTime};
+
+use crate::config::ProtocolConfig;
+use crate::level::ConsistencyLevel;
+use crate::msg::ProtoMsg;
+
+/// Identifier of one query request (globally unique within a run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub u64);
+
+impl std::fmt::Display for QueryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// A protocol-level timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Timer {
+    /// RPCC source / push baseline: the next invalidation period (`TTN`).
+    Ttn,
+    /// A pending POLL (RPCC or pull baseline) timed out; retry or fail.
+    PollRetry {
+        /// The waiting query.
+        query: QueryId,
+        /// 1-based attempt that just timed out.
+        attempt: u8,
+    },
+    /// A push-baseline query waited too long for an invalidation report.
+    PushWait {
+        /// The waiting query.
+        query: QueryId,
+    },
+    /// All POLL attempts are exhausted; the query lingers this long for a
+    /// late answer (a relay draining its held polls at the next
+    /// INVALIDATION, Fig. 6(c) line 16) before failing.
+    PollGrace {
+        /// The lingering query.
+        query: QueryId,
+    },
+    /// Periodic cleanup of held POLLs at a relay peer.
+    RelayHoldSweep,
+}
+
+/// One output of a protocol handler, applied by the simulation driver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CtxOut {
+    /// Route `msg` to `to` (unicast via the network stack).
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// The message.
+        msg: ProtoMsg,
+    },
+    /// Flood `msg` with the given TTL.
+    Flood {
+        /// Flood scope in hops.
+        ttl: u8,
+        /// The message.
+        msg: ProtoMsg,
+    },
+    /// Fire [`crate::Protocol::on_timer`] after `after`.
+    SetTimer {
+        /// Delay until the timer fires.
+        after: SimDuration,
+        /// Timer payload.
+        timer: Timer,
+    },
+    /// Answer an open query with the given served version.
+    Answer {
+        /// The query being answered.
+        query: QueryId,
+        /// The version served to the client.
+        version: Version,
+    },
+    /// Give up on an open query (counted as failed, not as latency).
+    Fail {
+        /// The abandoned query.
+        query: QueryId,
+    },
+}
+
+/// The per-call context a protocol handler runs against: direct access to
+/// this node's cache and master copy, buffered network/timer/query
+/// outputs.
+///
+/// Handlers mutate local state eagerly (cache, RNG) and *request* global
+/// effects (sends, floods, timers, answers) through [`CtxOut`]s that the
+/// driver applies after the handler returns — keeping every protocol a
+/// deterministic, synchronously-testable state machine.
+#[derive(Debug)]
+pub struct Ctx<'a> {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// The node this handler runs on.
+    pub me: NodeId,
+    /// This node's cache store.
+    pub cache: &'a mut CacheStore,
+    /// The master copy of this node's own item.
+    pub own_item: &'a mut DataItem,
+    /// This node's random stream.
+    pub rng: &'a mut SimRng,
+    /// Protocol parameters.
+    pub cfg: &'a ProtocolConfig,
+    /// Battery fraction remaining (`CE` input).
+    pub energy_fraction: f64,
+    /// True if this node is currently connected (switched on).
+    pub connected: bool,
+    /// Buffered outputs, drained by the driver.
+    out: Vec<CtxOut>,
+}
+
+impl<'a> Ctx<'a> {
+    /// Builds a context (driver-side).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        now: SimTime,
+        me: NodeId,
+        cache: &'a mut CacheStore,
+        own_item: &'a mut DataItem,
+        rng: &'a mut SimRng,
+        cfg: &'a ProtocolConfig,
+        energy_fraction: f64,
+        connected: bool,
+    ) -> Self {
+        Ctx {
+            now,
+            me,
+            cache,
+            own_item,
+            rng,
+            cfg,
+            energy_fraction,
+            connected,
+            out: Vec::new(),
+        }
+    }
+
+    /// Requests a unicast send.
+    pub fn send(&mut self, to: NodeId, msg: ProtoMsg) {
+        self.out.push(CtxOut::Send { to, msg });
+    }
+
+    /// Requests a TTL-scoped flood.
+    pub fn flood(&mut self, ttl: u8, msg: ProtoMsg) {
+        self.out.push(CtxOut::Flood { ttl, msg });
+    }
+
+    /// Requests a protocol timer.
+    pub fn set_timer(&mut self, after: SimDuration, timer: Timer) {
+        self.out.push(CtxOut::SetTimer { after, timer });
+    }
+
+    /// Answers an open query.
+    pub fn answer(&mut self, query: QueryId, version: Version) {
+        self.out.push(CtxOut::Answer { query, version });
+    }
+
+    /// Abandons an open query.
+    pub fn fail(&mut self, query: QueryId) {
+        self.out.push(CtxOut::Fail { query });
+    }
+
+    /// Drains the buffered outputs (driver-side).
+    pub fn take_outputs(&mut self) -> Vec<CtxOut> {
+        std::mem::take(&mut self.out)
+    }
+}
+
+/// A cache-consistency strategy, driven by the simulation [`crate::World`].
+///
+/// One instance runs per node; the same instance plays the *source host*
+/// role for the node's own item and the *cache/relay peer* roles for the
+/// items it caches — exactly as in the paper, where "each host serves as
+/// the source host for some data item, while at the same time, caches
+/// data items from other hosts" (Section 4.1).
+pub trait Protocol {
+    /// Called once at start-up (schedule initial timers here).
+    fn on_init(&mut self, ctx: &mut Ctx<'_>);
+
+    /// A query request arrived at this node for `item` with the given
+    /// consistency requirement. Must eventually lead to
+    /// [`Ctx::answer`] or [`Ctx::fail`] for `query`.
+    fn on_query(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        query: QueryId,
+        item: ItemId,
+        level: ConsistencyLevel,
+    );
+
+    /// The node's own master copy was just updated (version already
+    /// incremented by the driver).
+    fn on_source_update(&mut self, ctx: &mut Ctx<'_>);
+
+    /// A protocol message arrived (sender and reception hops provided).
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: ProtoMsg);
+
+    /// A previously requested timer fired.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, timer: Timer);
+
+    /// The network layer gave up delivering `msg` to `dest` (the paper's
+    /// MAC-layer disconnection discovery, Section 4.5).
+    fn on_undeliverable(&mut self, ctx: &mut Ctx<'_>, dest: NodeId, msg: ProtoMsg);
+
+    /// This node switched on (`up == true`) or off.
+    fn on_status_change(&mut self, ctx: &mut Ctx<'_>, up: bool);
+
+    /// A coefficient period φ elapsed; `moved` reports a subnet crossing
+    /// since the previous tick. Baselines ignore this.
+    fn on_coefficient_tick(&mut self, ctx: &mut Ctx<'_>, moved: bool);
+
+    /// Number of items this node currently serves as relay peer for
+    /// (gauge; 0 for baselines).
+    fn relay_item_count(&self) -> usize {
+        0
+    }
+
+    /// True if this node is currently a relay-peer candidate (gauge).
+    fn is_candidate(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp2p_cache::CacheStore;
+
+    #[test]
+    fn ctx_buffers_outputs_in_order() {
+        let mut cache = CacheStore::new(4);
+        let mut own = DataItem::new(ItemId::new(0), 512);
+        let mut rng = SimRng::from_seed(0, 0);
+        let cfg = ProtocolConfig::default();
+        let mut ctx = Ctx::new(
+            SimTime::ZERO,
+            NodeId::new(0),
+            &mut cache,
+            &mut own,
+            &mut rng,
+            &cfg,
+            1.0,
+            true,
+        );
+        ctx.send(
+            NodeId::new(1),
+            ProtoMsg::GetNew {
+                item: ItemId::new(1),
+            },
+        );
+        ctx.set_timer(SimDuration::from_secs(1), Timer::Ttn);
+        ctx.answer(QueryId(7), Version::new(2));
+        let out = ctx.take_outputs();
+        assert_eq!(out.len(), 3);
+        assert!(matches!(out[0], CtxOut::Send { .. }));
+        assert!(matches!(
+            out[1],
+            CtxOut::SetTimer {
+                timer: Timer::Ttn,
+                ..
+            }
+        ));
+        assert!(matches!(
+            out[2],
+            CtxOut::Answer {
+                query: QueryId(7),
+                ..
+            }
+        ));
+        assert!(ctx.take_outputs().is_empty(), "drain empties the buffer");
+    }
+}

@@ -1,0 +1,444 @@
+//! The simple push baseline (Lan et al. [Lan03], Section 2/5).
+//!
+//! Every source floods an `INVALIDATION` with the *baseline* TTL
+//! (`TTL_BR` = 8 hops, Table 1) every `TTN`. Queries wait for the next
+//! invalidation report covering their item before answering — the classic
+//! IR discipline ([Bar94]) that gives push its strong consistency and its
+//! multi-ten-second latency ("the average query latency is longer than
+//! half of the invalidation interval", Section 5.2). A report that
+//! reveals the copy stale while queries wait on it triggers a content
+//! fetch from the source. Larger caches mean each item is queried (and
+//! so validated) less often, raising the per-query staleness probability
+//! — the reason push traffic grows with the cache size in Fig. 7(c).
+
+use std::collections::HashMap;
+
+use mp2p_sim::{ItemId, NodeId, SimDuration};
+
+use crate::config::ProtocolConfig;
+use crate::level::ConsistencyLevel;
+use crate::msg::ProtoMsg;
+use crate::protocol::{Ctx, Protocol, QueryId, Timer};
+
+#[derive(Debug, Clone, Copy)]
+struct PendingFetch {
+    item: ItemId,
+    attempt: u8,
+}
+
+/// The push-based baseline strategy. One instance per node; see the
+/// module docs for its semantics.
+#[derive(Debug, Clone)]
+pub struct SimplePush {
+    publishes: bool,
+    /// Queries waiting for the next invalidation report, per item.
+    waiting: HashMap<ItemId, Vec<QueryId>>,
+    /// Queries waiting for a FETCH_REPLY.
+    pending_fetch: HashMap<QueryId, PendingFetch>,
+    /// True while a refresh fetch for the item is already in flight
+    /// (avoids duplicate fetches when reports repeat).
+    fetch_in_flight: HashMap<ItemId, bool>,
+}
+
+impl SimplePush {
+    /// Creates the baseline state for one node.
+    pub fn new(_cfg: &ProtocolConfig, publishes: bool) -> Self {
+        SimplePush {
+            publishes,
+            waiting: HashMap::new(),
+            pending_fetch: HashMap::new(),
+            fetch_in_flight: HashMap::new(),
+        }
+    }
+
+    fn start_fetch(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        query: Option<QueryId>,
+        item: ItemId,
+        attempt: u8,
+    ) {
+        let in_flight = self.fetch_in_flight.entry(item).or_insert(false);
+        if !*in_flight {
+            *in_flight = true;
+            ctx.send(item.source_host(), ProtoMsg::Fetch { item });
+        }
+        if let Some(q) = query {
+            self.pending_fetch.insert(q, PendingFetch { item, attempt });
+            ctx.set_timer(
+                ctx.cfg.fetch_timeout,
+                Timer::PollRetry { query: q, attempt },
+            );
+        }
+    }
+
+    fn answer_all_for(&mut self, ctx: &mut Ctx<'_>, item: ItemId) {
+        let Some(entry) = ctx.cache.peek(item).copied() else {
+            return;
+        };
+        if let Some(waiting) = self.waiting.remove(&item) {
+            for q in waiting {
+                ctx.answer(q, entry.version);
+            }
+        }
+        let mut fetched: Vec<QueryId> = self
+            .pending_fetch
+            .iter()
+            .filter(|(_, p)| p.item == item)
+            .map(|(&q, _)| q)
+            .collect();
+        // HashMap iteration order is process-random: sort for determinism.
+        fetched.sort_unstable();
+        for q in fetched {
+            self.pending_fetch.remove(&q);
+            ctx.answer(q, entry.version);
+        }
+    }
+}
+
+impl Protocol for SimplePush {
+    fn on_init(&mut self, ctx: &mut Ctx<'_>) {
+        if self.publishes {
+            let offset =
+                SimDuration::from_millis(ctx.rng.uniform_u64(ctx.cfg.ttn.as_millis().max(1)));
+            ctx.set_timer(offset, Timer::Ttn);
+        }
+    }
+
+    fn on_query(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        query: QueryId,
+        item: ItemId,
+        _level: ConsistencyLevel,
+    ) {
+        if item == ctx.own_item.id() {
+            let version = ctx.own_item.version();
+            ctx.answer(query, version);
+            return;
+        }
+        if ctx.cache.touch(item).is_none() {
+            self.start_fetch(ctx, Some(query), item, 1);
+            return;
+        }
+        // IR discipline: hold the query until the next invalidation report
+        // (or the fallback timeout) regardless of the requested level.
+        self.waiting.entry(item).or_default().push(query);
+        ctx.set_timer(ctx.cfg.push_wait_timeout, Timer::PushWait { query });
+    }
+
+    fn on_source_update(&mut self, _ctx: &mut Ctx<'_>) {
+        // Nothing to do: the periodic report carries the latest version.
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: ProtoMsg) {
+        match msg {
+            ProtoMsg::Invalidation { item, version } => {
+                let Some(entry) = ctx.cache.peek(item).copied() else {
+                    return;
+                };
+                if entry.version >= version {
+                    // Report confirms freshness: release waiting queries.
+                    self.answer_all_for(ctx, item);
+                } else {
+                    ctx.cache.mark_stale(item);
+                    // Fetch on demand: only queries actually waiting on
+                    // this item pull the new content (the report itself is
+                    // the push; content moves when someone needs it).
+                    if self.waiting.get(&item).is_some_and(|qs| !qs.is_empty()) {
+                        self.start_fetch(ctx, None, item, 1);
+                    }
+                }
+            }
+            ProtoMsg::Fetch { item } if self.publishes && item == ctx.own_item.id() => {
+                ctx.send(
+                    from,
+                    ProtoMsg::FetchReply {
+                        item,
+                        version: ctx.own_item.version(),
+                        content_bytes: ctx.own_item.size_bytes(),
+                    },
+                );
+            }
+            ProtoMsg::FetchReply {
+                item,
+                version,
+                content_bytes,
+            } => {
+                if !ctx.cache.refresh(item, version, ctx.now) {
+                    ctx.cache.insert(item, version, content_bytes, ctx.now);
+                }
+                self.fetch_in_flight.insert(item, false);
+                self.answer_all_for(ctx, item);
+            }
+            _ => {} // push uses no other message types
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, timer: Timer) {
+        match timer {
+            Timer::Ttn => {
+                if self.publishes && ctx.connected {
+                    let item = ctx.own_item.id();
+                    let version = ctx.own_item.version();
+                    ctx.flood(
+                        ctx.cfg.broadcast_ttl,
+                        ProtoMsg::Invalidation { item, version },
+                    );
+                }
+                ctx.set_timer(ctx.cfg.ttn, Timer::Ttn);
+            }
+            Timer::PushWait { query } => {
+                // The report never came (partition / out of flood range):
+                // fall back to a direct fetch.
+                let item = self.waiting.iter_mut().find_map(|(&item, qs)| {
+                    let before = qs.len();
+                    qs.retain(|&q| q != query);
+                    (qs.len() != before).then_some(item)
+                });
+                if let Some(item) = item {
+                    // Force a fresh fetch even if one already completed.
+                    self.fetch_in_flight.insert(item, false);
+                    self.start_fetch(ctx, Some(query), item, 1);
+                }
+            }
+            Timer::PollRetry { query, attempt } => {
+                let Some(pending) = self.pending_fetch.get(&query).copied() else {
+                    return;
+                };
+                if attempt != pending.attempt {
+                    return;
+                }
+                if attempt >= ctx.cfg.poll_attempts {
+                    self.pending_fetch.remove(&query);
+                    ctx.fail(query);
+                    return;
+                }
+                self.fetch_in_flight.insert(pending.item, false);
+                self.start_fetch(ctx, Some(query), pending.item, attempt + 1);
+            }
+            Timer::RelayHoldSweep | Timer::PollGrace { .. } => {}
+        }
+    }
+
+    fn on_undeliverable(&mut self, ctx: &mut Ctx<'_>, _dest: NodeId, msg: ProtoMsg) {
+        if let ProtoMsg::Fetch { item } = msg {
+            self.fetch_in_flight.insert(item, false);
+            let mut queries: Vec<QueryId> = self
+                .pending_fetch
+                .iter()
+                .filter(|(_, p)| p.item == item)
+                .map(|(&q, _)| q)
+                .collect();
+            // HashMap iteration order is process-random: sort for determinism.
+            queries.sort_unstable();
+            for q in queries {
+                self.pending_fetch.remove(&q);
+                ctx.fail(q);
+            }
+        }
+    }
+
+    fn on_status_change(&mut self, _ctx: &mut Ctx<'_>, _up: bool) {}
+
+    fn on_coefficient_tick(&mut self, _ctx: &mut Ctx<'_>, _moved: bool) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CtxOut;
+    use mp2p_cache::{CacheStore, DataItem, Version};
+    use mp2p_sim::{SimRng, SimTime};
+
+    struct Fixture {
+        cache: CacheStore,
+        own: DataItem,
+        rng: SimRng,
+        cfg: ProtocolConfig,
+        proto: SimplePush,
+        now: SimTime,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            let cfg = ProtocolConfig::default();
+            let mut cache = CacheStore::new(10);
+            cache.insert(ItemId::new(1), Version::INITIAL, 1_024, SimTime::ZERO);
+            Fixture {
+                cache,
+                own: DataItem::new(ItemId::new(0), 1_024),
+                rng: SimRng::from_seed(3, 0),
+                cfg,
+                proto: SimplePush::new(&cfg, true),
+                now: SimTime::ZERO,
+            }
+        }
+
+        fn run<F: FnOnce(&mut SimplePush, &mut Ctx<'_>)>(&mut self, f: F) -> Vec<CtxOut> {
+            let mut proto = self.proto.clone();
+            let mut ctx = Ctx::new(
+                self.now,
+                NodeId::new(0),
+                &mut self.cache,
+                &mut self.own,
+                &mut self.rng,
+                &self.cfg,
+                1.0,
+                true,
+            );
+            f(&mut proto, &mut ctx);
+            let out = ctx.take_outputs();
+            self.proto = proto;
+            out
+        }
+    }
+
+    #[test]
+    fn queries_wait_for_invalidation_report() {
+        let mut fx = Fixture::new();
+        let out =
+            fx.run(|p, ctx| p.on_query(ctx, QueryId(1), ItemId::new(1), ConsistencyLevel::Strong));
+        assert!(
+            out.iter().all(|o| !matches!(o, CtxOut::Answer { .. })),
+            "push must not answer before the report"
+        );
+        // Fresh report releases the query.
+        let out = fx.run(|p, ctx| {
+            p.on_message(
+                ctx,
+                NodeId::new(1),
+                ProtoMsg::Invalidation {
+                    item: ItemId::new(1),
+                    version: Version::INITIAL,
+                },
+            )
+        });
+        assert!(out.iter().any(|o| matches!(
+            o,
+            CtxOut::Answer {
+                query: QueryId(1),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn stale_report_triggers_fetch_then_answer() {
+        let mut fx = Fixture::new();
+        let _ =
+            fx.run(|p, ctx| p.on_query(ctx, QueryId(2), ItemId::new(1), ConsistencyLevel::Strong));
+        let out = fx.run(|p, ctx| {
+            p.on_message(
+                ctx,
+                NodeId::new(1),
+                ProtoMsg::Invalidation {
+                    item: ItemId::new(1),
+                    version: Version::new(2),
+                },
+            )
+        });
+        assert!(out.iter().any(|o| matches!(
+            o,
+            CtxOut::Send { to, msg: ProtoMsg::Fetch { .. } } if *to == NodeId::new(1)
+        )));
+        let out = fx.run(|p, ctx| {
+            p.on_message(
+                ctx,
+                NodeId::new(1),
+                ProtoMsg::FetchReply {
+                    item: ItemId::new(1),
+                    version: Version::new(2),
+                    content_bytes: 1_024,
+                },
+            )
+        });
+        assert!(out
+            .iter()
+            .any(|o| matches!(o, CtxOut::Answer { query: QueryId(2), version } if *version == Version::new(2))));
+        assert_eq!(
+            fx.cache.peek(ItemId::new(1)).unwrap().version,
+            Version::new(2)
+        );
+    }
+
+    #[test]
+    fn source_floods_with_baseline_ttl() {
+        let mut fx = Fixture::new();
+        let out = fx.run(|p, ctx| p.on_timer(ctx, Timer::Ttn));
+        assert!(out.iter().any(|o| matches!(
+            o,
+            CtxOut::Flood {
+                ttl: 8,
+                msg: ProtoMsg::Invalidation { .. }
+            }
+        )));
+        assert!(out.iter().any(|o| matches!(
+            o,
+            CtxOut::SetTimer {
+                timer: Timer::Ttn,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn push_wait_timeout_falls_back_to_fetch() {
+        let mut fx = Fixture::new();
+        let _ =
+            fx.run(|p, ctx| p.on_query(ctx, QueryId(3), ItemId::new(1), ConsistencyLevel::Strong));
+        let out = fx.run(|p, ctx| p.on_timer(ctx, Timer::PushWait { query: QueryId(3) }));
+        assert!(out.iter().any(|o| matches!(
+            o,
+            CtxOut::Send {
+                msg: ProtoMsg::Fetch { .. },
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn unreachable_source_fails_fetch_queries() {
+        let mut fx = Fixture::new();
+        let _ =
+            fx.run(|p, ctx| p.on_query(ctx, QueryId(4), ItemId::new(5), ConsistencyLevel::Weak));
+        let out = fx.run(|p, ctx| {
+            p.on_undeliverable(
+                ctx,
+                NodeId::new(5),
+                ProtoMsg::Fetch {
+                    item: ItemId::new(5),
+                },
+            )
+        });
+        assert!(out
+            .iter()
+            .any(|o| matches!(o, CtxOut::Fail { query: QueryId(4) })));
+    }
+
+    #[test]
+    fn stale_report_without_waiters_marks_but_does_not_fetch() {
+        let mut fx = Fixture::new();
+        let out = fx.run(|p, ctx| {
+            p.on_message(
+                ctx,
+                NodeId::new(1),
+                ProtoMsg::Invalidation {
+                    item: ItemId::new(1),
+                    version: Version::new(1),
+                },
+            )
+        });
+        assert!(
+            out.iter().all(|o| !matches!(
+                o,
+                CtxOut::Send {
+                    msg: ProtoMsg::Fetch { .. },
+                    ..
+                }
+            )),
+            "content moves on demand, not per report"
+        );
+        assert!(fx.cache.peek(ItemId::new(1)).unwrap().stale);
+    }
+}

@@ -1,0 +1,392 @@
+//! The third strategy of Lan et al. [Lan03], which the paper cites but
+//! does not plot: **push with adaptive pull**.
+//!
+//! Sources flood invalidation reports exactly like the simple push
+//! baseline. Cache peers, however, do not hold queries for the next
+//! report: a peer that has *recently heard* a report for the item trusts
+//! its (unmarked) copy and answers immediately; a peer whose report
+//! stream has gone quiet — it drifted out of the flood's reach or was
+//! disconnected — falls back to *pulling* the item from the source on
+//! demand. The result is push-like traffic with pull-like latency, at
+//! report-cycle consistency (the same level RPCC's relays provide, but
+//! with every source flooding at full TTL instead of a relay overlay).
+
+use std::collections::HashMap;
+
+use mp2p_sim::{ItemId, NodeId, SimDuration, SimTime};
+
+use crate::config::ProtocolConfig;
+use crate::level::ConsistencyLevel;
+use crate::msg::ProtoMsg;
+use crate::protocol::{Ctx, Protocol, QueryId, Timer};
+
+#[derive(Debug, Clone, Copy)]
+struct PendingFetch {
+    item: ItemId,
+    attempt: u8,
+}
+
+/// The push-with-adaptive-pull baseline. One instance per node; see the
+/// module docs.
+#[derive(Debug, Clone)]
+pub struct PushAdaptivePull {
+    publishes: bool,
+    /// When each item's latest invalidation report was heard.
+    last_report: HashMap<ItemId, SimTime>,
+    /// Queries waiting for a FETCH_REPLY.
+    pending: HashMap<QueryId, PendingFetch>,
+}
+
+impl PushAdaptivePull {
+    /// Creates the baseline state for one node.
+    pub fn new(_cfg: &ProtocolConfig, publishes: bool) -> Self {
+        PushAdaptivePull {
+            publishes,
+            last_report: HashMap::new(),
+            pending: HashMap::new(),
+        }
+    }
+
+    /// How long a heard report keeps the push stream "live" for an item:
+    /// one report period plus slack for flood jitter.
+    fn report_lease(cfg: &ProtocolConfig) -> SimDuration {
+        cfg.ttn + SimDuration::from_secs(10)
+    }
+
+    fn start_fetch(&mut self, ctx: &mut Ctx<'_>, query: QueryId, item: ItemId, attempt: u8) {
+        ctx.send(item.source_host(), ProtoMsg::Fetch { item });
+        self.pending.insert(query, PendingFetch { item, attempt });
+        ctx.set_timer(ctx.cfg.fetch_timeout, Timer::PollRetry { query, attempt });
+    }
+
+    fn answer_pending_for(&mut self, ctx: &mut Ctx<'_>, item: ItemId) {
+        let Some(entry) = ctx.cache.peek(item).copied() else {
+            return;
+        };
+        let mut queries: Vec<QueryId> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.item == item)
+            .map(|(&q, _)| q)
+            .collect();
+        // HashMap iteration order is process-random: sort for determinism.
+        queries.sort_unstable();
+        for q in queries {
+            self.pending.remove(&q);
+            ctx.answer(q, entry.version);
+        }
+    }
+}
+
+impl Protocol for PushAdaptivePull {
+    fn on_init(&mut self, ctx: &mut Ctx<'_>) {
+        // Pre-warmed copies start with a live report lease (placement just
+        // validated them).
+        let items: Vec<ItemId> = ctx.cache.iter().map(|(id, _)| id).collect();
+        for item in items {
+            self.last_report.insert(item, ctx.now);
+        }
+        if self.publishes {
+            let offset =
+                SimDuration::from_millis(ctx.rng.uniform_u64(ctx.cfg.ttn.as_millis().max(1)));
+            ctx.set_timer(offset, Timer::Ttn);
+        }
+    }
+
+    fn on_query(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        query: QueryId,
+        item: ItemId,
+        _level: ConsistencyLevel,
+    ) {
+        if item == ctx.own_item.id() {
+            let version = ctx.own_item.version();
+            ctx.answer(query, version);
+            return;
+        }
+        let Some(entry) = ctx.cache.touch(item).copied() else {
+            self.start_fetch(ctx, query, item, 1);
+            return;
+        };
+        let live = matches!(
+            self.last_report.get(&item),
+            Some(&heard) if ctx.now.saturating_since(heard) <= Self::report_lease(ctx.cfg)
+        );
+        if live && !entry.stale {
+            // The push stream vouches for the copy: answer immediately.
+            ctx.answer(query, entry.version);
+        } else {
+            // Marked stale, or we drifted out of the flood's reach:
+            // adaptive pull from the source.
+            self.start_fetch(ctx, query, item, 1);
+        }
+    }
+
+    fn on_source_update(&mut self, _ctx: &mut Ctx<'_>) {
+        // The next periodic report carries the new version.
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: ProtoMsg) {
+        match msg {
+            ProtoMsg::Invalidation { item, version } => {
+                self.last_report.insert(item, ctx.now);
+                if let Some(entry) = ctx.cache.peek(item).copied() {
+                    if entry.version < version {
+                        ctx.cache.mark_stale(item);
+                    }
+                }
+            }
+            ProtoMsg::Fetch { item } if self.publishes && item == ctx.own_item.id() => {
+                ctx.send(
+                    from,
+                    ProtoMsg::FetchReply {
+                        item,
+                        version: ctx.own_item.version(),
+                        content_bytes: ctx.own_item.size_bytes(),
+                    },
+                );
+            }
+            ProtoMsg::FetchReply {
+                item,
+                version,
+                content_bytes,
+            } => {
+                if !ctx.cache.refresh(item, version, ctx.now) {
+                    ctx.cache.insert(item, version, content_bytes, ctx.now);
+                }
+                // A fetched answer is as good as a report.
+                self.last_report.insert(item, ctx.now);
+                self.answer_pending_for(ctx, item);
+            }
+            _ => {} // uses no other message types
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, timer: Timer) {
+        match timer {
+            Timer::Ttn => {
+                if self.publishes && ctx.connected {
+                    let item = ctx.own_item.id();
+                    let version = ctx.own_item.version();
+                    ctx.flood(
+                        ctx.cfg.broadcast_ttl,
+                        ProtoMsg::Invalidation { item, version },
+                    );
+                }
+                ctx.set_timer(ctx.cfg.ttn, Timer::Ttn);
+            }
+            Timer::PollRetry { query, attempt } => {
+                let Some(pending) = self.pending.get(&query).copied() else {
+                    return;
+                };
+                if attempt != pending.attempt {
+                    return;
+                }
+                if attempt >= ctx.cfg.poll_attempts {
+                    self.pending.remove(&query);
+                    ctx.fail(query);
+                    return;
+                }
+                self.start_fetch(ctx, query, pending.item, attempt + 1);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_undeliverable(&mut self, ctx: &mut Ctx<'_>, _dest: NodeId, msg: ProtoMsg) {
+        if let ProtoMsg::Fetch { item } = msg {
+            let mut queries: Vec<QueryId> = self
+                .pending
+                .iter()
+                .filter(|(_, p)| p.item == item)
+                .map(|(&q, _)| q)
+                .collect();
+            queries.sort_unstable();
+            for q in queries {
+                self.pending.remove(&q);
+                ctx.fail(q);
+            }
+        }
+    }
+
+    fn on_status_change(&mut self, _ctx: &mut Ctx<'_>, _up: bool) {}
+
+    fn on_coefficient_tick(&mut self, _ctx: &mut Ctx<'_>, _moved: bool) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CtxOut;
+    use mp2p_cache::{CacheStore, DataItem, Version};
+    use mp2p_sim::SimRng;
+
+    struct Fixture {
+        cache: CacheStore,
+        own: DataItem,
+        rng: SimRng,
+        cfg: ProtocolConfig,
+        proto: PushAdaptivePull,
+        now: SimTime,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            let cfg = ProtocolConfig::default();
+            let mut cache = CacheStore::new(10);
+            cache.insert(ItemId::new(1), Version::INITIAL, 1_024, SimTime::ZERO);
+            Fixture {
+                cache,
+                own: DataItem::new(ItemId::new(0), 1_024),
+                rng: SimRng::from_seed(8, 0),
+                cfg,
+                proto: PushAdaptivePull::new(&cfg, true),
+                now: SimTime::ZERO,
+            }
+        }
+
+        fn run<F: FnOnce(&mut PushAdaptivePull, &mut Ctx<'_>)>(&mut self, f: F) -> Vec<CtxOut> {
+            let mut proto = self.proto.clone();
+            let mut ctx = Ctx::new(
+                self.now,
+                NodeId::new(0),
+                &mut self.cache,
+                &mut self.own,
+                &mut self.rng,
+                &self.cfg,
+                1.0,
+                true,
+            );
+            f(&mut proto, &mut ctx);
+            let out = ctx.take_outputs();
+            self.proto = proto;
+            out
+        }
+    }
+
+    #[test]
+    fn live_report_stream_answers_instantly() {
+        let mut fx = Fixture::new();
+        let _ = fx.run(|p, ctx| p.on_init(ctx));
+        let out =
+            fx.run(|p, ctx| p.on_query(ctx, QueryId(1), ItemId::new(1), ConsistencyLevel::Strong));
+        assert!(
+            out.iter().any(|o| matches!(
+                o,
+                CtxOut::Answer {
+                    query: QueryId(1),
+                    ..
+                }
+            )),
+            "a fresh report lease must answer without network traffic"
+        );
+    }
+
+    #[test]
+    fn quiet_stream_falls_back_to_pull() {
+        let mut fx = Fixture::new();
+        let _ = fx.run(|p, ctx| p.on_init(ctx));
+        fx.now = SimTime::from_millis(10 * 60_000); // far past the lease
+        let out =
+            fx.run(|p, ctx| p.on_query(ctx, QueryId(2), ItemId::new(1), ConsistencyLevel::Strong));
+        assert!(
+            out.iter().any(|o| matches!(
+                o,
+                CtxOut::Send { to, msg: ProtoMsg::Fetch { .. } } if *to == NodeId::new(1)
+            )),
+            "a silent report stream must trigger an adaptive pull"
+        );
+    }
+
+    #[test]
+    fn stale_mark_forces_pull_despite_live_lease() {
+        let mut fx = Fixture::new();
+        let _ = fx.run(|p, ctx| p.on_init(ctx));
+        let _ = fx.run(|p, ctx| {
+            p.on_message(
+                ctx,
+                NodeId::new(1),
+                ProtoMsg::Invalidation {
+                    item: ItemId::new(1),
+                    version: Version::new(2),
+                },
+            )
+        });
+        let out =
+            fx.run(|p, ctx| p.on_query(ctx, QueryId(3), ItemId::new(1), ConsistencyLevel::Weak));
+        assert!(out.iter().any(|o| matches!(
+            o,
+            CtxOut::Send {
+                msg: ProtoMsg::Fetch { .. },
+                ..
+            }
+        )));
+        // Reply refreshes and answers.
+        let out = fx.run(|p, ctx| {
+            p.on_message(
+                ctx,
+                NodeId::new(1),
+                ProtoMsg::FetchReply {
+                    item: ItemId::new(1),
+                    version: Version::new(2),
+                    content_bytes: 1_024,
+                },
+            )
+        });
+        assert!(out
+            .iter()
+            .any(|o| matches!(o, CtxOut::Answer { query: QueryId(3), version } if *version == Version::new(2))));
+    }
+
+    #[test]
+    fn source_floods_reports_like_push() {
+        let mut fx = Fixture::new();
+        let out = fx.run(|p, ctx| p.on_timer(ctx, Timer::Ttn));
+        assert!(out.iter().any(|o| matches!(
+            o,
+            CtxOut::Flood {
+                ttl: 8,
+                msg: ProtoMsg::Invalidation { .. }
+            }
+        )));
+    }
+
+    #[test]
+    fn fetch_retries_then_fails() {
+        let mut fx = Fixture::new();
+        fx.now = SimTime::from_millis(10 * 60_000);
+        let _ =
+            fx.run(|p, ctx| p.on_query(ctx, QueryId(4), ItemId::new(1), ConsistencyLevel::Strong));
+        for attempt in 1..=2 {
+            let out = fx.run(|p, ctx| {
+                p.on_timer(
+                    ctx,
+                    Timer::PollRetry {
+                        query: QueryId(4),
+                        attempt,
+                    },
+                )
+            });
+            assert!(out.iter().any(|o| matches!(
+                o,
+                CtxOut::Send {
+                    msg: ProtoMsg::Fetch { .. },
+                    ..
+                }
+            )));
+        }
+        let out = fx.run(|p, ctx| {
+            p.on_timer(
+                ctx,
+                Timer::PollRetry {
+                    query: QueryId(4),
+                    attempt: 3,
+                },
+            )
+        });
+        assert!(out
+            .iter()
+            .any(|o| matches!(o, CtxOut::Fail { query: QueryId(4) })));
+    }
+}

@@ -1,0 +1,1594 @@
+//! The RPCC protocol (Section 4): relay-peer based cache consistency.
+//!
+//! One [`Rpcc`] instance per node plays all three roles of Fig. 4:
+//!
+//! * **Source host** for the node's own item — Fig. 6(b): periodic
+//!   `INVALIDATION` floods (TTL-limited), batched `UPDATE` pushes to the
+//!   relay table, `GET_NEW`/`APPLY`/`CANCEL` handling.
+//! * **Relay peer** for approved cached items — Fig. 6(c): freshness via
+//!   `TTR`, poll answering (or holding until the next invalidation),
+//!   missed-update resynchronisation via `GET_NEW`.
+//! * **Cache peer** for the rest of the cache — Fig. 6(d): weak/Δ/strong
+//!   query handling (Section 4.4), expanding-ring `POLL`s, candidacy and
+//!   promotion per the Fig. 5 state machine.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use mp2p_cache::Version;
+use mp2p_sim::{ItemId, NodeId, SimTime};
+
+use crate::adaptive::AdaptiveTuner;
+use crate::coefficients::Coefficients;
+use crate::config::ProtocolConfig;
+use crate::level::ConsistencyLevel;
+use crate::msg::ProtoMsg;
+use crate::protocol::{Ctx, Protocol, QueryId, Timer};
+
+/// The node-level position in the Fig. 5 state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelayRole {
+    /// Ordinary cache node.
+    CachePeer,
+    /// Qualifies per Eq. 4.2.8, not yet approved for any item.
+    Candidate,
+    /// Approved relay peer for at least one item.
+    Relay,
+}
+
+#[derive(Debug, Clone)]
+struct RelayState {
+    /// The copy is authoritatively fresh until this instant (`TTR_d`).
+    ttr_expiry: SimTime,
+    /// POLLs that arrived while stale, waiting for the next
+    /// INVALIDATION/UPDATE (Fig. 6(c) line 16).
+    held_polls: Vec<HeldPoll>,
+    /// True while a `GET_NEW` is outstanding.
+    awaiting_get_new: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct HeldPoll {
+    from: NodeId,
+    version: Version,
+    held_at: SimTime,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PendingKind {
+    /// Waiting for a POLL_ACK.
+    Poll,
+    /// Waiting for a FETCH_REPLY (cache-miss path).
+    Fetch,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingQuery {
+    item: ItemId,
+    kind: PendingKind,
+    attempt: u8,
+}
+
+/// The RPCC protocol state of one node. See the module docs.
+#[derive(Debug, Clone)]
+pub struct Rpcc {
+    /// Whether this node's own item participates (false for non-source
+    /// nodes in the single-item Fig. 9 scenario).
+    publishes: bool,
+    /// Source role: the relay-peer table for the own item (`RP_d`).
+    relay_table: BTreeSet<NodeId>,
+    /// Source role: did the master copy change since the last TTN tick?
+    updated_since_inv: bool,
+    /// Node-level candidacy (Fig. 5).
+    candidate: bool,
+    /// Consecutive coefficient ticks that failed Eq. 4.2.8.
+    failing_ticks: u8,
+    coeffs: Coefficients,
+    /// Relay role, per approved item.
+    relay: BTreeMap<ItemId, RelayState>,
+    /// Cache role: `TTP` expiry per cached item.
+    ttp_expiry: HashMap<ItemId, SimTime>,
+    /// Latest master version learnt per item (from INVALIDATION/acks).
+    last_seen_ver: HashMap<ItemId, Version>,
+    /// The nearest known answerer per item ("find the nearest relay
+    /// peer", Section 4.1): first polls go unicast to it; a miss falls
+    /// back to the expanding-ring flood.
+    known_relay: HashMap<ItemId, NodeId>,
+    /// Open local queries awaiting network answers.
+    pending: HashMap<QueryId, PendingQuery>,
+    /// APPLYs sent and not yet acknowledged (item → when), to rate-limit
+    /// re-application.
+    applied: HashMap<ItemId, SimTime>,
+    /// Adaptive push/pull frequency machinery (extension, future work
+    /// §6 item 1); `None` reproduces the paper.
+    tuner: Option<AdaptiveTuner>,
+}
+
+impl Rpcc {
+    /// Creates the protocol state for one node.
+    ///
+    /// `publishes` controls whether the node runs the source role for its
+    /// own item (true in the paper's main scenarios; false for all but
+    /// one node in the Fig. 9 single-item scenario).
+    pub fn new(cfg: &ProtocolConfig, publishes: bool) -> Self {
+        Rpcc {
+            publishes,
+            relay_table: BTreeSet::new(),
+            updated_since_inv: false,
+            candidate: false,
+            failing_ticks: 0,
+            coeffs: Coefficients::new(cfg.omega),
+            relay: BTreeMap::new(),
+            ttp_expiry: HashMap::new(),
+            last_seen_ver: HashMap::new(),
+            known_relay: HashMap::new(),
+            pending: HashMap::new(),
+            applied: HashMap::new(),
+            tuner: cfg.adaptive.then(|| AdaptiveTuner::new(cfg.adaptive_span)),
+        }
+    }
+
+    /// The adaptive tuner, if the extension is enabled (for tests and
+    /// gauges).
+    pub fn tuner(&self) -> Option<&AdaptiveTuner> {
+        self.tuner.as_ref()
+    }
+
+    /// The node's Fig. 5 role.
+    pub fn role(&self) -> RelayRole {
+        if !self.relay.is_empty() {
+            RelayRole::Relay
+        } else if self.candidate {
+            RelayRole::Candidate
+        } else {
+            RelayRole::CachePeer
+        }
+    }
+
+    /// The coefficients (exposed for tests and gauges).
+    pub fn coefficients(&self) -> &Coefficients {
+        &self.coeffs
+    }
+
+    /// Size of the source-side relay table for this node's own item.
+    pub fn relay_table_len(&self) -> usize {
+        self.relay_table.len()
+    }
+
+    /// True if this node is an approved relay for `item`.
+    pub fn is_relay_for(&self, item: ItemId) -> bool {
+        self.relay.contains_key(&item)
+    }
+
+    fn ttr_fresh(&self, item: ItemId, now: SimTime) -> bool {
+        matches!(self.relay.get(&item), Some(st) if st.ttr_expiry > now)
+    }
+
+    /// The relay serving lease granted by a freshness confirmation.
+    ///
+    /// Table 1 sets `TTR` (1.5 min) *below* the invalidation period `TTN`
+    /// (2 min). Read literally as a serving lease that would forbid relays
+    /// from answering for 25% of every cycle, contradicting the latency
+    /// and traffic behaviour of Figs. 8/9 — so `TTR` is interpreted as the
+    /// relay's tolerance for *missing* reports, and the lease runs to the
+    /// next expected report (plus flood-jitter slack) or `TTR`, whichever
+    /// is longer (DESIGN.md §5).
+    fn relay_lease(cfg: &ProtocolConfig) -> mp2p_sim::SimDuration {
+        cfg.ttr.max(cfg.ttn + mp2p_sim::SimDuration::from_secs(5))
+    }
+
+    fn ttp_fresh(&self, item: ItemId, now: SimTime) -> bool {
+        matches!(self.ttp_expiry.get(&item), Some(&t) if t > now)
+    }
+
+    fn renew_ttp(&mut self, ctx: &Ctx<'_>, item: ItemId) {
+        let lease = match &self.tuner {
+            Some(tuner) => tuner.effective_ttp(item, ctx.cfg.ttp),
+            None => ctx.cfg.ttp,
+        };
+        self.ttp_expiry.insert(item, ctx.now + lease);
+    }
+
+    /// Starts (or widens) a POLL for an open query. The first attempt
+    /// goes unicast to the last known answerer; misses and retries fall
+    /// back to the expanding-ring flood.
+    fn start_poll(&mut self, ctx: &mut Ctx<'_>, query: QueryId, item: ItemId, attempt: u8) {
+        let version = ctx
+            .cache
+            .peek(item)
+            .map(|e| e.version)
+            .unwrap_or(Version::INITIAL);
+        match self.known_relay.get(&item) {
+            Some(&relay) if attempt == 1 => {
+                ctx.send(relay, ProtoMsg::Poll { item, version });
+            }
+            _ => {
+                self.known_relay.remove(&item);
+                let ttl = ctx.cfg.poll_ttl_for_attempt(attempt);
+                ctx.flood(ttl, ProtoMsg::Poll { item, version });
+            }
+        }
+        self.pending.insert(
+            query,
+            PendingQuery {
+                item,
+                kind: PendingKind::Poll,
+                attempt,
+            },
+        );
+        ctx.set_timer(ctx.cfg.poll_timeout, Timer::PollRetry { query, attempt });
+    }
+
+    /// Starts a cache-miss fetch for an open query.
+    fn start_fetch(&mut self, ctx: &mut Ctx<'_>, query: QueryId, item: ItemId, attempt: u8) {
+        ctx.send(item.source_host(), ProtoMsg::Fetch { item });
+        self.pending.insert(
+            query,
+            PendingQuery {
+                item,
+                kind: PendingKind::Fetch,
+                attempt,
+            },
+        );
+        ctx.set_timer(ctx.cfg.fetch_timeout, Timer::PollRetry { query, attempt });
+    }
+
+    /// Answers every open query on `item` with the (just-validated)
+    /// cached version.
+    fn answer_pending_for(&mut self, ctx: &mut Ctx<'_>, item: ItemId) {
+        let version = match ctx.cache.peek(item) {
+            Some(e) => e.version,
+            None => return,
+        };
+        let mut queries: Vec<QueryId> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.item == item)
+            .map(|(&q, _)| q)
+            .collect();
+        // HashMap iteration order is process-random: sort for determinism.
+        queries.sort_unstable();
+        for q in queries {
+            self.pending.remove(&q);
+            ctx.answer(q, version);
+        }
+    }
+
+    /// Relay-side: answer one POLL against the local (fresh) copy.
+    fn answer_poll(&self, ctx: &mut Ctx<'_>, from: NodeId, item: ItemId, their_version: Version) {
+        let Some(entry) = ctx.cache.peek(item) else {
+            return;
+        };
+        if their_version >= entry.version {
+            ctx.send(
+                from,
+                ProtoMsg::PollAckA {
+                    item,
+                    version: their_version,
+                },
+            );
+        } else {
+            ctx.send(
+                from,
+                ProtoMsg::PollAckB {
+                    item,
+                    version: entry.version,
+                    content_bytes: entry.size_bytes,
+                },
+            );
+        }
+    }
+
+    /// Relay-side: a freshness proof arrived; drain held polls.
+    fn drain_held_polls(&mut self, ctx: &mut Ctx<'_>, item: ItemId) {
+        let held = match self.relay.get_mut(&item) {
+            Some(st) => std::mem::take(&mut st.held_polls),
+            None => return,
+        };
+        for poll in held {
+            self.answer_poll(ctx, poll.from, item, poll.version);
+        }
+    }
+
+    /// Source-side TTN tick (Fig. 6(b) lines 1–8).
+    fn source_tick(&mut self, ctx: &mut Ctx<'_>) {
+        if self.publishes && ctx.connected {
+            let item = ctx.own_item.id();
+            let version = ctx.own_item.version();
+            if self.updated_since_inv {
+                for &rp in &self.relay_table {
+                    ctx.send(
+                        rp,
+                        ProtoMsg::Update {
+                            item,
+                            version,
+                            content_bytes: ctx.own_item.size_bytes(),
+                        },
+                    );
+                }
+                self.updated_since_inv = false;
+            }
+            ctx.flood(
+                ctx.cfg.invalidation_ttl,
+                ProtoMsg::Invalidation { item, version },
+            );
+        }
+        // Adaptive push (extension): report on the item's own update
+        // timescale instead of the fixed TTN.
+        let period = match &self.tuner {
+            Some(tuner) => tuner.effective_ttn(ctx.cfg.ttn),
+            None => ctx.cfg.ttn,
+        };
+        ctx.set_timer(period, Timer::Ttn);
+    }
+
+    fn note_master_version(&mut self, item: ItemId, version: Version) {
+        let known = self.last_seen_ver.entry(item).or_insert(Version::INITIAL);
+        if version > *known {
+            *known = version;
+        }
+    }
+
+    /// Handles INVALIDATION (Fig. 6(c) lines 1–8 for relays, Section 4.3
+    /// for candidates).
+    fn on_invalidation(&mut self, ctx: &mut Ctx<'_>, item: ItemId, version: Version) {
+        self.note_master_version(item, version);
+        let source = item.source_host();
+        if self.relay.contains_key(&item) {
+            let local = ctx
+                .cache
+                .peek(item)
+                .map(|e| e.version)
+                .unwrap_or(Version::INITIAL);
+            if local < version {
+                // Missed an update while disconnected: resynchronise.
+                let st = self.relay.get_mut(&item).expect("checked above");
+                if !st.awaiting_get_new {
+                    st.awaiting_get_new = true;
+                    ctx.send(source, ProtoMsg::GetNew { item });
+                }
+            } else {
+                let st = self.relay.get_mut(&item).expect("checked above");
+                st.ttr_expiry = ctx.now + Self::relay_lease(ctx.cfg);
+                self.drain_held_polls(ctx, item);
+            }
+            return;
+        }
+        // Candidate hearing an invalidation for a cached item applies for
+        // promotion (Section 4.3).
+        if self.candidate && ctx.cache.contains(item) {
+            let reapply_ok = match self.applied.get(&item) {
+                Some(&when) => ctx.now.saturating_since(when) >= ctx.cfg.ttn,
+                None => true,
+            };
+            if reapply_ok {
+                self.applied.insert(item, ctx.now);
+                ctx.send(source, ProtoMsg::Apply { item });
+            }
+        }
+    }
+
+    /// Handles UPDATE (Fig. 6(c) lines 23–25 and Fig. 6(d) lines 27–36).
+    fn on_update(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: NodeId,
+        item: ItemId,
+        version: Version,
+        content: u32,
+    ) {
+        self.note_master_version(item, version);
+        if self.relay.contains_key(&item) {
+            let st = self.relay.get_mut(&item).expect("checked above");
+            st.ttr_expiry = ctx.now + Self::relay_lease(ctx.cfg);
+            st.awaiting_get_new = false;
+            refresh_or_insert(ctx, item, version, content);
+            self.drain_held_polls(ctx, item);
+        } else if self.candidate {
+            // We are a candidate that missed its APPLY_ACK: the UPDATE
+            // proves the source considers us a relay (Fig. 6(d) 28–31).
+            self.applied.remove(&item);
+            refresh_or_insert(ctx, item, version, content);
+            self.relay.insert(
+                item,
+                RelayState {
+                    ttr_expiry: ctx.now + Self::relay_lease(ctx.cfg),
+                    held_polls: Vec::new(),
+                    awaiting_get_new: false,
+                },
+            );
+        } else {
+            // Plain cache peer: the owner missed our CANCEL (Fig. 6(d)
+            // 32–35): use the data, tell it again.
+            refresh_or_insert(ctx, item, version, content);
+            self.renew_ttp(ctx, item);
+            ctx.send(from, ProtoMsg::Cancel { item });
+        }
+    }
+
+    /// Handles POLL (Fig. 6(c) lines 9–18, plus the source answering for
+    /// its own item).
+    fn on_poll(&mut self, ctx: &mut Ctx<'_>, from: NodeId, item: ItemId, their_version: Version) {
+        if from == ctx.me {
+            return; // own flood heard back; floods do not self-deliver, but guard anyway
+        }
+        if self.publishes && item == ctx.own_item.id() {
+            self.coeffs.note_access();
+            let master = ctx.own_item.version();
+            if their_version >= master {
+                ctx.send(
+                    from,
+                    ProtoMsg::PollAckA {
+                        item,
+                        version: their_version,
+                    },
+                );
+            } else {
+                ctx.send(
+                    from,
+                    ProtoMsg::PollAckB {
+                        item,
+                        version: master,
+                        content_bytes: ctx.own_item.size_bytes(),
+                    },
+                );
+            }
+            return;
+        }
+        if self.relay.contains_key(&item) {
+            self.coeffs.note_access();
+            if self.ttr_fresh(item, ctx.now) {
+                self.answer_poll(ctx, from, item, their_version);
+            } else if let Some(st) = self.relay.get_mut(&item) {
+                // Stale TTR: hold the poll (Fig. 6(c) 16). Rather than
+                // idle until the next INVALIDATION, resynchronise with the
+                // source right away via GET_NEW — the message the protocol
+                // already uses for relay resync (DESIGN.md §5 documents
+                // this as the poll-triggered-resync interpretation).
+                // One held slot per poller: a retry replaces the original.
+                st.held_polls.retain(|p| p.from != from);
+                st.held_polls.push(HeldPoll {
+                    from,
+                    version: their_version,
+                    held_at: ctx.now,
+                });
+                if !st.awaiting_get_new {
+                    st.awaiting_get_new = true;
+                    ctx.send(item.source_host(), ProtoMsg::GetNew { item });
+                }
+            }
+        }
+        // Plain cache peers ignore other peers' polls.
+    }
+
+    fn on_poll_ack(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: NodeId,
+        item: ItemId,
+        version: Version,
+        content: Option<u32>,
+    ) {
+        if let Some(tuner) = &mut self.tuner {
+            // Adaptive pull (extension): confirmations stretch the lease,
+            // changes collapse it.
+            match content {
+                Some(_) => tuner.note_changed(item),
+                None => tuner.note_confirmed(item),
+            }
+        }
+        if let Some(content) = content {
+            refresh_or_insert(ctx, item, version, content);
+        }
+        self.note_master_version(item, version);
+        self.renew_ttp(ctx, item);
+        // Sticky nearest-relay choice: switching on every answer would
+        // churn routes; failures clear the entry instead.
+        self.known_relay.entry(item).or_insert(from);
+        self.answer_pending_for(ctx, item);
+    }
+
+    /// Promotion on APPLY_ACK (Fig. 6(d) lines 24–26).
+    fn on_apply_ack(&mut self, ctx: &mut Ctx<'_>, item: ItemId, version: Version) {
+        self.applied.remove(&item);
+        self.note_master_version(item, version);
+        if !ctx.cache.contains(item) {
+            return; // cached copy evicted meanwhile; let the table age out
+        }
+        let local = ctx
+            .cache
+            .peek(item)
+            .map(|e| e.version)
+            .unwrap_or(Version::INITIAL);
+        let mut st = RelayState {
+            ttr_expiry: ctx.now + Self::relay_lease(ctx.cfg),
+            held_polls: Vec::new(),
+            awaiting_get_new: false,
+        };
+        if local < version {
+            st.ttr_expiry = ctx.now; // stale until SEND_NEW arrives
+            st.awaiting_get_new = true;
+            ctx.send(item.source_host(), ProtoMsg::GetNew { item });
+        }
+        self.relay.insert(item, st);
+    }
+
+    /// Demotes this node from all relay roles (coefficient failure;
+    /// Fig. 5 "relay peer → cache node" edge).
+    fn demote(&mut self, ctx: &mut Ctx<'_>) {
+        let items: Vec<ItemId> = self.relay.keys().copied().collect();
+        for item in items {
+            if let Some(st) = self.relay.remove(&item) {
+                // Held polls cannot be answered honestly any more; the
+                // pollers' retry timers recover them.
+                drop(st);
+            }
+            ctx.send(item.source_host(), ProtoMsg::Cancel { item });
+            // The copy stays cached; give it a normal TTP lease from now.
+            self.renew_ttp(ctx, item);
+        }
+        self.applied.clear();
+    }
+}
+
+/// Refreshes `item` in the cache, inserting it if missing.
+fn refresh_or_insert(ctx: &mut Ctx<'_>, item: ItemId, version: Version, content: u32) {
+    if !ctx.cache.refresh(item, version, ctx.now) {
+        ctx.cache.insert(item, version, content, ctx.now);
+    }
+}
+
+impl Protocol for Rpcc {
+    fn on_init(&mut self, ctx: &mut Ctx<'_>) {
+        // Pre-warmed cache copies carry a fresh TTP lease.
+        let items: Vec<ItemId> = ctx.cache.iter().map(|(id, _)| id).collect();
+        for item in items {
+            self.renew_ttp(ctx, item);
+        }
+        if self.publishes {
+            // Stagger TTN across sources to avoid synchronised flood storms.
+            let offset = mp2p_sim::SimDuration::from_millis(
+                ctx.rng.uniform_u64(ctx.cfg.ttn.as_millis().max(1)),
+            );
+            ctx.set_timer(offset, Timer::Ttn);
+        }
+        ctx.set_timer(ctx.cfg.relay_poll_hold, Timer::RelayHoldSweep);
+    }
+
+    fn on_query(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        query: QueryId,
+        item: ItemId,
+        level: ConsistencyLevel,
+    ) {
+        self.coeffs.note_access();
+        if item == ctx.own_item.id() {
+            let version = ctx.own_item.version();
+            ctx.answer(query, version);
+            return;
+        }
+        let Some(entry) = ctx.cache.touch(item).copied() else {
+            self.start_fetch(ctx, query, item, 1);
+            return;
+        };
+        // A relay's own copy is authoritative while TTR is fresh.
+        if self.ttr_fresh(item, ctx.now) {
+            ctx.answer(query, entry.version);
+            return;
+        }
+        match level {
+            ConsistencyLevel::Weak => ctx.answer(query, entry.version),
+            ConsistencyLevel::Delta if self.ttp_fresh(item, ctx.now) => {
+                ctx.answer(query, entry.version);
+            }
+            ConsistencyLevel::Delta | ConsistencyLevel::Strong => {
+                self.start_poll(ctx, query, item, 1);
+            }
+        }
+    }
+
+    fn on_source_update(&mut self, ctx: &mut Ctx<'_>) {
+        self.updated_since_inv = true;
+        if let Some(tuner) = &mut self.tuner {
+            tuner.note_source_update(ctx.now);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: ProtoMsg) {
+        // Cache/relay-role messages about this node's *own* item are
+        // nonsense (we are its source); acting on them would create
+        // self-addressed traffic. Source-role messages (GET_NEW, APPLY,
+        // CANCEL, POLL, FETCH) legitimately concern the own item and pass.
+        if msg.item() == ctx.own_item.id() {
+            if let ProtoMsg::Invalidation { .. }
+            | ProtoMsg::Update { .. }
+            | ProtoMsg::SendNew { .. }
+            | ProtoMsg::ApplyAck { .. }
+            | ProtoMsg::PollAckA { .. }
+            | ProtoMsg::PollAckB { .. }
+            | ProtoMsg::FetchReply { .. } = msg
+            {
+                return;
+            }
+        }
+        match msg {
+            ProtoMsg::Invalidation { item, version } => self.on_invalidation(ctx, item, version),
+            ProtoMsg::Update {
+                item,
+                version,
+                content_bytes,
+            } => self.on_update(ctx, from, item, version, content_bytes),
+            ProtoMsg::GetNew { item } => {
+                if self.publishes && item == ctx.own_item.id() {
+                    self.coeffs.note_access();
+                    ctx.send(
+                        from,
+                        ProtoMsg::SendNew {
+                            item,
+                            version: ctx.own_item.version(),
+                            content_bytes: ctx.own_item.size_bytes(),
+                        },
+                    );
+                }
+            }
+            ProtoMsg::SendNew {
+                item,
+                version,
+                content_bytes,
+            } => {
+                self.note_master_version(item, version);
+                refresh_or_insert(ctx, item, version, content_bytes);
+                if self.relay.contains_key(&item) {
+                    let st = self.relay.get_mut(&item).expect("checked above");
+                    st.ttr_expiry = ctx.now + Self::relay_lease(ctx.cfg);
+                    st.awaiting_get_new = false;
+                    self.drain_held_polls(ctx, item);
+                } else {
+                    self.renew_ttp(ctx, item);
+                }
+            }
+            ProtoMsg::Apply { item } => {
+                if self.publishes && item == ctx.own_item.id() {
+                    // Admission control (extension, future work §6 item 2):
+                    // a full relay table rejects new applicants silently;
+                    // the candidate re-applies at a later report.
+                    let full = ctx.cfg.max_relays_per_item.is_some_and(|cap| {
+                        self.relay_table.len() >= cap && !self.relay_table.contains(&from)
+                    });
+                    if !full {
+                        self.relay_table.insert(from);
+                        ctx.send(
+                            from,
+                            ProtoMsg::ApplyAck {
+                                item,
+                                version: ctx.own_item.version(),
+                            },
+                        );
+                    }
+                }
+            }
+            ProtoMsg::ApplyAck { item, version } => self.on_apply_ack(ctx, item, version),
+            ProtoMsg::Cancel { item } => {
+                if self.publishes && item == ctx.own_item.id() {
+                    self.relay_table.remove(&from);
+                }
+            }
+            ProtoMsg::Poll { item, version } => self.on_poll(ctx, from, item, version),
+            ProtoMsg::PollAckA { item, version } => {
+                self.on_poll_ack(ctx, from, item, version, None)
+            }
+            ProtoMsg::PollAckB {
+                item,
+                version,
+                content_bytes,
+            } => self.on_poll_ack(ctx, from, item, version, Some(content_bytes)),
+            ProtoMsg::Fetch { item } => {
+                if self.publishes && item == ctx.own_item.id() {
+                    self.coeffs.note_access();
+                    ctx.send(
+                        from,
+                        ProtoMsg::FetchReply {
+                            item,
+                            version: ctx.own_item.version(),
+                            content_bytes: ctx.own_item.size_bytes(),
+                        },
+                    );
+                }
+            }
+            ProtoMsg::FetchReply {
+                item,
+                version,
+                content_bytes,
+            } => {
+                self.note_master_version(item, version);
+                refresh_or_insert(ctx, item, version, content_bytes);
+                self.renew_ttp(ctx, item);
+                self.answer_pending_for(ctx, item);
+            }
+            // Replica writes are handled by the simulation driver before
+            // they reach the protocol layer.
+            ProtoMsg::WriteRequest { .. } | ProtoMsg::WriteAck { .. } => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, timer: Timer) {
+        match timer {
+            Timer::Ttn => self.source_tick(ctx),
+            Timer::PollRetry { query, attempt } => {
+                let Some(pending) = self.pending.get(&query).copied() else {
+                    return; // already answered
+                };
+                if attempt != pending.attempt {
+                    return; // stale timer from an earlier attempt
+                }
+                if attempt >= ctx.cfg.poll_attempts {
+                    // A relay may still be holding our poll until its next
+                    // INVALIDATION; linger before giving up.
+                    ctx.set_timer(ctx.cfg.poll_grace, Timer::PollGrace { query });
+                    return;
+                }
+                match pending.kind {
+                    PendingKind::Poll => self.start_poll(ctx, query, pending.item, attempt + 1),
+                    PendingKind::Fetch => self.start_fetch(ctx, query, pending.item, attempt + 1),
+                }
+            }
+            Timer::PollGrace { query } => {
+                if self.pending.remove(&query).is_some() {
+                    ctx.fail(query);
+                }
+            }
+            Timer::RelayHoldSweep => {
+                let hold = ctx.cfg.relay_poll_hold;
+                let now = ctx.now;
+                for st in self.relay.values_mut() {
+                    st.held_polls
+                        .retain(|p| now.saturating_since(p.held_at) < hold);
+                }
+                ctx.set_timer(hold, Timer::RelayHoldSweep);
+            }
+            Timer::PushWait { .. } => {}
+        }
+    }
+
+    fn on_undeliverable(&mut self, ctx: &mut Ctx<'_>, dest: NodeId, msg: ProtoMsg) {
+        match msg {
+            // Source side: an unreachable relay peer leaves the table
+            // (Section 4.5: "the destination peer of APPLY_ACK
+            // unreachable ⇒ remove the peer").
+            ProtoMsg::ApplyAck { .. } | ProtoMsg::Update { .. } | ProtoMsg::SendNew { .. } => {
+                self.relay_table.remove(&dest);
+            }
+            ProtoMsg::GetNew { item } => {
+                if let Some(st) = self.relay.get_mut(&item) {
+                    st.awaiting_get_new = false; // retry at the next INVALIDATION
+                }
+            }
+            ProtoMsg::Apply { item } => {
+                self.applied.remove(&item);
+            }
+            ProtoMsg::Poll { item, .. } => {
+                // Our remembered nearest relay is gone; re-discover by
+                // flooding on the retry.
+                self.known_relay.remove(&item);
+            }
+            ProtoMsg::Fetch { item } => {
+                let mut queries: Vec<QueryId> = self
+                    .pending
+                    .iter()
+                    .filter(|(_, p)| p.item == item && p.kind == PendingKind::Fetch)
+                    .map(|(&q, _)| q)
+                    .collect();
+                // HashMap iteration order is process-random: sort for determinism.
+                queries.sort_unstable();
+                for q in queries {
+                    self.pending.remove(&q);
+                    ctx.fail(q);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_status_change(&mut self, _ctx: &mut Ctx<'_>, _up: bool) {
+        self.coeffs.note_switch();
+    }
+
+    fn on_coefficient_tick(&mut self, ctx: &mut Ctx<'_>, moved: bool) {
+        self.coeffs.tick(moved, ctx.energy_fraction);
+        if self.coeffs.qualifies(ctx.cfg) {
+            self.failing_ticks = 0;
+            self.candidate = true;
+        } else {
+            self.failing_ticks = self.failing_ticks.saturating_add(1);
+            if self.failing_ticks >= ctx.cfg.demote_grace_ticks
+                && (self.candidate || !self.relay.is_empty())
+            {
+                self.candidate = false;
+                self.demote(ctx);
+            }
+        }
+    }
+
+    fn relay_item_count(&self) -> usize {
+        self.relay.len()
+    }
+
+    fn is_candidate(&self) -> bool {
+        self.candidate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp2p_cache::{CacheStore, DataItem};
+    use mp2p_sim::{SimDuration, SimRng};
+
+    struct Fixture {
+        cache: CacheStore,
+        own: DataItem,
+        rng: SimRng,
+        cfg: ProtocolConfig,
+        proto: Rpcc,
+        now: SimTime,
+    }
+
+    impl Fixture {
+        fn new(me: u32) -> Self {
+            let cfg = ProtocolConfig::default();
+            let mut cache = CacheStore::new(10);
+            // Pre-warm a foreign item (D1 unless we are node 1).
+            let foreign = if me == 1 {
+                ItemId::new(2)
+            } else {
+                ItemId::new(1)
+            };
+            cache.insert(foreign, Version::INITIAL, 1_024, SimTime::ZERO);
+            Fixture {
+                cache,
+                own: DataItem::new(ItemId::new(me), 1_024),
+                rng: SimRng::from_seed(9, u64::from(me)),
+                cfg,
+                proto: Rpcc::new(&cfg, true),
+                now: SimTime::ZERO,
+                // `me` recorded via own item id
+            }
+        }
+
+        fn ctx(&mut self) -> Ctx<'_> {
+            Ctx::new(
+                self.now,
+                NodeId::new(self.own.id().index() as u32),
+                &mut self.cache,
+                &mut self.own,
+                &mut self.rng,
+                &self.cfg,
+                1.0,
+                true,
+            )
+        }
+
+        fn run<F: FnOnce(&mut Rpcc, &mut Ctx<'_>)>(&mut self, f: F) -> Vec<crate::CtxOut> {
+            let mut proto = std::mem::replace(&mut self.proto, Rpcc::new(&self.cfg, true));
+            let mut ctx = self.ctx();
+            f(&mut proto, &mut ctx);
+            let out = ctx.take_outputs();
+            self.proto = proto;
+            out
+        }
+
+        /// Drives the node to candidate status via busy, stable periods.
+        fn make_candidate(&mut self) {
+            for _ in 0..5 {
+                for _ in 0..10 {
+                    self.proto.coeffs.note_access();
+                }
+                let out = self.run(|p, ctx| p.on_coefficient_tick(ctx, false));
+                assert!(out.is_empty());
+            }
+            assert!(self.proto.is_candidate());
+        }
+    }
+
+    fn sends_of(out: &[crate::CtxOut]) -> Vec<(NodeId, ProtoMsg)> {
+        out.iter()
+            .filter_map(|o| match o {
+                crate::CtxOut::Send { to, msg } => Some((*to, *msg)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn answers_of(out: &[crate::CtxOut]) -> Vec<(QueryId, Version)> {
+        out.iter()
+            .filter_map(|o| match o {
+                crate::CtxOut::Answer { query, version } => Some((*query, *version)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn weak_query_answers_immediately() {
+        let mut fx = Fixture::new(0);
+        let out =
+            fx.run(|p, ctx| p.on_query(ctx, QueryId(1), ItemId::new(1), ConsistencyLevel::Weak));
+        assert_eq!(answers_of(&out), vec![(QueryId(1), Version::INITIAL)]);
+    }
+
+    #[test]
+    fn delta_query_with_fresh_ttp_answers_immediately() {
+        let mut fx = Fixture::new(0);
+        let _ = fx.run(|p, ctx| p.on_init(ctx)); // grants TTP leases to warmed items
+        let out =
+            fx.run(|p, ctx| p.on_query(ctx, QueryId(2), ItemId::new(1), ConsistencyLevel::Delta));
+        assert_eq!(answers_of(&out).len(), 1);
+    }
+
+    #[test]
+    fn strong_query_polls_even_with_fresh_ttp() {
+        let mut fx = Fixture::new(0);
+        let _ = fx.run(|p, ctx| p.on_init(ctx));
+        let out =
+            fx.run(|p, ctx| p.on_query(ctx, QueryId(3), ItemId::new(1), ConsistencyLevel::Strong));
+        assert!(answers_of(&out).is_empty());
+        assert!(out.iter().any(|o| matches!(
+            o,
+            crate::CtxOut::Flood { msg: ProtoMsg::Poll { .. }, ttl } if *ttl == 2
+        )));
+    }
+
+    #[test]
+    fn delta_query_with_expired_ttp_polls() {
+        let mut fx = Fixture::new(0);
+        let _ = fx.run(|p, ctx| p.on_init(ctx));
+        fx.now = SimTime::ZERO + SimDuration::from_mins(10); // past TTP=4min
+        let out =
+            fx.run(|p, ctx| p.on_query(ctx, QueryId(4), ItemId::new(1), ConsistencyLevel::Delta));
+        assert!(answers_of(&out).is_empty());
+        assert!(out.iter().any(|o| matches!(
+            o,
+            crate::CtxOut::Flood {
+                msg: ProtoMsg::Poll { .. },
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn poll_ack_a_answers_and_renews_ttp() {
+        let mut fx = Fixture::new(0);
+        let _ = fx.run(|p, ctx| p.on_init(ctx));
+        let _ =
+            fx.run(|p, ctx| p.on_query(ctx, QueryId(5), ItemId::new(1), ConsistencyLevel::Strong));
+        let out = fx.run(|p, ctx| {
+            p.on_message(
+                ctx,
+                NodeId::new(7),
+                ProtoMsg::PollAckA {
+                    item: ItemId::new(1),
+                    version: Version::INITIAL,
+                },
+            )
+        });
+        assert_eq!(answers_of(&out), vec![(QueryId(5), Version::INITIAL)]);
+        // TTP renewed: an immediate Δ query answers locally.
+        let out =
+            fx.run(|p, ctx| p.on_query(ctx, QueryId(6), ItemId::new(1), ConsistencyLevel::Delta));
+        assert_eq!(answers_of(&out).len(), 1);
+    }
+
+    #[test]
+    fn poll_ack_b_refreshes_cache_before_answering() {
+        let mut fx = Fixture::new(0);
+        let _ = fx.run(|p, ctx| p.on_init(ctx));
+        let _ =
+            fx.run(|p, ctx| p.on_query(ctx, QueryId(7), ItemId::new(1), ConsistencyLevel::Strong));
+        let out = fx.run(|p, ctx| {
+            p.on_message(
+                ctx,
+                NodeId::new(7),
+                ProtoMsg::PollAckB {
+                    item: ItemId::new(1),
+                    version: Version::new(4),
+                    content_bytes: 1_024,
+                },
+            )
+        });
+        assert_eq!(answers_of(&out), vec![(QueryId(7), Version::new(4))]);
+        assert_eq!(
+            fx.cache.peek(ItemId::new(1)).unwrap().version,
+            Version::new(4)
+        );
+    }
+
+    #[test]
+    fn poll_retry_escalates_then_fails() {
+        let mut fx = Fixture::new(0);
+        let _ = fx.run(|p, ctx| p.on_init(ctx));
+        let _ =
+            fx.run(|p, ctx| p.on_query(ctx, QueryId(8), ItemId::new(1), ConsistencyLevel::Strong));
+        // Attempt 1 timed out: retry with doubled TTL.
+        let out = fx.run(|p, ctx| {
+            p.on_timer(
+                ctx,
+                Timer::PollRetry {
+                    query: QueryId(8),
+                    attempt: 1,
+                },
+            )
+        });
+        assert!(out.iter().any(|o| matches!(
+            o,
+            crate::CtxOut::Flood {
+                ttl: 4,
+                msg: ProtoMsg::Poll { .. }
+            }
+        )));
+        let out = fx.run(|p, ctx| {
+            p.on_timer(
+                ctx,
+                Timer::PollRetry {
+                    query: QueryId(8),
+                    attempt: 2,
+                },
+            )
+        });
+        assert!(out.iter().any(|o| matches!(
+            o,
+            crate::CtxOut::Flood {
+                ttl: 8,
+                msg: ProtoMsg::Poll { .. }
+            }
+        )));
+        // Final attempt exhausted: the query lingers in grace, then fails.
+        let out = fx.run(|p, ctx| {
+            p.on_timer(
+                ctx,
+                Timer::PollRetry {
+                    query: QueryId(8),
+                    attempt: 3,
+                },
+            )
+        });
+        assert!(out.iter().any(|o| matches!(
+            o,
+            crate::CtxOut::SetTimer {
+                timer: Timer::PollGrace { query: QueryId(8) },
+                ..
+            }
+        )));
+        // A late answer during grace still completes the query.
+        let out = fx.run(|p, ctx| {
+            p.on_message(
+                ctx,
+                NodeId::new(7),
+                ProtoMsg::PollAckA {
+                    item: ItemId::new(1),
+                    version: Version::INITIAL,
+                },
+            )
+        });
+        assert_eq!(answers_of(&out), vec![(QueryId(8), Version::INITIAL)]);
+        // Grace firing after the answer is a no-op.
+        let out = fx.run(|p, ctx| p.on_timer(ctx, Timer::PollGrace { query: QueryId(8) }));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn grace_expiry_fails_unanswered_query() {
+        let mut fx = Fixture::new(0);
+        let _ = fx.run(|p, ctx| p.on_init(ctx));
+        let _ =
+            fx.run(|p, ctx| p.on_query(ctx, QueryId(20), ItemId::new(1), ConsistencyLevel::Strong));
+        for attempt in 1..=3 {
+            let _ = fx.run(|p, ctx| {
+                p.on_timer(
+                    ctx,
+                    Timer::PollRetry {
+                        query: QueryId(20),
+                        attempt,
+                    },
+                )
+            });
+        }
+        let out = fx.run(|p, ctx| p.on_timer(ctx, Timer::PollGrace { query: QueryId(20) }));
+        assert!(out
+            .iter()
+            .any(|o| matches!(o, crate::CtxOut::Fail { query: QueryId(20) })));
+    }
+
+    #[test]
+    fn source_answers_polls_for_own_item() {
+        let mut fx = Fixture::new(0);
+        fx.own.update(); // v1
+        let out = fx.run(|p, ctx| {
+            p.on_message(
+                ctx,
+                NodeId::new(3),
+                ProtoMsg::Poll {
+                    item: ItemId::new(0),
+                    version: Version::INITIAL,
+                },
+            )
+        });
+        let sends = sends_of(&out);
+        assert_eq!(sends.len(), 1);
+        assert!(matches!(
+            sends[0],
+            (to, ProtoMsg::PollAckB { version, .. }) if to == NodeId::new(3) && version == Version::new(1)
+        ));
+    }
+
+    #[test]
+    fn source_ttn_floods_invalidation_and_pushes_updates() {
+        let mut fx = Fixture::new(0);
+        // Install a relay peer and a pending update.
+        let _ = fx.run(|p, ctx| {
+            p.on_message(
+                ctx,
+                NodeId::new(4),
+                ProtoMsg::Apply {
+                    item: ItemId::new(0),
+                },
+            )
+        });
+        fx.own.update();
+        let _ = fx.run(|p, ctx| p.on_source_update(ctx));
+        let out = fx.run(|p, ctx| p.on_timer(ctx, Timer::Ttn));
+        assert!(out.iter().any(|o| matches!(
+            o,
+            crate::CtxOut::Flood {
+                ttl: 3,
+                msg: ProtoMsg::Invalidation { .. }
+            }
+        )));
+        assert!(sends_of(&out)
+            .iter()
+            .any(|(to, m)| *to == NodeId::new(4) && matches!(m, ProtoMsg::Update { .. })));
+        // TTN rescheduled.
+        assert!(out.iter().any(|o| matches!(
+            o,
+            crate::CtxOut::SetTimer {
+                timer: Timer::Ttn,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn apply_then_ack_promotes_to_relay() {
+        let mut fx = Fixture::new(0);
+        fx.make_candidate();
+        // Candidate hears an INVALIDATION for its cached item D1 → APPLY.
+        let out = fx.run(|p, ctx| {
+            p.on_message(
+                ctx,
+                NodeId::new(1),
+                ProtoMsg::Invalidation {
+                    item: ItemId::new(1),
+                    version: Version::INITIAL,
+                },
+            )
+        });
+        assert!(sends_of(&out).iter().any(|(to, m)| *to == NodeId::new(1)
+            && matches!(m, ProtoMsg::Apply { item } if *item == ItemId::new(1))));
+        // Source acks: promotion.
+        let out = fx.run(|p, ctx| {
+            p.on_message(
+                ctx,
+                NodeId::new(1),
+                ProtoMsg::ApplyAck {
+                    item: ItemId::new(1),
+                    version: Version::INITIAL,
+                },
+            )
+        });
+        assert!(out.is_empty(), "up-to-date new relay needs no GET_NEW");
+        assert!(fx.proto.is_relay_for(ItemId::new(1)));
+        assert_eq!(fx.proto.role(), RelayRole::Relay);
+    }
+
+    #[test]
+    fn stale_new_relay_fetches_content() {
+        let mut fx = Fixture::new(0);
+        fx.make_candidate();
+        let out = fx.run(|p, ctx| {
+            p.on_message(
+                ctx,
+                NodeId::new(1),
+                ProtoMsg::ApplyAck {
+                    item: ItemId::new(1),
+                    version: Version::new(3),
+                },
+            )
+        });
+        assert!(sends_of(&out)
+            .iter()
+            .any(|(_, m)| matches!(m, ProtoMsg::GetNew { item } if *item == ItemId::new(1))));
+    }
+
+    #[test]
+    fn fresh_relay_answers_polls_stale_relay_holds_them() {
+        let mut fx = Fixture::new(0);
+        fx.make_candidate();
+        let _ = fx.run(|p, ctx| {
+            p.on_message(
+                ctx,
+                NodeId::new(1),
+                ProtoMsg::ApplyAck {
+                    item: ItemId::new(1),
+                    version: Version::INITIAL,
+                },
+            )
+        });
+        // Fresh TTR: poll answered instantly.
+        let out = fx.run(|p, ctx| {
+            p.on_message(
+                ctx,
+                NodeId::new(9),
+                ProtoMsg::Poll {
+                    item: ItemId::new(1),
+                    version: Version::INITIAL,
+                },
+            )
+        });
+        assert!(sends_of(&out)
+            .iter()
+            .any(|(to, m)| *to == NodeId::new(9) && matches!(m, ProtoMsg::PollAckA { .. })));
+        // Let TTR lapse: poll is held.
+        fx.now += SimDuration::from_mins(5);
+        let out = fx.run(|p, ctx| {
+            p.on_message(
+                ctx,
+                NodeId::new(9),
+                ProtoMsg::Poll {
+                    item: ItemId::new(1),
+                    version: Version::INITIAL,
+                },
+            )
+        });
+        let sends = sends_of(&out);
+        assert!(
+            !sends
+                .iter()
+                .any(|(_, m)| matches!(m, ProtoMsg::PollAckA { .. } | ProtoMsg::PollAckB { .. })),
+            "stale relay must hold the poll, not answer it"
+        );
+        assert!(
+            sends
+                .iter()
+                .any(|(to, m)| *to == NodeId::new(1) && matches!(m, ProtoMsg::GetNew { .. })),
+            "stale relay resynchronises with the source when polled"
+        );
+        // The next INVALIDATION (same version) proves freshness: held poll
+        // answered.
+        let out = fx.run(|p, ctx| {
+            p.on_message(
+                ctx,
+                NodeId::new(1),
+                ProtoMsg::Invalidation {
+                    item: ItemId::new(1),
+                    version: Version::INITIAL,
+                },
+            )
+        });
+        assert!(sends_of(&out)
+            .iter()
+            .any(|(to, m)| *to == NodeId::new(9) && matches!(m, ProtoMsg::PollAckA { .. })));
+    }
+
+    #[test]
+    fn relay_missing_updates_resyncs_with_get_new() {
+        let mut fx = Fixture::new(0);
+        fx.make_candidate();
+        let _ = fx.run(|p, ctx| {
+            p.on_message(
+                ctx,
+                NodeId::new(1),
+                ProtoMsg::ApplyAck {
+                    item: ItemId::new(1),
+                    version: Version::INITIAL,
+                },
+            )
+        });
+        // INVALIDATION advertises v2 while we hold v0 (missed UPDATEs).
+        let out = fx.run(|p, ctx| {
+            p.on_message(
+                ctx,
+                NodeId::new(1),
+                ProtoMsg::Invalidation {
+                    item: ItemId::new(1),
+                    version: Version::new(2),
+                },
+            )
+        });
+        assert!(sends_of(&out)
+            .iter()
+            .any(|(to, m)| *to == NodeId::new(1) && matches!(m, ProtoMsg::GetNew { .. })));
+        // SEND_NEW restores freshness.
+        let out = fx.run(|p, ctx| {
+            p.on_message(
+                ctx,
+                NodeId::new(1),
+                ProtoMsg::SendNew {
+                    item: ItemId::new(1),
+                    version: Version::new(2),
+                    content_bytes: 1_024,
+                },
+            )
+        });
+        assert!(out.is_empty());
+        assert_eq!(
+            fx.cache.peek(ItemId::new(1)).unwrap().version,
+            Version::new(2)
+        );
+        // Relay answers its own strong query instantly now.
+        let out =
+            fx.run(|p, ctx| p.on_query(ctx, QueryId(9), ItemId::new(1), ConsistencyLevel::Strong));
+        assert_eq!(answers_of(&out), vec![(QueryId(9), Version::new(2))]);
+    }
+
+    #[test]
+    fn update_to_plain_cache_peer_triggers_cancel() {
+        let mut fx = Fixture::new(0);
+        let out = fx.run(|p, ctx| {
+            p.on_message(
+                ctx,
+                NodeId::new(1),
+                ProtoMsg::Update {
+                    item: ItemId::new(1),
+                    version: Version::new(5),
+                    content_bytes: 1_024,
+                },
+            )
+        });
+        assert!(sends_of(&out)
+            .iter()
+            .any(|(to, m)| *to == NodeId::new(1) && matches!(m, ProtoMsg::Cancel { .. })));
+        assert_eq!(
+            fx.cache.peek(ItemId::new(1)).unwrap().version,
+            Version::new(5)
+        );
+    }
+
+    #[test]
+    fn update_to_candidate_promotes_without_ack() {
+        let mut fx = Fixture::new(0);
+        fx.make_candidate();
+        let out = fx.run(|p, ctx| {
+            p.on_message(
+                ctx,
+                NodeId::new(1),
+                ProtoMsg::Update {
+                    item: ItemId::new(1),
+                    version: Version::new(1),
+                    content_bytes: 1_024,
+                },
+            )
+        });
+        assert!(out.is_empty());
+        assert!(
+            fx.proto.is_relay_for(ItemId::new(1)),
+            "Fig 6(d) 28-31: missed APPLY_ACK"
+        );
+    }
+
+    #[test]
+    fn demotion_cancels_all_relayed_items() {
+        let mut fx = Fixture::new(0);
+        fx.make_candidate();
+        let _ = fx.run(|p, ctx| {
+            p.on_message(
+                ctx,
+                NodeId::new(1),
+                ProtoMsg::ApplyAck {
+                    item: ItemId::new(1),
+                    version: Version::INITIAL,
+                },
+            )
+        });
+        // Heavy churn: demotion needs `demote_grace_ticks` failing ticks.
+        fx.proto.coeffs.note_switch();
+        let first = fx.run(|p, ctx| {
+            ctx.energy_fraction = 0.1;
+            p.on_coefficient_tick(ctx, true)
+        });
+        assert!(
+            sends_of(&first).is_empty(),
+            "one failing tick is grace, not demotion"
+        );
+        assert!(fx.proto.is_relay_for(ItemId::new(1)));
+        fx.proto.coeffs.note_switch();
+        let out = fx.run(|p, ctx| {
+            ctx.energy_fraction = 0.1;
+            p.on_coefficient_tick(ctx, true)
+        });
+        assert!(sends_of(&out)
+            .iter()
+            .any(|(to, m)| *to == NodeId::new(1) && matches!(m, ProtoMsg::Cancel { .. })));
+        assert_eq!(fx.proto.role(), RelayRole::CachePeer);
+        assert_eq!(fx.proto.relay_item_count(), 0);
+    }
+
+    #[test]
+    fn source_drops_unreachable_relay_from_table() {
+        let mut fx = Fixture::new(0);
+        let _ = fx.run(|p, ctx| {
+            p.on_message(
+                ctx,
+                NodeId::new(4),
+                ProtoMsg::Apply {
+                    item: ItemId::new(0),
+                },
+            )
+        });
+        assert_eq!(fx.proto.relay_table_len(), 1);
+        let _ = fx.run(|p, ctx| {
+            p.on_undeliverable(
+                ctx,
+                NodeId::new(4),
+                ProtoMsg::ApplyAck {
+                    item: ItemId::new(0),
+                    version: Version::INITIAL,
+                },
+            )
+        });
+        assert_eq!(fx.proto.relay_table_len(), 0);
+    }
+
+    #[test]
+    fn cache_miss_fetches_from_source() {
+        let mut fx = Fixture::new(0);
+        let out =
+            fx.run(|p, ctx| p.on_query(ctx, QueryId(11), ItemId::new(5), ConsistencyLevel::Weak));
+        assert!(sends_of(&out)
+            .iter()
+            .any(|(to, m)| *to == NodeId::new(5) && matches!(m, ProtoMsg::Fetch { .. })));
+        let out = fx.run(|p, ctx| {
+            p.on_message(
+                ctx,
+                NodeId::new(5),
+                ProtoMsg::FetchReply {
+                    item: ItemId::new(5),
+                    version: Version::new(1),
+                    content_bytes: 1_024,
+                },
+            )
+        });
+        assert_eq!(answers_of(&out), vec![(QueryId(11), Version::new(1))]);
+        assert!(fx.cache.contains(ItemId::new(5)));
+    }
+
+    #[test]
+    fn admission_cap_rejects_extra_relays() {
+        let mut fx = Fixture::new(0);
+        fx.cfg.max_relays_per_item = Some(2);
+        for peer in [4u32, 5] {
+            let out = fx.run(|p, ctx| {
+                p.on_message(
+                    ctx,
+                    NodeId::new(peer),
+                    ProtoMsg::Apply {
+                        item: ItemId::new(0),
+                    },
+                )
+            });
+            assert!(
+                sends_of(&out)
+                    .iter()
+                    .any(|(_, m)| matches!(m, ProtoMsg::ApplyAck { .. })),
+                "peer {peer} is under the cap and must be approved"
+            );
+        }
+        assert_eq!(fx.proto.relay_table_len(), 2);
+        // Third applicant: silently rejected.
+        let out = fx.run(|p, ctx| {
+            p.on_message(
+                ctx,
+                NodeId::new(6),
+                ProtoMsg::Apply {
+                    item: ItemId::new(0),
+                },
+            )
+        });
+        assert!(sends_of(&out).is_empty(), "a full table must not approve");
+        assert_eq!(fx.proto.relay_table_len(), 2);
+        // Existing member re-applying is re-approved (idempotent).
+        let out = fx.run(|p, ctx| {
+            p.on_message(
+                ctx,
+                NodeId::new(5),
+                ProtoMsg::Apply {
+                    item: ItemId::new(0),
+                },
+            )
+        });
+        assert!(sends_of(&out)
+            .iter()
+            .any(|(_, m)| matches!(m, ProtoMsg::ApplyAck { .. })));
+    }
+
+    #[test]
+    fn adaptive_ttp_lease_reacts_to_poll_answers() {
+        let mut fx = Fixture::new(0);
+        fx.cfg.adaptive = true;
+        fx.proto = Rpcc::new(&fx.cfg, true);
+        // Confirmations stretch the Δ-lease.
+        for _ in 0..10 {
+            let _ = fx.run(|p, ctx| {
+                p.on_message(
+                    ctx,
+                    NodeId::new(7),
+                    ProtoMsg::PollAckA {
+                        item: ItemId::new(1),
+                        version: Version::INITIAL,
+                    },
+                )
+            });
+        }
+        let stretched = fx.proto.tuner().unwrap().ttp_scale_of(ItemId::new(1));
+        assert!(
+            stretched > 1.0,
+            "confirmed answers must stretch the lease, got {stretched}"
+        );
+        // One change collapses it.
+        let _ = fx.run(|p, ctx| {
+            p.on_message(
+                ctx,
+                NodeId::new(7),
+                ProtoMsg::PollAckB {
+                    item: ItemId::new(1),
+                    version: Version::new(2),
+                    content_bytes: 64,
+                },
+            )
+        });
+        let collapsed = fx.proto.tuner().unwrap().ttp_scale_of(ItemId::new(1));
+        assert!(
+            collapsed < stretched,
+            "a changed answer must shrink the lease"
+        );
+    }
+
+    #[test]
+    fn adaptive_source_stretches_quiet_reports() {
+        let mut fx = Fixture::new(0);
+        fx.cfg.adaptive = true;
+        fx.proto = Rpcc::new(&fx.cfg, true);
+        // Sparse updates: one every 6 minutes.
+        for i in 1..=6u64 {
+            fx.now = SimTime::from_millis(i * 360_000);
+            fx.own.update();
+            let _ = fx.run(|p, ctx| p.on_source_update(ctx));
+        }
+        let out = fx.run(|p, ctx| p.on_timer(ctx, Timer::Ttn));
+        let period = out
+            .iter()
+            .find_map(|o| match o {
+                crate::CtxOut::SetTimer {
+                    after,
+                    timer: Timer::Ttn,
+                } => Some(*after),
+                _ => None,
+            })
+            .expect("TTN rescheduled");
+        assert!(
+            period > SimDuration::from_mins(2),
+            "a quiet source must report less often than base TTN, got {period}"
+        );
+        assert!(
+            period <= SimDuration::from_mins(8),
+            "bounded by the adaptive span"
+        );
+    }
+
+    #[test]
+    fn own_item_queries_answer_from_master() {
+        let mut fx = Fixture::new(0);
+        fx.own.update();
+        let out =
+            fx.run(|p, ctx| p.on_query(ctx, QueryId(12), ItemId::new(0), ConsistencyLevel::Strong));
+        assert_eq!(answers_of(&out), vec![(QueryId(12), Version::new(1))]);
+    }
+}

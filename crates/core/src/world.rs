@@ -1,0 +1,1394 @@
+//! The simulation world: mobility, radio, network stacks, protocols and
+//! metrics wired into one deterministic event loop.
+//!
+//! This is the reproduction's equivalent of the paper's GloMoSim
+//! scenario: Table 1's parameters are [`WorldConfig::paper_default`], the
+//! Fig. 9 single-item scenario is [`WorkloadMode::SingleItem`].
+
+use mp2p_cache::{CacheStore, DataItem, Version};
+use mp2p_metrics::{
+    ConsistencyAudit, EnergyModel, Gauge, LatencyStats, MessageClass, PeerEnergy, ServedQuery,
+    TrafficStats, VersionHistory,
+};
+use mp2p_mobility::{
+    AnyMobility, ManhattanGrid, MobilityModel, Point, RandomWalk, RandomWaypoint, Stationary,
+    SubnetGrid, Terrain,
+};
+use mp2p_net::{
+    Frame, LinkModel, NetAction, NetConfig, NetStack, NetTimer, RouteControl, Topology,
+};
+use mp2p_sim::{EventQueue, ItemId, NodeId, SimDuration, SimRng, SimTime};
+
+use crate::config::ProtocolConfig;
+use crate::level::{ConsistencyLevel, LevelMix};
+use crate::msg::ProtoMsg;
+use crate::protocol::{Ctx, CtxOut, Protocol, QueryId, Timer};
+use crate::pull::SimplePull;
+use crate::push::SimplePush;
+use crate::push_adaptive::PushAdaptivePull;
+use crate::rpcc::Rpcc;
+
+/// Which consistency strategy a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// The paper's relay-peer protocol.
+    Rpcc,
+    /// The simple push baseline.
+    Push,
+    /// The simple pull baseline.
+    Pull,
+    /// Lan et al.'s third strategy, cited by the paper's related work:
+    /// push invalidation reports with adaptive pull fallback.
+    PushAdaptivePull,
+}
+
+impl Strategy {
+    /// Label for tables ("RPCC"/"Push"/"Pull").
+    pub fn label(self) -> &'static str {
+        match self {
+            Strategy::Rpcc => "RPCC",
+            Strategy::Push => "Push",
+            Strategy::Pull => "Pull",
+            Strategy::PushAdaptivePull => "Push+AP",
+        }
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Which mobility model every node follows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MobilityKind {
+    /// The paper's random waypoint (speeds in m/s, max pause).
+    Waypoint {
+        /// Minimum leg speed (m/s).
+        speed_min: f64,
+        /// Maximum leg speed (m/s).
+        speed_max: f64,
+        /// Maximum pause at each waypoint.
+        max_pause: SimDuration,
+    },
+    /// Random walk with reflection.
+    Walk {
+        /// Minimum epoch speed (m/s).
+        speed_min: f64,
+        /// Maximum epoch speed (m/s).
+        speed_max: f64,
+        /// Heading-change period.
+        epoch: SimDuration,
+    },
+    /// Street-grid movement.
+    Manhattan {
+        /// Street-block edge length (m).
+        block: f64,
+        /// Constant speed (m/s).
+        speed: f64,
+    },
+    /// No movement (static topologies for tests).
+    Stationary,
+}
+
+/// How unicast messages find their way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingMode {
+    /// The real stack: AODV-style on-demand discovery with RREQ/RREP/RERR
+    /// control traffic (the paper's setting — GloMoSim ran DSR).
+    #[default]
+    OnDemand,
+    /// An omniscient router: every unicast follows the current BFS
+    /// shortest path, hop-by-hop, with zero control traffic. Not
+    /// physically realisable — used by the routing-overhead ablation and
+    /// by tests that need connectivity-exact delivery semantics.
+    Oracle,
+}
+
+/// What the query streams target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadMode {
+    /// Every node queries uniformly over the items it caches (the paper's
+    /// main scenarios; caches are pre-warmed with `C_Num` random foreign
+    /// items).
+    CachedUniform,
+    /// The Fig. 9 scenario: one randomly selected source; "its data item
+    /// is cached by all other peers" and is the only query target and the
+    /// only published item.
+    SingleItem,
+}
+
+/// Full scenario configuration. Defaults mirror Table 1 of the paper.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// `N_Peers`: number of mobile hosts (50).
+    pub n_peers: usize,
+    /// `T_Area`: the flatland (1.5 km × 1.5 km).
+    pub terrain: Terrain,
+    /// `C_Num`: cache slots per host (10).
+    pub c_num: usize,
+    /// `C_Range`: radio range in metres (250).
+    pub range: f64,
+    /// `T_Sim`: simulated duration (5 h).
+    pub sim_time: SimDuration,
+    /// Metrics ignore everything before this offset (steady state).
+    pub warmup: SimDuration,
+    /// `I_Update`: mean update interval (2 min).
+    pub i_update: SimDuration,
+    /// `I_Query`: mean query interval (20 s).
+    pub i_query: SimDuration,
+    /// **Extension (future work §6 item 3):** mean interval between
+    /// replica writes issued by each node against items it caches; writes
+    /// serialise through the item's source host. `None` (default)
+    /// reproduces the paper: only sources modify their own items.
+    pub i_write: Option<SimDuration>,
+    /// `I_Switch`: mean interval between disconnections (5 min); `None`
+    /// disables churn.
+    pub i_switch: Option<SimDuration>,
+    /// Mean length of each disconnection (the off period that follows a
+    /// switch; exponential). Table 1 gives only the switching interval;
+    /// DESIGN.md §5 documents this choice.
+    pub switch_off_mean: SimDuration,
+    /// MAC/PHY model.
+    pub link: LinkModel,
+    /// Network-layer tunables.
+    pub net: NetConfig,
+    /// Protocol tunables (Table 1 rows TTL_BR…ω).
+    pub proto: ProtocolConfig,
+    /// Strategy under test.
+    pub strategy: Strategy,
+    /// Consistency-level mix of the query load.
+    pub level_mix: LevelMix,
+    /// Query-target mode.
+    pub workload: WorkloadMode,
+    /// Unicast routing substrate (ablation knob; default on-demand).
+    pub routing: RoutingMode,
+    /// Mobility model.
+    pub mobility: MobilityKind,
+    /// Battery capacity per node, millijoules (`E_MAX`).
+    pub battery_mj: f64,
+    /// Radio energy model.
+    pub energy: EnergyModel,
+    /// Maximum age of a topology snapshot before rebuild.
+    pub topology_refresh: SimDuration,
+    /// Gauge-sampling / idle-drain period.
+    pub sample_period: SimDuration,
+    /// Subnet grid (columns, rows) for the PMR coefficient.
+    pub subnet_grid: (u32, u32),
+    /// Master random seed.
+    pub seed: u64,
+}
+
+impl WorldConfig {
+    /// The paper's Table 1 scenario: 50 peers, 1.5 km², C_Num 10, 250 m
+    /// range, 5 h, I_Update 2 min, I_Query 20 s, I_Switch 5 min, random
+    /// waypoint.
+    pub fn paper_default(seed: u64) -> Self {
+        WorldConfig {
+            n_peers: 50,
+            terrain: Terrain::paper_default(),
+            c_num: 10,
+            range: 250.0,
+            sim_time: SimDuration::from_hours(5),
+            warmup: SimDuration::from_mins(10),
+            i_update: SimDuration::from_mins(2),
+            i_query: SimDuration::from_secs(20),
+            i_write: None,
+            i_switch: Some(SimDuration::from_mins(5)),
+            switch_off_mean: SimDuration::from_secs(30),
+            link: LinkModel::default(),
+            net: NetConfig::default(),
+            proto: ProtocolConfig::default(),
+            strategy: Strategy::Rpcc,
+            level_mix: LevelMix::strong_only(),
+            workload: WorkloadMode::CachedUniform,
+            routing: RoutingMode::OnDemand,
+            // Pedestrian speeds: the paper's motivating scenarios are
+            // soldiers and mobile booths; speed is not given in Table 1
+            // (DESIGN.md §5).
+            mobility: MobilityKind::Waypoint {
+                speed_min: 0.5,
+                speed_max: 2.5,
+                max_pause: SimDuration::from_secs(30),
+            },
+            battery_mj: 100_000.0,
+            energy: EnergyModel::default(),
+            topology_refresh: SimDuration::from_millis(200),
+            sample_period: SimDuration::from_secs(30),
+            subnet_grid: (3, 3),
+            seed,
+        }
+    }
+
+    /// A scaled-down scenario for tests and doc examples: 20 peers on
+    /// 900 m², 10 simulated minutes, otherwise Table 1 semantics.
+    pub fn small_test(seed: u64) -> Self {
+        let mut cfg = WorldConfig::paper_default(seed);
+        cfg.n_peers = 20;
+        cfg.terrain = Terrain::new(900.0, 900.0);
+        cfg.sim_time = SimDuration::from_mins(10);
+        cfg.warmup = SimDuration::from_mins(2);
+        cfg.c_num = 5;
+        cfg
+    }
+
+    /// Validates parameter sanity.
+    ///
+    /// # Panics
+    ///
+    /// Panics on impossible scenarios (no peers, cache larger than the
+    /// foreign catalogue, warmup past the run, …).
+    pub fn validate(&self) {
+        assert!(self.n_peers >= 2, "need at least two peers");
+        assert!(self.c_num >= 1, "need at least one cache slot");
+        assert!(
+            self.c_num < self.n_peers,
+            "C_Num ({}) must be below the number of foreign items ({})",
+            self.c_num,
+            self.n_peers - 1
+        );
+        assert!(
+            self.warmup < self.sim_time,
+            "warmup must end before the run does"
+        );
+        assert!(
+            self.range > 0.0 && self.range.is_finite(),
+            "radio range must be positive"
+        );
+        assert!(self.battery_mj > 0.0, "battery capacity must be positive");
+        assert!(
+            !self.sample_period.is_zero(),
+            "sample period must be positive"
+        );
+        assert!(
+            !self.topology_refresh.is_zero(),
+            "topology refresh must be positive"
+        );
+        self.proto.validate();
+    }
+}
+
+/// Strategy dispatch without trait objects (keeps the world `Clone`-free
+/// and the dispatch static).
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)] // one instance per node, sized by Rpcc
+enum AnyProtocol {
+    Rpcc(Rpcc),
+    Push(SimplePush),
+    Pull(SimplePull),
+    PushAdaptive(PushAdaptivePull),
+}
+
+macro_rules! dispatch {
+    ($self:expr, $p:pat => $body:expr) => {
+        match $self {
+            AnyProtocol::Rpcc($p) => $body,
+            AnyProtocol::Push($p) => $body,
+            AnyProtocol::Pull($p) => $body,
+            AnyProtocol::PushAdaptive($p) => $body,
+        }
+    };
+}
+
+impl AnyProtocol {
+    fn relay_item_count(&self) -> usize {
+        dispatch!(self, p => p.relay_item_count())
+    }
+
+    fn is_candidate(&self) -> bool {
+        dispatch!(self, p => p.is_candidate())
+    }
+}
+
+#[derive(Debug)]
+struct NodeState {
+    mobility: AnyMobility,
+    up: bool,
+    stack: NetStack<ProtoMsg>,
+    proto: AnyProtocol,
+    cache: CacheStore,
+    own_item: DataItem,
+    /// Whether this node's own item participates as source data.
+    publishes: bool,
+    battery: PeerEnergy,
+    rng: SimRng,
+    last_cell: (u32, u32),
+}
+
+#[derive(Debug)]
+enum Event {
+    Query(NodeId),
+    Update(NodeId),
+    Switch(NodeId),
+    /// A replica-write arrival at `NodeId` (extension workload).
+    Write(NodeId),
+    /// Retry timer for an outstanding replica write.
+    WriteRetry {
+        at: NodeId,
+        write: QueryId,
+    },
+    Rx {
+        at: NodeId,
+        from: NodeId,
+        frame: Frame<ProtoMsg>,
+    },
+    NetTimer {
+        at: NodeId,
+        timer: NetTimer,
+    },
+    ProtoTimer {
+        at: NodeId,
+        timer: Timer,
+    },
+    /// Oracle-routed unicast arriving at its destination (no stack).
+    OracleDeliver {
+        at: NodeId,
+        from: NodeId,
+        msg: ProtoMsg,
+    },
+    CoeffTick,
+    Sample,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OpenWrite {
+    writer: NodeId,
+    item: ItemId,
+    issued: SimTime,
+    attempt: u8,
+    measured: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OpenQuery {
+    item: ItemId,
+    level: ConsistencyLevel,
+    issued: SimTime,
+    /// Whether this query counts towards the metrics (issued after the
+    /// warm-up period), decided once at issue time so served/failed/issued
+    /// counters partition exactly.
+    measured: bool,
+}
+
+/// Aggregated results of one run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Strategy that produced this report.
+    pub strategy: Strategy,
+    /// Level mix of the query load.
+    pub level_mix: LevelMix,
+    /// MAC-level traffic (post-warmup).
+    pub traffic: TrafficStats,
+    /// Query latency over served queries (post-warmup).
+    pub latency: LatencyStats,
+    /// Latency split per requested level.
+    pub latency_by_level: [LatencyStats; 3],
+    /// Ground-truth staleness audit of served answers.
+    pub audit: ConsistencyAudit,
+    /// Audit split per requested level.
+    pub audit_by_level: [ConsistencyAudit; 3],
+    /// Queries issued post-warmup.
+    pub queries_issued: u64,
+    /// Queries abandoned (network gave up) post-warmup.
+    pub queries_failed: u64,
+    /// Replica-write latency over acknowledged writes (extension
+    /// workload; empty when `i_write` is off).
+    pub write_latency: LatencyStats,
+    /// Replica writes issued post-warmup.
+    pub writes_issued: u64,
+    /// Replica writes abandoned after retries.
+    pub writes_failed: u64,
+    /// Relay-peer items held across all nodes, sampled.
+    pub relay_gauge: Gauge,
+    /// Candidate nodes, sampled.
+    pub candidate_gauge: Gauge,
+    /// Live route-table entries across all nodes, sampled.
+    pub route_gauge: Gauge,
+    /// Mean battery fraction, sampled.
+    pub battery_gauge: Gauge,
+    /// Total energy drained across all nodes (mJ, whole run).
+    pub energy_used_mj: f64,
+    /// The measured window (sim_time − warmup).
+    pub measured: SimDuration,
+}
+
+impl RunReport {
+    /// Queries served (answered) post-warmup.
+    pub fn queries_served(&self) -> u64 {
+        self.audit.served()
+    }
+
+    /// Transmissions per simulated minute — the Fig. 7/9(a) y-axis.
+    pub fn traffic_per_minute(&self) -> f64 {
+        let mins = self.measured.as_secs_f64() / 60.0;
+        if mins == 0.0 {
+            0.0
+        } else {
+            self.traffic.transmissions() as f64 / mins
+        }
+    }
+
+    /// Mean query latency in seconds — the Fig. 8/9(b) y-axis.
+    pub fn mean_latency_secs(&self) -> f64 {
+        self.latency.mean_secs()
+    }
+
+    /// Replica writes acknowledged post-warmup.
+    pub fn writes_completed(&self) -> u64 {
+        self.write_latency.count()
+    }
+
+    /// Fraction of issued queries that failed.
+    pub fn failure_rate(&self) -> f64 {
+        if self.queries_issued == 0 {
+            0.0
+        } else {
+            self.queries_failed as f64 / self.queries_issued as f64
+        }
+    }
+}
+
+/// The simulation world. Construct with a [`WorldConfig`], call
+/// [`World::run`].
+///
+/// See the crate-level example.
+pub struct World {
+    cfg: WorldConfig,
+    queue: EventQueue<Event>,
+    now: SimTime,
+    nodes: Vec<NodeState>,
+    /// Interarrival randomness, one stream per node per purpose.
+    query_rngs: Vec<SimRng>,
+    update_rngs: Vec<SimRng>,
+    switch_rngs: Vec<SimRng>,
+    link_rng: SimRng,
+    topo: Option<(SimTime, Topology)>,
+    grid: SubnetGrid,
+    /// Fig. 9 single-item source (when applicable).
+    single_source: Option<NodeId>,
+    next_query_id: u64,
+    open: std::collections::HashMap<QueryId, OpenQuery>,
+    open_writes: std::collections::HashMap<QueryId, OpenWrite>,
+    write_rngs: Vec<SimRng>,
+    histories: Vec<VersionHistory>,
+    // metrics
+    traffic: TrafficStats,
+    latency: LatencyStats,
+    latency_by_level: [LatencyStats; 3],
+    audit: ConsistencyAudit,
+    audit_by_level: [ConsistencyAudit; 3],
+    queries_issued: u64,
+    queries_failed: u64,
+    write_latency: LatencyStats,
+    writes_issued: u64,
+    writes_failed: u64,
+    relay_gauge: Gauge,
+    candidate_gauge: Gauge,
+    route_gauge: Gauge,
+    battery_gauge: Gauge,
+}
+
+impl World {
+    /// Builds the world: places nodes, pre-warms caches, seeds streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`WorldConfig::validate`].
+    pub fn new(cfg: WorldConfig) -> Self {
+        cfg.validate();
+        let master = cfg.seed;
+        let n = cfg.n_peers;
+        let grid = SubnetGrid::new(cfg.terrain, cfg.subnet_grid.0, cfg.subnet_grid.1);
+
+        let mut world_rng = SimRng::from_seed(master, WORLD_STREAM);
+        let single_source = match cfg.workload {
+            WorkloadMode::SingleItem => Some(NodeId::new(world_rng.uniform_u64(n as u64) as u32)),
+            WorkloadMode::CachedUniform => None,
+        };
+
+        let mut nodes = Vec::with_capacity(n);
+        for id in NodeId::all(n) {
+            let i = id.index() as u64;
+            let mobility = build_mobility(&cfg, SimRng::from_seed(master, 0x100 + i));
+            let publishes = match single_source {
+                Some(src) => id == src,
+                None => true,
+            };
+            let proto = match cfg.strategy {
+                Strategy::Rpcc => AnyProtocol::Rpcc(Rpcc::new(&cfg.proto, publishes)),
+                Strategy::Push => AnyProtocol::Push(SimplePush::new(&cfg.proto, publishes)),
+                Strategy::Pull => AnyProtocol::Pull(SimplePull::new(&cfg.proto, publishes)),
+                Strategy::PushAdaptivePull => {
+                    AnyProtocol::PushAdaptive(PushAdaptivePull::new(&cfg.proto, publishes))
+                }
+            };
+            nodes.push(NodeState {
+                mobility,
+                up: true,
+                stack: NetStack::new(id, cfg.net),
+                proto,
+                cache: CacheStore::new(cfg.c_num.max(1)),
+                own_item: DataItem::new(id.owned_item(), cfg.proto.content_bytes),
+                publishes,
+                battery: PeerEnergy::new(cfg.battery_mj),
+                rng: SimRng::from_seed(master, 0x200 + i),
+                last_cell: (0, 0),
+            });
+        }
+
+        // Pre-warm caches (the paper's assumed placement mechanism).
+        match single_source {
+            Some(src) => {
+                let item = src.owned_item();
+                for node in nodes.iter_mut() {
+                    if node.own_item.id() != item {
+                        node.cache.insert(
+                            item,
+                            Version::INITIAL,
+                            cfg.proto.content_bytes,
+                            SimTime::ZERO,
+                        );
+                    }
+                }
+            }
+            None => {
+                for id in NodeId::all(n) {
+                    let mut catalogue: Vec<ItemId> =
+                        ItemId::all(n).filter(|it| it.source_host() != id).collect();
+                    let mut warm_rng = SimRng::from_seed(master, 0x300 + id.index() as u64);
+                    warm_rng.shuffle(&mut catalogue);
+                    let node = &mut nodes[id.index()];
+                    for &item in catalogue.iter().take(cfg.c_num) {
+                        node.cache.insert(
+                            item,
+                            Version::INITIAL,
+                            cfg.proto.content_bytes,
+                            SimTime::ZERO,
+                        );
+                    }
+                }
+            }
+        }
+
+        let histories = (0..n).map(|_| VersionHistory::new()).collect();
+        let query_rngs = (0..n)
+            .map(|i| SimRng::from_seed(master, 0x400 + i as u64))
+            .collect();
+        let update_rngs = (0..n)
+            .map(|i| SimRng::from_seed(master, 0x500 + i as u64))
+            .collect();
+        let switch_rngs = (0..n)
+            .map(|i| SimRng::from_seed(master, 0x600 + i as u64))
+            .collect();
+        let write_rngs = (0..n)
+            .map(|i| SimRng::from_seed(master, 0x800 + i as u64))
+            .collect();
+
+        let mut world = World {
+            cfg,
+            queue: EventQueue::with_capacity(1024),
+            now: SimTime::ZERO,
+            nodes,
+            query_rngs,
+            update_rngs,
+            switch_rngs,
+            link_rng: SimRng::from_seed(master, 0x700),
+            topo: None,
+            grid,
+            single_source,
+            next_query_id: 0,
+            open: std::collections::HashMap::new(),
+            open_writes: std::collections::HashMap::new(),
+            write_rngs,
+            histories,
+            traffic: TrafficStats::default(),
+            latency: LatencyStats::default(),
+            latency_by_level: Default::default(),
+            audit: ConsistencyAudit::default(),
+            audit_by_level: Default::default(),
+            queries_issued: 0,
+            queries_failed: 0,
+            write_latency: LatencyStats::default(),
+            writes_issued: 0,
+            writes_failed: 0,
+            relay_gauge: Gauge::default(),
+            candidate_gauge: Gauge::default(),
+            route_gauge: Gauge::default(),
+            battery_gauge: Gauge::default(),
+        };
+        world.bootstrap();
+        world
+    }
+
+    fn bootstrap(&mut self) {
+        // Initial subnet cells.
+        for i in 0..self.nodes.len() {
+            let pos = self.nodes[i].mobility.position_at(SimTime::ZERO);
+            self.nodes[i].last_cell = self.grid.cell_of(pos);
+        }
+        // Protocol initialisation.
+        for id in NodeId::all(self.nodes.len()) {
+            self.with_proto(id, |proto, ctx| dispatch!(proto, p => p.on_init(ctx)));
+        }
+        // Workload streams.
+        for id in NodeId::all(self.nodes.len()) {
+            if self.queries_enabled(id) {
+                self.schedule_next_query(id);
+            }
+            if self.nodes[id.index()].publishes {
+                self.schedule_next_update(id);
+            }
+            if self.cfg.i_switch.is_some() {
+                self.schedule_next_switch(id);
+            }
+            if self.cfg.i_write.is_some() && self.queries_enabled(id) {
+                self.schedule_next_write(id);
+            }
+        }
+        self.queue
+            .push(self.now + self.cfg.proto.phi, Event::CoeffTick);
+        self.queue
+            .push(self.now + self.cfg.sample_period, Event::Sample);
+    }
+
+    fn queries_enabled(&self, id: NodeId) -> bool {
+        match self.single_source {
+            Some(src) => id != src,
+            None => true,
+        }
+    }
+
+    fn schedule_next_query(&mut self, id: NodeId) {
+        let gap = self.query_rngs[id.index()].exponential(self.cfg.i_query.as_secs_f64());
+        let when = self.now + SimDuration::from_secs_f64(gap).max(SimDuration::from_millis(1));
+        self.queue.push(when, Event::Query(id));
+    }
+
+    fn schedule_next_update(&mut self, id: NodeId) {
+        let gap = self.update_rngs[id.index()].exponential(self.cfg.i_update.as_secs_f64());
+        let when = self.now + SimDuration::from_secs_f64(gap).max(SimDuration::from_millis(1));
+        self.queue.push(when, Event::Update(id));
+    }
+
+    fn schedule_next_write(&mut self, id: NodeId) {
+        let Some(i_write) = self.cfg.i_write else {
+            return;
+        };
+        let gap = self.write_rngs[id.index()].exponential(i_write.as_secs_f64());
+        let when = self.now + SimDuration::from_secs_f64(gap).max(SimDuration::from_millis(1));
+        self.queue.push(when, Event::Write(id));
+    }
+
+    fn schedule_next_switch(&mut self, id: NodeId) {
+        let Some(i_switch) = self.cfg.i_switch else {
+            return;
+        };
+        // An up node stays up for ~I_Switch, then disconnects for a short
+        // off period (~switch_off_mean) before reconnecting.
+        let mean = if self.nodes[id.index()].up {
+            i_switch
+        } else {
+            self.cfg.switch_off_mean
+        };
+        let gap = self.switch_rngs[id.index()].exponential(mean.as_secs_f64());
+        let when = self.now + SimDuration::from_secs_f64(gap).max(SimDuration::from_millis(1));
+        self.queue.push(when, Event::Switch(id));
+    }
+
+    /// Runs to completion and returns the report.
+    pub fn run(mut self) -> RunReport {
+        let end = SimTime::ZERO + self.cfg.sim_time;
+        while let Some((t, event)) = self.queue.pop() {
+            if t > end {
+                break;
+            }
+            debug_assert!(t >= self.now, "event time went backwards");
+            self.now = t;
+            self.handle(event);
+        }
+        // Queries still legitimately in flight when the run ends are
+        // censored observations, not failures: remove them from the
+        // issued count so served + failed == issued stays exact.
+        for (_, open) in self.open.drain() {
+            if open.measured {
+                self.queries_issued -= 1;
+            }
+        }
+        for (_, open) in self.open_writes.drain() {
+            if open.measured {
+                self.writes_issued -= 1;
+            }
+        }
+        let energy_used_mj = self.nodes.iter().map(|n| n.battery.used_mj()).sum();
+        RunReport {
+            strategy: self.cfg.strategy,
+            level_mix: self.cfg.level_mix,
+            traffic: self.traffic,
+            latency: self.latency,
+            latency_by_level: self.latency_by_level,
+            audit: self.audit,
+            audit_by_level: self.audit_by_level,
+            queries_issued: self.queries_issued,
+            queries_failed: self.queries_failed,
+            write_latency: self.write_latency,
+            writes_issued: self.writes_issued,
+            writes_failed: self.writes_failed,
+            relay_gauge: self.relay_gauge,
+            candidate_gauge: self.candidate_gauge,
+            route_gauge: self.route_gauge,
+            battery_gauge: self.battery_gauge,
+            energy_used_mj,
+            measured: self.cfg.sim_time - self.cfg.warmup,
+        }
+    }
+
+    fn measuring(&self) -> bool {
+        self.now.saturating_since(SimTime::ZERO) >= self.cfg.warmup
+    }
+
+    fn handle(&mut self, event: Event) {
+        match event {
+            Event::Query(id) => {
+                self.handle_query_arrival(id);
+                self.schedule_next_query(id);
+            }
+            Event::Update(id) => {
+                self.nodes[id.index()].own_item.update();
+                self.histories[id.index()].record_update(self.now);
+                self.with_proto(
+                    id,
+                    |proto, ctx| dispatch!(proto, p => p.on_source_update(ctx)),
+                );
+                self.schedule_next_update(id);
+            }
+            Event::Write(id) => {
+                self.handle_write_arrival(id);
+                self.schedule_next_write(id);
+            }
+            Event::WriteRetry { at, write } => {
+                let Some(open) = self.open_writes.get(&write).copied() else {
+                    return; // already acknowledged
+                };
+                if open.attempt >= 3 {
+                    self.close_write_failed(write);
+                } else {
+                    self.open_writes.get_mut(&write).expect("checked").attempt += 1;
+                    self.send_write(at, write, open.item);
+                }
+            }
+            Event::Switch(id) => {
+                let up = !self.nodes[id.index()].up;
+                self.nodes[id.index()].up = up;
+                self.topo = None; // connectivity changed
+                self.with_proto(
+                    id,
+                    |proto, ctx| dispatch!(proto, p => p.on_status_change(ctx, up)),
+                );
+                self.schedule_next_switch(id);
+            }
+            Event::Rx { at, from, frame } => self.handle_rx(at, from, frame),
+            Event::NetTimer { at, timer } => {
+                let actions = self.nodes[at.index()].stack.on_timer(self.now, timer);
+                self.apply_net_actions(at, actions);
+            }
+            Event::ProtoTimer { at, timer } => {
+                self.with_proto(
+                    at,
+                    |proto, ctx| dispatch!(proto, p => p.on_timer(ctx, timer)),
+                );
+            }
+            Event::OracleDeliver { at, from, msg } => {
+                if self.nodes[at.index()].up {
+                    self.with_proto(
+                        at,
+                        |proto, ctx| dispatch!(proto, p => p.on_message(ctx, from, msg)),
+                    );
+                }
+            }
+            Event::CoeffTick => {
+                for id in NodeId::all(self.nodes.len()) {
+                    let pos = self.nodes[id.index()].mobility.position_at(self.now);
+                    let cell = self.grid.cell_of(pos);
+                    let moved = cell != self.nodes[id.index()].last_cell;
+                    self.nodes[id.index()].last_cell = cell;
+                    self.with_proto(
+                        id,
+                        |proto, ctx| dispatch!(proto, p => p.on_coefficient_tick(ctx, moved)),
+                    );
+                }
+                self.queue
+                    .push(self.now + self.cfg.proto.phi, Event::CoeffTick);
+            }
+            Event::Sample => {
+                self.take_samples();
+                self.queue
+                    .push(self.now + self.cfg.sample_period, Event::Sample);
+            }
+        }
+    }
+
+    fn take_samples(&mut self) {
+        let idle = self.cfg.energy.idle_cost(self.cfg.sample_period);
+        let mut relays = 0usize;
+        let mut candidates = 0usize;
+        let mut routes = 0usize;
+        let mut battery_total = 0.0;
+        for node in self.nodes.iter_mut() {
+            node.battery.drain(idle);
+            relays += node.proto.relay_item_count();
+            candidates += usize::from(node.proto.is_candidate());
+            routes += node.stack.route_count(self.now);
+            battery_total += node.battery.fraction_remaining();
+        }
+        if self.measuring() {
+            self.relay_gauge.sample(relays as f64);
+            self.candidate_gauge.sample(candidates as f64);
+            self.route_gauge.sample(routes as f64);
+            self.battery_gauge
+                .sample(battery_total / self.nodes.len() as f64);
+        }
+    }
+
+    fn handle_query_arrival(&mut self, id: NodeId) {
+        let item = match self.single_source {
+            Some(src) => src.owned_item(),
+            None => {
+                let mut cached: Vec<ItemId> = self.nodes[id.index()]
+                    .cache
+                    .iter()
+                    .map(|(it, _)| it)
+                    .collect();
+                // The store iterates in process-random hash order; sort so
+                // the uniform choice below is deterministic per seed.
+                cached.sort_unstable();
+                match self.nodes[id.index()].rng.choose(&cached) {
+                    Some(&item) => item,
+                    None => return, // empty cache: nothing to query
+                }
+            }
+        };
+        let level = self.cfg.level_mix.sample(&mut self.nodes[id.index()].rng);
+        let query = QueryId(self.next_query_id);
+        self.next_query_id += 1;
+        let measured = self.measuring();
+        self.open.insert(
+            query,
+            OpenQuery {
+                item,
+                level,
+                issued: self.now,
+                measured,
+            },
+        );
+        if measured {
+            self.queries_issued += 1;
+        }
+        self.with_proto(
+            id,
+            |proto, ctx| dispatch!(proto, p => p.on_query(ctx, query, item, level)),
+        );
+    }
+
+    fn handle_rx(&mut self, at: NodeId, from: NodeId, frame: Frame<ProtoMsg>) {
+        if !self.nodes[at.index()].up {
+            return; // switched-off nodes hear nothing
+        }
+        if !self.cfg.link.delivered(&mut self.link_rng) {
+            return; // channel loss
+        }
+        let rx_cost = self.cfg.energy.rx_cost(frame.size());
+        self.nodes[at.index()].battery.drain(rx_cost);
+        let actions = self.nodes[at.index()].stack.on_frame(self.now, from, frame);
+        self.apply_net_actions(at, actions);
+    }
+
+    /// Current topology snapshot, rebuilt when stale.
+    fn topology(&mut self) -> &Topology {
+        let stale = match &self.topo {
+            Some((built, _)) => self.now.saturating_since(*built) > self.cfg.topology_refresh,
+            None => true,
+        };
+        if stale {
+            let positions: Vec<Point> = self
+                .nodes
+                .iter_mut()
+                .map(|n| n.mobility.position_at(self.now))
+                .collect();
+            let up: Vec<bool> = self.nodes.iter().map(|n| n.up).collect();
+            self.topo = Some((self.now, Topology::new(&positions, &up, self.cfg.range)));
+        }
+        &self.topo.as_ref().expect("just built").1
+    }
+
+    fn record_transmission(&mut self, frame: &Frame<ProtoMsg>) {
+        if !self.measuring() {
+            return;
+        }
+        let class = match frame {
+            Frame::Flood { payload, .. } | Frame::Unicast { payload, .. } => match payload {
+                mp2p_net::NetPayload::App(m) => m.class(),
+                mp2p_net::NetPayload::Control(
+                    RouteControl::Rreq { .. }
+                    | RouteControl::Rrep { .. }
+                    | RouteControl::Rerr { .. },
+                ) => MessageClass::RouteControl,
+            },
+        };
+        self.traffic.record(class, frame.size());
+    }
+
+    fn apply_net_actions(&mut self, node: NodeId, actions: Vec<NetAction<ProtoMsg>>) {
+        for action in actions {
+            match action {
+                NetAction::Broadcast(frame) => {
+                    if !self.nodes[node.index()].up {
+                        continue; // a down node cannot transmit
+                    }
+                    self.record_transmission(&frame);
+                    let tx_cost = self.cfg.energy.tx_cost(frame.size());
+                    self.nodes[node.index()].battery.drain(tx_cost);
+                    let delay = self.cfg.link.hop_delay(frame.size(), &mut self.link_rng);
+                    let neighbors: Vec<NodeId> = self.topology().neighbors(node).to_vec();
+                    for nb in neighbors {
+                        self.queue.push(
+                            self.now + delay,
+                            Event::Rx {
+                                at: nb,
+                                from: node,
+                                frame: frame.clone(),
+                            },
+                        );
+                    }
+                }
+                NetAction::Send { next_hop, frame } => {
+                    if !self.nodes[node.index()].up {
+                        continue;
+                    }
+                    self.record_transmission(&frame);
+                    let tx_cost = self.cfg.energy.tx_cost(frame.size());
+                    self.nodes[node.index()].battery.drain(tx_cost);
+                    let reachable = self.topology().are_neighbors(node, next_hop)
+                        && self.nodes[next_hop.index()].up;
+                    if reachable {
+                        let delay = self.cfg.link.hop_delay(frame.size(), &mut self.link_rng);
+                        self.queue.push(
+                            self.now + delay,
+                            Event::Rx {
+                                at: next_hop,
+                                from: node,
+                                frame,
+                            },
+                        );
+                    } else {
+                        // MAC-level delivery failure feedback (Section 4.5).
+                        let follow_up = self.nodes[node.index()]
+                            .stack
+                            .on_send_failed(self.now, next_hop, frame);
+                        self.apply_net_actions(node, follow_up);
+                    }
+                }
+                NetAction::Deliver { payload, meta } => match payload {
+                    // Replica writes are driver-level machinery: apply at
+                    // the source, acknowledge to the writer; the running
+                    // consistency strategy propagates the change.
+                    ProtoMsg::WriteRequest { item, .. } => {
+                        self.handle_write_request(node, meta.origin, item);
+                    }
+                    ProtoMsg::WriteAck { item, version } => {
+                        self.handle_write_ack(node, item, version);
+                    }
+                    _ => {
+                        self.with_proto(node, |proto, ctx| {
+                            dispatch!(proto, p => p.on_message(ctx, meta.origin, payload))
+                        });
+                    }
+                },
+                NetAction::SetTimer { after, timer } => {
+                    self.queue
+                        .push(self.now + after, Event::NetTimer { at: node, timer });
+                }
+                NetAction::Undeliverable { dest, payload } => match payload {
+                    ProtoMsg::WriteRequest { item, .. } => {
+                        // The writer's own retry timer decides when to give
+                        // up; discovery failure just means wait for it.
+                        let _ = (dest, item);
+                    }
+                    _ => {
+                        self.with_proto(node, |proto, ctx| {
+                            dispatch!(proto, p => p.on_undeliverable(ctx, dest, payload))
+                        });
+                    }
+                },
+            }
+        }
+    }
+
+    /// Runs `f` against node `id`'s protocol with a fresh context, then
+    /// applies the buffered outputs.
+    fn with_proto<F: FnOnce(&mut AnyProtocol, &mut Ctx<'_>)>(&mut self, id: NodeId, f: F) {
+        let outputs = {
+            let node = &mut self.nodes[id.index()];
+            let energy = node.battery.fraction_remaining();
+            let mut ctx = Ctx::new(
+                self.now,
+                id,
+                &mut node.cache,
+                &mut node.own_item,
+                &mut node.rng,
+                &self.cfg.proto,
+                energy,
+                node.up,
+            );
+            f(&mut node.proto, &mut ctx);
+            ctx.take_outputs()
+        };
+        for out in outputs {
+            match out {
+                CtxOut::Send { to, msg } => match self.cfg.routing {
+                    RoutingMode::OnDemand => {
+                        let size = msg.size_bytes();
+                        let actions = self.nodes[id.index()]
+                            .stack
+                            .send_app(self.now, to, msg, size);
+                        self.apply_net_actions(id, actions);
+                    }
+                    RoutingMode::Oracle => self.oracle_send(id, to, msg),
+                },
+                CtxOut::Flood { ttl, msg } => {
+                    let size = msg.size_bytes();
+                    let actions = self.nodes[id.index()]
+                        .stack
+                        .flood_app(self.now, ttl, msg, size);
+                    self.apply_net_actions(id, actions);
+                }
+                CtxOut::SetTimer { after, timer } => {
+                    self.queue
+                        .push(self.now + after, Event::ProtoTimer { at: id, timer });
+                }
+                CtxOut::Answer { query, version } => self.close_answered(query, version),
+                CtxOut::Fail { query } => self.close_failed(query),
+            }
+        }
+    }
+
+    /// Oracle-mode unicast: the message follows the current BFS shortest
+    /// path with per-hop costs but zero routing control.
+    fn oracle_send(&mut self, from: NodeId, to: NodeId, msg: ProtoMsg) {
+        if to == from {
+            self.with_proto(
+                from,
+                |proto, ctx| dispatch!(proto, p => p.on_message(ctx, from, msg)),
+            );
+            return;
+        }
+        if !self.nodes[from.index()].up {
+            return; // a down node cannot transmit
+        }
+        let path = self.topology().shortest_path(from, to);
+        match path {
+            Some(path) => {
+                let size = msg.size_bytes();
+                let mut arrival = self.now;
+                for pair in path.windows(2) {
+                    if self.measuring() {
+                        self.traffic.record(msg.class(), size);
+                    }
+                    let tx_cost = self.cfg.energy.tx_cost(size);
+                    self.nodes[pair[0].index()].battery.drain(tx_cost);
+                    let rx_cost = self.cfg.energy.rx_cost(size);
+                    self.nodes[pair[1].index()].battery.drain(rx_cost);
+                    arrival += self.cfg.link.hop_delay(size, &mut self.link_rng);
+                }
+                self.queue
+                    .push(arrival, Event::OracleDeliver { at: to, from, msg });
+            }
+            None => {
+                // No path: surface as the MAC-level failure the protocols
+                // already handle.
+                self.with_proto(
+                    from,
+                    |proto, ctx| dispatch!(proto, p => p.on_undeliverable(ctx, to, msg)),
+                );
+            }
+        }
+    }
+
+    /// A node decides to write one of its cached items (extension).
+    fn handle_write_arrival(&mut self, id: NodeId) {
+        let item = match self.single_source {
+            Some(src) => src.owned_item(),
+            None => {
+                let mut cached: Vec<ItemId> = self.nodes[id.index()]
+                    .cache
+                    .iter()
+                    .map(|(it, _)| it)
+                    .collect();
+                cached.sort_unstable();
+                match self.nodes[id.index()].rng.choose(&cached) {
+                    Some(&item) => item,
+                    None => return,
+                }
+            }
+        };
+        let write = QueryId(self.next_query_id);
+        self.next_query_id += 1;
+        let measured = self.measuring();
+        self.open_writes.insert(
+            write,
+            OpenWrite {
+                writer: id,
+                item,
+                issued: self.now,
+                attempt: 1,
+                measured,
+            },
+        );
+        if measured {
+            self.writes_issued += 1;
+        }
+        self.send_write(id, write, item);
+    }
+
+    fn send_write(&mut self, id: NodeId, write: QueryId, item: ItemId) {
+        let msg = ProtoMsg::WriteRequest {
+            item,
+            content_bytes: self.cfg.proto.content_bytes,
+        };
+        match self.cfg.routing {
+            RoutingMode::OnDemand => {
+                let size = msg.size_bytes();
+                let actions =
+                    self.nodes[id.index()]
+                        .stack
+                        .send_app(self.now, item.source_host(), msg, size);
+                self.apply_net_actions(id, actions);
+            }
+            RoutingMode::Oracle => self.oracle_send(id, item.source_host(), msg),
+        }
+        self.queue.push(
+            self.now + self.cfg.proto.fetch_timeout,
+            Event::WriteRetry { at: id, write },
+        );
+    }
+
+    /// The source host serialises an incoming replica write.
+    fn handle_write_request(&mut self, node: NodeId, writer: NodeId, item: ItemId) {
+        if item.source_host() != node || !self.nodes[node.index()].publishes {
+            return; // misrouted or unpublished item
+        }
+        let version = self.nodes[node.index()].own_item.update();
+        self.histories[item.index()].record_update(self.now);
+        self.with_proto(
+            node,
+            |proto, ctx| dispatch!(proto, p => p.on_source_update(ctx)),
+        );
+        let ack = ProtoMsg::WriteAck { item, version };
+        match self.cfg.routing {
+            RoutingMode::OnDemand => {
+                let size = ack.size_bytes();
+                let actions = self.nodes[node.index()]
+                    .stack
+                    .send_app(self.now, writer, ack, size);
+                self.apply_net_actions(node, actions);
+            }
+            RoutingMode::Oracle => self.oracle_send(node, writer, ack),
+        }
+    }
+
+    /// The writer's acknowledgement arrived: the write is durable.
+    fn handle_write_ack(&mut self, node: NodeId, item: ItemId, version: Version) {
+        // Writes are acknowledged once; duplicates from retries are benign.
+        let Some((&write, _)) = self
+            .open_writes
+            .iter()
+            .filter(|(_, w)| w.item == item && w.writer == node)
+            .min_by_key(|(&q, _)| q)
+        else {
+            return;
+        };
+        let open = self.open_writes.remove(&write).expect("just found");
+        // Read-your-writes: the writer's own copy advances to at least the
+        // acknowledged version.
+        let entry_version = self.nodes[node.index()].cache.peek(item).map(|e| e.version);
+        if entry_version.is_some_and(|v| v < version) {
+            self.nodes[node.index()]
+                .cache
+                .refresh(item, version, self.now);
+        }
+        if open.measured {
+            self.write_latency
+                .record(self.now.saturating_since(open.issued));
+        }
+    }
+
+    fn close_write_failed(&mut self, write: QueryId) {
+        if self.open_writes.remove(&write).is_some_and(|w| w.measured) {
+            self.writes_failed += 1;
+        }
+    }
+
+    fn close_answered(&mut self, query: QueryId, version: Version) {
+        let Some(open) = self.open.remove(&query) else {
+            return; // duplicate answer (e.g. two poll acks): first one won
+        };
+        if !open.measured {
+            return;
+        }
+        let latency = self.now.saturating_since(open.issued);
+        self.latency.record(latency);
+        self.latency_by_level[open.level.index()].record(latency);
+        let history = &self.histories[open.item.index()];
+        let served = ServedQuery {
+            served: version,
+            master: history.current(),
+            staleness: history.staleness(version, self.now),
+        };
+        self.audit.record(served);
+        self.audit_by_level[open.level.index()].record(served);
+    }
+
+    fn close_failed(&mut self, query: QueryId) {
+        if self.open.remove(&query).is_some_and(|open| open.measured) {
+            self.queries_failed += 1;
+        }
+    }
+}
+
+/// Stream id of the world-level RNG ("WORLD" in ASCII).
+const WORLD_STREAM: u64 = 0x57_4F_52_4C_44;
+
+fn build_mobility(cfg: &WorldConfig, rng: SimRng) -> AnyMobility {
+    match cfg.mobility {
+        MobilityKind::Waypoint {
+            speed_min,
+            speed_max,
+            max_pause,
+        } => RandomWaypoint::new(cfg.terrain, speed_min, speed_max, max_pause, rng).into(),
+        MobilityKind::Walk {
+            speed_min,
+            speed_max,
+            epoch,
+        } => RandomWalk::new(cfg.terrain, speed_min, speed_max, epoch, rng).into(),
+        MobilityKind::Manhattan { block, speed } => {
+            ManhattanGrid::new(cfg.terrain, block, speed, rng).into()
+        }
+        MobilityKind::Stationary => {
+            let mut seed_rng = rng;
+            Stationary::new(cfg.terrain.random_point(&mut seed_rng)).into()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(strategy: Strategy, seed: u64) -> WorldConfig {
+        let mut cfg = WorldConfig::small_test(seed);
+        cfg.n_peers = 8;
+        cfg.c_num = 3;
+        cfg.terrain = Terrain::new(500.0, 500.0);
+        cfg.sim_time = SimDuration::from_mins(5);
+        cfg.warmup = SimDuration::from_mins(1);
+        cfg.strategy = strategy;
+        cfg
+    }
+
+    #[test]
+    fn every_strategy_constructs_and_runs() {
+        for strategy in [
+            Strategy::Rpcc,
+            Strategy::Push,
+            Strategy::Pull,
+            Strategy::PushAdaptivePull,
+        ] {
+            let report = World::new(tiny(strategy, 1)).run();
+            assert_eq!(report.strategy, strategy);
+            assert!(report.queries_issued > 0, "{strategy} generated no queries");
+        }
+    }
+
+    #[test]
+    fn strategy_labels_are_unique() {
+        let labels = [
+            Strategy::Rpcc.label(),
+            Strategy::Push.label(),
+            Strategy::Pull.label(),
+            Strategy::PushAdaptivePull.label(),
+        ];
+        let mut sorted = labels.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), labels.len());
+    }
+
+    #[test]
+    fn oracle_routing_carries_zero_control_traffic() {
+        let mut cfg = tiny(Strategy::Pull, 2);
+        cfg.routing = RoutingMode::Oracle;
+        let report = World::new(cfg).run();
+        assert_eq!(report.traffic.by_class(MessageClass::RouteControl), 0);
+        assert!(report.queries_served() > 0);
+    }
+
+    #[test]
+    fn oracle_routing_is_cheaper_than_on_demand() {
+        let run = |routing| {
+            let mut cfg = tiny(Strategy::Push, 3);
+            cfg.routing = routing;
+            World::new(cfg).run()
+        };
+        let oracle = run(RoutingMode::Oracle);
+        let on_demand = run(RoutingMode::OnDemand);
+        assert!(oracle.traffic.transmissions() <= on_demand.traffic.transmissions());
+    }
+
+    #[test]
+    fn single_item_mode_publishes_exactly_one_source() {
+        let mut cfg = tiny(Strategy::Rpcc, 4);
+        cfg.workload = WorkloadMode::SingleItem;
+        let world = World::new(cfg);
+        let publishers = world.nodes.iter().filter(|n| n.publishes).count();
+        assert_eq!(publishers, 1);
+        assert!(world.single_source.is_some());
+        // Every non-source node pre-warmed with the single item.
+        let src = world.single_source.unwrap();
+        for (i, node) in world.nodes.iter().enumerate() {
+            if i != src.index() {
+                assert!(node.cache.contains(src.owned_item()));
+            }
+        }
+    }
+
+    #[test]
+    fn cached_uniform_prewarms_full_caches() {
+        let cfg = tiny(Strategy::Rpcc, 5);
+        let c_num = cfg.c_num;
+        let world = World::new(cfg);
+        for node in &world.nodes {
+            assert_eq!(node.cache.len(), c_num, "placement fills every slot");
+            assert!(
+                !node.cache.contains(node.own_item.id()),
+                "no node caches its own item"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_rejects_oversized_cache() {
+        let mut cfg = tiny(Strategy::Rpcc, 6);
+        cfg.c_num = cfg.n_peers; // no room for the foreign catalogue
+        let result = std::panic::catch_unwind(move || World::new(cfg));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn report_helpers_are_consistent() {
+        let report = World::new(tiny(Strategy::Pull, 7)).run();
+        assert!(report.traffic_per_minute() > 0.0);
+        assert_eq!(report.measured, SimDuration::from_mins(4));
+        let per_min = report.traffic.transmissions() as f64 / 4.0;
+        assert!((report.traffic_per_minute() - per_min).abs() < 1e-9);
+    }
+}

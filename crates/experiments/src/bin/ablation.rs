@@ -1,0 +1,125 @@
+//! Ablation studies of the reproduction's design choices (DESIGN.md §5/§6)
+//! and the paper's future-work extensions: `ablation [--full]`.
+//!
+//! Four studies, each a one-knob sweep at the Table 1 default point:
+//!
+//! 1. **Demotion hysteresis** — the paper's literal one-failing-tick
+//!    demotion vs the grace used here.
+//! 2. **POLL ring start TTL** — how wide the first poll should cast.
+//! 3. **Adaptive frequencies** (future work §6.1) — off vs on, at slow
+//!    and fast update rates.
+//! 4. **Relay admission cap** (future work §6.2) — uncapped vs 1/2/4
+//!    relays per item.
+
+use mp2p_experiments::{render_table, RunOptions};
+use mp2p_rpcc::{LevelMix, RoutingMode, RunReport, Strategy, World, WorldConfig};
+use mp2p_sim::SimDuration;
+
+fn base(opts: RunOptions, seed: u64) -> WorldConfig {
+    let mut cfg = WorldConfig::paper_default(seed);
+    cfg.sim_time = opts.sim_time;
+    cfg.warmup = opts.warmup;
+    cfg.strategy = Strategy::Rpcc;
+    cfg.level_mix = LevelMix::strong_only();
+    cfg
+}
+
+fn row(name: &str, r: &RunReport) -> Vec<String> {
+    vec![
+        name.to_string(),
+        format!("{:.0}", r.traffic_per_minute()),
+        format!("{:.3}", r.mean_latency_secs()),
+        format!("{:.3}", r.failure_rate()),
+        format!("{:.1}", r.relay_gauge.mean()),
+        format!("{:.3}", 1.0 - r.audit.fresh_fraction()),
+    ]
+}
+
+const HEADERS: [&str; 6] = ["variant", "tx/min", "latency(s)", "fail", "relays", "stale"];
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let opts = if full {
+        RunOptions::full()
+    } else {
+        RunOptions::quick()
+    };
+    let seed = 42;
+
+    println!("=== Ablation 1: relay demotion hysteresis (paper literal = 1 tick)");
+    let mut rows = Vec::new();
+    for ticks in [1u8, 2, 4] {
+        let mut cfg = base(opts, seed);
+        cfg.proto.demote_grace_ticks = ticks;
+        rows.push(row(
+            &format!("{ticks} failing tick(s)"),
+            &World::new(cfg).run(),
+        ));
+    }
+    print!("{}", render_table(&HEADERS, &rows));
+
+    println!("\n=== Ablation 2: POLL ring starting TTL (paper: 'broadcast POLL', scope open)");
+    let mut rows = Vec::new();
+    for ttl in [1u8, 2, 4, 8] {
+        let mut cfg = base(opts, seed);
+        cfg.proto.poll_ttl = ttl;
+        rows.push(row(&format!("first TTL {ttl}"), &World::new(cfg).run()));
+    }
+    print!("{}", render_table(&HEADERS, &rows));
+
+    println!("\n=== Ablation 3: adaptive push/pull frequency (future work 6.1)");
+    let mut rows = Vec::new();
+    for (label, update, adaptive) in [
+        ("fixed, updates 2min", 120u64, false),
+        ("adaptive, updates 2min", 120, true),
+        ("fixed, updates 15min", 900, false),
+        ("adaptive, updates 15min", 900, true),
+    ] {
+        let mut cfg = base(opts, seed);
+        cfg.level_mix = LevelMix::delta_only();
+        cfg.i_update = SimDuration::from_secs(update);
+        cfg.proto.adaptive = adaptive;
+        rows.push(row(label, &World::new(cfg).run()));
+    }
+    print!("{}", render_table(&HEADERS, &rows));
+
+    println!("\n=== Ablation 4: relay admission cap (future work 6.2)");
+    let mut rows = Vec::new();
+    for cap in [None, Some(1usize), Some(2), Some(4)] {
+        let mut cfg = base(opts, seed);
+        cfg.proto.max_relays_per_item = cap;
+        let label = match cap {
+            None => "uncapped (paper)".to_string(),
+            Some(n) => format!("cap {n}/item"),
+        };
+        rows.push(row(&label, &World::new(cfg).run()));
+    }
+    print!("{}", render_table(&HEADERS, &rows));
+
+    println!("\n=== Ablation 5: routing substrate (on-demand vs omniscient oracle)");
+    let mut rows = Vec::new();
+    for strategy in [
+        Strategy::Rpcc,
+        Strategy::Push,
+        Strategy::Pull,
+        Strategy::PushAdaptivePull,
+    ] {
+        for routing in [RoutingMode::OnDemand, RoutingMode::Oracle] {
+            let mut cfg = base(opts, seed);
+            cfg.strategy = strategy;
+            cfg.routing = routing;
+            let label = format!(
+                "{} / {}",
+                strategy.label(),
+                if routing == RoutingMode::Oracle {
+                    "oracle"
+                } else {
+                    "on-demand"
+                }
+            );
+            rows.push(row(&label, &World::new(cfg).run()));
+        }
+    }
+    print!("{}", render_table(&HEADERS, &rows));
+    println!("(the gap between rows is the price of real route discovery)");
+}

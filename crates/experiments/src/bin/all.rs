@@ -1,0 +1,73 @@
+//! Regenerates every table and figure of the paper in one pass:
+//! `all [--full]`. Results land under `results/` as CSV; the tables
+//! print to stdout.
+
+use std::path::PathBuf;
+
+use mp2p_experiments::{
+    fig7a, fig7b, fig7c, fig9, render_series_table, render_table, table1_rows, write_csv,
+    FigureData, RunOptions,
+};
+
+fn emit_both(fig: FigureData) {
+    println!("\n=== {} — {}", fig.id, fig.caption);
+    println!("Traffic view (Fig 7 panel):");
+    print!(
+        "{}",
+        render_series_table(fig.x_label, &fig.series, |p| p.traffic_per_min, "")
+    );
+    println!("Latency view (Fig 8 panel, seconds):");
+    print!(
+        "{}",
+        render_series_table(fig.x_label, &fig.series, |p| p.latency_s, "s")
+    );
+    let file = PathBuf::from("results").join(format!(
+        "{}.csv",
+        fig.id.to_lowercase().replace([' ', '(', ')'], "")
+    ));
+    match write_csv(&file, fig.id, &fig.series) {
+        Ok(()) => println!("wrote {}", file.display()),
+        Err(e) => eprintln!("could not write {}: {e}", file.display()),
+    }
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let opts = if full {
+        RunOptions::full()
+    } else {
+        RunOptions::quick()
+    };
+    println!("=== Table 1: simulation parameters");
+    print!(
+        "{}",
+        render_table(
+            &["Parameter", "Description", "Default Value"],
+            &table1_rows()
+        )
+    );
+
+    // Figs 7 and 8 share their sweeps: each sweep runs once, both views
+    // print (traffic = Fig 7, latency = Fig 8).
+    emit_both(fig7a(opts));
+    emit_both(fig7b(opts));
+    emit_both(fig7c(opts));
+
+    let fig = fig9(opts);
+    println!("\n=== {} — {}", fig.id, fig.caption);
+    println!("Fig 9(a) traffic:");
+    print!(
+        "{}",
+        render_series_table(fig.x_label, &fig.series, |p| p.traffic_per_min, "")
+    );
+    println!("Fig 9(b) latency (seconds):");
+    print!(
+        "{}",
+        render_series_table(fig.x_label, &fig.series, |p| p.latency_s, "s")
+    );
+    let file = PathBuf::from("results").join("fig9.csv");
+    match write_csv(&file, fig.id, &fig.series) {
+        Ok(()) => println!("wrote {}", file.display()),
+        Err(e) => eprintln!("could not write {}: {e}", file.display()),
+    }
+}

@@ -1,0 +1,116 @@
+//! Side-by-side strategy comparison at the Table 1 default point:
+//! `compare [--full] [--seed N] [--range M]`.
+//!
+//! Prints traffic (total and per message class), latency, staleness,
+//! failure rate, relay population and energy for Pull, Push and the four
+//! RPCC variants.
+
+use mp2p_experiments::{render_table, RunOptions};
+use mp2p_metrics::MessageClass;
+use mp2p_rpcc::{RunReport, World, WorldConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+    let range: Option<f64> = args
+        .iter()
+        .position(|a| a == "--range")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok());
+    let single = args.iter().any(|a| a == "--single");
+    let ttl: Option<u8> = args
+        .iter()
+        .position(|a| a == "--ttl")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok());
+    let opts = if full {
+        RunOptions::full()
+    } else {
+        RunOptions::quick()
+    };
+
+    let specs = mp2p_experiments::extended_strategies();
+    let reports: Vec<RunReport> = specs
+        .iter()
+        .map(|spec| {
+            let mut cfg = WorldConfig::paper_default(seed);
+            cfg.sim_time = opts.sim_time;
+            cfg.warmup = opts.warmup;
+            cfg.strategy = spec.strategy;
+            cfg.level_mix = spec.mix;
+            if let Some(r) = range {
+                cfg.range = r;
+            }
+            if single {
+                cfg.workload = mp2p_rpcc::WorkloadMode::SingleItem;
+            }
+            if let Some(t) = ttl {
+                cfg.proto.invalidation_ttl = t;
+            }
+            World::new(cfg).run()
+        })
+        .collect();
+
+    let mut headers = vec!["metric"];
+    headers.extend(specs.iter().map(|s| s.name));
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut row = |name: &str, f: &dyn Fn(&RunReport) -> String| {
+        let mut r = vec![name.to_string()];
+        r.extend(reports.iter().map(f));
+        rows.push(r);
+    };
+    row("tx/min", &|r| format!("{:.1}", r.traffic_per_minute()));
+    row("KB/min", &|r| {
+        format!(
+            "{:.1}",
+            r.traffic.bytes() as f64 / 1024.0 / (r.measured.as_secs_f64() / 60.0)
+        )
+    });
+    row("mean latency (s)", &|r| {
+        format!("{:.3}", r.mean_latency_secs())
+    });
+    row("p95 latency (s)", &|r| {
+        format!("{:.3}", r.latency.percentile(0.95).as_secs_f64())
+    });
+    row("queries served", &|r| r.queries_served().to_string());
+    row("failure rate", &|r| format!("{:.4}", r.failure_rate()));
+    row("stale answers", &|r| {
+        format!("{:.4}", 1.0 - r.audit.fresh_fraction())
+    });
+    row("max staleness (s)", &|r| {
+        format!("{:.1}", r.audit.max_staleness().as_secs_f64())
+    });
+    row("relay items (mean)", &|r| {
+        format!("{:.1}", r.relay_gauge.mean())
+    });
+    row("candidates (mean)", &|r| {
+        format!("{:.1}", r.candidate_gauge.mean())
+    });
+    row("energy used (J)", &|r| {
+        format!("{:.0}", r.energy_used_mj / 1_000.0)
+    });
+    for class in MessageClass::ALL {
+        let any = reports.iter().any(|r| r.traffic.by_class(class) > 0);
+        if any {
+            let mut r = vec![format!("tx {}", class.label())];
+            r.extend(
+                reports
+                    .iter()
+                    .map(|rep| rep.traffic.by_class(class).to_string()),
+            );
+            rows.push(r);
+        }
+    }
+
+    println!(
+        "Strategy comparison at Table 1 defaults ({} sim, warmup {}, seed {seed})",
+        opts.sim_time, opts.warmup
+    );
+    print!("{}", render_table(&headers, &rows));
+}

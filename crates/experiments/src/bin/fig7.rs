@@ -1,0 +1,55 @@
+//! Regenerates Fig. 7 (network traffic): `fig7 [a|b|c] [--full]`.
+//!
+//! Without a panel argument all three panels run. `--full` uses the
+//! paper's 5-hour runs; the default is a 45-minute quick mode.
+
+use std::path::PathBuf;
+
+use mp2p_experiments::{
+    fig7a, fig7b, fig7c, render_series_table, write_csv, FigureData, RunOptions,
+};
+
+fn emit(fig: FigureData) {
+    println!("\n{} — {}", fig.id, fig.caption);
+    print!(
+        "{}",
+        render_series_table(fig.x_label, &fig.series, |p| p.traffic_per_min, "")
+    );
+    println!("(transmissions per simulated minute; every MAC-level hop counted)");
+    let file = PathBuf::from("results").join(format!(
+        "{}.csv",
+        fig.id.to_lowercase().replace([' ', '(', ')'], "")
+    ));
+    match write_csv(&file, fig.id, &fig.series) {
+        Ok(()) => println!("wrote {}", file.display()),
+        Err(e) => eprintln!("could not write {}: {e}", file.display()),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let opts = if full {
+        RunOptions::full()
+    } else {
+        RunOptions::quick()
+    };
+    let panel = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str);
+    match panel {
+        Some("a") => emit(fig7a(opts)),
+        Some("b") => emit(fig7b(opts)),
+        Some("c") => emit(fig7c(opts)),
+        None => {
+            emit(fig7a(opts));
+            emit(fig7b(opts));
+            emit(fig7c(opts));
+        }
+        Some(other) => {
+            eprintln!("unknown panel {other:?}; use a, b or c");
+            std::process::exit(2);
+        }
+    }
+}

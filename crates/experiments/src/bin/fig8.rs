@@ -1,0 +1,54 @@
+//! Regenerates Fig. 8 (query latency): `fig8 [a|b|c] [--full]`.
+//!
+//! The paper plots these in log scale; the table prints seconds.
+
+use std::path::PathBuf;
+
+use mp2p_experiments::{
+    fig8a, fig8b, fig8c, render_series_table, write_csv, FigureData, RunOptions,
+};
+
+fn emit(fig: FigureData) {
+    println!("\n{} — {}", fig.id, fig.caption);
+    print!(
+        "{}",
+        render_series_table(fig.x_label, &fig.series, |p| p.latency_s, "s")
+    );
+    println!("(mean query latency over served queries)");
+    let file = PathBuf::from("results").join(format!(
+        "{}.csv",
+        fig.id.to_lowercase().replace([' ', '(', ')'], "")
+    ));
+    match write_csv(&file, fig.id, &fig.series) {
+        Ok(()) => println!("wrote {}", file.display()),
+        Err(e) => eprintln!("could not write {}: {e}", file.display()),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let opts = if full {
+        RunOptions::full()
+    } else {
+        RunOptions::quick()
+    };
+    let panel = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str);
+    match panel {
+        Some("a") => emit(fig8a(opts)),
+        Some("b") => emit(fig8b(opts)),
+        Some("c") => emit(fig8c(opts)),
+        None => {
+            emit(fig8a(opts));
+            emit(fig8b(opts));
+            emit(fig8c(opts));
+        }
+        Some(other) => {
+            eprintln!("unknown panel {other:?}; use a, b or c");
+            std::process::exit(2);
+        }
+    }
+}

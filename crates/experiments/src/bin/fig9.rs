@@ -1,0 +1,36 @@
+//! Regenerates Fig. 9 (impact of invalidation TTL): `fig9 [--full]`.
+//!
+//! Panel (a) is the traffic column, panel (b) the latency column; push
+//! and pull appear as flat reference lines, as in the paper.
+
+use std::path::PathBuf;
+
+use mp2p_experiments::{fig9, render_series_table, write_csv, RunOptions};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let opts = if full {
+        RunOptions::full()
+    } else {
+        RunOptions::quick()
+    };
+    let fig = fig9(opts);
+    println!("\n{} — {}", fig.id, fig.caption);
+    println!("\nFig 9(a): network traffic");
+    print!(
+        "{}",
+        render_series_table(fig.x_label, &fig.series, |p| p.traffic_per_min, "")
+    );
+    println!("(transmissions per simulated minute)");
+    println!("\nFig 9(b): query latency");
+    print!(
+        "{}",
+        render_series_table(fig.x_label, &fig.series, |p| p.latency_s, "s")
+    );
+    println!("(mean query latency over served queries)");
+    let file = PathBuf::from("results").join("fig9.csv");
+    match write_csv(&file, fig.id, &fig.series) {
+        Ok(()) => println!("wrote {}", file.display()),
+        Err(e) => eprintln!("could not write {}: {e}", file.display()),
+    }
+}

@@ -1,0 +1,207 @@
+//! Free-form scenario runner: every interesting knob on the command line.
+//!
+//! ```text
+//! run [--strategy rpcc|push|pull|push-ap] [--mix sc|dc|wc|hy]
+//!     [--peers N] [--cache N] [--terrain METRES] [--range METRES]
+//!     [--sim MINUTES] [--warmup MINUTES]
+//!     [--update-secs S] [--query-secs S] [--write-secs S]
+//!     [--ttl HOPS] [--loss P] [--no-churn] [--oracle-routing]
+//!     [--adaptive] [--relay-cap N] [--single-item] [--seed N]
+//! ```
+//!
+//! Example: the paper's default RPCC point with lossy links and writes:
+//!
+//! ```text
+//! cargo run --release -p mp2p-experiments --bin run -- \
+//!     --strategy rpcc --mix hy --loss 0.05 --write-secs 180 --sim 60
+//! ```
+
+use mp2p_experiments::render_table;
+use mp2p_metrics::MessageClass;
+use mp2p_rpcc::{LevelMix, RoutingMode, Strategy, WorkloadMode, World, WorldConfig};
+use mp2p_sim::SimDuration;
+
+fn parse_args() -> Result<WorldConfig, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = WorldConfig::paper_default(42);
+    cfg.sim_time = SimDuration::from_mins(45);
+    cfg.warmup = SimDuration::from_mins(10);
+
+    let value_of = |flag: &str| -> Option<&String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+    };
+    let parse = |flag: &str, text: &String| -> Result<f64, String> {
+        text.parse()
+            .map_err(|_| format!("{flag} expects a number, got {text:?}"))
+    };
+
+    if let Some(v) = value_of("--strategy") {
+        cfg.strategy = match v.as_str() {
+            "rpcc" => Strategy::Rpcc,
+            "push" => Strategy::Push,
+            "pull" => Strategy::Pull,
+            "push-ap" => Strategy::PushAdaptivePull,
+            other => return Err(format!("unknown strategy {other:?}")),
+        };
+    }
+    if let Some(v) = value_of("--mix") {
+        cfg.level_mix = match v.as_str() {
+            "sc" => LevelMix::strong_only(),
+            "dc" => LevelMix::delta_only(),
+            "wc" => LevelMix::weak_only(),
+            "hy" => LevelMix::hybrid(),
+            other => return Err(format!("unknown mix {other:?} (sc|dc|wc|hy)")),
+        };
+    }
+    if let Some(v) = value_of("--peers") {
+        cfg.n_peers = parse("--peers", v)? as usize;
+    }
+    if let Some(v) = value_of("--cache") {
+        cfg.c_num = parse("--cache", v)? as usize;
+    }
+    if let Some(v) = value_of("--terrain") {
+        let side = parse("--terrain", v)?;
+        cfg.terrain = mp2p_mobility::Terrain::new(side, side);
+    }
+    if let Some(v) = value_of("--range") {
+        cfg.range = parse("--range", v)?;
+    }
+    if let Some(v) = value_of("--sim") {
+        cfg.sim_time = SimDuration::from_secs_f64(parse("--sim", v)? * 60.0);
+    }
+    if let Some(v) = value_of("--warmup") {
+        cfg.warmup = SimDuration::from_secs_f64(parse("--warmup", v)? * 60.0);
+    }
+    if let Some(v) = value_of("--update-secs") {
+        cfg.i_update = SimDuration::from_secs_f64(parse("--update-secs", v)?);
+    }
+    if let Some(v) = value_of("--query-secs") {
+        cfg.i_query = SimDuration::from_secs_f64(parse("--query-secs", v)?);
+    }
+    if let Some(v) = value_of("--write-secs") {
+        cfg.i_write = Some(SimDuration::from_secs_f64(parse("--write-secs", v)?));
+    }
+    if let Some(v) = value_of("--ttl") {
+        cfg.proto.invalidation_ttl = parse("--ttl", v)? as u8;
+    }
+    if let Some(v) = value_of("--loss") {
+        cfg.link.loss_prob = parse("--loss", v)?;
+    }
+    if let Some(v) = value_of("--relay-cap") {
+        cfg.proto.max_relays_per_item = Some(parse("--relay-cap", v)? as usize);
+    }
+    if let Some(v) = value_of("--seed") {
+        cfg.seed = parse("--seed", v)? as u64;
+    }
+    if args.iter().any(|a| a == "--no-churn") {
+        cfg.i_switch = None;
+    }
+    if args.iter().any(|a| a == "--oracle-routing") {
+        cfg.routing = RoutingMode::Oracle;
+    }
+    if args.iter().any(|a| a == "--adaptive") {
+        cfg.proto.adaptive = true;
+    }
+    if args.iter().any(|a| a == "--single-item") {
+        cfg.workload = WorkloadMode::SingleItem;
+    }
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        return Err("see the module docs at the top of run.rs for the flag list".into());
+    }
+    // A small peer count with the default C_Num would fail validation;
+    // clamp to the foreign-catalogue size and say so.
+    if cfg.n_peers >= 2 && cfg.c_num >= cfg.n_peers {
+        let clamped = cfg.n_peers - 1;
+        eprintln!("note: clamping cache size to {clamped} (only {clamped} foreign items exist)");
+        cfg.c_num = clamped;
+    }
+    Ok(cfg)
+}
+
+fn main() {
+    let cfg = match parse_args() {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "Running {} / {} — {} peers, {:.0} m terrain side, {} simulated (seed {})",
+        cfg.strategy,
+        cfg.level_mix,
+        cfg.n_peers,
+        cfg.terrain.width(),
+        cfg.sim_time,
+        cfg.seed
+    );
+    let writes_on = cfg.i_write.is_some();
+    let report = World::new(cfg).run();
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut row = |k: &str, v: String| rows.push(vec![k.to_string(), v]);
+    row(
+        "transmissions/min",
+        format!("{:.1}", report.traffic_per_minute()),
+    );
+    row(
+        "KB/min",
+        format!(
+            "{:.1}",
+            report.traffic.bytes() as f64 / 1024.0 / (report.measured.as_secs_f64() / 60.0)
+        ),
+    );
+    row("queries served", report.queries_served().to_string());
+    row("failure rate", format!("{:.4}", report.failure_rate()));
+    row(
+        "mean latency",
+        format!("{:.3}s", report.mean_latency_secs()),
+    );
+    row(
+        "p95 latency",
+        format!("{:.3}s", report.latency.percentile(0.95).as_secs_f64()),
+    );
+    row(
+        "stale answers",
+        format!("{:.2}%", (1.0 - report.audit.fresh_fraction()) * 100.0),
+    );
+    row(
+        "max staleness",
+        format!("{:.1}s", report.audit.max_staleness().as_secs_f64()),
+    );
+    row(
+        "relay items (mean)",
+        format!("{:.1}", report.relay_gauge.mean()),
+    );
+    row(
+        "candidates (mean)",
+        format!("{:.1}", report.candidate_gauge.mean()),
+    );
+    row(
+        "energy used",
+        format!("{:.1} J", report.energy_used_mj / 1_000.0),
+    );
+    if writes_on {
+        row(
+            "writes acked/issued",
+            format!("{}/{}", report.writes_completed(), report.writes_issued),
+        );
+        row(
+            "write latency",
+            format!("{:.3}s", report.write_latency.mean_secs()),
+        );
+    }
+    print!("{}", render_table(&["metric", "value"], &rows));
+
+    println!("\nTraffic by message class:");
+    let mut rows = Vec::new();
+    for class in MessageClass::ALL {
+        let n = report.traffic.by_class(class);
+        if n > 0 {
+            rows.push(vec![class.label().to_string(), n.to_string()]);
+        }
+    }
+    print!("{}", render_table(&["class", "transmissions"], &rows));
+}

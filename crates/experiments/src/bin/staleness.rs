@@ -1,0 +1,64 @@
+//! Consistency-quality report (an artefact the paper does not plot but
+//! its Section 3 definitions imply): for each strategy and each
+//! consistency level, how stale were the answers actually served?
+//! `staleness [--full]`.
+
+use mp2p_experiments::{render_table, RunOptions};
+use mp2p_rpcc::{ConsistencyLevel, LevelMix, RunReport, Strategy, World, WorldConfig};
+
+fn run(strategy: Strategy, opts: RunOptions, seed: u64) -> RunReport {
+    let mut cfg = WorldConfig::paper_default(seed);
+    cfg.sim_time = opts.sim_time;
+    cfg.warmup = opts.warmup;
+    cfg.strategy = strategy;
+    cfg.level_mix = LevelMix::hybrid();
+    World::new(cfg).run()
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let opts = if full {
+        RunOptions::full()
+    } else {
+        RunOptions::quick()
+    };
+    println!(
+        "Consistency quality under the hybrid (1/3 weak, 1/3 Δ, 1/3 strong) workload,\n\
+         Table 1 defaults, {} simulated.\n",
+        opts.sim_time
+    );
+    let headers = [
+        "strategy / level",
+        "served",
+        "stale %",
+        "mean stale (s)",
+        "max stale (s)",
+        "max version lag",
+        "mean latency (s)",
+    ];
+    let mut rows = Vec::new();
+    for strategy in [Strategy::Pull, Strategy::Push, Strategy::Rpcc] {
+        let report = run(strategy, opts, 42);
+        for level in ConsistencyLevel::ALL {
+            let audit = &report.audit_by_level[level.index()];
+            let latency = &report.latency_by_level[level.index()];
+            rows.push(vec![
+                format!("{} / {}", strategy.label(), level.label()),
+                audit.served().to_string(),
+                format!("{:.2}", (1.0 - audit.fresh_fraction()) * 100.0),
+                format!("{:.1}", audit.mean_staleness_of_stale().as_secs_f64()),
+                format!("{:.1}", audit.max_staleness().as_secs_f64()),
+                audit.max_version_lag().to_string(),
+                format!("{:.3}", latency.mean_secs()),
+            ]);
+        }
+    }
+    print!("{}", render_table(&headers, &rows));
+    println!(
+        "\nReading guide: the baselines ignore the requested level (pull validates every\n\
+         query, push holds every query for the next report), so their three rows differ\n\
+         only by sampling. RPCC differentiates: weak rows never wait and go stalest,\n\
+         Δ rows ride the TTP lease (staleness ≤ TTP + report cycle), strong rows ride\n\
+         relay freshness (staleness ≤ one report cycle)."
+    );
+}

@@ -1,0 +1,18 @@
+//! Prints Table 1 of the paper from the live default configuration.
+//!
+//! ```text
+//! cargo run --release -p mp2p-experiments --bin table1
+//! ```
+
+use mp2p_experiments::{render_table, table1_rows};
+
+fn main() {
+    println!("Table 1. Simulation Parameters (paper defaults, live from WorldConfig)");
+    print!(
+        "{}",
+        render_table(
+            &["Parameter", "Description", "Default Value"],
+            &table1_rows()
+        )
+    );
+}

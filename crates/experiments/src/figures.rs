@@ -1,0 +1,285 @@
+//! The paper's figures and table as concrete sweeps.
+
+use mp2p_rpcc::{LevelMix, Strategy, WorkloadMode, WorldConfig};
+use mp2p_sim::SimDuration;
+
+use crate::sweep::{paper_strategies, sweep, RunOptions, Series, StrategySpec};
+
+/// A regenerated figure: labelled series over a labelled x axis.
+#[derive(Debug, Clone)]
+pub struct FigureData {
+    /// Figure id as in the paper ("Fig 7(a)" …).
+    pub id: &'static str,
+    /// What the paper's caption says it shows.
+    pub caption: &'static str,
+    /// X-axis label.
+    pub x_label: &'static str,
+    /// The measured curves.
+    pub series: Vec<Series>,
+}
+
+/// Table 1 of the paper, as (parameter, description, default) rows taken
+/// from the live configuration (so the table can never drift from the
+/// code).
+pub fn table1_rows() -> Vec<Vec<String>> {
+    let cfg = WorldConfig::paper_default(0);
+    let p = &cfg.proto;
+    let row = |name: &str, desc: &str, value: String| vec![name.into(), desc.into(), value];
+    vec![
+        row(
+            "N_Peers",
+            "Number of peers in the network",
+            cfg.n_peers.to_string(),
+        ),
+        row(
+            "T_Area",
+            "Physical terrain dimension of the network",
+            format!(
+                "{:.1}km*{:.1}km",
+                cfg.terrain.width() / 1_000.0,
+                cfg.terrain.height() / 1_000.0
+            ),
+        ),
+        row(
+            "C_Num",
+            "Cache number of each mobile host",
+            cfg.c_num.to_string(),
+        ),
+        row(
+            "C_Range",
+            "Communication range of mobile hosts",
+            format!("{:.0}m", cfg.range),
+        ),
+        row("T_Sim", "Simulation time", format!("{}", cfg.sim_time)),
+        row(
+            "I_Update",
+            "Average interval of data item update",
+            format!("{}", cfg.i_update),
+        ),
+        row(
+            "I_Query",
+            "Average interval of query requests",
+            format!("{}", cfg.i_query),
+        ),
+        row(
+            "TTL_BR",
+            "TTL of broadcast message in simple push/pull",
+            format!("{} hops", p.broadcast_ttl),
+        ),
+        row(
+            "",
+            "TTL of invalidation message in RPCC",
+            format!("{} hops", p.invalidation_ttl),
+        ),
+        row(
+            "TTN_OP",
+            "TTN of data item at owner peer",
+            format!("{}", p.ttn),
+        ),
+        row(
+            "TTR_RP",
+            "TTR of data item at relay peer",
+            format!("{}", p.ttr),
+        ),
+        row(
+            "TTP_CP",
+            "TTP of data item at cache peer",
+            format!("{}", p.ttp),
+        ),
+        row(
+            "I_Switch",
+            "Switching interval of each peer",
+            cfg.i_switch
+                .map(|d| format!("{d}"))
+                .unwrap_or_else(|| "off".into()),
+        ),
+        row(
+            "mu_CAR",
+            "Threshold of CAR (Eq. 4.2.3)",
+            format!("{}", p.mu_car),
+        ),
+        row(
+            "mu_CS",
+            "Threshold of CS (Eq. 4.2.6)",
+            format!("{}", p.mu_cs),
+        ),
+        row(
+            "mu_CE",
+            "Threshold of CE (Eq. 4.2.7)",
+            format!("{}", p.mu_ce),
+        ),
+        row(
+            "omega",
+            "Weighting parameter of recent/history values",
+            format!("{}", p.omega),
+        ),
+    ]
+}
+
+/// The update-interval sweep shared by Fig. 7(a) and Fig. 8(a):
+/// `I_Update` ∈ {0.5, 1, 2, 4, 8} minutes.
+fn update_interval_sweep(opts: RunOptions) -> Vec<Series> {
+    let xs = [0.5, 1.0, 2.0, 4.0, 8.0];
+    sweep(&paper_strategies(), &xs, opts, |cfg, x| {
+        cfg.i_update = SimDuration::from_secs_f64(x * 60.0);
+    })
+}
+
+/// The query-interval sweep shared by Fig. 7(b) and Fig. 8(b):
+/// `I_Query` ∈ {5, 10, 20, 40, 80} seconds.
+fn query_interval_sweep(opts: RunOptions) -> Vec<Series> {
+    let xs = [5.0, 10.0, 20.0, 40.0, 80.0];
+    sweep(&paper_strategies(), &xs, opts, |cfg, x| {
+        cfg.i_query = SimDuration::from_secs_f64(x);
+    })
+}
+
+/// The cache-number sweep shared by Fig. 7(c) and Fig. 8(c):
+/// `C_Num` ∈ {2, 5, 10, 15, 20}.
+fn cache_number_sweep(opts: RunOptions) -> Vec<Series> {
+    let xs = [2.0, 5.0, 10.0, 15.0, 20.0];
+    sweep(&paper_strategies(), &xs, opts, |cfg, x| {
+        cfg.c_num = x as usize;
+    })
+}
+
+/// Fig. 7(a): network traffic vs. data-update interval.
+pub fn fig7a(opts: RunOptions) -> FigureData {
+    FigureData {
+        id: "Fig 7(a)",
+        caption: "Network traffic under different update intervals",
+        x_label: "update interval (min)",
+        series: update_interval_sweep(opts),
+    }
+}
+
+/// Fig. 7(b): network traffic vs. query-request interval.
+pub fn fig7b(opts: RunOptions) -> FigureData {
+    FigureData {
+        id: "Fig 7(b)",
+        caption: "Network traffic under different query intervals",
+        x_label: "query interval (s)",
+        series: query_interval_sweep(opts),
+    }
+}
+
+/// Fig. 7(c): network traffic vs. cache number.
+pub fn fig7c(opts: RunOptions) -> FigureData {
+    FigureData {
+        id: "Fig 7(c)",
+        caption: "Network traffic under different cache numbers",
+        x_label: "cache number",
+        series: cache_number_sweep(opts),
+    }
+}
+
+/// Fig. 8(a): query latency vs. data-update interval.
+pub fn fig8a(opts: RunOptions) -> FigureData {
+    FigureData {
+        id: "Fig 8(a)",
+        caption: "Query latency under different update intervals (log scale in the paper)",
+        x_label: "update interval (min)",
+        series: update_interval_sweep(opts),
+    }
+}
+
+/// Fig. 8(b): query latency vs. query-request interval.
+pub fn fig8b(opts: RunOptions) -> FigureData {
+    FigureData {
+        id: "Fig 8(b)",
+        caption: "Query latency under different query intervals (log scale in the paper)",
+        x_label: "query interval (s)",
+        series: query_interval_sweep(opts),
+    }
+}
+
+/// Fig. 8(c): query latency vs. cache number.
+pub fn fig8c(opts: RunOptions) -> FigureData {
+    FigureData {
+        id: "Fig 8(c)",
+        caption: "Query latency under different cache numbers (log scale in the paper)",
+        x_label: "cache number",
+        series: cache_number_sweep(opts),
+    }
+}
+
+/// Fig. 9: impact of the invalidation-message TTL (1–7 hops) on RPCC(SC),
+/// with simple push and pull as flat references. Uses the paper's
+/// single-item scenario: "one peer is randomly selected as the source
+/// host and its data item is cached by all other peers."
+///
+/// One [`FigureData`] carries both panels: read `traffic_per_min` for
+/// Fig. 9(a) and `latency_s` for Fig. 9(b).
+pub fn fig9(opts: RunOptions) -> FigureData {
+    let xs: Vec<f64> = (1..=7).map(|t| t as f64).collect();
+    let rpcc = [StrategySpec {
+        name: "RPCC(SC)",
+        strategy: Strategy::Rpcc,
+        mix: LevelMix::strong_only(),
+    }];
+    let mut series = sweep(&rpcc, &xs, opts, |cfg, x| {
+        cfg.workload = WorkloadMode::SingleItem;
+        cfg.proto.invalidation_ttl = x as u8;
+    });
+    // Push and pull ignore the invalidation TTL; run each once and
+    // replicate the point across the axis as the paper's reference lines.
+    for spec in [
+        StrategySpec {
+            name: "Push",
+            strategy: Strategy::Push,
+            mix: LevelMix::strong_only(),
+        },
+        StrategySpec {
+            name: "Pull",
+            strategy: Strategy::Pull,
+            mix: LevelMix::strong_only(),
+        },
+    ] {
+        let one = sweep(&[spec], &[0.0], opts, |cfg, _| {
+            cfg.workload = WorkloadMode::SingleItem;
+        });
+        let base = one.into_iter().next().expect("one series");
+        let point = base.points[0];
+        series.push(Series {
+            name: spec.name,
+            points: xs
+                .iter()
+                .map(|&x| crate::sweep::MeasuredPoint { x, ..point })
+                .collect(),
+        });
+    }
+    FigureData {
+        id: "Fig 9",
+        caption: "Impact of invalidation TTL: (a) network traffic, (b) query latency",
+        x_label: "TTL (hops)",
+        series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_defaults() {
+        let rows = table1_rows();
+        let find = |name: &str| {
+            rows.iter()
+                .find(|r| r[0] == name)
+                .unwrap_or_else(|| panic!("row {name} missing"))[2]
+                .clone()
+        };
+        assert_eq!(find("N_Peers"), "50");
+        assert_eq!(find("T_Area"), "1.5km*1.5km");
+        assert_eq!(find("C_Num"), "10");
+        assert_eq!(find("C_Range"), "250m");
+        assert_eq!(find("I_Update"), "2min");
+        assert_eq!(find("I_Query"), "20.000s");
+        assert_eq!(find("TTL_BR"), "8 hops");
+        assert_eq!(find("TTN_OP"), "2min");
+        assert_eq!(find("TTP_CP"), "4min");
+        assert_eq!(find("I_Switch"), "5min");
+        assert_eq!(find("mu_CAR"), "0.15");
+        assert_eq!(find("omega"), "0.2");
+    }
+}

@@ -1,0 +1,34 @@
+//! Measurement instruments for the RPCC evaluation.
+//!
+//! The paper's figures report two primary metrics — **network traffic**
+//! (number of messages, Fig. 7/9a) and **query latency** (Fig. 8/9b) —
+//! plus motivating concerns it discusses but does not plot (energy,
+//! staleness). This crate provides the corresponding instruments:
+//!
+//! * [`TrafficStats`] — MAC-level transmissions and bytes by
+//!   [`MessageClass`] (each hop of each message counts once, matching the
+//!   GloMoSim message counters the paper plots).
+//! * [`LatencyStats`] — a streaming log-bucket histogram of query
+//!   latencies with mean/percentile/max readouts.
+//! * [`ConsistencyAudit`] + [`VersionHistory`] — ground-truth staleness
+//!   auditing: for every served query, how far behind the master copy the
+//!   answer was (in versions and in seconds), per consistency level.
+//! * [`EnergyModel`] / [`PeerEnergy`] — the battery model behind the
+//!   paper's `CE` coefficient (Eq. 4.2.7).
+//! * [`Gauge`] — a generic sampled time series (relay-peer population,
+//!   route-table sizes, …).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod energy;
+mod gauge;
+mod latency;
+mod staleness;
+mod traffic;
+
+pub use energy::{EnergyModel, PeerEnergy};
+pub use gauge::Gauge;
+pub use latency::LatencyStats;
+pub use staleness::{ConsistencyAudit, ServedQuery, VersionHistory};
+pub use traffic::{MessageClass, TrafficStats};

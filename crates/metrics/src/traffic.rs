@@ -1,0 +1,199 @@
+//! Transmission counting by message class.
+
+use std::fmt;
+
+/// The kind of application (or control) message a transmission carried.
+///
+/// The first ten variants are the paper's message types (Fig. 6(a));
+/// `Fetch`/`FetchReply` are the data transfers of the push/pull baselines;
+/// `RouteControl` covers RREQ/RREP/RERR overhead of the routing substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageClass {
+    /// Periodic invalidation flood from a source host.
+    Invalidation,
+    /// Source-to-relay data push.
+    Update,
+    /// Cache-peer poll.
+    Poll,
+    /// Poll answer: copy is up to date.
+    PollAckA,
+    /// Poll answer: copy was stale, fresh content attached.
+    PollAckB,
+    /// Relay-peer candidacy application.
+    Apply,
+    /// Candidacy approval.
+    ApplyAck,
+    /// Relay-peer resignation.
+    Cancel,
+    /// Relay asking the source for missed content.
+    GetNew,
+    /// Source answering `GetNew` with fresh content.
+    SendNew,
+    /// Baseline cache-miss fetch request.
+    Fetch,
+    /// Baseline fetch reply carrying content.
+    FetchReply,
+    /// Replica write routed to the item's source host (extension,
+    /// future work §6 item 3).
+    WriteRequest,
+    /// Source's acknowledgement of an applied replica write.
+    WriteAck,
+    /// RREQ/RREP/RERR routing overhead.
+    RouteControl,
+}
+
+impl MessageClass {
+    /// All classes, for iteration and table rendering.
+    pub const ALL: [MessageClass; 15] = [
+        MessageClass::Invalidation,
+        MessageClass::Update,
+        MessageClass::Poll,
+        MessageClass::PollAckA,
+        MessageClass::PollAckB,
+        MessageClass::Apply,
+        MessageClass::ApplyAck,
+        MessageClass::Cancel,
+        MessageClass::GetNew,
+        MessageClass::SendNew,
+        MessageClass::Fetch,
+        MessageClass::FetchReply,
+        MessageClass::WriteRequest,
+        MessageClass::WriteAck,
+        MessageClass::RouteControl,
+    ];
+
+    fn index(self) -> usize {
+        Self::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("class listed in ALL")
+    }
+
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            MessageClass::Invalidation => "INVALIDATION",
+            MessageClass::Update => "UPDATE",
+            MessageClass::Poll => "POLL",
+            MessageClass::PollAckA => "POLL_ACK_A",
+            MessageClass::PollAckB => "POLL_ACK_B",
+            MessageClass::Apply => "APPLY",
+            MessageClass::ApplyAck => "APPLY_ACK",
+            MessageClass::Cancel => "CANCEL",
+            MessageClass::GetNew => "GET_NEW",
+            MessageClass::SendNew => "SEND_NEW",
+            MessageClass::Fetch => "FETCH",
+            MessageClass::FetchReply => "FETCH_REPLY",
+            MessageClass::WriteRequest => "WRITE_REQ",
+            MessageClass::WriteAck => "WRITE_ACK",
+            MessageClass::RouteControl => "ROUTE_CTRL",
+        }
+    }
+}
+
+impl fmt::Display for MessageClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// MAC-level transmission counters: every radio transmission of every hop
+/// (including flood rebroadcasts and routing control) counts once — the
+/// "number of messages" metric of Fig. 7 and Fig. 9(a).
+///
+/// # Example
+///
+/// ```
+/// use mp2p_metrics::{MessageClass, TrafficStats};
+///
+/// let mut t = TrafficStats::default();
+/// t.record(MessageClass::Poll, 48);
+/// t.record(MessageClass::Poll, 48);
+/// t.record(MessageClass::Update, 1_024);
+/// assert_eq!(t.transmissions(), 3);
+/// assert_eq!(t.by_class(MessageClass::Poll), 2);
+/// assert_eq!(t.bytes(), 1_120);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    per_class: [u64; MessageClass::ALL.len()],
+    bytes: u64,
+}
+
+impl TrafficStats {
+    /// Records one transmission of `bytes` bytes carrying `class`.
+    pub fn record(&mut self, class: MessageClass, bytes: u32) {
+        self.per_class[class.index()] += 1;
+        self.bytes += u64::from(bytes);
+    }
+
+    /// Total transmissions across all classes.
+    pub fn transmissions(&self) -> u64 {
+        self.per_class.iter().sum()
+    }
+
+    /// Transmissions of one class.
+    pub fn by_class(&self, class: MessageClass) -> u64 {
+        self.per_class[class.index()]
+    }
+
+    /// Total bytes on the air.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Transmissions that carried application payload (everything except
+    /// routing control).
+    pub fn app_transmissions(&self) -> u64 {
+        self.transmissions() - self.by_class(MessageClass::RouteControl)
+    }
+
+    /// Adds another instrument's counts into this one.
+    pub fn merge(&mut self, other: &TrafficStats) {
+        for (a, b) in self.per_class.iter_mut().zip(other.per_class.iter()) {
+            *a += b;
+        }
+        self.bytes += other.bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_partition_total() {
+        let mut t = TrafficStats::default();
+        for (i, class) in MessageClass::ALL.into_iter().enumerate() {
+            for _ in 0..=i {
+                t.record(class, 10);
+            }
+        }
+        let sum: u64 = MessageClass::ALL.iter().map(|&c| t.by_class(c)).sum();
+        assert_eq!(sum, t.transmissions());
+        assert_eq!(t.transmissions(), (1..=15).sum::<u64>());
+        assert_eq!(t.bytes(), 10 * t.transmissions());
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = TrafficStats::default();
+        let mut b = TrafficStats::default();
+        a.record(MessageClass::Poll, 48);
+        b.record(MessageClass::Poll, 48);
+        b.record(MessageClass::RouteControl, 32);
+        a.merge(&b);
+        assert_eq!(a.by_class(MessageClass::Poll), 2);
+        assert_eq!(a.transmissions(), 3);
+        assert_eq!(a.app_transmissions(), 2);
+        assert_eq!(a.bytes(), 128);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<_> = MessageClass::ALL.iter().map(|c| c.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), MessageClass::ALL.len());
+    }
+}

@@ -1,0 +1,205 @@
+//! Planar geometry for the flatland terrain.
+
+use std::fmt;
+
+use mp2p_sim::SimRng;
+
+/// A position in metres on the flatland terrain.
+///
+/// # Example
+///
+/// ```
+/// use mp2p_mobility::Point;
+///
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(3.0, 4.0);
+/// assert_eq!(a.distance(b), 5.0);
+/// assert_eq!(a.lerp(b, 0.5), Point::new(1.5, 2.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate in metres.
+    pub x: f64,
+    /// Vertical coordinate in metres.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from coordinates in metres.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`, in metres.
+    pub fn distance(self, other: Point) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+
+    /// Linear interpolation: the point a fraction `t` of the way to `other`.
+    ///
+    /// `t` is clamped to `[0, 1]`.
+    #[must_use]
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        let t = t.clamp(0.0, 1.0);
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.1}m, {:.1}m)", self.x, self.y)
+    }
+}
+
+/// The rectangular simulation area (`T_Area` in Table 1: 1.5 km × 1.5 km).
+///
+/// # Example
+///
+/// ```
+/// use mp2p_mobility::{Point, Terrain};
+///
+/// let terrain = Terrain::paper_default();
+/// assert_eq!(terrain.width(), 1_500.0);
+/// assert!(terrain.contains(Point::new(750.0, 750.0)));
+/// assert!(!terrain.contains(Point::new(-1.0, 0.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Terrain {
+    width: f64,
+    height: f64,
+}
+
+impl Terrain {
+    /// Creates a terrain of the given dimensions in metres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is not finite and positive.
+    pub fn new(width: f64, height: f64) -> Self {
+        assert!(
+            width.is_finite() && width > 0.0 && height.is_finite() && height > 0.0,
+            "terrain dimensions must be finite and positive, got {width} x {height}"
+        );
+        Terrain { width, height }
+    }
+
+    /// The paper's default 1500 m × 1500 m flatland (Table 1).
+    pub fn paper_default() -> Self {
+        Terrain::new(1_500.0, 1_500.0)
+    }
+
+    /// Width in metres.
+    pub fn width(self) -> f64 {
+        self.width
+    }
+
+    /// Height in metres.
+    pub fn height(self) -> f64 {
+        self.height
+    }
+
+    /// True if `p` lies inside the terrain (inclusive of edges).
+    pub fn contains(self, p: Point) -> bool {
+        (0.0..=self.width).contains(&p.x) && (0.0..=self.height).contains(&p.y)
+    }
+
+    /// Clamps `p` to the terrain boundary.
+    #[must_use]
+    pub fn clamp(self, p: Point) -> Point {
+        Point::new(p.x.clamp(0.0, self.width), p.y.clamp(0.0, self.height))
+    }
+
+    /// A uniformly random point inside the terrain.
+    pub fn random_point(self, rng: &mut SimRng) -> Point {
+        Point::new(
+            rng.uniform_f64() * self.width,
+            rng.uniform_f64() * self.height,
+        )
+    }
+
+    /// Reflects `p` back into the terrain, mirror-style, for models that
+    /// bounce off walls. Works for overshoots of less than one terrain
+    /// span.
+    #[must_use]
+    pub fn reflect(self, p: Point) -> Point {
+        fn fold(v: f64, max: f64) -> f64 {
+            if v < 0.0 {
+                -v
+            } else if v > max {
+                2.0 * max - v
+            } else {
+                v
+            }
+        }
+        // One fold handles overshoot < span; clamp guards deeper overshoot.
+        self.clamp(Point::new(fold(p.x, self.width), fold(p.y, self.height)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn distance_and_lerp_basics() {
+        let a = Point::new(1.0, 1.0);
+        let b = Point::new(4.0, 5.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(b.distance(a), 5.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 2.0), b, "lerp clamps t");
+    }
+
+    #[test]
+    fn terrain_contains_and_clamp() {
+        let t = Terrain::new(100.0, 50.0);
+        assert!(t.contains(Point::new(0.0, 0.0)));
+        assert!(t.contains(Point::new(100.0, 50.0)));
+        assert!(!t.contains(Point::new(100.1, 0.0)));
+        assert_eq!(t.clamp(Point::new(-5.0, 60.0)), Point::new(0.0, 50.0));
+    }
+
+    #[test]
+    fn reflect_folds_overshoot() {
+        let t = Terrain::new(100.0, 100.0);
+        assert_eq!(t.reflect(Point::new(-10.0, 50.0)), Point::new(10.0, 50.0));
+        assert_eq!(t.reflect(Point::new(110.0, 50.0)), Point::new(90.0, 50.0));
+        assert_eq!(t.reflect(Point::new(50.0, 50.0)), Point::new(50.0, 50.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn terrain_rejects_zero_dimension() {
+        let _ = Terrain::new(0.0, 10.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_random_point_inside(seed in any::<u64>(), w in 1.0f64..5_000.0, h in 1.0f64..5_000.0) {
+            let t = Terrain::new(w, h);
+            let mut rng = mp2p_sim::SimRng::from_seed(seed, 0);
+            for _ in 0..16 {
+                prop_assert!(t.contains(t.random_point(&mut rng)));
+            }
+        }
+
+        #[test]
+        fn prop_reflect_lands_inside(x in -99.0f64..199.0, y in -99.0f64..199.0) {
+            let t = Terrain::new(100.0, 100.0);
+            prop_assert!(t.contains(t.reflect(Point::new(x, y))));
+        }
+
+        #[test]
+        fn prop_lerp_stays_on_segment(t in 0.0f64..1.0) {
+            let a = Point::new(0.0, 0.0);
+            let b = Point::new(10.0, 0.0);
+            let p = a.lerp(b, t);
+            prop_assert!(p.x >= 0.0 && p.x <= 10.0 && p.y == 0.0);
+        }
+    }
+}

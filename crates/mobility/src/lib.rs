@@ -1,0 +1,37 @@
+//! Mobility models for the MANET substrate.
+//!
+//! The RPCC paper evaluates on GloMoSim with the **random waypoint**
+//! movement pattern [Joh96] over a 1500 m × 1500 m flatland (Table 1).
+//! This crate implements that model plus three more used in robustness
+//! tests and extensions:
+//!
+//! * [`RandomWaypoint`] — the paper's model: pick a destination uniformly
+//!   in the terrain, travel at a uniform random speed, pause, repeat.
+//! * [`RandomWalk`] — uniform heading/speed epochs with boundary
+//!   reflection.
+//! * [`ManhattanGrid`] — movement constrained to a street grid.
+//! * [`Stationary`] — fixed positions (baseline/debugging).
+//!
+//! Models are *lazy piecewise-linear processes*: [`MobilityModel::position_at`]
+//! may only be called with non-decreasing timestamps, which matches the
+//! time-ordered event loop and keeps every model O(1) amortised per query.
+//!
+//! The [`SubnetGrid`] maps positions to coarse "subnets"; crossings feed
+//! the paper's peer moving rate `PMR` (Eq. 4.2.5).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod geom;
+mod manhattan;
+mod model;
+mod subnet;
+mod walk;
+mod waypoint;
+
+pub use geom::{Point, Terrain};
+pub use manhattan::ManhattanGrid;
+pub use model::{AnyMobility, MobilityModel, Stationary};
+pub use subnet::SubnetGrid;
+pub use walk::RandomWalk;
+pub use waypoint::RandomWaypoint;

@@ -1,0 +1,267 @@
+//! Street-grid (Manhattan) mobility.
+
+use mp2p_sim::{SimDuration, SimRng, SimTime};
+
+use crate::geom::{Point, Terrain};
+use crate::model::MobilityModel;
+
+/// Manhattan-grid mobility: the node moves along the lines of a square
+/// street grid at constant speed; at each intersection it continues
+/// straight with probability 1/2 or turns left/right with probability 1/4
+/// each, reversing when a turn would leave the terrain.
+///
+/// Used by extension experiments that stress routing with correlated
+/// (street-constrained) movement; the paper's own runs use
+/// [`crate::RandomWaypoint`].
+///
+/// # Example
+///
+/// ```
+/// use mp2p_mobility::{ManhattanGrid, MobilityModel, Terrain};
+/// use mp2p_sim::{SimRng, SimTime};
+///
+/// let terrain = Terrain::new(1_000.0, 1_000.0);
+/// let mut m = ManhattanGrid::new(terrain, 100.0, 5.0, SimRng::from_seed(2, 0));
+/// assert!(terrain.contains(m.position_at(SimTime::from_millis(45_000))));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ManhattanGrid {
+    terrain: Terrain,
+    block: f64,
+    speed: f64,
+    rng: SimRng,
+    /// Intersection (column, row) the current leg started from.
+    from: (u32, u32),
+    /// Intersection the node is heading to.
+    to: (u32, u32),
+    leg_start: SimTime,
+    leg_end: SimTime,
+    last_query: SimTime,
+}
+
+/// Cardinal direction on the grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    North,
+    South,
+    East,
+    West,
+}
+
+impl Dir {
+    fn all() -> [Dir; 4] {
+        [Dir::North, Dir::South, Dir::East, Dir::West]
+    }
+
+    fn step(self, (c, r): (u32, u32), max_c: u32, max_r: u32) -> Option<(u32, u32)> {
+        match self {
+            Dir::North if r < max_r => Some((c, r + 1)),
+            Dir::South if r > 0 => Some((c, r - 1)),
+            Dir::East if c < max_c => Some((c + 1, r)),
+            Dir::West if c > 0 => Some((c - 1, r)),
+            _ => None,
+        }
+    }
+}
+
+impl ManhattanGrid {
+    /// Creates a street-grid trajectory with `block`-metre blocks at a
+    /// constant `speed` (m/s), starting at a random intersection.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `block` and `speed` are finite and positive and the
+    /// terrain is at least one block wide and tall.
+    pub fn new(terrain: Terrain, block: f64, speed: f64, mut rng: SimRng) -> Self {
+        assert!(
+            block.is_finite() && block > 0.0,
+            "block size must be positive"
+        );
+        assert!(speed.is_finite() && speed > 0.0, "speed must be positive");
+        let (max_c, max_r) = Self::grid_extent(terrain, block);
+        assert!(max_c >= 1 && max_r >= 1, "terrain smaller than one block");
+        let from = (
+            rng.uniform_u64(max_c as u64 + 1) as u32,
+            rng.uniform_u64(max_r as u64 + 1) as u32,
+        );
+        let mut grid = ManhattanGrid {
+            terrain,
+            block,
+            speed,
+            rng,
+            from,
+            to: from,
+            leg_start: SimTime::ZERO,
+            leg_end: SimTime::ZERO,
+            last_query: SimTime::ZERO,
+        };
+        grid.begin_leg(SimTime::ZERO, None);
+        grid
+    }
+
+    /// The terrain this trajectory lives on.
+    pub fn terrain(&self) -> Terrain {
+        self.terrain
+    }
+
+    fn grid_extent(terrain: Terrain, block: f64) -> (u32, u32) {
+        (
+            ((terrain.width() / block).floor()) as u32,
+            ((terrain.height() / block).floor()) as u32,
+        )
+    }
+
+    fn intersection_point(&self, (c, r): (u32, u32)) -> Point {
+        Point::new(c as f64 * self.block, r as f64 * self.block)
+    }
+
+    fn begin_leg(&mut self, now: SimTime, arriving_from: Option<Dir>) {
+        let (max_c, max_r) = Self::grid_extent(self.terrain, self.block);
+        // Prefer: straight 1/2, left/right 1/4 each; fall back to any legal
+        // direction (including reverse) at terrain edges.
+        let choice = self.rng.uniform_f64();
+        let preferred = match arriving_from {
+            Some(dir) => {
+                let (left, right) = match dir {
+                    Dir::North => (Dir::West, Dir::East),
+                    Dir::South => (Dir::East, Dir::West),
+                    Dir::East => (Dir::North, Dir::South),
+                    Dir::West => (Dir::South, Dir::North),
+                };
+                if choice < 0.5 {
+                    Some(dir)
+                } else if choice < 0.75 {
+                    Some(left)
+                } else {
+                    Some(right)
+                }
+            }
+            None => None,
+        };
+        let next = preferred
+            .and_then(|d| d.step(self.from, max_c, max_r).map(|p| (d, p)))
+            .or_else(|| {
+                let mut options: Vec<(Dir, (u32, u32))> = Dir::all()
+                    .into_iter()
+                    .filter_map(|d| d.step(self.from, max_c, max_r).map(|p| (d, p)))
+                    .collect();
+                if options.is_empty() {
+                    return None;
+                }
+                let i = self.rng.uniform_u64(options.len() as u64) as usize;
+                Some(options.swap_remove(i))
+            });
+        match next {
+            Some((_dir, to)) => {
+                self.to = to;
+                self.leg_start = now;
+                self.leg_end = now + SimDuration::from_secs_f64(self.block / self.speed);
+            }
+            None => {
+                // Degenerate 1×1 grid: stand still in one-block "legs".
+                self.to = self.from;
+                self.leg_start = now;
+                self.leg_end = now + SimDuration::from_secs(1);
+            }
+        }
+    }
+
+    fn heading(&self) -> Option<Dir> {
+        if self.to.0 > self.from.0 {
+            Some(Dir::East)
+        } else if self.to.0 < self.from.0 {
+            Some(Dir::West)
+        } else if self.to.1 > self.from.1 {
+            Some(Dir::North)
+        } else if self.to.1 < self.from.1 {
+            Some(Dir::South)
+        } else {
+            None
+        }
+    }
+}
+
+impl MobilityModel for ManhattanGrid {
+    /// # Panics
+    ///
+    /// Panics in debug builds if `t` precedes an earlier query.
+    fn position_at(&mut self, t: SimTime) -> Point {
+        debug_assert!(t >= self.last_query, "mobility queried backwards in time");
+        self.last_query = t;
+        while t >= self.leg_end {
+            let heading = self.heading();
+            self.from = self.to;
+            let end = self.leg_end;
+            self.begin_leg(end, heading);
+        }
+        let from_p = self.intersection_point(self.from);
+        let to_p = self.intersection_point(self.to);
+        let span = (self.leg_end - self.leg_start).as_millis().max(1) as f64;
+        let frac = (t - self.leg_start).as_millis() as f64 / span;
+        from_p.lerp(to_p, frac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn model(seed: u64) -> ManhattanGrid {
+        ManhattanGrid::new(
+            Terrain::new(1_000.0, 800.0),
+            100.0,
+            10.0,
+            SimRng::from_seed(seed, 0),
+        )
+    }
+
+    #[test]
+    fn stays_on_grid_lines() {
+        let mut m = model(3);
+        for step in 0..5_000 {
+            let p = m.position_at(SimTime::from_millis(step * 700));
+            let on_vertical = (p.x / 100.0 - (p.x / 100.0).round()).abs() < 1e-9;
+            let on_horizontal = (p.y / 100.0 - (p.y / 100.0).round()).abs() < 1e-9;
+            assert!(on_vertical || on_horizontal, "off-grid position {p}");
+            assert!(m.terrain().contains(p));
+        }
+    }
+
+    #[test]
+    fn moves_at_constant_speed() {
+        let mut m = model(9);
+        let dt = SimDuration::from_millis(100);
+        let mut prev = m.position_at(SimTime::ZERO);
+        let mut t = SimTime::ZERO;
+        for _ in 0..10_000 {
+            t += dt;
+            let p = m.position_at(t);
+            assert!(prev.distance(p) <= 10.0 * dt.as_secs_f64() + 1e-6);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn tiny_grid_does_not_hang() {
+        let mut m = ManhattanGrid::new(
+            Terrain::new(120.0, 120.0),
+            100.0,
+            5.0,
+            SimRng::from_seed(1, 0),
+        );
+        let p = m.position_at(SimTime::from_millis(600_000));
+        assert!(m.terrain().contains(p));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_contained(seed in any::<u64>(), mut times in proptest::collection::vec(0u64..1_800_000, 1..48)) {
+            times.sort_unstable();
+            let mut m = model(seed);
+            for ms in times {
+                prop_assert!(m.terrain().contains(m.position_at(SimTime::from_millis(ms))));
+            }
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! The mobility model interface and trivial implementations.
+
+use mp2p_sim::SimTime;
+
+use crate::geom::Point;
+use crate::{ManhattanGrid, RandomWalk, RandomWaypoint};
+
+/// A per-node movement process.
+///
+/// Implementations are lazy piecewise-linear trajectories; queries must be
+/// issued with non-decreasing timestamps (the event loop guarantees this).
+/// Querying an earlier time than a previous query may panic or return an
+/// extrapolated position.
+pub trait MobilityModel {
+    /// The node's position at simulated time `t`.
+    ///
+    /// `t` must be ≥ every previously queried time on this instance.
+    fn position_at(&mut self, t: SimTime) -> Point;
+}
+
+/// A node that never moves.
+///
+/// # Example
+///
+/// ```
+/// use mp2p_mobility::{MobilityModel, Point, Stationary};
+/// use mp2p_sim::SimTime;
+///
+/// let mut m = Stationary::new(Point::new(10.0, 20.0));
+/// assert_eq!(m.position_at(SimTime::from_millis(999)), Point::new(10.0, 20.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stationary {
+    position: Point,
+}
+
+impl Stationary {
+    /// Creates a node pinned at `position`.
+    pub const fn new(position: Point) -> Self {
+        Stationary { position }
+    }
+}
+
+impl MobilityModel for Stationary {
+    fn position_at(&mut self, _t: SimTime) -> Point {
+        self.position
+    }
+}
+
+/// Runtime-selectable mobility model.
+///
+/// The simulation world stores one `AnyMobility` per node so scenarios can
+/// mix models without generics or boxing.
+#[derive(Debug, Clone)]
+pub enum AnyMobility {
+    /// The paper's random waypoint model.
+    Waypoint(RandomWaypoint),
+    /// Random walk with boundary reflection.
+    Walk(RandomWalk),
+    /// Street-grid movement.
+    Manhattan(ManhattanGrid),
+    /// No movement.
+    Stationary(Stationary),
+}
+
+impl MobilityModel for AnyMobility {
+    fn position_at(&mut self, t: SimTime) -> Point {
+        match self {
+            AnyMobility::Waypoint(m) => m.position_at(t),
+            AnyMobility::Walk(m) => m.position_at(t),
+            AnyMobility::Manhattan(m) => m.position_at(t),
+            AnyMobility::Stationary(m) => m.position_at(t),
+        }
+    }
+}
+
+impl From<RandomWaypoint> for AnyMobility {
+    fn from(m: RandomWaypoint) -> Self {
+        AnyMobility::Waypoint(m)
+    }
+}
+
+impl From<RandomWalk> for AnyMobility {
+    fn from(m: RandomWalk) -> Self {
+        AnyMobility::Walk(m)
+    }
+}
+
+impl From<ManhattanGrid> for AnyMobility {
+    fn from(m: ManhattanGrid) -> Self {
+        AnyMobility::Manhattan(m)
+    }
+}
+
+impl From<Stationary> for AnyMobility {
+    fn from(m: Stationary) -> Self {
+        AnyMobility::Stationary(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Terrain;
+    use mp2p_sim::SimRng;
+
+    #[test]
+    fn stationary_never_moves() {
+        let mut m = Stationary::new(Point::new(5.0, 5.0));
+        for t in [0, 10, 1_000_000] {
+            assert_eq!(m.position_at(SimTime::from_millis(t)), Point::new(5.0, 5.0));
+        }
+    }
+
+    #[test]
+    fn any_mobility_dispatches() {
+        let terrain = Terrain::new(100.0, 100.0);
+        let rng = SimRng::from_seed(1, 0);
+        let mut models: Vec<AnyMobility> = vec![
+            RandomWaypoint::new(
+                terrain,
+                1.0,
+                5.0,
+                mp2p_sim::SimDuration::from_secs(1),
+                rng.derive(0),
+            )
+            .into(),
+            RandomWalk::new(
+                terrain,
+                1.0,
+                5.0,
+                mp2p_sim::SimDuration::from_secs(10),
+                rng.derive(1),
+            )
+            .into(),
+            ManhattanGrid::new(terrain, 25.0, 2.0, rng.derive(2)).into(),
+            Stationary::new(Point::new(1.0, 2.0)).into(),
+        ];
+        for m in &mut models {
+            let p = m.position_at(SimTime::from_millis(30_000));
+            assert!(terrain.contains(p), "{p} escaped terrain");
+        }
+    }
+}

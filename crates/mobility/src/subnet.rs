@@ -1,0 +1,104 @@
+//! Coarse "subnet" partitioning of the terrain.
+//!
+//! The paper's stability coefficient `CS` (Eq. 4.2.5–4.2.6) counts `N_m`,
+//! "the number of times a node has moved (from one subnet to another)
+//! during φ". The terrain is partitioned into a square grid of subnet
+//! cells; the consistency layer samples each node's cell and counts
+//! crossings.
+
+use crate::geom::{Point, Terrain};
+
+/// A square partition of the terrain into `cols × rows` subnet cells.
+///
+/// # Example
+///
+/// ```
+/// use mp2p_mobility::{Point, SubnetGrid, Terrain};
+///
+/// let grid = SubnetGrid::new(Terrain::paper_default(), 5, 5);
+/// assert_eq!(grid.cell_of(Point::new(0.0, 0.0)), (0, 0));
+/// assert_eq!(grid.cell_of(Point::new(1_499.9, 1_499.9)), (4, 4));
+/// assert_eq!(grid.cell_count(), 25);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubnetGrid {
+    cols: u32,
+    rows: u32,
+    cell_w_inv_mm: f64,
+    cell_h_inv_mm: f64,
+}
+
+impl SubnetGrid {
+    /// Partitions `terrain` into `cols × rows` cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols` or `rows` is zero.
+    pub fn new(terrain: Terrain, cols: u32, rows: u32) -> Self {
+        assert!(cols > 0 && rows > 0, "subnet grid needs at least one cell");
+        SubnetGrid {
+            cols,
+            rows,
+            cell_w_inv_mm: cols as f64 / terrain.width(),
+            cell_h_inv_mm: rows as f64 / terrain.height(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn cols(self) -> u32 {
+        self.cols
+    }
+
+    /// Number of rows.
+    pub fn rows(self) -> u32 {
+        self.rows
+    }
+
+    /// Total number of cells.
+    pub fn cell_count(self) -> u32 {
+        self.cols * self.rows
+    }
+
+    /// The `(column, row)` cell containing `p`; points on/past the far
+    /// edge land in the last cell.
+    pub fn cell_of(self, p: Point) -> (u32, u32) {
+        let c = ((p.x * self.cell_w_inv_mm) as i64).clamp(0, self.cols as i64 - 1) as u32;
+        let r = ((p.y * self.cell_h_inv_mm) as i64).clamp(0, self.rows as i64 - 1) as u32;
+        (c, r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn corner_cells() {
+        let g = SubnetGrid::new(Terrain::new(100.0, 100.0), 4, 2);
+        assert_eq!(g.cell_of(Point::new(0.0, 0.0)), (0, 0));
+        assert_eq!(g.cell_of(Point::new(99.9, 0.0)), (3, 0));
+        assert_eq!(g.cell_of(Point::new(0.0, 99.9)), (0, 1));
+        assert_eq!(
+            g.cell_of(Point::new(100.0, 100.0)),
+            (3, 1),
+            "far edge clamps"
+        );
+    }
+
+    #[test]
+    fn boundary_is_half_open() {
+        let g = SubnetGrid::new(Terrain::new(100.0, 100.0), 2, 2);
+        assert_eq!(g.cell_of(Point::new(49.999, 10.0)), (0, 0));
+        assert_eq!(g.cell_of(Point::new(50.0, 10.0)), (1, 0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cell_in_range(x in 0.0f64..1_500.0, y in 0.0f64..1_500.0, cols in 1u32..20, rows in 1u32..20) {
+            let g = SubnetGrid::new(Terrain::paper_default(), cols, rows);
+            let (c, r) = g.cell_of(Point::new(x, y));
+            prop_assert!(c < cols && r < rows);
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Random walk with boundary reflection.
+
+use mp2p_sim::{SimDuration, SimRng, SimTime};
+
+use crate::geom::{Point, Terrain};
+use crate::model::MobilityModel;
+
+/// Random-walk mobility: every epoch the node picks a uniform heading in
+/// `[0, 2π)` and a uniform speed in `[speed_min, speed_max]`, walks for the
+/// epoch duration, and reflects off terrain walls.
+///
+/// Used by robustness tests and extension experiments; the paper's own
+/// runs use [`crate::RandomWaypoint`].
+///
+/// # Example
+///
+/// ```
+/// use mp2p_mobility::{MobilityModel, RandomWalk, Terrain};
+/// use mp2p_sim::{SimDuration, SimRng, SimTime};
+///
+/// let terrain = Terrain::new(500.0, 500.0);
+/// let mut m = RandomWalk::new(terrain, 1.0, 10.0, SimDuration::from_secs(30),
+///                             SimRng::from_seed(1, 0));
+/// assert!(terrain.contains(m.position_at(SimTime::from_millis(90_000))));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomWalk {
+    terrain: Terrain,
+    speed_min: f64,
+    speed_max: f64,
+    epoch: SimDuration,
+    rng: SimRng,
+    /// Position at the start of the current epoch.
+    anchor: Point,
+    /// Start of the current epoch.
+    epoch_start: SimTime,
+    /// Velocity for the current epoch, metres/second.
+    velocity: (f64, f64),
+    last_query: SimTime,
+}
+
+impl RandomWalk {
+    /// Creates a random walk starting at a uniform random position.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < speed_min <= speed_max`, both finite, and the
+    /// epoch is non-zero.
+    pub fn new(
+        terrain: Terrain,
+        speed_min: f64,
+        speed_max: f64,
+        epoch: SimDuration,
+        mut rng: SimRng,
+    ) -> Self {
+        assert!(
+            speed_min.is_finite()
+                && speed_max.is_finite()
+                && speed_min > 0.0
+                && speed_min <= speed_max,
+            "need 0 < speed_min <= speed_max, got [{speed_min}, {speed_max}]"
+        );
+        assert!(!epoch.is_zero(), "random walk epoch must be non-zero");
+        let anchor = terrain.random_point(&mut rng);
+        let velocity = Self::pick_velocity(speed_min, speed_max, &mut rng);
+        RandomWalk {
+            terrain,
+            speed_min,
+            speed_max,
+            epoch,
+            rng,
+            anchor,
+            epoch_start: SimTime::ZERO,
+            velocity,
+            last_query: SimTime::ZERO,
+        }
+    }
+
+    /// The terrain this trajectory lives on.
+    pub fn terrain(&self) -> Terrain {
+        self.terrain
+    }
+
+    fn pick_velocity(speed_min: f64, speed_max: f64, rng: &mut SimRng) -> (f64, f64) {
+        let heading = rng.uniform_f64() * std::f64::consts::TAU;
+        let speed = if speed_min == speed_max {
+            speed_min
+        } else {
+            rng.uniform_f64_range(speed_min, speed_max)
+        };
+        (speed * heading.cos(), speed * heading.sin())
+    }
+
+    /// Position after walking from `anchor` with `velocity` for `dt`,
+    /// reflecting at walls as many times as needed.
+    fn walk(&self, dt: SimDuration) -> Point {
+        let secs = dt.as_secs_f64();
+        let mut p = Point::new(
+            self.anchor.x + self.velocity.0 * secs,
+            self.anchor.y + self.velocity.1 * secs,
+        );
+        // Repeated folding handles multi-span overshoot for long epochs.
+        for _ in 0..64 {
+            if self.terrain.contains(p) {
+                return p;
+            }
+            p = self.terrain.reflect(p);
+        }
+        self.terrain.clamp(p)
+    }
+}
+
+impl MobilityModel for RandomWalk {
+    /// # Panics
+    ///
+    /// Panics in debug builds if `t` precedes an earlier query.
+    fn position_at(&mut self, t: SimTime) -> Point {
+        debug_assert!(t >= self.last_query, "mobility queried backwards in time");
+        self.last_query = t;
+        while t >= self.epoch_start + self.epoch {
+            self.anchor = self.walk(self.epoch);
+            self.epoch_start += self.epoch;
+            self.velocity = Self::pick_velocity(self.speed_min, self.speed_max, &mut self.rng);
+        }
+        self.walk(t - self.epoch_start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn model(seed: u64) -> RandomWalk {
+        RandomWalk::new(
+            Terrain::new(300.0, 300.0),
+            1.0,
+            15.0,
+            SimDuration::from_secs(20),
+            SimRng::from_seed(seed, 0),
+        )
+    }
+
+    #[test]
+    fn stays_inside_for_hours() {
+        let mut m = model(21);
+        for step in 0..3_600 {
+            let p = m.position_at(SimTime::from_millis(step * 5_000));
+            assert!(m.terrain().contains(p), "escaped at step {step}: {p}");
+        }
+    }
+
+    #[test]
+    fn reflection_changes_direction_not_position_continuity() {
+        let mut m = model(5);
+        let dt = SimDuration::from_millis(100);
+        let mut prev = m.position_at(SimTime::ZERO);
+        let mut t = SimTime::ZERO;
+        for _ in 0..20_000 {
+            t += dt;
+            let p = m.position_at(t);
+            assert!(prev.distance(p) <= 15.0 * dt.as_secs_f64() + 1e-6);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = model(8);
+        let mut b = model(8);
+        for step in 0..200 {
+            let t = SimTime::from_millis(step * 3_000);
+            assert_eq!(a.position_at(t), b.position_at(t));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_contained(seed in any::<u64>(), mut times in proptest::collection::vec(0u64..3_600_000, 1..64)) {
+            times.sort_unstable();
+            let mut m = model(seed);
+            for ms in times {
+                prop_assert!(m.terrain().contains(m.position_at(SimTime::from_millis(ms))));
+            }
+        }
+    }
+}

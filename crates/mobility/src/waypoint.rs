@@ -1,0 +1,266 @@
+//! The random waypoint model [Joh96], the paper's movement pattern.
+
+use mp2p_sim::{SimDuration, SimRng, SimTime};
+
+use crate::geom::{Point, Terrain};
+use crate::model::MobilityModel;
+
+/// Random waypoint mobility: repeatedly pick a uniform destination in the
+/// terrain, travel to it in a straight line at a uniform random speed in
+/// `[speed_min, speed_max]`, then pause for a uniform time in
+/// `[0, max_pause]`.
+///
+/// This is the movement pattern the paper's evaluation uses (Section 5,
+/// citing [Joh96]). Speeds and pause are configurable because the paper
+/// does not state them; defaults in the experiments crate follow
+/// GloMoSim-era convention (1–19 m/s, 10 s pause).
+///
+/// # Example
+///
+/// ```
+/// use mp2p_mobility::{MobilityModel, RandomWaypoint, Terrain};
+/// use mp2p_sim::{SimDuration, SimRng, SimTime};
+///
+/// let terrain = Terrain::paper_default();
+/// let mut m = RandomWaypoint::new(terrain, 1.0, 19.0, SimDuration::from_secs(10),
+///                                 SimRng::from_seed(42, 0));
+/// let p = m.position_at(SimTime::from_millis(60_000));
+/// assert!(terrain.contains(p));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomWaypoint {
+    terrain: Terrain,
+    speed_min: f64,
+    speed_max: f64,
+    max_pause: SimDuration,
+    rng: SimRng,
+    phase: Phase,
+    last_query: SimTime,
+}
+
+#[derive(Debug, Clone)]
+enum Phase {
+    /// Pausing at `at` until `until`.
+    Paused { at: Point, until: SimTime },
+    /// Moving from `from` (departed at `since`) towards `to`, arriving at
+    /// `arrival`.
+    Moving {
+        from: Point,
+        since: SimTime,
+        to: Point,
+        arrival: SimTime,
+    },
+}
+
+impl RandomWaypoint {
+    /// Creates a random-waypoint trajectory starting at a uniform random
+    /// position, initially paused for a random fraction of `max_pause`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < speed_min <= speed_max` and both are finite.
+    pub fn new(
+        terrain: Terrain,
+        speed_min: f64,
+        speed_max: f64,
+        max_pause: SimDuration,
+        mut rng: SimRng,
+    ) -> Self {
+        assert!(
+            speed_min.is_finite()
+                && speed_max.is_finite()
+                && speed_min > 0.0
+                && speed_min <= speed_max,
+            "need 0 < speed_min <= speed_max, got [{speed_min}, {speed_max}]"
+        );
+        let start = terrain.random_point(&mut rng);
+        let initial_pause = SimDuration::from_millis(if max_pause.is_zero() {
+            0
+        } else {
+            rng.uniform_u64(max_pause.as_millis() + 1)
+        });
+        RandomWaypoint {
+            terrain,
+            speed_min,
+            speed_max,
+            max_pause,
+            rng,
+            phase: Phase::Paused {
+                at: start,
+                until: SimTime::ZERO + initial_pause,
+            },
+            last_query: SimTime::ZERO,
+        }
+    }
+
+    /// The terrain this trajectory lives on.
+    pub fn terrain(&self) -> Terrain {
+        self.terrain
+    }
+
+    fn next_leg(&mut self, from: Point, now: SimTime) -> Phase {
+        let to = self.terrain.random_point(&mut self.rng);
+        let speed = if self.speed_min == self.speed_max {
+            self.speed_min
+        } else {
+            self.rng.uniform_f64_range(self.speed_min, self.speed_max)
+        };
+        let travel = SimDuration::from_secs_f64(from.distance(to) / speed);
+        // A zero-length leg (identical points) degenerates to an immediate
+        // arrival; the pause that follows keeps the process well-founded.
+        Phase::Moving {
+            from,
+            since: now,
+            to,
+            arrival: now + travel.max(SimDuration::from_millis(1)),
+        }
+    }
+}
+
+impl MobilityModel for RandomWaypoint {
+    /// # Panics
+    ///
+    /// Panics in debug builds if `t` precedes an earlier query.
+    fn position_at(&mut self, t: SimTime) -> Point {
+        debug_assert!(t >= self.last_query, "mobility queried backwards in time");
+        self.last_query = t;
+        loop {
+            match self.phase {
+                Phase::Paused { at, until } => {
+                    if t <= until {
+                        return at;
+                    }
+                    self.phase = self.next_leg(at, until);
+                }
+                Phase::Moving {
+                    from,
+                    since,
+                    to,
+                    arrival,
+                } => {
+                    if t < arrival {
+                        let frac =
+                            (t - since).as_millis() as f64 / (arrival - since).as_millis() as f64;
+                        return from.lerp(to, frac);
+                    }
+                    let pause = SimDuration::from_millis(if self.max_pause.is_zero() {
+                        0
+                    } else {
+                        self.rng.uniform_u64(self.max_pause.as_millis() + 1)
+                    });
+                    self.phase = Phase::Paused {
+                        at: to,
+                        until: arrival + pause,
+                    };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn model(seed: u64) -> RandomWaypoint {
+        RandomWaypoint::new(
+            Terrain::paper_default(),
+            1.0,
+            19.0,
+            SimDuration::from_secs(10),
+            SimRng::from_seed(seed, 0),
+        )
+    }
+
+    #[test]
+    fn stays_in_terrain_over_five_hours() {
+        let mut m = model(7);
+        let terrain = m.terrain();
+        for step in 0..1_800 {
+            let t = SimTime::from_millis(step * 10_000); // every 10 s for 5 h
+            let p = m.position_at(t);
+            assert!(terrain.contains(p), "escaped terrain at {t}: {p}");
+        }
+    }
+
+    #[test]
+    fn respects_speed_bounds() {
+        let mut m = model(13);
+        let dt = SimDuration::from_millis(100);
+        let mut prev = m.position_at(SimTime::ZERO);
+        let mut t = SimTime::ZERO;
+        for _ in 0..50_000 {
+            t += dt;
+            let p = m.position_at(t);
+            let speed = prev.distance(p) / dt.as_secs_f64();
+            // Allow tiny numerical slack over the 19 m/s cap.
+            assert!(speed <= 19.0 + 1e-6, "speed {speed} m/s exceeds max at {t}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = model(99);
+        let mut b = model(99);
+        for step in 0..500 {
+            let t = SimTime::from_millis(step * 1_000);
+            assert_eq!(a.position_at(t), b.position_at(t));
+        }
+    }
+
+    #[test]
+    fn eventually_moves() {
+        let mut m = model(3);
+        let start = m.position_at(SimTime::ZERO);
+        let later = m.position_at(SimTime::from_millis(120_000));
+        assert!(
+            start.distance(later) > 1.0,
+            "node should have moved within 2 minutes"
+        );
+    }
+
+    #[test]
+    fn zero_pause_is_supported() {
+        let mut m = RandomWaypoint::new(
+            Terrain::new(200.0, 200.0),
+            5.0,
+            5.0,
+            SimDuration::ZERO,
+            SimRng::from_seed(4, 0),
+        );
+        for step in 0..2_000 {
+            let p = m.position_at(SimTime::from_millis(step * 500));
+            assert!(m.terrain().contains(p));
+        }
+    }
+
+    proptest! {
+        /// Continuity: over a small dt the node moves at most max_speed * dt.
+        #[test]
+        fn prop_continuous_trajectory(seed in any::<u64>(), steps in 1usize..200) {
+            let mut m = model(seed);
+            let dt = SimDuration::from_millis(50);
+            let mut prev = m.position_at(SimTime::ZERO);
+            let mut t = SimTime::ZERO;
+            for _ in 0..steps {
+                t += dt;
+                let p = m.position_at(t);
+                prop_assert!(prev.distance(p) <= 19.0 * dt.as_secs_f64() + 1e-6);
+                prev = p;
+            }
+        }
+
+        /// Containment at arbitrary (sorted) query times.
+        #[test]
+        fn prop_contained(seed in any::<u64>(), mut times in proptest::collection::vec(0u64..18_000_000, 1..64)) {
+            times.sort_unstable();
+            let mut m = model(seed);
+            let terrain = m.terrain();
+            for ms in times {
+                prop_assert!(terrain.contains(m.position_at(SimTime::from_millis(ms))));
+            }
+        }
+    }
+}

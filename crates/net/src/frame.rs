@@ -1,0 +1,175 @@
+//! Wire-level frame types.
+
+use mp2p_sim::NodeId;
+
+/// Globally unique identifier of one flood: the originating node plus its
+/// per-node flood sequence number. Used for duplicate suppression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FloodId {
+    /// The node that started the flood.
+    pub origin: NodeId,
+    /// The origin's flood sequence number.
+    pub seq: u64,
+}
+
+/// Routing-control payloads (the AODV-style discovery machinery).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteControl {
+    /// Route request, flooded by a node that needs a route to `target`.
+    Rreq {
+        /// The requesting node.
+        origin: NodeId,
+        /// The node a route is wanted to.
+        target: NodeId,
+        /// Per-origin request id (dedup key together with `origin`).
+        req_id: u64,
+    },
+    /// Route reply, unicast from the target back to the requester; the
+    /// reverse path learns the forward route as the reply travels.
+    Rrep {
+        /// The node that requested the route.
+        requester: NodeId,
+    },
+    /// Route error: the sender could not forward towards `broken_dest`.
+    Rerr {
+        /// Destination whose route broke.
+        broken_dest: NodeId,
+    },
+}
+
+/// What a frame carries: application payload or routing control.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetPayload<M> {
+    /// An application-layer message (a consistency-protocol message).
+    App(M),
+    /// Routing control.
+    Control(RouteControl),
+}
+
+/// A radio frame as transmitted on the channel.
+///
+/// The transmitting node is supplied out-of-band at reception
+/// ([`crate::NetStack::on_frame`]'s `from` argument), mirroring how a MAC
+/// layer knows the transmitter of every frame it hears.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame<M> {
+    /// A TTL-scoped flood; every receiver processes and (if TTL remains)
+    /// rebroadcasts once.
+    Flood {
+        /// Dedup identity.
+        id: FloodId,
+        /// Remaining hops this frame may still travel (≥ 1 on the air).
+        ttl: u8,
+        /// Hops travelled so far (0 on the origin's own transmission).
+        hops: u8,
+        /// Carried payload.
+        payload: NetPayload<M>,
+        /// Frame size in bytes (header + payload).
+        size: u32,
+    },
+    /// A hop-by-hop routed point-to-point frame.
+    Unicast {
+        /// The node that created the frame.
+        origin: NodeId,
+        /// Final destination.
+        dest: NodeId,
+        /// Hops travelled so far.
+        hops: u8,
+        /// Carried payload.
+        payload: NetPayload<M>,
+        /// Frame size in bytes (header + payload).
+        size: u32,
+    },
+}
+
+impl<M> Frame<M> {
+    /// Frame size in bytes.
+    pub fn size(&self) -> u32 {
+        match self {
+            Frame::Flood { size, .. } | Frame::Unicast { size, .. } => *size,
+        }
+    }
+
+    /// Hops this frame has travelled so far.
+    pub fn hops(&self) -> u8 {
+        match self {
+            Frame::Flood { hops, .. } | Frame::Unicast { hops, .. } => *hops,
+        }
+    }
+
+    /// The application payload, if this is not a control frame.
+    pub fn app_payload(&self) -> Option<&M> {
+        match self {
+            Frame::Flood {
+                payload: NetPayload::App(m),
+                ..
+            }
+            | Frame::Unicast {
+                payload: NetPayload::App(m),
+                ..
+            } => Some(m),
+            _ => None,
+        }
+    }
+
+    /// True if this frame carries routing control rather than application
+    /// payload.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Frame::Flood {
+                payload: NetPayload::Control(_),
+                ..
+            } | Frame::Unicast {
+                payload: NetPayload::Control(_),
+                ..
+            }
+        )
+    }
+}
+
+/// Reception metadata handed to the application with each delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetMeta {
+    /// The node that created the message.
+    pub origin: NodeId,
+    /// Hops the message travelled to reach this node.
+    pub hops: u8,
+    /// True if the message arrived via a flood (vs. routed unicast).
+    pub via_flood: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_accessors() {
+        let f: Frame<u8> = Frame::Flood {
+            id: FloodId {
+                origin: NodeId::new(1),
+                seq: 9,
+            },
+            ttl: 3,
+            hops: 1,
+            payload: NetPayload::App(7),
+            size: 64,
+        };
+        assert_eq!(f.size(), 64);
+        assert_eq!(f.hops(), 1);
+        assert_eq!(f.app_payload(), Some(&7));
+        assert!(!f.is_control());
+
+        let c: Frame<u8> = Frame::Unicast {
+            origin: NodeId::new(0),
+            dest: NodeId::new(2),
+            hops: 0,
+            payload: NetPayload::Control(RouteControl::Rerr {
+                broken_dest: NodeId::new(2),
+            }),
+            size: 32,
+        };
+        assert!(c.is_control());
+        assert_eq!(c.app_payload(), None);
+    }
+}

@@ -1,0 +1,153 @@
+//! Per-hop MAC/PHY cost model.
+
+use mp2p_sim::{SimDuration, SimRng};
+
+/// The cost of one radio transmission hop.
+///
+/// GloMoSim's 802.11 stack charged each hop serialisation at the channel
+/// bandwidth plus MAC contention; we model the same shape:
+///
+/// `delay = size / bandwidth + base_latency + U(0, jitter)`
+///
+/// and drop the frame with probability `loss_prob` (per receiving link).
+///
+/// # Example
+///
+/// ```
+/// use mp2p_net::LinkModel;
+/// use mp2p_sim::SimRng;
+///
+/// let link = LinkModel::default(); // 2 Mb/s, 1 ms base, 4 ms jitter, lossless
+/// let mut rng = SimRng::from_seed(0, 0);
+/// let d = link.hop_delay(1_000, &mut rng);
+/// assert!(d.as_millis() >= 5); // 4 ms serialisation + 1 ms base
+/// assert!(link.delivered(&mut rng));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    /// Channel bandwidth in bits per second (2 Mb/s by default, the
+    /// GloMoSim-era 802.11 rate).
+    pub bandwidth_bps: u64,
+    /// Fixed per-hop latency: propagation + MAC/processing overhead.
+    pub base_latency: SimDuration,
+    /// Upper bound of the uniform contention jitter added per hop.
+    pub jitter: SimDuration,
+    /// Probability that a given receiver misses the frame.
+    pub loss_prob: f64,
+}
+
+impl LinkModel {
+    /// Creates a link model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_bps` is zero or `loss_prob` is outside `[0, 1]`.
+    pub fn new(
+        bandwidth_bps: u64,
+        base_latency: SimDuration,
+        jitter: SimDuration,
+        loss_prob: f64,
+    ) -> Self {
+        assert!(bandwidth_bps > 0, "bandwidth must be positive");
+        assert!(
+            (0.0..=1.0).contains(&loss_prob),
+            "loss probability must be in [0,1]"
+        );
+        LinkModel {
+            bandwidth_bps,
+            base_latency,
+            jitter,
+            loss_prob,
+        }
+    }
+
+    /// A lossless variant of this model (used by consistency-guarantee
+    /// property tests, which assert protocol invariants that only hold
+    /// when the channel delivers).
+    #[must_use]
+    pub fn lossless(mut self) -> Self {
+        self.loss_prob = 0.0;
+        self
+    }
+
+    /// The delay for one hop carrying `size_bytes`.
+    pub fn hop_delay(&self, size_bytes: u32, rng: &mut SimRng) -> SimDuration {
+        let serialisation_ms = (size_bytes as u64 * 8).saturating_mul(1_000) / self.bandwidth_bps;
+        let jitter = if self.jitter.is_zero() {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_millis(rng.uniform_u64(self.jitter.as_millis() + 1))
+        };
+        // Every hop costs at least 1 ms so events strictly advance time.
+        SimDuration::from_millis(serialisation_ms.max(1)) + self.base_latency + jitter
+    }
+
+    /// One Bernoulli delivery trial for a receiving link.
+    pub fn delivered(&self, rng: &mut SimRng) -> bool {
+        self.loss_prob == 0.0 || !rng.bernoulli(self.loss_prob)
+    }
+}
+
+impl Default for LinkModel {
+    /// 2 Mb/s, 1 ms base latency, 4 ms contention jitter, lossless.
+    fn default() -> Self {
+        LinkModel::new(
+            2_000_000,
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(4),
+            0.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn serialisation_scales_with_size() {
+        let link = LinkModel::new(1_000_000, SimDuration::ZERO, SimDuration::ZERO, 0.0);
+        let mut rng = SimRng::from_seed(0, 0);
+        // 1 Mb/s: 125 bytes/ms.
+        assert_eq!(link.hop_delay(125, &mut rng).as_millis(), 1);
+        assert_eq!(link.hop_delay(1_250, &mut rng).as_millis(), 10);
+    }
+
+    #[test]
+    fn minimum_one_millisecond() {
+        let link = LinkModel::new(u64::MAX, SimDuration::ZERO, SimDuration::ZERO, 0.0);
+        let mut rng = SimRng::from_seed(0, 0);
+        assert_eq!(link.hop_delay(1, &mut rng).as_millis(), 1);
+    }
+
+    #[test]
+    fn lossless_always_delivers() {
+        let link = LinkModel::new(1_000, SimDuration::ZERO, SimDuration::ZERO, 0.9).lossless();
+        let mut rng = SimRng::from_seed(1, 0);
+        assert!((0..100).all(|_| link.delivered(&mut rng)));
+    }
+
+    #[test]
+    fn lossy_link_drops_roughly_p() {
+        let link = LinkModel::new(1_000, SimDuration::ZERO, SimDuration::ZERO, 0.3);
+        let mut rng = SimRng::from_seed(2, 0);
+        let delivered = (0..10_000).filter(|_| link.delivered(&mut rng)).count();
+        assert!(
+            (6_500..7_500).contains(&delivered),
+            "delivered {delivered}/10000"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_delay_bounded(size in 0u32..65_536, seed in any::<u64>()) {
+            let link = LinkModel::default();
+            let mut rng = SimRng::from_seed(seed, 0);
+            let d = link.hop_delay(size, &mut rng);
+            let serialisation = (size as u64 * 8 * 1_000 / 2_000_000).max(1);
+            prop_assert!(d.as_millis() > serialisation);
+            prop_assert!(d.as_millis() <= serialisation + 1 + 4);
+        }
+    }
+}

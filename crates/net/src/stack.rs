@@ -1,0 +1,640 @@
+//! The per-node network layer: flooding + on-demand unicast routing.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use mp2p_sim::{NodeId, SimDuration, SimTime};
+
+use crate::frame::{FloodId, Frame, NetMeta, NetPayload, RouteControl};
+
+/// Tunables for the network layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetConfig {
+    /// Lifetime of a route-table entry; refreshed on every use, in the
+    /// style of AODV's active-route timeout.
+    pub route_ttl: SimDuration,
+    /// TTL of route-request floods (should exceed the network diameter).
+    pub rreq_ttl: u8,
+    /// Route-discovery attempts before a destination is declared
+    /// unreachable.
+    pub rreq_retries: u8,
+    /// How long to wait for a route reply before retrying discovery.
+    pub rreq_timeout: SimDuration,
+    /// Size in bytes of RREQ/RREP/RERR control frames.
+    pub control_size: u32,
+    /// Maximum packets buffered per destination while discovering.
+    pub buffer_cap: usize,
+    /// Flood-dedup memory (most recent flood ids remembered).
+    pub dedup_cap: usize,
+    /// Hop budget for unicast frames: a frame that travelled this many
+    /// hops is dropped (with an RERR towards its origin). Guards against
+    /// forwarding loops, which hop-count-learned routes cannot fully
+    /// exclude (real AODV uses sequence numbers for the same purpose).
+    pub max_unicast_hops: u8,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            // Pedestrian-speed MANET: links live for tens of seconds;
+            // breaks are detected at the MAC and repaired.
+            route_ttl: SimDuration::from_secs(60),
+            rreq_ttl: 10,
+            rreq_retries: 2,
+            rreq_timeout: SimDuration::from_millis(1_500),
+            control_size: 32,
+            buffer_cap: 32,
+            dedup_cap: 8_192,
+            max_unicast_hops: 24,
+        }
+    }
+}
+
+/// A network-layer timer (scheduled by the driver on the stack's behalf).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetTimer {
+    /// Route discovery towards `dest` timed out (attempt number included).
+    RreqTimeout {
+        /// The destination being discovered.
+        dest: NodeId,
+        /// 1-based attempt counter.
+        attempt: u8,
+    },
+}
+
+/// What the stack asks the driver to do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetAction<M> {
+    /// Transmit `frame` once; every current neighbour hears it.
+    Broadcast(Frame<M>),
+    /// Transmit `frame` once, MAC-addressed to `next_hop`. The driver must
+    /// report unreachable next-hops back via
+    /// [`NetStack::on_send_failed`].
+    Send {
+        /// The MAC-layer receiver.
+        next_hop: NodeId,
+        /// The frame to transmit.
+        frame: Frame<M>,
+    },
+    /// Hand `payload` to the application layer of this node.
+    Deliver {
+        /// The application message.
+        payload: M,
+        /// Reception metadata.
+        meta: NetMeta,
+    },
+    /// Schedule [`NetStack::on_timer`] after `after`.
+    SetTimer {
+        /// Delay until the timer fires.
+        after: SimDuration,
+        /// The timer payload.
+        timer: NetTimer,
+    },
+    /// Route discovery exhausted its retries; `payload` could not be sent.
+    Undeliverable {
+        /// The unreachable destination.
+        dest: NodeId,
+        /// The application message handed back.
+        payload: M,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct RouteEntry {
+    next_hop: NodeId,
+    hops: u8,
+    expires: SimTime,
+}
+
+#[derive(Debug, Clone)]
+struct PendingDiscovery<M> {
+    attempt: u8,
+    packets: VecDeque<(M, u32)>,
+}
+
+/// Per-node network stack: duplicate-suppressed TTL flooding plus
+/// AODV-style on-demand unicast routing.
+///
+/// The stack is a pure state machine: every input returns the list of
+/// [`NetAction`]s the driver must perform. It never looks at the clock or
+/// the topology itself — time arrives as arguments, connectivity arrives
+/// as delivered/failed frames.
+///
+/// # Example
+///
+/// ```
+/// use mp2p_net::{NetAction, NetConfig, NetStack};
+/// use mp2p_sim::{NodeId, SimTime};
+///
+/// let mut stack: NetStack<&'static str> = NetStack::new(NodeId::new(0), NetConfig::default());
+/// // Flooding needs no route: one broadcast action.
+/// let actions = stack.flood_app(SimTime::ZERO, 3, "INVALIDATION", 48);
+/// assert!(matches!(actions[0], NetAction::Broadcast(_)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetStack<M> {
+    node: NodeId,
+    cfg: NetConfig,
+    flood_seq: u64,
+    rreq_seq: u64,
+    seen_floods: HashSet<FloodId>,
+    seen_order: VecDeque<FloodId>,
+    seen_rreqs: HashSet<(NodeId, u64)>,
+    rreq_order: VecDeque<(NodeId, u64)>,
+    routes: HashMap<NodeId, RouteEntry>,
+    pending: HashMap<NodeId, PendingDiscovery<M>>,
+}
+
+impl<M: Clone> NetStack<M> {
+    /// Creates the stack for `node`.
+    pub fn new(node: NodeId, cfg: NetConfig) -> Self {
+        NetStack {
+            node,
+            cfg,
+            flood_seq: 0,
+            rreq_seq: 0,
+            seen_floods: HashSet::new(),
+            seen_order: VecDeque::new(),
+            seen_rreqs: HashSet::new(),
+            rreq_order: VecDeque::new(),
+            routes: HashMap::new(),
+            pending: HashMap::new(),
+        }
+    }
+
+    /// The node this stack belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Number of live route-table entries at `now`.
+    pub fn route_count(&self, now: SimTime) -> usize {
+        self.routes.values().filter(|r| r.expires > now).count()
+    }
+
+    /// True if a fresh route to `dest` is installed.
+    pub fn has_route(&self, dest: NodeId, now: SimTime) -> bool {
+        matches!(self.routes.get(&dest), Some(r) if r.expires > now)
+    }
+
+    /// Starts an application flood with the given TTL. Returns the
+    /// broadcast action (or nothing when `ttl == 0`).
+    pub fn flood_app(
+        &mut self,
+        _now: SimTime,
+        ttl: u8,
+        payload: M,
+        size: u32,
+    ) -> Vec<NetAction<M>> {
+        if ttl == 0 {
+            return Vec::new();
+        }
+        let id = FloodId {
+            origin: self.node,
+            seq: self.flood_seq,
+        };
+        self.flood_seq += 1;
+        self.remember_flood(id);
+        vec![NetAction::Broadcast(Frame::Flood {
+            id,
+            ttl,
+            hops: 0,
+            payload: NetPayload::App(payload),
+            size,
+        })]
+    }
+
+    /// Sends `payload` to `dest`, discovering a route first if needed.
+    ///
+    /// Sending to self delivers immediately (loopback).
+    pub fn send_app(
+        &mut self,
+        now: SimTime,
+        dest: NodeId,
+        payload: M,
+        size: u32,
+    ) -> Vec<NetAction<M>> {
+        if dest == self.node {
+            return vec![NetAction::Deliver {
+                payload,
+                meta: NetMeta {
+                    origin: self.node,
+                    hops: 0,
+                    via_flood: false,
+                },
+            }];
+        }
+        if let Some(next_hop) = self.fresh_route(dest, now) {
+            return vec![NetAction::Send {
+                next_hop,
+                frame: Frame::Unicast {
+                    origin: self.node,
+                    dest,
+                    hops: 0,
+                    payload: NetPayload::App(payload),
+                    size,
+                },
+            }];
+        }
+        self.enqueue_and_discover(now, dest, payload, size)
+    }
+
+    /// Handles a frame heard from transmitter `from`.
+    pub fn on_frame(&mut self, now: SimTime, from: NodeId, frame: Frame<M>) -> Vec<NetAction<M>> {
+        match frame {
+            Frame::Flood {
+                id,
+                ttl,
+                hops,
+                payload,
+                size,
+            } => self.on_flood(now, from, id, ttl, hops, payload, size),
+            Frame::Unicast {
+                origin,
+                dest,
+                hops,
+                payload,
+                size,
+            } => self.on_unicast(now, from, origin, dest, hops, payload, size),
+        }
+    }
+
+    /// Handles a timer previously requested via [`NetAction::SetTimer`].
+    pub fn on_timer(&mut self, now: SimTime, timer: NetTimer) -> Vec<NetAction<M>> {
+        match timer {
+            NetTimer::RreqTimeout { dest, attempt } => {
+                if self.fresh_route(dest, now).is_some() || !self.pending.contains_key(&dest) {
+                    return Vec::new(); // discovery already succeeded
+                }
+                if attempt < self.cfg.rreq_retries {
+                    let mut actions =
+                        vec![self.rreq_flood(dest, self.rreq_ttl_for_attempt(attempt + 1))];
+                    if let Some(p) = self.pending.get_mut(&dest) {
+                        p.attempt = attempt + 1;
+                    }
+                    actions.push(NetAction::SetTimer {
+                        after: self.cfg.rreq_timeout,
+                        timer: NetTimer::RreqTimeout {
+                            dest,
+                            attempt: attempt + 1,
+                        },
+                    });
+                    actions
+                } else {
+                    let Some(pending) = self.pending.remove(&dest) else {
+                        return Vec::new();
+                    };
+                    pending
+                        .packets
+                        .into_iter()
+                        .map(|(payload, _)| NetAction::Undeliverable { dest, payload })
+                        .collect()
+                }
+            }
+        }
+    }
+
+    /// MAC feedback: the transmission of `frame` to `next_hop` could not
+    /// be delivered (receiver out of range or down). Routes through
+    /// `next_hop` are purged; data frames originated here are re-queued
+    /// for a fresh discovery, relayed data triggers an RERR towards its
+    /// origin.
+    pub fn on_send_failed(
+        &mut self,
+        now: SimTime,
+        next_hop: NodeId,
+        frame: Frame<M>,
+    ) -> Vec<NetAction<M>> {
+        self.routes.retain(|_, r| r.next_hop != next_hop);
+        match frame {
+            Frame::Unicast {
+                origin,
+                dest,
+                payload: NetPayload::App(m),
+                size,
+                ..
+            } => {
+                if origin == self.node {
+                    self.enqueue_and_discover(now, dest, m, size)
+                } else {
+                    // Relayed data: tell the origin its route broke, if we
+                    // still know a way back; otherwise the loss surfaces at
+                    // the origin's own application timeout.
+                    match self.fresh_route(origin, now) {
+                        Some(hop) => vec![NetAction::Send {
+                            next_hop: hop,
+                            frame: Frame::Unicast {
+                                origin: self.node,
+                                dest: origin,
+                                hops: 0,
+                                payload: NetPayload::Control(RouteControl::Rerr {
+                                    broken_dest: dest,
+                                }),
+                                size: self.cfg.control_size,
+                            },
+                        }],
+                        None => Vec::new(),
+                    }
+                }
+            }
+            // Lost control frames are recovered by the requester's own
+            // discovery timer; nothing to do here.
+            _ => Vec::new(),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the frame's fields
+    fn on_flood(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        id: FloodId,
+        ttl: u8,
+        hops: u8,
+        payload: NetPayload<M>,
+        size: u32,
+    ) -> Vec<NetAction<M>> {
+        if self.seen_floods.contains(&id) {
+            return Vec::new();
+        }
+        self.remember_flood(id);
+        // Hearing any frame teaches the reverse route to its origin.
+        self.learn_route(id.origin, from, hops + 1, now);
+        let mut actions = Vec::new();
+        match &payload {
+            NetPayload::App(m) => {
+                actions.push(NetAction::Deliver {
+                    payload: m.clone(),
+                    meta: NetMeta {
+                        origin: id.origin,
+                        hops: hops + 1,
+                        via_flood: true,
+                    },
+                });
+            }
+            NetPayload::Control(RouteControl::Rreq {
+                origin,
+                target,
+                req_id,
+            }) => {
+                if !self.remember_rreq((*origin, *req_id)) {
+                    return Vec::new();
+                }
+                if *target == self.node {
+                    // Answer with a route reply unwinding the reverse path.
+                    actions.extend(self.send_control_towards(
+                        now,
+                        *origin,
+                        RouteControl::Rrep { requester: *origin },
+                    ));
+                    return actions;
+                }
+            }
+            NetPayload::Control(_) => {}
+        }
+        if ttl > 1 {
+            actions.push(NetAction::Broadcast(Frame::Flood {
+                id,
+                ttl: ttl - 1,
+                hops: hops + 1,
+                payload,
+                size,
+            }));
+        }
+        actions
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_unicast(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        origin: NodeId,
+        dest: NodeId,
+        hops: u8,
+        payload: NetPayload<M>,
+        size: u32,
+    ) -> Vec<NetAction<M>> {
+        self.learn_route(origin, from, hops + 1, now);
+        if dest == self.node {
+            return match payload {
+                NetPayload::App(m) => vec![NetAction::Deliver {
+                    payload: m,
+                    meta: NetMeta {
+                        origin,
+                        hops: hops + 1,
+                        via_flood: false,
+                    },
+                }],
+                NetPayload::Control(RouteControl::Rrep { .. }) => {
+                    // A discovery completed: the route to the RREP's origin
+                    // (the discovered target) was just learned above.
+                    self.flush_pending(now, origin)
+                }
+                NetPayload::Control(RouteControl::Rerr { broken_dest }) => {
+                    self.routes.remove(&broken_dest);
+                    Vec::new()
+                }
+                NetPayload::Control(RouteControl::Rreq { .. }) => Vec::new(), // RREQs never travel unicast
+            };
+        }
+        // Forwarding role.
+        if hops >= self.cfg.max_unicast_hops {
+            // Hop budget exhausted: almost certainly a forwarding loop.
+            return if matches!(payload, NetPayload::App(_)) {
+                self.routes.remove(&dest);
+                self.send_control_towards(now, origin, RouteControl::Rerr { broken_dest: dest })
+            } else {
+                Vec::new()
+            };
+        }
+        // Split horizon: never hand a frame straight back to the node it
+        // came from (the tightest loop hop-count learning can create).
+        let route = self.fresh_route(dest, now).filter(|&hop| hop != from);
+        match route {
+            Some(next_hop) => vec![NetAction::Send {
+                next_hop,
+                frame: Frame::Unicast {
+                    origin,
+                    dest,
+                    hops: hops + 1,
+                    payload,
+                    size,
+                },
+            }],
+            None => {
+                // No route at an intermediate hop: report back to the origin.
+                if matches!(payload, NetPayload::App(_)) {
+                    self.send_control_towards(now, origin, RouteControl::Rerr { broken_dest: dest })
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+    }
+
+    /// Sends a control payload towards `dest` if a fresh route is known.
+    fn send_control_towards(
+        &mut self,
+        now: SimTime,
+        dest: NodeId,
+        ctl: RouteControl,
+    ) -> Vec<NetAction<M>> {
+        match self.fresh_route(dest, now) {
+            Some(next_hop) => vec![NetAction::Send {
+                next_hop,
+                frame: Frame::Unicast {
+                    origin: self.node,
+                    dest,
+                    hops: 0,
+                    payload: NetPayload::Control(ctl),
+                    size: self.cfg.control_size,
+                },
+            }],
+            None => Vec::new(),
+        }
+    }
+
+    fn enqueue_and_discover(
+        &mut self,
+        _now: SimTime,
+        dest: NodeId,
+        payload: M,
+        size: u32,
+    ) -> Vec<NetAction<M>> {
+        let mut actions = Vec::new();
+        let start_discovery = !self.pending.contains_key(&dest);
+        let pending = self
+            .pending
+            .entry(dest)
+            .or_insert_with(|| PendingDiscovery {
+                attempt: 1,
+                packets: VecDeque::new(),
+            });
+        if pending.packets.len() >= self.cfg.buffer_cap {
+            // Oldest packet gives way; its application-level timeout
+            // handles the loss.
+            pending.packets.pop_front();
+        }
+        pending.packets.push_back((payload, size));
+        if start_discovery {
+            actions.push(self.rreq_flood(dest, self.rreq_ttl_for_attempt(1)));
+            actions.push(NetAction::SetTimer {
+                after: self.cfg.rreq_timeout,
+                timer: NetTimer::RreqTimeout { dest, attempt: 1 },
+            });
+        }
+        actions
+    }
+
+    /// AODV-style expanding-ring search: the first attempt stays local,
+    /// later attempts use the full discovery TTL.
+    fn rreq_ttl_for_attempt(&self, attempt: u8) -> u8 {
+        if attempt <= 1 {
+            (self.cfg.rreq_ttl / 3).max(2)
+        } else {
+            self.cfg.rreq_ttl
+        }
+    }
+
+    fn rreq_flood(&mut self, target: NodeId, ttl: u8) -> NetAction<M> {
+        let id = FloodId {
+            origin: self.node,
+            seq: self.flood_seq,
+        };
+        self.flood_seq += 1;
+        self.remember_flood(id);
+        let req_id = self.rreq_seq;
+        self.rreq_seq += 1;
+        self.remember_rreq((self.node, req_id));
+        NetAction::Broadcast(Frame::Flood {
+            id,
+            ttl,
+            hops: 0,
+            payload: NetPayload::Control(RouteControl::Rreq {
+                origin: self.node,
+                target,
+                req_id,
+            }),
+            size: self.cfg.control_size,
+        })
+    }
+
+    fn flush_pending(&mut self, now: SimTime, dest: NodeId) -> Vec<NetAction<M>> {
+        let Some(pending) = self.pending.remove(&dest) else {
+            return Vec::new();
+        };
+        let mut actions = Vec::new();
+        for (payload, size) in pending.packets {
+            match self.fresh_route(dest, now) {
+                Some(next_hop) => actions.push(NetAction::Send {
+                    next_hop,
+                    frame: Frame::Unicast {
+                        origin: self.node,
+                        dest,
+                        hops: 0,
+                        payload: NetPayload::App(payload),
+                        size,
+                    },
+                }),
+                None => actions.push(NetAction::Undeliverable { dest, payload }),
+            }
+        }
+        actions
+    }
+
+    fn fresh_route(&mut self, dest: NodeId, now: SimTime) -> Option<NodeId> {
+        match self.routes.get_mut(&dest) {
+            Some(entry) if entry.expires > now => {
+                entry.expires = now + self.cfg.route_ttl; // refresh on use
+                Some(entry.next_hop)
+            }
+            _ => None,
+        }
+    }
+
+    fn learn_route(&mut self, dest: NodeId, next_hop: NodeId, hops: u8, now: SimTime) {
+        if dest == self.node {
+            return;
+        }
+        let expires = now + self.cfg.route_ttl;
+        match self.routes.get_mut(&dest) {
+            // Prefer fresher information; replace stale or longer routes.
+            Some(entry) if entry.expires > now && entry.hops < hops => {}
+            _ => {
+                self.routes.insert(
+                    dest,
+                    RouteEntry {
+                        next_hop,
+                        hops,
+                        expires,
+                    },
+                );
+            }
+        }
+    }
+
+    fn remember_flood(&mut self, id: FloodId) {
+        if self.seen_floods.insert(id) {
+            self.seen_order.push_back(id);
+            if self.seen_order.len() > self.cfg.dedup_cap {
+                if let Some(old) = self.seen_order.pop_front() {
+                    self.seen_floods.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Returns false if this RREQ was already processed.
+    fn remember_rreq(&mut self, key: (NodeId, u64)) -> bool {
+        if !self.seen_rreqs.insert(key) {
+            return false;
+        }
+        self.rreq_order.push_back(key);
+        if self.rreq_order.len() > self.cfg.dedup_cap {
+            if let Some(old) = self.rreq_order.pop_front() {
+                self.seen_rreqs.remove(&old);
+            }
+        }
+        true
+    }
+}

@@ -1,0 +1,352 @@
+//! Unit-disc radio topology snapshots.
+
+use std::collections::VecDeque;
+
+use mp2p_mobility::Point;
+use mp2p_sim::NodeId;
+
+/// A snapshot of the radio graph: two *connected* nodes are neighbours iff
+/// they are within communication range (`C_Range`, 250 m in Table 1).
+///
+/// Disconnected nodes (the paper's switched-off peers, Section 4.5) keep a
+/// position but have no edges.
+///
+/// The snapshot pre-computes adjacency in O(n²) — the paper's scenarios
+/// have 50 peers, so a snapshot costs ~2.5k distance checks — and answers
+/// path queries with BFS on demand.
+///
+/// # Example
+///
+/// ```
+/// use mp2p_mobility::Point;
+/// use mp2p_net::Topology;
+/// use mp2p_sim::NodeId;
+///
+/// let positions = vec![Point::new(0.0, 0.0), Point::new(200.0, 0.0), Point::new(400.0, 0.0)];
+/// let topo = Topology::new(&positions, &[true, true, true], 250.0);
+/// let (a, b, c) = (NodeId::new(0), NodeId::new(1), NodeId::new(2));
+/// assert!(topo.are_neighbors(a, b));
+/// assert!(!topo.are_neighbors(a, c));
+/// assert_eq!(topo.hops(a, c), Some(2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Topology {
+    neighbors: Vec<Vec<NodeId>>,
+    connected: Vec<bool>,
+    range: f64,
+}
+
+impl Topology {
+    /// Builds a snapshot from per-node positions and up/down flags.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two slices differ in length or `range` is not finite
+    /// and positive.
+    pub fn new(positions: &[Point], connected: &[bool], range: f64) -> Self {
+        assert_eq!(
+            positions.len(),
+            connected.len(),
+            "positions/connected length mismatch"
+        );
+        assert!(
+            range.is_finite() && range > 0.0,
+            "radio range must be positive"
+        );
+        let n = positions.len();
+        let mut neighbors = vec![Vec::new(); n];
+        for i in 0..n {
+            if !connected[i] {
+                continue;
+            }
+            for j in (i + 1)..n {
+                if !connected[j] {
+                    continue;
+                }
+                if positions[i].distance(positions[j]) <= range {
+                    neighbors[i].push(NodeId::new(j as u32));
+                    neighbors[j].push(NodeId::new(i as u32));
+                }
+            }
+        }
+        Topology {
+            neighbors,
+            connected: connected.to_vec(),
+            range,
+        }
+    }
+
+    /// Number of nodes in the snapshot.
+    pub fn len(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// True if the snapshot holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.neighbors.is_empty()
+    }
+
+    /// The radio range the snapshot was built with, in metres.
+    pub fn range(&self) -> f64 {
+        self.range
+    }
+
+    /// True if `node` is switched on.
+    pub fn is_up(&self, node: NodeId) -> bool {
+        self.connected[node.index()]
+    }
+
+    /// The current one-hop neighbours of `node` (empty if down).
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.neighbors[node.index()]
+    }
+
+    /// True if `a` and `b` are both up and within range.
+    pub fn are_neighbors(&self, a: NodeId, b: NodeId) -> bool {
+        self.neighbors[a.index()].contains(&b)
+    }
+
+    /// Minimum hop count from `from` to `to`, if a multi-hop path exists.
+    pub fn hops(&self, from: NodeId, to: NodeId) -> Option<u32> {
+        self.bfs(from, Some(to)).1
+    }
+
+    /// A minimum-hop path from `from` to `to`, inclusive of both endpoints.
+    pub fn shortest_path(&self, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        if !self.is_up(from) || !self.is_up(to) {
+            return None;
+        }
+        let (parents, found) = self.bfs(from, Some(to));
+        found?;
+        let mut path = vec![to];
+        let mut cur = to;
+        while cur != from {
+            cur = parents[cur.index()].expect("parent chain reaches the BFS root");
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// All nodes strictly within `ttl` hops of `from` (excluding `from`),
+    /// i.e. the set a TTL-`ttl` flood can reach.
+    pub fn within_hops(&self, from: NodeId, ttl: u32) -> Vec<NodeId> {
+        if ttl == 0 || !self.is_up(from) {
+            return Vec::new();
+        }
+        let mut dist = vec![u32::MAX; self.len()];
+        dist[from.index()] = 0;
+        let mut queue = VecDeque::from([from]);
+        let mut reached = Vec::new();
+        while let Some(u) = queue.pop_front() {
+            if dist[u.index()] == ttl {
+                continue;
+            }
+            for &v in &self.neighbors[u.index()] {
+                if dist[v.index()] == u32::MAX {
+                    dist[v.index()] = dist[u.index()] + 1;
+                    reached.push(v);
+                    queue.push_back(v);
+                }
+            }
+        }
+        reached
+    }
+
+    /// Connected components among up nodes, each sorted by id; singleton
+    /// components for isolated up nodes are included, down nodes are not.
+    pub fn components(&self) -> Vec<Vec<NodeId>> {
+        let mut seen = vec![false; self.len()];
+        let mut out = Vec::new();
+        for start in 0..self.len() {
+            if seen[start] || !self.connected[start] {
+                continue;
+            }
+            let mut comp = vec![NodeId::new(start as u32)];
+            seen[start] = true;
+            let mut queue = VecDeque::from([NodeId::new(start as u32)]);
+            while let Some(u) = queue.pop_front() {
+                for &v in &self.neighbors[u.index()] {
+                    if !seen[v.index()] {
+                        seen[v.index()] = true;
+                        comp.push(v);
+                        queue.push_back(v);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            out.push(comp);
+        }
+        out
+    }
+
+    /// BFS from `root`; returns the parent array and, if `target` is given
+    /// and reachable, its distance.
+    fn bfs(&self, root: NodeId, target: Option<NodeId>) -> (Vec<Option<NodeId>>, Option<u32>) {
+        let mut parents: Vec<Option<NodeId>> = vec![None; self.len()];
+        if !self.is_up(root) {
+            return (parents, None);
+        }
+        if target == Some(root) {
+            return (parents, Some(0));
+        }
+        let mut dist = vec![u32::MAX; self.len()];
+        dist[root.index()] = 0;
+        let mut queue = VecDeque::from([root]);
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.neighbors[u.index()] {
+                if dist[v.index()] == u32::MAX {
+                    dist[v.index()] = dist[u.index()] + 1;
+                    parents[v.index()] = Some(u);
+                    if target == Some(v) {
+                        return (parents, Some(dist[v.index()]));
+                    }
+                    queue.push_back(v);
+                }
+            }
+        }
+        (parents, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A line of nodes spaced 200 m apart with 250 m range: a path graph.
+    fn line(n: usize) -> Topology {
+        let positions: Vec<Point> = (0..n).map(|i| Point::new(i as f64 * 200.0, 0.0)).collect();
+        Topology::new(&positions, &vec![true; n], 250.0)
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_on_line() {
+        let t = line(5);
+        for i in 0..5u32 {
+            for j in 0..5u32 {
+                let (a, b) = (NodeId::new(i), NodeId::new(j));
+                assert_eq!(t.are_neighbors(a, b), t.are_neighbors(b, a));
+                assert_eq!(t.are_neighbors(a, b), i.abs_diff(j) == 1);
+            }
+        }
+    }
+
+    #[test]
+    fn hops_along_line() {
+        let t = line(6);
+        assert_eq!(t.hops(NodeId::new(0), NodeId::new(5)), Some(5));
+        assert_eq!(t.hops(NodeId::new(2), NodeId::new(2)), Some(0));
+    }
+
+    #[test]
+    fn shortest_path_endpoints_and_adjacency() {
+        let t = line(4);
+        let path = t.shortest_path(NodeId::new(0), NodeId::new(3)).unwrap();
+        assert_eq!(path.first(), Some(&NodeId::new(0)));
+        assert_eq!(path.last(), Some(&NodeId::new(3)));
+        for pair in path.windows(2) {
+            assert!(t.are_neighbors(pair[0], pair[1]));
+        }
+        assert_eq!(path.len(), 4);
+    }
+
+    #[test]
+    fn down_node_partitions_the_line() {
+        let positions: Vec<Point> = (0..5).map(|i| Point::new(i as f64 * 200.0, 0.0)).collect();
+        let mut up = vec![true; 5];
+        up[2] = false;
+        let t = Topology::new(&positions, &up, 250.0);
+        assert_eq!(t.hops(NodeId::new(0), NodeId::new(4)), None);
+        assert!(t.neighbors(NodeId::new(2)).is_empty());
+        assert_eq!(t.components().len(), 2);
+    }
+
+    #[test]
+    fn within_hops_matches_ttl_scope() {
+        let t = line(8);
+        let reach = t.within_hops(NodeId::new(0), 3);
+        let mut ids: Vec<u32> = reach.iter().map(|n| n.index() as u32).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2, 3]);
+        assert!(t.within_hops(NodeId::new(0), 0).is_empty());
+    }
+
+    #[test]
+    fn components_cover_all_up_nodes_once() {
+        let positions = vec![
+            Point::new(0.0, 0.0),
+            Point::new(100.0, 0.0),
+            Point::new(1_000.0, 0.0),
+            Point::new(1_100.0, 0.0),
+            Point::new(5_000.0, 5_000.0),
+        ];
+        let t = Topology::new(&positions, &[true; 5], 250.0);
+        let comps = t.components();
+        assert_eq!(comps.len(), 3);
+        let total: usize = comps.iter().map(Vec::len).sum();
+        assert_eq!(total, 5);
+    }
+
+    proptest! {
+        /// Symmetry and irreflexivity of the neighbour relation on random
+        /// geometric graphs.
+        #[test]
+        fn prop_neighbor_relation(seed in any::<u64>(), n in 2usize..40) {
+            let mut rng = mp2p_sim::SimRng::from_seed(seed, 0);
+            let terrain = mp2p_mobility::Terrain::paper_default();
+            let positions: Vec<Point> = (0..n).map(|_| terrain.random_point(&mut rng)).collect();
+            let t = Topology::new(&positions, &vec![true; n], 250.0);
+            for i in 0..n {
+                let a = NodeId::new(i as u32);
+                prop_assert!(!t.are_neighbors(a, a));
+                for &b in t.neighbors(a) {
+                    prop_assert!(t.are_neighbors(b, a));
+                    prop_assert!(positions[a.index()].distance(positions[b.index()]) <= 250.0);
+                }
+            }
+        }
+
+        /// BFS path length equals the reported hop count and the path is
+        /// valid edge-by-edge.
+        #[test]
+        fn prop_path_matches_hops(seed in any::<u64>(), n in 2usize..30) {
+            let mut rng = mp2p_sim::SimRng::from_seed(seed, 1);
+            let terrain = mp2p_mobility::Terrain::new(800.0, 800.0);
+            let positions: Vec<Point> = (0..n).map(|_| terrain.random_point(&mut rng)).collect();
+            let t = Topology::new(&positions, &vec![true; n], 250.0);
+            let (a, b) = (NodeId::new(0), NodeId::new(n as u32 - 1));
+            match (t.hops(a, b), t.shortest_path(a, b)) {
+                (Some(h), Some(path)) => {
+                    prop_assert_eq!(path.len() as u32, h + 1);
+                    for pair in path.windows(2) {
+                        prop_assert!(t.are_neighbors(pair[0], pair[1]));
+                    }
+                }
+                (None, None) => {}
+                (hops, path) => prop_assert!(false, "hops {hops:?} vs path {path:?} disagree"),
+            }
+        }
+
+        /// within_hops(ttl) is exactly the set at BFS distance 1..=ttl.
+        #[test]
+        fn prop_within_hops_consistent(seed in any::<u64>(), n in 2usize..25, ttl in 1u32..6) {
+            let mut rng = mp2p_sim::SimRng::from_seed(seed, 2);
+            let terrain = mp2p_mobility::Terrain::new(1_000.0, 1_000.0);
+            let positions: Vec<Point> = (0..n).map(|_| terrain.random_point(&mut rng)).collect();
+            let t = Topology::new(&positions, &vec![true; n], 250.0);
+            let root = NodeId::new(0);
+            let mut reach: Vec<NodeId> = t.within_hops(root, ttl);
+            reach.sort_unstable();
+            let mut expected: Vec<NodeId> = (1..n)
+                .map(|i| NodeId::new(i as u32))
+                .filter(|&v| matches!(t.hops(root, v), Some(h) if h <= ttl))
+                .collect();
+            expected.sort_unstable();
+            prop_assert_eq!(reach, expected);
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Regression tests for the link-failure and loop-guard machinery —
+//! each of these scenarios produced a real bug during development:
+//! unbounded forwarding loops from hop-count-learned routes, and
+//! discovery storms from stale-route repair.
+
+use mp2p_mobility::Point;
+use mp2p_net::{Frame, NetAction, NetConfig, NetPayload, NetStack, NetTimer, Topology};
+use mp2p_sim::{NodeId, SimTime};
+
+fn n(i: u32) -> NodeId {
+    NodeId::new(i)
+}
+
+/// A line topology 0—1—2—3 (200 m spacing, 250 m range).
+fn line_topology(count: usize) -> Topology {
+    let positions: Vec<Point> = (0..count)
+        .map(|i| Point::new(i as f64 * 200.0, 0.0))
+        .collect();
+    Topology::new(&positions, &vec![true; count], 250.0)
+}
+
+#[test]
+fn split_horizon_refuses_to_bounce_a_frame_back() {
+    // Node 1 receives a data frame from node 0 addressed to node 3, but
+    // its (poisoned) route to 3 points back at 0. It must not forward —
+    // that is the two-node loop — and must instead send an RERR.
+    let mut stack: NetStack<u8> = NetStack::new(n(1), NetConfig::default());
+    let t0 = SimTime::ZERO;
+    // Teach node 1 a route to 3 via 0 by receiving a frame whose origin
+    // is 3 from transmitter 0.
+    let teach = Frame::Unicast {
+        origin: n(3),
+        dest: n(1),
+        hops: 2,
+        payload: NetPayload::App(0u8),
+        size: 32,
+    };
+    let _ = stack.on_frame(t0, n(0), teach);
+    // Now 0 hands us a frame for 3: the only route points straight back.
+    let data = Frame::Unicast {
+        origin: n(0),
+        dest: n(3),
+        hops: 1,
+        payload: NetPayload::App(7u8),
+        size: 64,
+    };
+    let actions = stack.on_frame(t0, n(0), data);
+    for action in &actions {
+        if let NetAction::Send { next_hop, frame } = action {
+            assert!(
+                frame.is_control(),
+                "split horizon must block the data forward to {next_hop}"
+            );
+        }
+    }
+}
+
+#[test]
+fn hop_budget_kills_runaway_frames() {
+    // A frame that claims to have travelled max_unicast_hops already must
+    // be dropped (with at most an RERR), not forwarded.
+    let cfg = NetConfig::default();
+    let mut stack: NetStack<u8> = NetStack::new(n(1), cfg);
+    // Teach a forward route to 3 via 2.
+    let teach = Frame::Unicast {
+        origin: n(3),
+        dest: n(0),
+        hops: 1,
+        payload: NetPayload::App(0u8),
+        size: 32,
+    };
+    let _ = stack.on_frame(SimTime::ZERO, n(2), teach);
+    let tired = Frame::Unicast {
+        origin: n(0),
+        dest: n(3),
+        hops: cfg.max_unicast_hops,
+        payload: NetPayload::App(9u8),
+        size: 64,
+    };
+    let actions = stack.on_frame(SimTime::ZERO, n(0), tired);
+    for action in &actions {
+        if let NetAction::Send { frame, .. } = action {
+            assert!(
+                frame.is_control(),
+                "exhausted frames must not be forwarded as data"
+            );
+        }
+        assert!(
+            !matches!(action, NetAction::Broadcast(_)),
+            "a dying frame must not trigger floods"
+        );
+    }
+}
+
+#[test]
+fn send_failure_purges_routes_and_rediscovers() {
+    let topo = line_topology(4);
+    let mut stack: NetStack<u8> = NetStack::new(n(0), NetConfig::default());
+    let t0 = SimTime::ZERO;
+    // Learn a route to 3 via 1 (frame from origin 3 arrives via 1).
+    let teach = Frame::Unicast {
+        origin: n(3),
+        dest: n(0),
+        hops: 2,
+        payload: NetPayload::App(0u8),
+        size: 32,
+    };
+    let _ = stack.on_frame(t0, n(1), teach);
+    assert!(stack.has_route(n(3), t0));
+    // Send data: it goes to next hop 1.
+    let actions = stack.send_app(t0, n(3), 42u8, 64);
+    let frame = match &actions[..] {
+        [NetAction::Send { next_hop, frame }] => {
+            assert_eq!(*next_hop, n(1));
+            frame.clone()
+        }
+        other => panic!("expected one unicast send, got {other:?}"),
+    };
+    // The driver reports the hop dead: routes through 1 purge, the packet
+    // re-queues behind a fresh discovery.
+    let actions = stack.on_send_failed(t0, n(1), frame);
+    assert!(
+        !stack.has_route(n(3), t0),
+        "failed hop must purge the route"
+    );
+    assert!(
+        actions
+            .iter()
+            .any(|a| matches!(a, NetAction::Broadcast(f) if f.is_control())),
+        "a fresh RREQ must go out"
+    );
+    assert!(
+        actions.iter().any(|a| matches!(
+            a,
+            NetAction::SetTimer {
+                timer: NetTimer::RreqTimeout { .. },
+                ..
+            }
+        )),
+        "the discovery must be guarded by a timeout"
+    );
+    let _ = topo; // geometry documented above; the stack itself is topology-blind
+}
+
+#[test]
+fn discovery_failure_returns_every_buffered_packet() {
+    let mut stack: NetStack<u8> = NetStack::new(n(0), NetConfig::default());
+    let t0 = SimTime::ZERO;
+    // Queue three packets to an unknown destination.
+    for payload in [1u8, 2, 3] {
+        let _ = stack.send_app(t0, n(9), payload, 64);
+    }
+    // Exhaust the retries.
+    let cfg = NetConfig::default();
+    let mut returned = Vec::new();
+    for attempt in 1..=cfg.rreq_retries + 1 {
+        let actions = stack.on_timer(
+            t0,
+            NetTimer::RreqTimeout {
+                dest: n(9),
+                attempt,
+            },
+        );
+        for action in actions {
+            if let NetAction::Undeliverable { dest, payload } = action {
+                assert_eq!(dest, n(9));
+                returned.push(payload);
+            }
+        }
+    }
+    returned.sort_unstable();
+    assert_eq!(
+        returned,
+        vec![1, 2, 3],
+        "every buffered packet must come back exactly once"
+    );
+}
+
+#[test]
+fn duplicate_rreq_timeouts_are_harmless() {
+    let mut stack: NetStack<u8> = NetStack::new(n(0), NetConfig::default());
+    let t0 = SimTime::ZERO;
+    let _ = stack.send_app(t0, n(5), 1u8, 64);
+    let first = stack.on_timer(
+        t0,
+        NetTimer::RreqTimeout {
+            dest: n(5),
+            attempt: 1,
+        },
+    );
+    assert!(!first.is_empty(), "retry must act");
+    // The same timer firing twice (scheduling race) must not double-retry
+    // with the same attempt counter once the pending state advanced.
+    let dup = stack.on_timer(
+        t0,
+        NetTimer::RreqTimeout {
+            dest: n(5),
+            attempt: 1,
+        },
+    );
+    assert!(
+        dup.iter()
+            .all(|a| !matches!(a, NetAction::Undeliverable { .. })),
+        "a stale duplicate timer must not fail the discovery"
+    );
+}

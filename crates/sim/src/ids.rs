@@ -1,0 +1,121 @@
+//! Identifier newtypes shared across the workspace.
+//!
+//! Section 3 of the paper fixes the naming: mobile hosts
+//! `M = {M_1 .. M_m}` and data items `D = {D_1 .. D_n}`, with `m = n` and
+//! host `M_i` acting as the *source host* of item `D_i`. The two newtypes
+//! below keep those spaces statically distinct while preserving the
+//! paper's index correspondence through [`NodeId::owned_item`] and
+//! [`ItemId::source_host`].
+
+use std::fmt;
+
+/// Identifier of a mobile host (peer) in the MP2P system.
+///
+/// # Example
+///
+/// ```
+/// use mp2p_sim::NodeId;
+///
+/// let m3 = NodeId::new(3);
+/// assert_eq!(m3.owned_item().source_host(), m3);
+/// assert_eq!(m3.to_string(), "M3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+/// Identifier of a data item.
+///
+/// # Example
+///
+/// ```
+/// use mp2p_sim::ItemId;
+///
+/// assert_eq!(ItemId::new(7).to_string(), "D7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ItemId(u32);
+
+impl NodeId {
+    /// Creates a node identifier from its index.
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// The raw index of this node.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The data item this node is the source host of (the paper's `m = n`
+    /// correspondence: `M_i` owns `D_i`).
+    pub const fn owned_item(self) -> ItemId {
+        ItemId(self.0)
+    }
+
+    /// Iterates over the first `count` node identifiers, `M_0 .. M_{count-1}`.
+    pub fn all(count: usize) -> impl Iterator<Item = NodeId> + Clone {
+        (0..count as u32).map(NodeId)
+    }
+}
+
+impl ItemId {
+    /// Creates an item identifier from its index.
+    pub const fn new(index: u32) -> Self {
+        ItemId(index)
+    }
+
+    /// The raw index of this item.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The unique source host holding this item's master copy.
+    pub const fn source_host(self) -> NodeId {
+        NodeId(self.0)
+    }
+
+    /// Iterates over the first `count` item identifiers, `D_0 .. D_{count-1}`.
+    pub fn all(count: usize) -> impl Iterator<Item = ItemId> + Clone {
+        (0..count as u32).map(ItemId)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M{}", self.0)
+    }
+}
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "D{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_host_correspondence_is_involutive() {
+        for node in NodeId::all(10) {
+            assert_eq!(node.owned_item().source_host(), node);
+        }
+        for item in ItemId::all(10) {
+            assert_eq!(item.source_host().owned_item(), item);
+        }
+    }
+
+    #[test]
+    fn all_enumerates_in_order() {
+        let nodes: Vec<_> = NodeId::all(3).collect();
+        assert_eq!(nodes, vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(ItemId::all(0).count(), 0);
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(ItemId::new(0) < ItemId::new(9));
+    }
+}

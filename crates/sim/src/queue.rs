@@ -1,0 +1,211 @@
+//! The stable event queue at the heart of the simulator.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A time-ordered event queue with stable FIFO ordering for ties.
+///
+/// Events scheduled for the same instant are popped in the order they were
+/// pushed. This stability is what makes whole-system runs deterministic:
+/// two protocol actions scheduled "now" never race on heap internals.
+///
+/// # Example
+///
+/// ```
+/// use mp2p_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_millis(7), 'b');
+/// q.push(SimTime::from_millis(3), 'a');
+/// assert_eq!(q.peek_time(), Some(SimTime::from_millis(3)));
+/// assert_eq!(q.pop(), Some((SimTime::from_millis(3), 'a')));
+/// assert_eq!(q.pop(), Some((SimTime::from_millis(7), 'b')));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) wins.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Creates an empty queue with room for `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` at `time`.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, FIFO among ties.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Extend<(SimTime, E)> for EventQueue<E> {
+    fn extend<I: IntoIterator<Item = (SimTime, E)>>(&mut self, iter: I) {
+        for (time, event) in iter {
+            self.push(time, event);
+        }
+    }
+}
+
+impl<E> FromIterator<(SimTime, E)> for EventQueue<E> {
+    fn from_iter<I: IntoIterator<Item = (SimTime, E)>>(iter: I) -> Self {
+        let mut queue = EventQueue::new();
+        queue.extend(iter);
+        queue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for (t, e) in [(5, "e5"), (1, "e1"), (3, "e3"), (2, "e2"), (4, "e4")] {
+            q.push(SimTime::from_millis(t), e);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["e1", "e2", "e3", "e4", "e5"]);
+    }
+
+    #[test]
+    fn ties_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(10);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(10), "late");
+        q.push(SimTime::from_millis(1), "early");
+        assert_eq!(q.pop().unwrap().1, "early");
+        q.push(SimTime::from_millis(5), "mid");
+        assert_eq!(q.pop().unwrap().1, "mid");
+        assert_eq!(q.pop().unwrap().1, "late");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q: EventQueue<u8> = (0..4).map(|i| (SimTime::from_millis(i), i as u8)).collect();
+        assert_eq!(q.len(), 4);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    proptest! {
+        /// The queue is a *stable* priority queue: output is the input
+        /// stably sorted by timestamp.
+        #[test]
+        fn prop_stable_priority_order(times in proptest::collection::vec(0u64..50, 0..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(SimTime::from_millis(t), i);
+            }
+            let mut expected: Vec<(u64, usize)> =
+                times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+            expected.sort(); // (time, insertion index): stable sort order
+            let got: Vec<(u64, usize)> =
+                std::iter::from_fn(|| q.pop()).map(|(t, i)| (t.as_millis(), i)).collect();
+            prop_assert_eq!(got, expected);
+        }
+
+        /// Popping never yields a timestamp earlier than the previous one.
+        #[test]
+        fn prop_monotone_pop(times in proptest::collection::vec(0u64..1_000, 1..100)) {
+            let mut q = EventQueue::new();
+            for &t in &times {
+                q.push(SimTime::from_millis(t), ());
+            }
+            let mut last = SimTime::ZERO;
+            while let Some((t, ())) = q.pop() {
+                prop_assert!(t >= last);
+                last = t;
+            }
+        }
+    }
+}

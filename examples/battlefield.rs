@@ -1,0 +1,87 @@
+//! Battlefield scenario (the paper's first motivating example):
+//! "a group of soldiers, each with a micro-data center … update the
+//! information (e.g. geographic information or enemy information) in
+//! their data centers momentarily, and can share with each other the new
+//! information and commands."
+//!
+//! ```text
+//! cargo run --release --example battlefield
+//! ```
+//!
+//! Characteristics modelled here: *fast-changing* source data (updates
+//! every 30 s), *strong consistency demanded* (orders and enemy positions
+//! must be current), squad-like movement at a brisk walk, and radios that
+//! occasionally drop (terrain, jamming → 2% frame loss, frequent short
+//! disconnections). The run compares RPCC(SC) against the pull baseline —
+//! the natural competitor when strong freshness is required.
+
+use mp2p::net::LinkModel;
+use mp2p::rpcc::{LevelMix, MobilityKind, RunReport, Strategy, World, WorldConfig};
+use mp2p::sim::SimDuration;
+
+fn battlefield_config(strategy: Strategy, seed: u64) -> WorldConfig {
+    let mut config = WorldConfig::paper_default(seed);
+    config.n_peers = 30; // one platoon
+    config.terrain = mp2p::mobility::Terrain::new(1_000.0, 1_000.0);
+    config.sim_time = SimDuration::from_mins(40);
+    config.warmup = SimDuration::from_mins(5);
+    config.strategy = strategy;
+    config.level_mix = LevelMix::strong_only();
+    // Enemy information changes fast, and everyone checks often.
+    config.i_update = SimDuration::from_secs(30);
+    config.i_query = SimDuration::from_secs(10);
+    // Soldiers on foot, short halts.
+    config.mobility = MobilityKind::Waypoint {
+        speed_min: 0.8,
+        speed_max: 2.2,
+        max_pause: SimDuration::from_secs(15),
+    };
+    // Contested spectrum: some loss, radios cycling for silence discipline.
+    config.link = LinkModel::new(
+        2_000_000,
+        SimDuration::from_millis(1),
+        SimDuration::from_millis(4),
+        0.02,
+    );
+    config.i_switch = Some(SimDuration::from_mins(4));
+    config.switch_off_mean = SimDuration::from_secs(20);
+    config
+}
+
+fn describe(name: &str, report: &RunReport) {
+    println!("\n=== {name}");
+    println!("  transmissions/min: {:>8.0}", report.traffic_per_minute());
+    println!("  mean latency:      {:>8.3}s", report.mean_latency_secs());
+    println!(
+        "  served / failed:   {:>6} / {}",
+        report.queries_served(),
+        report.queries_failed
+    );
+    println!(
+        "  stale answers:     {:>7.2}%  (max staleness {:.1}s)",
+        (1.0 - report.audit.fresh_fraction()) * 100.0,
+        report.audit.max_staleness().as_secs_f64()
+    );
+    println!(
+        "  energy used:       {:>8.1} J",
+        report.energy_used_mj / 1_000.0
+    );
+}
+
+fn main() {
+    println!("Battlefield information sharing: 30 soldiers, 1 km², SC queries every 10 s");
+
+    let rpcc = World::new(battlefield_config(Strategy::Rpcc, 7)).run();
+    let pull = World::new(battlefield_config(Strategy::Pull, 7)).run();
+
+    describe("RPCC (strong consistency)", &rpcc);
+    describe("Simple pull baseline", &pull);
+
+    let saved = 100.0 * (1.0 - rpcc.traffic_per_minute() / pull.traffic_per_minute());
+    println!(
+        "\nRPCC moved {:.0}% less traffic than flood-polling for the same strong-consistency \
+         workload\n(relay overlay held {:.1} relay items on average).",
+        saved,
+        rpcc.relay_gauge.mean()
+    );
+}

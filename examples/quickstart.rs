@@ -1,0 +1,86 @@
+//! Quickstart: run one RPCC scenario and read its report.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a scaled-down version of the paper's Table 1 scenario (20 peers,
+//! 10 simulated minutes), runs RPCC with a hybrid consistency mix, and
+//! walks through the interesting parts of the [`mp2p::rpcc::RunReport`].
+
+use mp2p::metrics::MessageClass;
+use mp2p::rpcc::{ConsistencyLevel, LevelMix, Strategy, World, WorldConfig};
+use mp2p::sim::SimDuration;
+
+fn main() {
+    // Start from the test-sized scenario and customise it.
+    let mut config = WorldConfig::small_test(42);
+    config.strategy = Strategy::Rpcc;
+    config.level_mix = LevelMix::hybrid(); // 1/3 weak, 1/3 Δ, 1/3 strong
+    config.sim_time = SimDuration::from_mins(15);
+    config.warmup = SimDuration::from_mins(3);
+
+    println!(
+        "Running RPCC: {} peers, {} simulated…",
+        config.n_peers, config.sim_time
+    );
+    let report = World::new(config).run();
+
+    println!("\n— query service —");
+    println!("  issued:        {}", report.queries_issued);
+    println!("  served:        {}", report.queries_served());
+    println!(
+        "  failed:        {} ({:.1}%)",
+        report.queries_failed,
+        report.failure_rate() * 100.0
+    );
+    println!("  mean latency:  {:.3}s", report.mean_latency_secs());
+    println!(
+        "  p95 latency:   {:.3}s",
+        report.latency.percentile(0.95).as_secs_f64()
+    );
+
+    println!("\n— per consistency level —");
+    for level in ConsistencyLevel::ALL {
+        let lat = &report.latency_by_level[level.index()];
+        let audit = &report.audit_by_level[level.index()];
+        println!(
+            "  {}: {} served, mean {:.3}s, {:.1}% stale answers",
+            level,
+            audit.served(),
+            lat.mean_secs(),
+            (1.0 - audit.fresh_fraction()) * 100.0
+        );
+    }
+
+    println!("\n— network cost —");
+    println!("  transmissions/min: {:.0}", report.traffic_per_minute());
+    for class in [
+        MessageClass::Invalidation,
+        MessageClass::Update,
+        MessageClass::Poll,
+        MessageClass::PollAckA,
+        MessageClass::PollAckB,
+        MessageClass::RouteControl,
+    ] {
+        println!(
+            "  {:>14}: {}",
+            class.label(),
+            report.traffic.by_class(class)
+        );
+    }
+
+    println!("\n— relay overlay —");
+    println!(
+        "  relay items (mean over samples): {:.1}",
+        report.relay_gauge.mean()
+    );
+    println!(
+        "  candidate nodes (mean):          {:.1}",
+        report.candidate_gauge.mean()
+    );
+    println!(
+        "  energy used: {:.1} J across all nodes",
+        report.energy_used_mj / 1_000.0
+    );
+}

@@ -1,0 +1,123 @@
+//! System-level tests of the future-work extensions (paper Section 6):
+//! adaptive push/pull frequency and relay-population admission control.
+
+use mp2p::rpcc::{LevelMix, RunReport, Strategy, World, WorldConfig};
+use mp2p::sim::SimDuration;
+
+fn base(seed: u64) -> WorldConfig {
+    let mut cfg = WorldConfig::paper_default(seed);
+    cfg.n_peers = 25;
+    cfg.terrain = mp2p::mobility::Terrain::new(900.0, 900.0);
+    cfg.c_num = 6;
+    cfg.sim_time = SimDuration::from_mins(25);
+    cfg.warmup = SimDuration::from_mins(5);
+    cfg.strategy = Strategy::Rpcc;
+    cfg.level_mix = LevelMix::delta_only();
+    cfg
+}
+
+fn run(cfg: WorldConfig) -> RunReport {
+    World::new(cfg).run()
+}
+
+#[test]
+fn adaptive_mode_cuts_traffic_when_updates_are_rare() {
+    // Items that update every 15 minutes don't need 2-minute reports or
+    // 4-minute Δ re-validations; the adaptive rules should discover that.
+    // The discovery needs observations (a source learns its gap only
+    // after two updates), so this test runs a longer window.
+    let mut fixed = base(1);
+    fixed.sim_time = SimDuration::from_mins(75);
+    fixed.warmup = SimDuration::from_mins(15);
+    fixed.i_update = SimDuration::from_mins(15);
+    let mut adaptive = fixed.clone();
+    adaptive.proto.adaptive = true;
+    let fixed = run(fixed);
+    let adaptive = run(adaptive);
+    assert!(
+        adaptive.traffic_per_minute() < fixed.traffic_per_minute(),
+        "adaptive must beat fixed under rare updates: {:.0} vs {:.0} tx/min",
+        adaptive.traffic_per_minute(),
+        fixed.traffic_per_minute()
+    );
+    // And it must not wreck staleness: Δ answers can be older (longer
+    // leases on quiet items), but version lag stays bounded.
+    assert!(adaptive.audit.max_version_lag() <= fixed.audit.max_version_lag() + 2);
+}
+
+#[test]
+fn adaptive_mode_reports_faster_under_hot_updates() {
+    // With updates every 30 s, the adaptive source reports on the update
+    // timescale (clamped at TTN/span = 30 s), shrinking SC staleness.
+    let mut fixed = base(2);
+    fixed.level_mix = LevelMix::strong_only();
+    fixed.i_update = SimDuration::from_secs(30);
+    let mut adaptive = fixed.clone();
+    adaptive.proto.adaptive = true;
+    let fixed = run(fixed);
+    let adaptive = run(adaptive);
+    assert!(
+        adaptive.audit.max_staleness() <= fixed.audit.max_staleness(),
+        "faster reports must not worsen SC staleness: {} vs {}",
+        adaptive.audit.max_staleness(),
+        fixed.audit.max_staleness()
+    );
+}
+
+#[test]
+fn relay_cap_bounds_the_overlay() {
+    let mut uncapped = base(3);
+    uncapped.level_mix = LevelMix::strong_only();
+    let mut capped = uncapped.clone();
+    capped.proto.max_relays_per_item = Some(1);
+    let uncapped = run(uncapped);
+    let capped = run(capped);
+    assert!(
+        capped.relay_gauge.mean() < uncapped.relay_gauge.mean(),
+        "a cap of 1 relay/item must shrink the overlay: {:.1} vs {:.1}",
+        capped.relay_gauge.mean(),
+        uncapped.relay_gauge.mean()
+    );
+    // The capped system still works — queries still served.
+    assert!(capped.audit.served() > 0);
+    assert!(
+        capped.failure_rate() < 0.5,
+        "capped relay overlay must still serve most queries, failed {:.1}%",
+        capped.failure_rate() * 100.0
+    );
+}
+
+#[test]
+fn relay_cap_trades_update_push_for_poll_traffic() {
+    use mp2p::metrics::MessageClass;
+    let mut uncapped = base(4);
+    uncapped.level_mix = LevelMix::strong_only();
+    let mut capped = uncapped.clone();
+    capped.proto.max_relays_per_item = Some(1);
+    let uncapped = run(uncapped);
+    let capped = run(capped);
+    // Fewer relays ⇒ fewer UPDATE pushes from sources…
+    assert!(
+        capped.traffic.by_class(MessageClass::Update)
+            <= uncapped.traffic.by_class(MessageClass::Update),
+        "capping relays cannot increase UPDATE pushes"
+    );
+    // …but pollers have fewer nearby answerers, so polls don't shrink.
+    assert!(
+        capped.traffic.by_class(MessageClass::Poll) * 10
+            >= uncapped.traffic.by_class(MessageClass::Poll) * 8,
+        "poll traffic must not collapse when relays are scarce"
+    );
+}
+
+#[test]
+fn extensions_compose_and_stay_deterministic() {
+    let mut cfg = base(5);
+    cfg.proto.adaptive = true;
+    cfg.proto.max_relays_per_item = Some(3);
+    let a = run(cfg.clone());
+    let b = run(cfg);
+    assert_eq!(a.traffic.transmissions(), b.traffic.transmissions());
+    assert_eq!(a.audit.served(), b.audit.served());
+    assert!(a.audit.served() > 0);
+}

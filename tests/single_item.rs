@@ -1,0 +1,83 @@
+//! The Fig. 9 single-item scenario: "one peer is randomly selected as the
+//! source host and its data item is cached by all other peers."
+
+use mp2p::rpcc::{LevelMix, RunReport, Strategy, WorkloadMode, World, WorldConfig};
+use mp2p::sim::SimDuration;
+
+fn single(strategy: Strategy, ttl: u8, seed: u64) -> RunReport {
+    let mut cfg = WorldConfig::paper_default(seed);
+    cfg.n_peers = 30;
+    cfg.terrain = mp2p::mobility::Terrain::new(1_100.0, 1_100.0);
+    cfg.sim_time = SimDuration::from_mins(16);
+    cfg.warmup = SimDuration::from_mins(4);
+    cfg.workload = WorkloadMode::SingleItem;
+    cfg.strategy = strategy;
+    cfg.level_mix = LevelMix::strong_only();
+    cfg.proto.invalidation_ttl = ttl;
+    World::new(cfg).run()
+}
+
+#[test]
+fn only_the_selected_source_floods_invalidations() {
+    use mp2p::metrics::MessageClass;
+    let r = single(Strategy::Rpcc, 3, 1);
+    // One source flooding every TTN=2 min with TTL 3 over a 12-minute
+    // measured window: a handful of floods, each a few dozen hops — far
+    // below what 30 publishing sources would generate (hundreds/minute).
+    let inval = r.traffic.by_class(MessageClass::Invalidation);
+    let per_minute = inval as f64 / 12.0;
+    assert!(per_minute > 0.0, "the source must keep flooding reports");
+    assert!(
+        per_minute < 30.0,
+        "only one source may flood; got {per_minute:.0} invalidation tx/min"
+    );
+}
+
+#[test]
+fn all_queries_target_the_single_item() {
+    let r = single(Strategy::Rpcc, 3, 2);
+    // Version lag only makes sense against the one item's history; a
+    // mixed-catalogue run would show far more served queries (the source
+    // itself queries nothing in this mode).
+    assert!(r.queries_issued > 0);
+    assert_eq!(r.queries_issued, r.queries_served() + r.queries_failed);
+}
+
+#[test]
+fn wider_invalidation_scope_elects_more_relays() {
+    let narrow = single(Strategy::Rpcc, 1, 3);
+    let wide = single(Strategy::Rpcc, 7, 3);
+    assert!(
+        wide.relay_gauge.mean() > narrow.relay_gauge.mean() * 1.3,
+        "TTL 7 must elect visibly more relays than TTL 1: {:.1} vs {:.1}",
+        narrow.relay_gauge.mean(),
+        wide.relay_gauge.mean()
+    );
+}
+
+#[test]
+fn rpcc_sits_between_pull_and_push_on_traffic() {
+    let pull = single(Strategy::Pull, 3, 4);
+    let push = single(Strategy::Push, 3, 4);
+    let rpcc = single(Strategy::Rpcc, 3, 4);
+    assert!(
+        rpcc.traffic_per_minute() < pull.traffic_per_minute(),
+        "RPCC ({:.0}) below pull ({:.0})",
+        rpcc.traffic_per_minute(),
+        pull.traffic_per_minute()
+    );
+    assert!(
+        rpcc.traffic_per_minute() > push.traffic_per_minute(),
+        "RPCC ({:.0}) above push ({:.0})",
+        rpcc.traffic_per_minute(),
+        push.traffic_per_minute()
+    );
+}
+
+#[test]
+fn deterministic_source_selection_per_seed() {
+    let a = single(Strategy::Rpcc, 3, 5);
+    let b = single(Strategy::Rpcc, 3, 5);
+    assert_eq!(a.traffic.transmissions(), b.traffic.transmissions());
+    assert_eq!(a.audit.served(), b.audit.served());
+}

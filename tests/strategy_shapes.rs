@@ -1,0 +1,240 @@
+//! The paper's qualitative results as executable assertions, at reduced
+//! scale: who wins on traffic, who wins on latency, and how the curves
+//! move (Figs. 7–9 of the paper).
+
+use mp2p::rpcc::{LevelMix, RunReport, Strategy, WorkloadMode, World, WorldConfig};
+use mp2p::sim::SimDuration;
+
+/// A mid-sized scenario: big enough for multi-hop structure, small enough
+/// for debug-mode CI.
+fn base(seed: u64) -> WorldConfig {
+    let mut cfg = WorldConfig::paper_default(seed);
+    cfg.n_peers = 30;
+    cfg.terrain = mp2p::mobility::Terrain::new(1_100.0, 1_100.0);
+    cfg.c_num = 6;
+    cfg.sim_time = SimDuration::from_mins(20);
+    cfg.warmup = SimDuration::from_mins(5);
+    cfg
+}
+
+fn run_with(strategy: Strategy, mix: LevelMix, seed: u64) -> RunReport {
+    let mut cfg = base(seed);
+    cfg.strategy = strategy;
+    cfg.level_mix = mix;
+    World::new(cfg).run()
+}
+
+#[test]
+fn fig7_pull_generates_the_most_traffic() {
+    let pull = run_with(Strategy::Pull, LevelMix::strong_only(), 42);
+    let push = run_with(Strategy::Push, LevelMix::strong_only(), 42);
+    let sc = run_with(Strategy::Rpcc, LevelMix::strong_only(), 42);
+    assert!(
+        pull.traffic_per_minute() > push.traffic_per_minute(),
+        "pull ({:.0}) must out-traffic push ({:.0})",
+        pull.traffic_per_minute(),
+        push.traffic_per_minute()
+    );
+    assert!(
+        pull.traffic_per_minute() > sc.traffic_per_minute(),
+        "pull ({:.0}) must out-traffic RPCC(SC) ({:.0}) — 'still saves more messages than \
+         the pure pull strategy'",
+        pull.traffic_per_minute(),
+        sc.traffic_per_minute()
+    );
+}
+
+#[test]
+fn fig7_weaker_levels_cost_less() {
+    let sc = run_with(Strategy::Rpcc, LevelMix::strong_only(), 7);
+    let dc = run_with(Strategy::Rpcc, LevelMix::delta_only(), 7);
+    let wc = run_with(Strategy::Rpcc, LevelMix::weak_only(), 7);
+    assert!(
+        sc.traffic_per_minute() > dc.traffic_per_minute(),
+        "SC ({:.0}) costs more than DC ({:.0})",
+        sc.traffic_per_minute(),
+        dc.traffic_per_minute()
+    );
+    assert!(
+        dc.traffic_per_minute() > wc.traffic_per_minute(),
+        "DC ({:.0}) costs more than WC ({:.0})",
+        dc.traffic_per_minute(),
+        wc.traffic_per_minute()
+    );
+}
+
+#[test]
+fn fig7b_longer_query_intervals_shrink_pull_traffic() {
+    let mut fast = base(3);
+    fast.strategy = Strategy::Pull;
+    fast.i_query = SimDuration::from_secs(10);
+    let mut slow = base(3);
+    slow.strategy = Strategy::Pull;
+    slow.i_query = SimDuration::from_secs(60);
+    let fast = World::new(fast).run();
+    let slow = World::new(slow).run();
+    assert!(
+        fast.traffic_per_minute() > 2.0 * slow.traffic_per_minute(),
+        "pull traffic is query-driven: {:.0} vs {:.0}",
+        fast.traffic_per_minute(),
+        slow.traffic_per_minute()
+    );
+}
+
+#[test]
+fn fig7c_push_traffic_grows_with_cache_number_pull_does_not() {
+    let runs = |c_num: usize, strategy: Strategy| {
+        let mut cfg = base(4);
+        cfg.c_num = c_num;
+        cfg.strategy = strategy;
+        World::new(cfg).run().traffic_per_minute()
+    };
+    let push_small = runs(2, Strategy::Push);
+    let push_large = runs(12, Strategy::Push);
+    assert!(
+        push_large > push_small,
+        "push traffic must grow with cache number: {push_small:.0} -> {push_large:.0}"
+    );
+    let pull_small = runs(2, Strategy::Pull);
+    let pull_large = runs(12, Strategy::Pull);
+    let drift = (pull_large - pull_small).abs() / pull_small;
+    assert!(
+        drift < 0.25,
+        "pull traffic is query-driven, so cache size must barely matter: \
+         {pull_small:.0} vs {pull_large:.0}"
+    );
+}
+
+#[test]
+fn fig8_push_latency_is_on_the_invalidation_scale() {
+    let push = run_with(Strategy::Push, LevelMix::strong_only(), 5);
+    let ttn_secs = 120.0;
+    assert!(
+        push.mean_latency_secs() > 0.25 * ttn_secs,
+        "IR discipline: push latency ({:.1}s) rides the invalidation interval",
+        push.mean_latency_secs()
+    );
+    let pull = run_with(Strategy::Pull, LevelMix::strong_only(), 5);
+    assert!(
+        push.mean_latency_secs() > 50.0 * pull.mean_latency_secs(),
+        "push ({:.1}s) vs pull ({:.3}s) must differ by orders of magnitude (log-scale Fig 8)",
+        push.mean_latency_secs(),
+        pull.mean_latency_secs()
+    );
+}
+
+#[test]
+fn fig8_rpcc_latency_is_at_the_pull_level() {
+    let pull = run_with(Strategy::Pull, LevelMix::strong_only(), 6);
+    let sc = run_with(Strategy::Rpcc, LevelMix::strong_only(), 6);
+    let push = run_with(Strategy::Push, LevelMix::strong_only(), 6);
+    // "at the same level as pull": same order of magnitude, and nowhere
+    // near push.
+    assert!(
+        sc.mean_latency_secs() < 10.0 * pull.mean_latency_secs().max(0.05),
+        "RPCC(SC) ({:.3}s) must stay at the pull level ({:.3}s)",
+        sc.mean_latency_secs(),
+        pull.mean_latency_secs()
+    );
+    assert!(sc.mean_latency_secs() < push.mean_latency_secs() / 20.0);
+}
+
+#[test]
+fn fig8_weak_consistency_answers_instantly() {
+    let wc = run_with(Strategy::Rpcc, LevelMix::weak_only(), 8);
+    assert_eq!(wc.mean_latency_secs(), 0.0, "weak reads are local");
+    assert_eq!(wc.queries_failed, 0, "weak reads cannot fail");
+}
+
+#[test]
+fn fig8c_more_cache_means_faster_rpcc() {
+    let lat = |c_num: usize| {
+        let mut cfg = base(9);
+        cfg.strategy = Strategy::Rpcc;
+        cfg.level_mix = LevelMix::strong_only();
+        cfg.c_num = c_num;
+        World::new(cfg).run().mean_latency_secs()
+    };
+    let small = lat(2);
+    let large = lat(12);
+    assert!(
+        large < small * 1.1,
+        "more cache copies -> more relays -> RPCC latency must not grow: {small:.3}s -> {large:.3}s"
+    );
+}
+
+#[test]
+fn fig9_ttl_moves_rpcc_between_pull_and_push() {
+    let run_ttl = |ttl: u8| {
+        let mut cfg = base(10);
+        cfg.workload = WorkloadMode::SingleItem;
+        cfg.strategy = Strategy::Rpcc;
+        cfg.level_mix = LevelMix::strong_only();
+        cfg.proto.invalidation_ttl = ttl;
+        World::new(cfg).run()
+    };
+    let narrow = run_ttl(1);
+    let wide = run_ttl(7);
+    assert!(
+        wide.relay_gauge.mean() > narrow.relay_gauge.mean(),
+        "a wider invalidation scope must elect more relays: {:.1} -> {:.1}",
+        narrow.relay_gauge.mean(),
+        wide.relay_gauge.mean()
+    );
+    assert!(
+        wide.traffic_per_minute() < narrow.traffic_per_minute() * 1.05,
+        "traffic must trend down as TTL grows: {:.0} -> {:.0}",
+        narrow.traffic_per_minute(),
+        wide.traffic_per_minute()
+    );
+    assert!(
+        wide.mean_latency_secs() <= narrow.mean_latency_secs(),
+        "latency must trend down as TTL grows: {:.3}s -> {:.3}s",
+        narrow.mean_latency_secs(),
+        wide.mean_latency_secs()
+    );
+}
+
+#[test]
+fn hybrid_sits_between_weak_and_strong() {
+    let sc = run_with(Strategy::Rpcc, LevelMix::strong_only(), 11);
+    let wc = run_with(Strategy::Rpcc, LevelMix::weak_only(), 11);
+    let hy = run_with(Strategy::Rpcc, LevelMix::hybrid(), 11);
+    assert!(hy.traffic_per_minute() < sc.traffic_per_minute());
+    assert!(hy.traffic_per_minute() > wc.traffic_per_minute());
+}
+
+#[test]
+fn push_adaptive_pull_sits_between_its_parents() {
+    // Lan03's third strategy: push-like traffic, pull-like latency.
+    let push = run_with(Strategy::Push, LevelMix::strong_only(), 13);
+    let pull = run_with(Strategy::Pull, LevelMix::strong_only(), 13);
+    let pap = run_with(Strategy::PushAdaptivePull, LevelMix::strong_only(), 13);
+    assert!(
+        pap.traffic_per_minute() < pull.traffic_per_minute(),
+        "Push+AP ({:.0}) must undercut flood-polling ({:.0})",
+        pap.traffic_per_minute(),
+        pull.traffic_per_minute()
+    );
+    assert!(
+        pap.mean_latency_secs() < push.mean_latency_secs() / 10.0,
+        "Push+AP ({:.2}s) must answer far faster than IR-waiting push ({:.1}s)",
+        pap.mean_latency_secs(),
+        push.mean_latency_secs()
+    );
+    // And its staleness is report-cycle bounded like RPCC's relays.
+    assert!(pap.audit.max_staleness() <= mp2p::sim::SimDuration::from_mins(3));
+}
+
+#[test]
+fn staleness_orders_by_level() {
+    let sc = run_with(Strategy::Rpcc, LevelMix::strong_only(), 12);
+    let wc = run_with(Strategy::Rpcc, LevelMix::weak_only(), 12);
+    let frac = |r: &RunReport| 1.0 - r.audit.fresh_fraction();
+    assert!(
+        frac(&wc) > frac(&sc),
+        "weak reads must serve more stale answers than strong reads: {:.3} vs {:.3}",
+        frac(&wc),
+        frac(&sc)
+    );
+}

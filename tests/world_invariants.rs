@@ -1,0 +1,145 @@
+//! World-level invariants that must hold for every strategy: exact
+//! determinism, query accounting, and sane instrument readouts.
+
+use mp2p::rpcc::{LevelMix, RunReport, Strategy, World, WorldConfig};
+use mp2p::sim::SimDuration;
+
+fn run(strategy: Strategy, seed: u64) -> RunReport {
+    let mut cfg = WorldConfig::small_test(seed);
+    cfg.strategy = strategy;
+    cfg.level_mix = LevelMix::hybrid();
+    cfg.sim_time = SimDuration::from_mins(8);
+    cfg.warmup = SimDuration::from_mins(2);
+    World::new(cfg).run()
+}
+
+/// Everything we can observe about a run, flattened for equality checks.
+fn fingerprint(r: &RunReport) -> Vec<u64> {
+    vec![
+        r.traffic.transmissions(),
+        r.traffic.bytes(),
+        r.latency.count(),
+        r.latency.mean().as_millis(),
+        r.latency.max().as_millis(),
+        r.audit.served(),
+        r.audit.stale_served(),
+        r.audit.max_staleness().as_millis(),
+        r.queries_issued,
+        r.queries_failed,
+        r.relay_gauge.count(),
+        (r.relay_gauge.mean() * 1_000.0) as u64,
+        (r.energy_used_mj * 1_000.0) as u64,
+    ]
+}
+
+#[test]
+fn identical_seeds_give_identical_runs() {
+    for strategy in [Strategy::Rpcc, Strategy::Push, Strategy::Pull] {
+        let a = fingerprint(&run(strategy, 1234));
+        let b = fingerprint(&run(strategy, 1234));
+        assert_eq!(a, b, "{strategy} run must be bit-for-bit deterministic");
+    }
+}
+
+#[test]
+fn different_seeds_give_different_runs() {
+    let a = fingerprint(&run(Strategy::Rpcc, 1));
+    let b = fingerprint(&run(Strategy::Rpcc, 2));
+    assert_ne!(a, b, "seeds must actually matter");
+}
+
+#[test]
+fn query_accounting_partitions_exactly() {
+    for strategy in [Strategy::Rpcc, Strategy::Push, Strategy::Pull] {
+        let r = run(strategy, 77);
+        assert_eq!(
+            r.queries_issued,
+            r.queries_served() + r.queries_failed,
+            "{strategy}: every measured query is served or failed, exactly once"
+        );
+        assert!(
+            r.queries_issued > 0,
+            "{strategy}: workload must generate queries"
+        );
+        assert_eq!(
+            r.latency.count(),
+            r.audit.served(),
+            "one latency sample per served query"
+        );
+    }
+}
+
+#[test]
+fn per_level_metrics_sum_to_totals() {
+    let r = run(Strategy::Rpcc, 5);
+    let served_by_level: u64 = r.audit_by_level.iter().map(|a| a.served()).sum();
+    assert_eq!(served_by_level, r.audit.served());
+    let latencies_by_level: u64 = r.latency_by_level.iter().map(|l| l.count()).sum();
+    assert_eq!(latencies_by_level, r.latency.count());
+}
+
+#[test]
+fn energy_is_spent_and_bounded() {
+    for strategy in [Strategy::Rpcc, Strategy::Push, Strategy::Pull] {
+        let r = run(strategy, 9);
+        assert!(
+            r.energy_used_mj > 0.0,
+            "{strategy}: radios must cost energy"
+        );
+        // 20 nodes with 100 kJ-equivalent batteries: cannot exceed capacity.
+        assert!(r.energy_used_mj <= 20.0 * 100_000.0);
+        let b = r.battery_gauge.last();
+        assert!(
+            (0.0..=1.0).contains(&b),
+            "{strategy}: battery fraction out of range: {b}"
+        );
+    }
+}
+
+#[test]
+fn gauges_only_report_relays_for_rpcc() {
+    let rpcc = run(Strategy::Rpcc, 3);
+    let push = run(Strategy::Push, 3);
+    let pull = run(Strategy::Pull, 3);
+    assert!(rpcc.relay_gauge.mean() > 0.0, "RPCC must elect relay peers");
+    assert!(
+        rpcc.candidate_gauge.mean() > 0.0,
+        "RPCC must have candidates"
+    );
+    assert_eq!(push.relay_gauge.mean(), 0.0);
+    assert_eq!(pull.relay_gauge.mean(), 0.0);
+}
+
+#[test]
+fn measured_window_is_reported() {
+    let r = run(Strategy::Rpcc, 4);
+    assert_eq!(
+        r.measured,
+        SimDuration::from_mins(6),
+        "8 min run minus 2 min warmup"
+    );
+    assert!(r.traffic_per_minute() > 0.0);
+}
+
+#[test]
+fn strategies_disagree_on_cost() {
+    // Not a shape test (see strategy_shapes.rs) — just that the strategy
+    // knob demonstrably changes behaviour.
+    let rpcc = fingerprint(&run(Strategy::Rpcc, 21));
+    let push = fingerprint(&run(Strategy::Push, 21));
+    let pull = fingerprint(&run(Strategy::Pull, 21));
+    assert_ne!(rpcc, push);
+    assert_ne!(rpcc, pull);
+    assert_ne!(push, pull);
+}
+
+#[test]
+fn audit_never_sees_future_versions() {
+    // The audit panics inside the run if a cache ever serves a version the
+    // source has not produced; completing runs for all strategies is the
+    // assertion.
+    for strategy in [Strategy::Rpcc, Strategy::Push, Strategy::Pull] {
+        let r = run(strategy, 31);
+        assert!(r.audit.served() > 0, "{strategy} must serve queries");
+    }
+}

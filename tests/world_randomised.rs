@@ -1,0 +1,115 @@
+//! Randomised whole-system runs: many small scenarios with random
+//! parameters must complete, balance their accounting, and respect the
+//! instruments' invariants. (Seeded loops rather than proptest: each case
+//! is a full simulation, so we bound the count explicitly.)
+
+use mp2p::rpcc::{LevelMix, MobilityKind, Strategy, World, WorldConfig};
+use mp2p::sim::{SimDuration, SimRng};
+
+fn random_config(rng: &mut SimRng) -> WorldConfig {
+    let n_peers = 6 + rng.uniform_u64(20) as usize;
+    let mut cfg = WorldConfig::paper_default(rng.next_u64());
+    cfg.n_peers = n_peers;
+    cfg.c_num = (1 + rng.uniform_u64(4) as usize).min(n_peers - 1);
+    cfg.terrain = mp2p::mobility::Terrain::new(
+        400.0 + rng.uniform_f64() * 1_600.0,
+        400.0 + rng.uniform_f64() * 1_600.0,
+    );
+    cfg.sim_time = SimDuration::from_secs(240 + rng.uniform_u64(360));
+    cfg.warmup = SimDuration::from_secs(60);
+    cfg.i_update = SimDuration::from_secs(20 + rng.uniform_u64(300));
+    cfg.i_query = SimDuration::from_secs(3 + rng.uniform_u64(40));
+    cfg.strategy = match rng.uniform_u64(3) {
+        0 => Strategy::Rpcc,
+        1 => Strategy::Push,
+        _ => Strategy::Pull,
+    };
+    cfg.level_mix = match rng.uniform_u64(4) {
+        0 => LevelMix::weak_only(),
+        1 => LevelMix::delta_only(),
+        2 => LevelMix::strong_only(),
+        _ => LevelMix::hybrid(),
+    };
+    cfg.mobility = match rng.uniform_u64(4) {
+        0 => MobilityKind::Stationary,
+        1 => MobilityKind::Walk {
+            speed_min: 0.5,
+            speed_max: 3.0,
+            epoch: SimDuration::from_secs(20),
+        },
+        2 => MobilityKind::Manhattan {
+            block: 120.0,
+            speed: 1.5,
+        },
+        _ => MobilityKind::Waypoint {
+            speed_min: 0.5,
+            speed_max: 2.5,
+            max_pause: SimDuration::from_secs(20),
+        },
+    };
+    if rng.bernoulli(0.5) {
+        cfg.link.loss_prob = rng.uniform_f64() * 0.15;
+    }
+    if rng.bernoulli(0.3) {
+        cfg.i_switch = None;
+    }
+    if rng.bernoulli(0.25) {
+        cfg.proto.adaptive = true;
+    }
+    if rng.bernoulli(0.25) {
+        cfg.proto.max_relays_per_item = Some(1 + rng.uniform_u64(4) as usize);
+    }
+    cfg
+}
+
+#[test]
+fn random_scenarios_complete_with_balanced_accounting() {
+    let mut rng = SimRng::from_seed(0xFEED, 0);
+    for case in 0..24 {
+        let cfg = random_config(&mut rng);
+        let label = format!(
+            "case {case}: {:?} n={} c={} loss={:.2}",
+            cfg.strategy, cfg.n_peers, cfg.c_num, cfg.link.loss_prob
+        );
+        let report = World::new(cfg).run();
+        assert_eq!(
+            report.queries_issued,
+            report.queries_served() + report.queries_failed,
+            "{label}: accounting must balance"
+        );
+        assert_eq!(
+            report.latency.count(),
+            report.audit.served(),
+            "{label}: one latency sample per served query"
+        );
+        let f = report.failure_rate();
+        assert!(
+            (0.0..=1.0).contains(&f),
+            "{label}: failure rate {f} out of range"
+        );
+        let fresh = report.audit.fresh_fraction();
+        assert!(
+            (0.0..=1.0).contains(&fresh),
+            "{label}: fresh fraction {fresh} out of range"
+        );
+        let battery = report.battery_gauge.last();
+        assert!(
+            (0.0..=1.0).contains(&battery) || report.battery_gauge.count() == 0,
+            "{label}: battery fraction {battery} out of range"
+        );
+    }
+}
+
+#[test]
+fn random_scenarios_are_reproducible() {
+    let mut rng_a = SimRng::from_seed(0xABCD, 0);
+    let mut rng_b = SimRng::from_seed(0xABCD, 0);
+    for _ in 0..6 {
+        let a = World::new(random_config(&mut rng_a)).run();
+        let b = World::new(random_config(&mut rng_b)).run();
+        assert_eq!(a.traffic.transmissions(), b.traffic.transmissions());
+        assert_eq!(a.audit.served(), b.audit.served());
+        assert_eq!(a.queries_failed, b.queries_failed);
+        assert_eq!(a.latency.mean(), b.latency.mean());
+    }
+}
