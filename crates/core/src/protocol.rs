@@ -2,6 +2,7 @@
 
 use mp2p_cache::{CacheStore, DataItem, Version};
 use mp2p_sim::{ItemId, NodeId, SimDuration, SimRng, SimTime};
+use mp2p_trace::{RelayTransitionKind, ServedBy};
 
 use crate::config::ProtocolConfig;
 use crate::level::ConsistencyLevel;
@@ -75,11 +76,21 @@ pub enum CtxOut {
         query: QueryId,
         /// The version served to the client.
         version: Version,
+        /// Which copy produced the answer (flight-recorder metadata).
+        served_by: ServedBy,
     },
     /// Give up on an open query (counted as failed, not as latency).
     Fail {
         /// The abandoned query.
         query: QueryId,
+    },
+    /// Report a relay state-machine transition (Fig. 5) to the flight
+    /// recorder. Carries no simulation effect.
+    Transition {
+        /// The item whose relay duty changed on this node.
+        item: ItemId,
+        /// What happened.
+        kind: RelayTransitionKind,
     },
 }
 
@@ -154,14 +165,23 @@ impl<'a> Ctx<'a> {
         self.out.push(CtxOut::SetTimer { after, timer });
     }
 
-    /// Answers an open query.
-    pub fn answer(&mut self, query: QueryId, version: Version) {
-        self.out.push(CtxOut::Answer { query, version });
+    /// Answers an open query, noting which copy served it.
+    pub fn answer(&mut self, query: QueryId, version: Version, served_by: ServedBy) {
+        self.out.push(CtxOut::Answer {
+            query,
+            version,
+            served_by,
+        });
     }
 
     /// Abandons an open query.
     pub fn fail(&mut self, query: QueryId) {
         self.out.push(CtxOut::Fail { query });
+    }
+
+    /// Reports a relay state-machine transition (Fig. 5) for tracing.
+    pub fn transition(&mut self, item: ItemId, kind: RelayTransitionKind) {
+        self.out.push(CtxOut::Transition { item, kind });
     }
 
     /// Drains the buffered outputs (driver-side).
@@ -253,9 +273,10 @@ mod tests {
             },
         );
         ctx.set_timer(SimDuration::from_secs(1), Timer::Ttn);
-        ctx.answer(QueryId(7), Version::new(2));
+        ctx.answer(QueryId(7), Version::new(2), ServedBy::Source);
+        ctx.transition(ItemId::new(1), RelayTransitionKind::Promoted);
         let out = ctx.take_outputs();
-        assert_eq!(out.len(), 3);
+        assert_eq!(out.len(), 4);
         assert!(matches!(out[0], CtxOut::Send { .. }));
         assert!(matches!(
             out[1],
@@ -268,6 +289,14 @@ mod tests {
             out[2],
             CtxOut::Answer {
                 query: QueryId(7),
+                served_by: ServedBy::Source,
+                ..
+            }
+        ));
+        assert!(matches!(
+            out[3],
+            CtxOut::Transition {
+                kind: RelayTransitionKind::Promoted,
                 ..
             }
         ));

@@ -11,6 +11,7 @@ use std::collections::HashMap;
 
 use mp2p_cache::Version;
 use mp2p_sim::{ItemId, NodeId};
+use mp2p_trace::ServedBy;
 
 use crate::config::ProtocolConfig;
 use crate::level::ConsistencyLevel;
@@ -62,7 +63,8 @@ impl SimplePull {
         queries.sort_unstable();
         for q in queries {
             self.pending.remove(&q);
-            ctx.answer(q, version);
+            // Only the source host answers polls in simple pull.
+            ctx.answer(q, version, ServedBy::Source);
         }
     }
 }
@@ -81,7 +83,7 @@ impl Protocol for SimplePull {
     ) {
         if item == ctx.own_item.id() {
             let version = ctx.own_item.version();
-            ctx.answer(query, version);
+            ctx.answer(query, version, ServedBy::Source);
             return;
         }
         ctx.cache.touch(item);
@@ -266,7 +268,7 @@ mod tests {
         });
         assert!(out
             .iter()
-            .any(|o| matches!(o, CtxOut::Answer { query: QueryId(9), version } if *version == Version::new(3))));
+            .any(|o| matches!(o, CtxOut::Answer { query: QueryId(9), version, .. } if *version == Version::new(3))));
         assert_eq!(
             fx.cache.peek(ItemId::new(1)).unwrap().version,
             Version::new(3)

@@ -14,6 +14,7 @@
 use std::collections::HashMap;
 
 use mp2p_sim::{ItemId, NodeId, SimDuration};
+use mp2p_trace::ServedBy;
 
 use crate::config::ProtocolConfig;
 use crate::level::ConsistencyLevel;
@@ -72,13 +73,17 @@ impl SimplePush {
         }
     }
 
-    fn answer_all_for(&mut self, ctx: &mut Ctx<'_>, item: ItemId) {
+    /// Releases queries on `item`; `vouched_by` attributes the *waiting*
+    /// queries (their cached copy was validated by a report, or refreshed
+    /// by a fetch). Fetch-blocked queries are always served fresh source
+    /// content.
+    fn answer_all_for(&mut self, ctx: &mut Ctx<'_>, item: ItemId, vouched_by: ServedBy) {
         let Some(entry) = ctx.cache.peek(item).copied() else {
             return;
         };
         if let Some(waiting) = self.waiting.remove(&item) {
             for q in waiting {
-                ctx.answer(q, entry.version);
+                ctx.answer(q, entry.version, vouched_by);
             }
         }
         let mut fetched: Vec<QueryId> = self
@@ -91,7 +96,7 @@ impl SimplePush {
         fetched.sort_unstable();
         for q in fetched {
             self.pending_fetch.remove(&q);
-            ctx.answer(q, entry.version);
+            ctx.answer(q, entry.version, ServedBy::Source);
         }
     }
 }
@@ -114,7 +119,7 @@ impl Protocol for SimplePush {
     ) {
         if item == ctx.own_item.id() {
             let version = ctx.own_item.version();
-            ctx.answer(query, version);
+            ctx.answer(query, version, ServedBy::Source);
             return;
         }
         if ctx.cache.touch(item).is_none() {
@@ -139,7 +144,7 @@ impl Protocol for SimplePush {
                 };
                 if entry.version >= version {
                     // Report confirms freshness: release waiting queries.
-                    self.answer_all_for(ctx, item);
+                    self.answer_all_for(ctx, item, ServedBy::Cache);
                 } else {
                     ctx.cache.mark_stale(item);
                     // Fetch on demand: only queries actually waiting on
@@ -169,7 +174,7 @@ impl Protocol for SimplePush {
                     ctx.cache.insert(item, version, content_bytes, ctx.now);
                 }
                 self.fetch_in_flight.insert(item, false);
-                self.answer_all_for(ctx, item);
+                self.answer_all_for(ctx, item, ServedBy::Source);
             }
             _ => {} // push uses no other message types
         }
@@ -355,7 +360,7 @@ mod tests {
         });
         assert!(out
             .iter()
-            .any(|o| matches!(o, CtxOut::Answer { query: QueryId(2), version } if *version == Version::new(2))));
+            .any(|o| matches!(o, CtxOut::Answer { query: QueryId(2), version, .. } if *version == Version::new(2))));
         assert_eq!(
             fx.cache.peek(ItemId::new(1)).unwrap().version,
             Version::new(2)

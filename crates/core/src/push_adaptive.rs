@@ -14,6 +14,7 @@
 use std::collections::HashMap;
 
 use mp2p_sim::{ItemId, NodeId, SimDuration, SimTime};
+use mp2p_trace::ServedBy;
 
 use crate::config::ProtocolConfig;
 use crate::level::ConsistencyLevel;
@@ -73,7 +74,8 @@ impl PushAdaptivePull {
         queries.sort_unstable();
         for q in queries {
             self.pending.remove(&q);
-            ctx.answer(q, entry.version);
+            // Fetch-blocked queries are always served fresh source content.
+            ctx.answer(q, entry.version, ServedBy::Source);
         }
     }
 }
@@ -102,7 +104,7 @@ impl Protocol for PushAdaptivePull {
     ) {
         if item == ctx.own_item.id() {
             let version = ctx.own_item.version();
-            ctx.answer(query, version);
+            ctx.answer(query, version, ServedBy::Source);
             return;
         }
         let Some(entry) = ctx.cache.touch(item).copied() else {
@@ -115,7 +117,7 @@ impl Protocol for PushAdaptivePull {
         );
         if live && !entry.stale {
             // The push stream vouches for the copy: answer immediately.
-            ctx.answer(query, entry.version);
+            ctx.answer(query, entry.version, ServedBy::Cache);
         } else {
             // Marked stale, or we drifted out of the flood's reach:
             // adaptive pull from the source.
@@ -336,7 +338,7 @@ mod tests {
         });
         assert!(out
             .iter()
-            .any(|o| matches!(o, CtxOut::Answer { query: QueryId(3), version } if *version == Version::new(2))));
+            .any(|o| matches!(o, CtxOut::Answer { query: QueryId(3), version, .. } if *version == Version::new(2))));
     }
 
     #[test]

@@ -16,6 +16,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use mp2p_cache::Version;
 use mp2p_sim::{ItemId, NodeId, SimTime};
+use mp2p_trace::{RelayTransitionKind, ServedBy};
 
 use crate::adaptive::AdaptiveTuner;
 use crate::coefficients::Coefficients;
@@ -233,8 +234,8 @@ impl Rpcc {
     }
 
     /// Answers every open query on `item` with the (just-validated)
-    /// cached version.
-    fn answer_pending_for(&mut self, ctx: &mut Ctx<'_>, item: ItemId) {
+    /// cached version, attributing the answer to `served_by`.
+    fn answer_pending_for(&mut self, ctx: &mut Ctx<'_>, item: ItemId, served_by: ServedBy) {
         let version = match ctx.cache.peek(item) {
             Some(e) => e.version,
             None => return,
@@ -249,7 +250,7 @@ impl Rpcc {
         queries.sort_unstable();
         for q in queries {
             self.pending.remove(&q);
-            ctx.answer(q, version);
+            ctx.answer(q, version, served_by);
         }
     }
 
@@ -345,6 +346,7 @@ impl Rpcc {
                 if !st.awaiting_get_new {
                     st.awaiting_get_new = true;
                     ctx.send(source, ProtoMsg::GetNew { item });
+                    ctx.transition(item, RelayTransitionKind::ResyncStarted);
                 }
             } else {
                 let st = self.relay.get_mut(&item).expect("checked above");
@@ -363,6 +365,7 @@ impl Rpcc {
             if reapply_ok {
                 self.applied.insert(item, ctx.now);
                 ctx.send(source, ProtoMsg::Apply { item });
+                ctx.transition(item, RelayTransitionKind::ApplySent);
             }
         }
     }
@@ -380,7 +383,9 @@ impl Rpcc {
         if self.relay.contains_key(&item) {
             let st = self.relay.get_mut(&item).expect("checked above");
             st.ttr_expiry = ctx.now + Self::relay_lease(ctx.cfg);
-            st.awaiting_get_new = false;
+            if std::mem::take(&mut st.awaiting_get_new) {
+                ctx.transition(item, RelayTransitionKind::ResyncCompleted);
+            }
             refresh_or_insert(ctx, item, version, content);
             self.drain_held_polls(ctx, item);
         } else if self.candidate {
@@ -396,6 +401,7 @@ impl Rpcc {
                     awaiting_get_new: false,
                 },
             );
+            ctx.transition(item, RelayTransitionKind::Promoted);
         } else {
             // Plain cache peer: the owner missed our CANCEL (Fig. 6(d)
             // 32–35): use the data, tell it again.
@@ -454,6 +460,7 @@ impl Rpcc {
                 if !st.awaiting_get_new {
                     st.awaiting_get_new = true;
                     ctx.send(item.source_host(), ProtoMsg::GetNew { item });
+                    ctx.transition(item, RelayTransitionKind::ResyncStarted);
                 }
             }
         }
@@ -484,7 +491,12 @@ impl Rpcc {
         // Sticky nearest-relay choice: switching on every answer would
         // churn routes; failures clear the entry instead.
         self.known_relay.entry(item).or_insert(from);
-        self.answer_pending_for(ctx, item);
+        let served_by = if from == item.source_host() {
+            ServedBy::Source
+        } else {
+            ServedBy::Relay
+        };
+        self.answer_pending_for(ctx, item, served_by);
     }
 
     /// Promotion on APPLY_ACK (Fig. 6(d) lines 24–26).
@@ -508,8 +520,10 @@ impl Rpcc {
             st.ttr_expiry = ctx.now; // stale until SEND_NEW arrives
             st.awaiting_get_new = true;
             ctx.send(item.source_host(), ProtoMsg::GetNew { item });
+            ctx.transition(item, RelayTransitionKind::ResyncStarted);
         }
         self.relay.insert(item, st);
+        ctx.transition(item, RelayTransitionKind::Promoted);
     }
 
     /// Demotes this node from all relay roles (coefficient failure;
@@ -523,6 +537,7 @@ impl Rpcc {
                 drop(st);
             }
             ctx.send(item.source_host(), ProtoMsg::Cancel { item });
+            ctx.transition(item, RelayTransitionKind::Demoted);
             // The copy stays cached; give it a normal TTP lease from now.
             self.renew_ttp(ctx, item);
         }
@@ -564,7 +579,7 @@ impl Protocol for Rpcc {
         self.coeffs.note_access();
         if item == ctx.own_item.id() {
             let version = ctx.own_item.version();
-            ctx.answer(query, version);
+            ctx.answer(query, version, ServedBy::Source);
             return;
         }
         let Some(entry) = ctx.cache.touch(item).copied() else {
@@ -573,13 +588,13 @@ impl Protocol for Rpcc {
         };
         // A relay's own copy is authoritative while TTR is fresh.
         if self.ttr_fresh(item, ctx.now) {
-            ctx.answer(query, entry.version);
+            ctx.answer(query, entry.version, ServedBy::Relay);
             return;
         }
         match level {
-            ConsistencyLevel::Weak => ctx.answer(query, entry.version),
+            ConsistencyLevel::Weak => ctx.answer(query, entry.version, ServedBy::Cache),
             ConsistencyLevel::Delta if self.ttp_fresh(item, ctx.now) => {
-                ctx.answer(query, entry.version);
+                ctx.answer(query, entry.version, ServedBy::Cache);
             }
             ConsistencyLevel::Delta | ConsistencyLevel::Strong => {
                 self.start_poll(ctx, query, item, 1);
@@ -641,7 +656,9 @@ impl Protocol for Rpcc {
                 if self.relay.contains_key(&item) {
                     let st = self.relay.get_mut(&item).expect("checked above");
                     st.ttr_expiry = ctx.now + Self::relay_lease(ctx.cfg);
-                    st.awaiting_get_new = false;
+                    if std::mem::take(&mut st.awaiting_get_new) {
+                        ctx.transition(item, RelayTransitionKind::ResyncCompleted);
+                    }
                     self.drain_held_polls(ctx, item);
                 } else {
                     self.renew_ttp(ctx, item);
@@ -703,7 +720,7 @@ impl Protocol for Rpcc {
                 self.note_master_version(item, version);
                 refresh_or_insert(ctx, item, version, content_bytes);
                 self.renew_ttp(ctx, item);
-                self.answer_pending_for(ctx, item);
+                self.answer_pending_for(ctx, item, ServedBy::Source);
             }
             // Replica writes are handled by the simulation driver before
             // they reach the protocol layer.
@@ -902,7 +919,7 @@ mod tests {
     fn answers_of(out: &[crate::CtxOut]) -> Vec<(QueryId, Version)> {
         out.iter()
             .filter_map(|o| match o {
-                crate::CtxOut::Answer { query, version } => Some((*query, *version)),
+                crate::CtxOut::Answer { query, version, .. } => Some((*query, *version)),
                 _ => None,
             })
             .collect()
@@ -1184,7 +1201,18 @@ mod tests {
                 },
             )
         });
-        assert!(out.is_empty(), "up-to-date new relay needs no GET_NEW");
+        assert!(
+            out.iter()
+                .all(|o| matches!(o, crate::CtxOut::Transition { .. })),
+            "up-to-date new relay needs no GET_NEW"
+        );
+        assert!(out.iter().any(|o| matches!(
+            o,
+            crate::CtxOut::Transition {
+                kind: RelayTransitionKind::Promoted,
+                ..
+            }
+        )));
         assert!(fx.proto.is_relay_for(ItemId::new(1)));
         assert_eq!(fx.proto.role(), RelayRole::Relay);
     }
@@ -1318,7 +1346,13 @@ mod tests {
                 },
             )
         });
-        assert!(out.is_empty());
+        assert!(out.iter().all(|o| matches!(
+            o,
+            crate::CtxOut::Transition {
+                kind: RelayTransitionKind::ResyncCompleted,
+                ..
+            }
+        )));
         assert_eq!(
             fx.cache.peek(ItemId::new(1)).unwrap().version,
             Version::new(2)
@@ -1367,7 +1401,13 @@ mod tests {
                 },
             )
         });
-        assert!(out.is_empty());
+        assert!(out.iter().all(|o| matches!(
+            o,
+            crate::CtxOut::Transition {
+                kind: RelayTransitionKind::Promoted,
+                ..
+            }
+        )));
         assert!(
             fx.proto.is_relay_for(ItemId::new(1)),
             "Fig 6(d) 28-31: missed APPLY_ACK"

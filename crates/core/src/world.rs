@@ -15,9 +15,10 @@ use mp2p_mobility::{
     SubnetGrid, Terrain,
 };
 use mp2p_net::{
-    Frame, LinkModel, NetAction, NetConfig, NetStack, NetTimer, RouteControl, Topology,
+    Frame, LinkModel, NetAction, NetConfig, NetEvent, NetStack, NetTimer, RouteControl, Topology,
 };
 use mp2p_sim::{EventQueue, ItemId, NodeId, SimDuration, SimRng, SimTime};
+use mp2p_trace::{LevelTag, NullSink, ServedBy, TraceEvent, TraceSink};
 
 use crate::config::ProtocolConfig;
 use crate::level::{ConsistencyLevel, LevelMix};
@@ -447,6 +448,83 @@ impl RunReport {
             self.queries_failed as f64 / self.queries_issued as f64
         }
     }
+
+    /// Serialises the headline results as one JSON object (hand-rolled;
+    /// the workspace is dependency-free). Keys are stable: scripts may
+    /// parse them.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(1024);
+        s.push('{');
+        // json::escape returns the quoted literal, quotes included.
+        let _ = write!(
+            s,
+            "\"strategy\":{},\"level_mix\":{},",
+            mp2p_trace::json::escape(self.strategy.label()),
+            mp2p_trace::json::escape(self.level_mix.label()),
+        );
+        let _ = write!(
+            s,
+            "\"measured_secs\":{},\"transmissions\":{},\"app_transmissions\":{},\"bytes\":{},",
+            self.measured.as_secs_f64(),
+            self.traffic.transmissions(),
+            self.traffic.app_transmissions(),
+            self.traffic.bytes(),
+        );
+        s.push_str("\"traffic_by_class\":{");
+        let mut first = true;
+        for class in MessageClass::ALL {
+            let n = self.traffic.by_class(class);
+            if n == 0 {
+                continue; // keep the object small; absent means zero
+            }
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            let _ = write!(s, "{}:{}", mp2p_trace::json::escape(class.label()), n);
+        }
+        s.push_str("},");
+        let _ = write!(
+            s,
+            "\"traffic_per_minute\":{},\"queries_issued\":{},\"queries_served\":{},\"queries_failed\":{},",
+            self.traffic_per_minute(),
+            self.queries_issued,
+            self.queries_served(),
+            self.queries_failed,
+        );
+        let _ = write!(
+            s,
+            "\"mean_latency_secs\":{},\"max_latency_secs\":{},",
+            self.mean_latency_secs(),
+            self.latency.max().as_secs_f64(),
+        );
+        let _ = write!(
+            s,
+            "\"stale_served\":{},\"fresh_fraction\":{},\"max_staleness_secs\":{},",
+            self.audit.stale_served(),
+            self.audit.fresh_fraction(),
+            self.audit.max_staleness().as_secs_f64(),
+        );
+        let _ = write!(
+            s,
+            "\"writes_issued\":{},\"writes_completed\":{},\"writes_failed\":{},",
+            self.writes_issued,
+            self.writes_completed(),
+            self.writes_failed,
+        );
+        let _ = write!(
+            s,
+            "\"relay_items_mean\":{},\"candidates_mean\":{},\"routes_mean\":{},\"battery_mean\":{},\"energy_used_mj\":{}",
+            self.relay_gauge.mean(),
+            self.candidate_gauge.mean(),
+            self.route_gauge.mean(),
+            self.battery_gauge.mean(),
+            self.energy_used_mj,
+        );
+        s.push('}');
+        s
+    }
 }
 
 /// The simulation world. Construct with a [`WorldConfig`], call
@@ -487,6 +565,9 @@ pub struct World {
     candidate_gauge: Gauge,
     route_gauge: Gauge,
     battery_gauge: Gauge,
+    /// Flight recorder. [`NullSink`] by default, so the hot path stays
+    /// allocation-free unless a run opts in via [`World::set_tracer`].
+    tracer: Box<dyn TraceSink>,
 }
 
 impl World {
@@ -616,9 +697,64 @@ impl World {
             candidate_gauge: Gauge::default(),
             route_gauge: Gauge::default(),
             battery_gauge: Gauge::default(),
+            tracer: Box::new(NullSink),
         };
         world.bootstrap();
         world
+    }
+
+    /// Installs a flight-recorder sink for this run and switches the
+    /// network stacks' event buffering on (or off for a [`NullSink`]).
+    /// Call before [`World::run_traced`]; events from the bootstrap phase
+    /// (already past) are not replayed.
+    pub fn set_tracer(&mut self, tracer: Box<dyn TraceSink>) {
+        let on = tracer.enabled();
+        self.tracer = tracer;
+        for node in self.nodes.iter_mut() {
+            node.stack.set_tracing(on);
+        }
+    }
+
+    /// Records one event at the current sim time, if tracing is on.
+    fn trace(&mut self, event: TraceEvent) {
+        if self.tracer.enabled() {
+            self.tracer.record(self.now, &event);
+        }
+    }
+
+    /// Converts the network stack's buffered diagnostics into trace
+    /// events. Called on entry to [`World::apply_net_actions`], which is
+    /// the single funnel every stack invocation drains through.
+    fn drain_net_events(&mut self, node: NodeId) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        for ev in self.nodes[node.index()].stack.take_events() {
+            let event = match ev {
+                NetEvent::FloodDupDrop { origin } => TraceEvent::FloodDupDrop { node, origin },
+                NetEvent::FloodTtlExhausted { origin } => {
+                    TraceEvent::FloodTtlExhausted { node, origin }
+                }
+                NetEvent::RreqDupDrop { origin } => TraceEvent::RreqDupDrop { node, origin },
+                NetEvent::HopBudgetDrop { origin, dest } => {
+                    TraceEvent::HopBudgetDrop { node, origin, dest }
+                }
+                NetEvent::NoRouteDrop { origin, dest } => {
+                    TraceEvent::NoRouteDrop { node, origin, dest }
+                }
+                NetEvent::DiscoveryStart { dest, attempt } => TraceEvent::DiscoveryStart {
+                    node,
+                    dest,
+                    attempt,
+                },
+                NetEvent::DiscoveryFailed { dest, dropped } => TraceEvent::DiscoveryFailed {
+                    node,
+                    dest,
+                    dropped,
+                },
+            };
+            self.tracer.record(self.now, &event);
+        }
     }
 
     fn bootstrap(&mut self) {
@@ -697,7 +833,14 @@ impl World {
     }
 
     /// Runs to completion and returns the report.
-    pub fn run(mut self) -> RunReport {
+    pub fn run(self) -> RunReport {
+        self.run_traced().0
+    }
+
+    /// Runs to completion and hands back both the report and the
+    /// flight-recorder sink installed via [`World::set_tracer`] (a
+    /// [`NullSink`] when none was), flushed and ready for inspection.
+    pub fn run_traced(mut self) -> (RunReport, Box<dyn TraceSink>) {
         let end = SimTime::ZERO + self.cfg.sim_time;
         while let Some((t, event)) = self.queue.pop() {
             if t > end {
@@ -721,7 +864,9 @@ impl World {
             }
         }
         let energy_used_mj = self.nodes.iter().map(|n| n.battery.used_mj()).sum();
-        RunReport {
+        let mut tracer = std::mem::replace(&mut self.tracer, Box::new(NullSink));
+        tracer.flush();
+        let report = RunReport {
             strategy: self.cfg.strategy,
             level_mix: self.cfg.level_mix,
             traffic: self.traffic,
@@ -740,7 +885,8 @@ impl World {
             battery_gauge: self.battery_gauge,
             energy_used_mj,
             measured: self.cfg.sim_time - self.cfg.warmup,
-        }
+        };
+        (report, tracer)
     }
 
     fn measuring(&self) -> bool {
@@ -754,8 +900,13 @@ impl World {
                 self.schedule_next_query(id);
             }
             Event::Update(id) => {
-                self.nodes[id.index()].own_item.update();
+                let version = self.nodes[id.index()].own_item.update();
                 self.histories[id.index()].record_update(self.now);
+                self.trace(TraceEvent::SourceUpdate {
+                    node: id,
+                    item: id.owned_item(),
+                    version: version.get(),
+                });
                 self.with_proto(
                     id,
                     |proto, ctx| dispatch!(proto, p => p.on_source_update(ctx)),
@@ -781,6 +932,11 @@ impl World {
                 let up = !self.nodes[id.index()].up;
                 self.nodes[id.index()].up = up;
                 self.topo = None; // connectivity changed
+                self.trace(if up {
+                    TraceEvent::NodeUp { node: id }
+                } else {
+                    TraceEvent::NodeDown { node: id }
+                });
                 self.with_proto(
                     id,
                     |proto, ctx| dispatch!(proto, p => p.on_status_change(ctx, up)),
@@ -800,6 +956,13 @@ impl World {
             }
             Event::OracleDeliver { at, from, msg } => {
                 if self.nodes[at.index()].up {
+                    self.trace(TraceEvent::MsgDeliver {
+                        node: at,
+                        origin: from,
+                        class: msg.class(),
+                        hops: 0, // the oracle bypasses hop accounting
+                        via_flood: false,
+                    });
                     self.with_proto(
                         at,
                         |proto, ctx| dispatch!(proto, p => p.on_message(ctx, from, msg)),
@@ -884,6 +1047,12 @@ impl World {
         if measured {
             self.queries_issued += 1;
         }
+        self.trace(TraceEvent::QueryIssued {
+            node: id,
+            query: query.0,
+            item,
+            level: level_tag(level),
+        });
         self.with_proto(
             id,
             |proto, ctx| dispatch!(proto, p => p.on_query(ctx, query, item, level)),
@@ -921,31 +1090,32 @@ impl World {
         &self.topo.as_ref().expect("just built").1
     }
 
-    fn record_transmission(&mut self, frame: &Frame<ProtoMsg>) {
-        if !self.measuring() {
-            return;
+    /// Counts one MAC transmission towards the traffic metric (when past
+    /// warm-up) and the flight recorder (always; the summary sink applies
+    /// its own warm-up filter so the two stay byte-identical).
+    fn record_transmission(&mut self, node: NodeId, frame: &Frame<ProtoMsg>, dest: Option<NodeId>) {
+        let class = frame_class(frame);
+        let bytes = frame.size();
+        if self.measuring() {
+            self.traffic.record(class, bytes);
         }
-        let class = match frame {
-            Frame::Flood { payload, .. } | Frame::Unicast { payload, .. } => match payload {
-                mp2p_net::NetPayload::App(m) => m.class(),
-                mp2p_net::NetPayload::Control(
-                    RouteControl::Rreq { .. }
-                    | RouteControl::Rrep { .. }
-                    | RouteControl::Rerr { .. },
-                ) => MessageClass::RouteControl,
-            },
-        };
-        self.traffic.record(class, frame.size());
+        self.trace(TraceEvent::MsgSend {
+            node,
+            class,
+            bytes,
+            dest,
+        });
     }
 
     fn apply_net_actions(&mut self, node: NodeId, actions: Vec<NetAction<ProtoMsg>>) {
+        self.drain_net_events(node);
         for action in actions {
             match action {
                 NetAction::Broadcast(frame) => {
                     if !self.nodes[node.index()].up {
                         continue; // a down node cannot transmit
                     }
-                    self.record_transmission(&frame);
+                    self.record_transmission(node, &frame, None);
                     let tx_cost = self.cfg.energy.tx_cost(frame.size());
                     self.nodes[node.index()].battery.drain(tx_cost);
                     let delay = self.cfg.link.hop_delay(frame.size(), &mut self.link_rng);
@@ -965,7 +1135,7 @@ impl World {
                     if !self.nodes[node.index()].up {
                         continue;
                     }
-                    self.record_transmission(&frame);
+                    self.record_transmission(node, &frame, Some(next_hop));
                     let tx_cost = self.cfg.energy.tx_cost(frame.size());
                     self.nodes[node.index()].battery.drain(tx_cost);
                     let reachable = self.topology().are_neighbors(node, next_hop)
@@ -981,6 +1151,11 @@ impl World {
                             },
                         );
                     } else {
+                        self.trace(TraceEvent::MacDrop {
+                            node,
+                            next_hop,
+                            class: frame_class(&frame),
+                        });
                         // MAC-level delivery failure feedback (Section 4.5).
                         let follow_up = self.nodes[node.index()]
                             .stack
@@ -988,38 +1163,55 @@ impl World {
                         self.apply_net_actions(node, follow_up);
                     }
                 }
-                NetAction::Deliver { payload, meta } => match payload {
-                    // Replica writes are driver-level machinery: apply at
-                    // the source, acknowledge to the writer; the running
-                    // consistency strategy propagates the change.
-                    ProtoMsg::WriteRequest { item, .. } => {
-                        self.handle_write_request(node, meta.origin, item);
-                    }
-                    ProtoMsg::WriteAck { item, version } => {
-                        self.handle_write_ack(node, item, version);
-                    }
-                    _ => {
-                        self.with_proto(node, |proto, ctx| {
+                NetAction::Deliver { payload, meta } => {
+                    self.trace(TraceEvent::MsgDeliver {
+                        node,
+                        origin: meta.origin,
+                        class: payload.class(),
+                        hops: meta.hops,
+                        via_flood: meta.via_flood,
+                    });
+                    match payload {
+                        // Replica writes are driver-level machinery: apply at
+                        // the source, acknowledge to the writer; the running
+                        // consistency strategy propagates the change.
+                        ProtoMsg::WriteRequest { item, .. } => {
+                            self.handle_write_request(node, meta.origin, item);
+                        }
+                        ProtoMsg::WriteAck { item, version } => {
+                            self.handle_write_ack(node, item, version);
+                        }
+                        _ => {
+                            self.with_proto(node, |proto, ctx| {
                             dispatch!(proto, p => p.on_message(ctx, meta.origin, payload))
                         });
+                        }
                     }
-                },
+                }
                 NetAction::SetTimer { after, timer } => {
                     self.queue
                         .push(self.now + after, Event::NetTimer { at: node, timer });
                 }
-                NetAction::Undeliverable { dest, payload } => match payload {
-                    ProtoMsg::WriteRequest { item, .. } => {
-                        // The writer's own retry timer decides when to give
-                        // up; discovery failure just means wait for it.
-                        let _ = (dest, item);
+                NetAction::Undeliverable { dest, payload } => {
+                    self.trace(TraceEvent::Undeliverable {
+                        node,
+                        dest,
+                        class: payload.class(),
+                    });
+                    match payload {
+                        ProtoMsg::WriteRequest { item, .. } => {
+                            // The writer's own retry timer decides when to
+                            // give up; discovery failure just means wait
+                            // for it.
+                            let _ = (dest, item);
+                        }
+                        _ => {
+                            self.with_proto(node, |proto, ctx| {
+                                dispatch!(proto, p => p.on_undeliverable(ctx, dest, payload))
+                            });
+                        }
                     }
-                    _ => {
-                        self.with_proto(node, |proto, ctx| {
-                            dispatch!(proto, p => p.on_undeliverable(ctx, dest, payload))
-                        });
-                    }
-                },
+                }
             }
         }
     }
@@ -1066,8 +1258,19 @@ impl World {
                     self.queue
                         .push(self.now + after, Event::ProtoTimer { at: id, timer });
                 }
-                CtxOut::Answer { query, version } => self.close_answered(query, version),
-                CtxOut::Fail { query } => self.close_failed(query),
+                CtxOut::Answer {
+                    query,
+                    version,
+                    served_by,
+                } => self.close_answered(id, query, version, served_by),
+                CtxOut::Fail { query } => self.close_failed(id, query),
+                CtxOut::Transition { item, kind } => {
+                    self.trace(TraceEvent::RelayTransition {
+                        node: id,
+                        item,
+                        kind,
+                    });
+                }
             }
         }
     }
@@ -1094,6 +1297,12 @@ impl World {
                     if self.measuring() {
                         self.traffic.record(msg.class(), size);
                     }
+                    self.trace(TraceEvent::MsgSend {
+                        node: pair[0],
+                        class: msg.class(),
+                        bytes: size,
+                        dest: Some(pair[1]),
+                    });
                     let tx_cost = self.cfg.energy.tx_cost(size);
                     self.nodes[pair[0].index()].battery.drain(tx_cost);
                     let rx_cost = self.cfg.energy.rx_cost(size);
@@ -1179,6 +1388,11 @@ impl World {
         }
         let version = self.nodes[node.index()].own_item.update();
         self.histories[item.index()].record_update(self.now);
+        self.trace(TraceEvent::SourceUpdate {
+            node,
+            item,
+            version: version.get(),
+        });
         self.with_proto(
             node,
             |proto, ctx| dispatch!(proto, p => p.on_source_update(ctx)),
@@ -1228,10 +1442,25 @@ impl World {
         }
     }
 
-    fn close_answered(&mut self, query: QueryId, version: Version) {
+    fn close_answered(
+        &mut self,
+        node: NodeId,
+        query: QueryId,
+        version: Version,
+        served_by: ServedBy,
+    ) {
         let Some(open) = self.open.remove(&query) else {
             return; // duplicate answer (e.g. two poll acks): first one won
         };
+        // Traced even before warm-up: the summary sink re-derives the
+        // measured set from `issued`, so the filters agree by construction.
+        self.trace(TraceEvent::QueryServed {
+            node,
+            query: query.0,
+            level: level_tag(open.level),
+            served_by,
+            issued: open.issued,
+        });
         if !open.measured {
             return;
         }
@@ -1248,10 +1477,40 @@ impl World {
         self.audit_by_level[open.level.index()].record(served);
     }
 
-    fn close_failed(&mut self, query: QueryId) {
-        if self.open.remove(&query).is_some_and(|open| open.measured) {
+    fn close_failed(&mut self, node: NodeId, query: QueryId) {
+        let Some(open) = self.open.remove(&query) else {
+            return;
+        };
+        self.trace(TraceEvent::QueryFailed {
+            node,
+            query: query.0,
+            level: level_tag(open.level),
+        });
+        if open.measured {
             self.queries_failed += 1;
         }
+    }
+}
+
+/// MAC-level class of one frame (application payloads keep their message
+/// class; all routing control collapses into [`MessageClass::RouteControl`]).
+fn frame_class(frame: &Frame<ProtoMsg>) -> MessageClass {
+    match frame {
+        Frame::Flood { payload, .. } | Frame::Unicast { payload, .. } => match payload {
+            mp2p_net::NetPayload::App(m) => m.class(),
+            mp2p_net::NetPayload::Control(
+                RouteControl::Rreq { .. } | RouteControl::Rrep { .. } | RouteControl::Rerr { .. },
+            ) => MessageClass::RouteControl,
+        },
+    }
+}
+
+/// Maps a protocol-level consistency requirement to its trace tag.
+fn level_tag(level: ConsistencyLevel) -> LevelTag {
+    match level {
+        ConsistencyLevel::Weak => LevelTag::Weak,
+        ConsistencyLevel::Delta => LevelTag::Delta,
+        ConsistencyLevel::Strong => LevelTag::Strong,
     }
 }
 
@@ -1381,6 +1640,18 @@ mod tests {
         cfg.c_num = cfg.n_peers; // no room for the foreign catalogue
         let result = std::panic::catch_unwind(move || World::new(cfg));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn report_to_json_is_valid_json() {
+        let report = World::new(tiny(Strategy::Rpcc, 9)).run();
+        let json = report.to_json();
+        assert!(
+            mp2p_trace::json::is_valid(&json),
+            "to_json produced invalid JSON: {json}"
+        );
+        assert!(json.contains("\"strategy\":\"RPCC\""));
+        assert!(json.contains("\"queries_issued\":"));
     }
 
     #[test]

@@ -1,13 +1,33 @@
 //! Side-by-side strategy comparison at the Table 1 default point:
-//! `compare [--full] [--seed N] [--range M]`.
+//! `compare [--full] [--seed N] [--range M] [--trace PREFIX]`.
 //!
 //! Prints traffic (total and per message class), latency, staleness,
 //! failure rate, relay population and energy for Pull, Push and the four
-//! RPCC variants.
+//! RPCC variants. With `--trace PREFIX`, each strategy's run additionally
+//! writes a flight-recorder journal to `PREFIX-<name>.jsonl` (strategy
+//! names are sanitised for the filesystem: `RPCC(SC)` → `RPCC-SC`).
 
 use mp2p_experiments::{render_table, RunOptions};
 use mp2p_metrics::MessageClass;
 use mp2p_rpcc::{RunReport, World, WorldConfig};
+use mp2p_trace::JsonlSink;
+
+/// `RPCC(SC)` → `RPCC-SC`: keep trace filenames shell-friendly.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        match c {
+            c if c.is_ascii_alphanumeric() || c == '-' || c == '_' => out.push(c),
+            '+' => out.push_str("plus"),
+            _ => {
+                if !out.ends_with('-') {
+                    out.push('-');
+                }
+            }
+        }
+    }
+    out.trim_end_matches('-').to_string()
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,6 +49,11 @@ fn main() {
         .position(|a| a == "--ttl")
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse().ok());
+    let trace_prefix: Option<String> = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let opts = if full {
         RunOptions::full()
     } else {
@@ -53,7 +78,21 @@ fn main() {
             if let Some(t) = ttl {
                 cfg.proto.invalidation_ttl = t;
             }
-            World::new(cfg).run()
+            let mut world = World::new(cfg);
+            if let Some(prefix) = &trace_prefix {
+                let path = format!("{prefix}-{}.jsonl", sanitize(spec.name));
+                match JsonlSink::create(std::path::Path::new(&path)) {
+                    Ok(sink) => {
+                        world.set_tracer(Box::new(sink));
+                        eprintln!("tracing {} -> {path}", spec.name);
+                    }
+                    Err(err) => {
+                        eprintln!("cannot create trace file {path}: {err}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            world.run_traced().0
         })
         .collect();
 

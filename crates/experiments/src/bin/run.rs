@@ -7,6 +7,7 @@
 //!     [--update-secs S] [--query-secs S] [--write-secs S]
 //!     [--ttl HOPS] [--loss P] [--no-churn] [--oracle-routing]
 //!     [--adaptive] [--relay-cap N] [--single-item] [--seed N]
+//!     [--trace FILE.jsonl]
 //! ```
 //!
 //! Example: the paper's default RPCC point with lossy links and writes:
@@ -15,13 +16,18 @@
 //! cargo run --release -p mp2p-experiments --bin run -- \
 //!     --strategy rpcc --mix hy --loss 0.05 --write-secs 180 --sim 60
 //! ```
+//!
+//! `--trace` switches the flight recorder on: every message, relay
+//! transition, query and churn event is appended to the given JSONL file,
+//! and an event-count table is printed after the run.
 
 use mp2p_experiments::render_table;
 use mp2p_metrics::MessageClass;
 use mp2p_rpcc::{LevelMix, RoutingMode, Strategy, WorkloadMode, World, WorldConfig};
 use mp2p_sim::SimDuration;
+use mp2p_trace::{EventKind, JsonlSink, SummarySink, TeeSink};
 
-fn parse_args() -> Result<WorldConfig, String> {
+fn parse_args() -> Result<(WorldConfig, Option<std::path::PathBuf>), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = WorldConfig::paper_default(42);
     cfg.sim_time = SimDuration::from_mins(45);
@@ -117,12 +123,13 @@ fn parse_args() -> Result<WorldConfig, String> {
         eprintln!("note: clamping cache size to {clamped} (only {clamped} foreign items exist)");
         cfg.c_num = clamped;
     }
-    Ok(cfg)
+    let trace_path = value_of("--trace").map(std::path::PathBuf::from);
+    Ok((cfg, trace_path))
 }
 
 fn main() {
-    let cfg = match parse_args() {
-        Ok(cfg) => cfg,
+    let (cfg, trace_path) = match parse_args() {
+        Ok(parsed) => parsed,
         Err(msg) => {
             eprintln!("{msg}");
             std::process::exit(2);
@@ -138,7 +145,22 @@ fn main() {
         cfg.seed
     );
     let writes_on = cfg.i_write.is_some();
-    let report = World::new(cfg).run();
+    let warmup = cfg.warmup;
+    let mut world = World::new(cfg);
+    if let Some(path) = &trace_path {
+        let jsonl = match JsonlSink::create(path) {
+            Ok(sink) => sink,
+            Err(err) => {
+                eprintln!("cannot create trace file {}: {err}", path.display());
+                std::process::exit(2);
+            }
+        };
+        world.set_tracer(Box::new(TeeSink::new(vec![
+            Box::new(jsonl),
+            Box::new(SummarySink::new(warmup)),
+        ])));
+    }
+    let (report, tracer) = world.run_traced();
 
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut row = |k: &str, v: String| rows.push(vec![k.to_string(), v]);
@@ -204,4 +226,36 @@ fn main() {
         }
     }
     print!("{}", render_table(&["class", "transmissions"], &rows));
+
+    if let Some(path) = &trace_path {
+        let tee = tracer
+            .as_any()
+            .downcast_ref::<TeeSink>()
+            .expect("the tee sink installed above");
+        let jsonl = tee.sinks()[0]
+            .as_any()
+            .downcast_ref::<JsonlSink>()
+            .expect("jsonl is the tee's first sink");
+        let summary = tee.sinks()[1]
+            .as_any()
+            .downcast_ref::<SummarySink>()
+            .expect("summary is the tee's second sink");
+        if let Some(err) = jsonl.io_error() {
+            eprintln!("warning: trace file truncated by I/O error: {err}");
+        }
+        println!("\nTrace events by kind:");
+        let mut rows = Vec::new();
+        for kind in EventKind::ALL {
+            let n = summary.count_of(kind);
+            if n > 0 {
+                rows.push(vec![kind.label().to_string(), n.to_string()]);
+            }
+        }
+        print!("{}", render_table(&["event", "count"], &rows));
+        println!(
+            "\nFlight recorder: {} events -> {}",
+            jsonl.records(),
+            path.display()
+        );
+    }
 }

@@ -62,7 +62,8 @@ impl MessageClass {
         MessageClass::RouteControl,
     ];
 
-    fn index(self) -> usize {
+    /// Position of this class in [`MessageClass::ALL`] (dense array key).
+    pub fn index(self) -> usize {
         Self::ALL
             .iter()
             .position(|&c| c == self)

@@ -33,5 +33,5 @@ mod topology;
 
 pub use frame::{FloodId, Frame, NetMeta, NetPayload, RouteControl};
 pub use link::LinkModel;
-pub use stack::{NetAction, NetConfig, NetStack, NetTimer};
+pub use stack::{NetAction, NetConfig, NetEvent, NetStack, NetTimer};
 pub use topology::Topology;

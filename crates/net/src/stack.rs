@@ -98,6 +98,61 @@ pub enum NetAction<M> {
     },
 }
 
+/// A diagnostic event the stack noted while processing input.
+///
+/// These cover the silent paths a flight recorder wants to see —
+/// duplicate suppression, TTL and hop-budget drops, route-discovery
+/// progress — which produce no [`NetAction`] of their own. Events are
+/// only collected after [`NetStack::set_tracing`]`(true)`; the driver
+/// drains them with [`NetStack::take_events`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetEvent {
+    /// A flood frame was ignored as an already-seen duplicate.
+    FloodDupDrop {
+        /// The flood's originator.
+        origin: NodeId,
+    },
+    /// A flood frame arrived with an exhausted TTL and was not
+    /// re-broadcast (propagation stopped here).
+    FloodTtlExhausted {
+        /// The flood's originator.
+        origin: NodeId,
+    },
+    /// A route request was ignored as an already-answered duplicate.
+    RreqDupDrop {
+        /// The requesting node.
+        origin: NodeId,
+    },
+    /// A unicast frame exceeded the hop budget and was dropped.
+    HopBudgetDrop {
+        /// The frame's originator.
+        origin: NodeId,
+        /// The frame's intended destination.
+        dest: NodeId,
+    },
+    /// A forwarding node had no fresh route for an in-flight frame.
+    NoRouteDrop {
+        /// The frame's originator.
+        origin: NodeId,
+        /// The frame's intended destination.
+        dest: NodeId,
+    },
+    /// A route discovery (re)started towards `dest`.
+    DiscoveryStart {
+        /// The destination being searched for.
+        dest: NodeId,
+        /// 1-based attempt number (`> 1` means a retry).
+        attempt: u8,
+    },
+    /// Route discovery towards `dest` exhausted its retries.
+    DiscoveryFailed {
+        /// The destination that was never found.
+        dest: NodeId,
+        /// Buffered packets abandoned as a result.
+        dropped: u32,
+    },
+}
+
 #[derive(Debug, Clone)]
 struct RouteEntry {
     next_hop: NodeId,
@@ -142,6 +197,8 @@ pub struct NetStack<M> {
     rreq_order: VecDeque<(NodeId, u64)>,
     routes: HashMap<NodeId, RouteEntry>,
     pending: HashMap<NodeId, PendingDiscovery<M>>,
+    tracing: bool,
+    events: Vec<NetEvent>,
 }
 
 impl<M: Clone> NetStack<M> {
@@ -158,12 +215,34 @@ impl<M: Clone> NetStack<M> {
             rreq_order: VecDeque::new(),
             routes: HashMap::new(),
             pending: HashMap::new(),
+            tracing: false,
+            events: Vec::new(),
         }
     }
 
     /// The node this stack belongs to.
     pub fn node(&self) -> NodeId {
         self.node
+    }
+
+    /// Enables or disables diagnostic [`NetEvent`] collection. Off by
+    /// default; when off, [`NetStack::take_events`] always returns empty.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+        if !on {
+            self.events.clear();
+        }
+    }
+
+    /// Drains the diagnostic events noted since the last call.
+    pub fn take_events(&mut self) -> Vec<NetEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    fn note(&mut self, event: NetEvent) {
+        if self.tracing {
+            self.events.push(event);
+        }
     }
 
     /// Number of live route-table entries at `now`.
@@ -266,6 +345,10 @@ impl<M: Clone> NetStack<M> {
                     return Vec::new(); // discovery already succeeded
                 }
                 if attempt < self.cfg.rreq_retries {
+                    self.note(NetEvent::DiscoveryStart {
+                        dest,
+                        attempt: attempt + 1,
+                    });
                     let mut actions =
                         vec![self.rreq_flood(dest, self.rreq_ttl_for_attempt(attempt + 1))];
                     if let Some(p) = self.pending.get_mut(&dest) {
@@ -283,6 +366,10 @@ impl<M: Clone> NetStack<M> {
                     let Some(pending) = self.pending.remove(&dest) else {
                         return Vec::new();
                     };
+                    self.note(NetEvent::DiscoveryFailed {
+                        dest,
+                        dropped: pending.packets.len() as u32,
+                    });
                     pending
                         .packets
                         .into_iter()
@@ -354,6 +441,7 @@ impl<M: Clone> NetStack<M> {
         size: u32,
     ) -> Vec<NetAction<M>> {
         if self.seen_floods.contains(&id) {
+            self.note(NetEvent::FloodDupDrop { origin: id.origin });
             return Vec::new();
         }
         self.remember_flood(id);
@@ -377,6 +465,7 @@ impl<M: Clone> NetStack<M> {
                 req_id,
             }) => {
                 if !self.remember_rreq((*origin, *req_id)) {
+                    self.note(NetEvent::RreqDupDrop { origin: *origin });
                     return Vec::new();
                 }
                 if *target == self.node {
@@ -399,6 +488,8 @@ impl<M: Clone> NetStack<M> {
                 payload,
                 size,
             }));
+        } else {
+            self.note(NetEvent::FloodTtlExhausted { origin: id.origin });
         }
         actions
     }
@@ -440,6 +531,7 @@ impl<M: Clone> NetStack<M> {
         // Forwarding role.
         if hops >= self.cfg.max_unicast_hops {
             // Hop budget exhausted: almost certainly a forwarding loop.
+            self.note(NetEvent::HopBudgetDrop { origin, dest });
             return if matches!(payload, NetPayload::App(_)) {
                 self.routes.remove(&dest);
                 self.send_control_towards(now, origin, RouteControl::Rerr { broken_dest: dest })
@@ -463,6 +555,7 @@ impl<M: Clone> NetStack<M> {
             }],
             None => {
                 // No route at an intermediate hop: report back to the origin.
+                self.note(NetEvent::NoRouteDrop { origin, dest });
                 if matches!(payload, NetPayload::App(_)) {
                     self.send_control_towards(now, origin, RouteControl::Rerr { broken_dest: dest })
                 } else {
@@ -517,6 +610,7 @@ impl<M: Clone> NetStack<M> {
         }
         pending.packets.push_back((payload, size));
         if start_discovery {
+            self.note(NetEvent::DiscoveryStart { dest, attempt: 1 });
             actions.push(self.rreq_flood(dest, self.rreq_ttl_for_attempt(1)));
             actions.push(NetAction::SetTimer {
                 after: self.cfg.rreq_timeout,
@@ -636,5 +730,87 @@ impl<M: Clone> NetStack<M> {
             }
         }
         true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame_of<M: Clone + std::fmt::Debug>(actions: &[NetAction<M>]) -> Frame<M> {
+        match &actions[0] {
+            NetAction::Broadcast(f) => f.clone(),
+            other => panic!("expected broadcast, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn events_are_off_by_default() {
+        let mut a: NetStack<&str> = NetStack::new(NodeId::new(0), NetConfig::default());
+        let mut b: NetStack<&str> = NetStack::new(NodeId::new(1), NetConfig::default());
+        let flood = frame_of(&a.flood_app(SimTime::ZERO, 3, "X", 40));
+        b.on_frame(SimTime::ZERO, NodeId::new(0), flood.clone());
+        b.on_frame(SimTime::ZERO, NodeId::new(0), flood); // duplicate
+        assert!(b.take_events().is_empty());
+    }
+
+    #[test]
+    fn tracing_notes_dup_and_ttl_drops() {
+        let mut a: NetStack<&str> = NetStack::new(NodeId::new(0), NetConfig::default());
+        let mut b: NetStack<&str> = NetStack::new(NodeId::new(1), NetConfig::default());
+        b.set_tracing(true);
+        let fresh = frame_of(&a.flood_app(SimTime::ZERO, 1, "X", 40));
+        b.on_frame(SimTime::ZERO, NodeId::new(0), fresh.clone());
+        b.on_frame(SimTime::ZERO, NodeId::new(0), fresh);
+        let events = b.take_events();
+        assert_eq!(
+            events,
+            vec![
+                // TTL 1 floods deliver but never re-broadcast.
+                NetEvent::FloodTtlExhausted {
+                    origin: NodeId::new(0)
+                },
+                NetEvent::FloodDupDrop {
+                    origin: NodeId::new(0)
+                },
+            ]
+        );
+        // The buffer drains on take.
+        assert!(b.take_events().is_empty());
+    }
+
+    #[test]
+    fn tracing_notes_discovery_lifecycle() {
+        let cfg = NetConfig::default();
+        let mut a: NetStack<&str> = NetStack::new(NodeId::new(0), cfg);
+        a.set_tracing(true);
+        let dest = NodeId::new(9);
+        a.send_app(SimTime::ZERO, dest, "hello", 64);
+        assert_eq!(
+            a.take_events(),
+            vec![NetEvent::DiscoveryStart { dest, attempt: 1 }]
+        );
+        // Let every retry time out.
+        let mut at = SimTime::ZERO;
+        for attempt in 1..=cfg.rreq_retries {
+            at += cfg.rreq_timeout;
+            a.on_timer(at, NetTimer::RreqTimeout { dest, attempt });
+        }
+        let events = a.take_events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, NetEvent::DiscoveryStart { attempt: 2, .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, NetEvent::DiscoveryFailed { dropped: 1, .. })));
+    }
+
+    #[test]
+    fn disabling_tracing_clears_buffered_events() {
+        let mut a: NetStack<&str> = NetStack::new(NodeId::new(0), NetConfig::default());
+        a.set_tracing(true);
+        a.send_app(SimTime::ZERO, NodeId::new(5), "x", 16);
+        a.set_tracing(false);
+        assert!(a.take_events().is_empty());
     }
 }

@@ -1,0 +1,685 @@
+//! The typed event vocabulary of the flight recorder.
+//!
+//! One [`TraceEvent`] is emitted per observable simulation step: MAC
+//! transmissions and deliveries, routing-substrate drops, relay-peer
+//! state-machine transitions (Fig. 5 of the paper), query lifecycle
+//! milestones, and node churn. Events are plain `Copy` data so the
+//! recording hot path never allocates.
+
+use mp2p_metrics::MessageClass;
+use mp2p_sim::{ItemId, NodeId, SimTime};
+
+use crate::json;
+
+/// Who answered a query (the paper's three answer paths: the item's
+/// source host, a relay peer holding a pushed copy, or the querying
+/// peer's own cached copy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServedBy {
+    /// Answered by the item's source host (master copy).
+    Source,
+    /// Answered by a relay peer on the item's relay table.
+    Relay,
+    /// Answered from the local cache without contacting anyone.
+    Cache,
+}
+
+impl ServedBy {
+    /// Short lowercase label used in JSONL output.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServedBy::Source => "source",
+            ServedBy::Relay => "relay",
+            ServedBy::Cache => "cache",
+        }
+    }
+}
+
+/// A relay-peer state-machine transition (Fig. 5): candidacy
+/// application, promotion, demotion, and the GET_NEW/SEND_NEW resync
+/// exchange a stale relay runs against the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RelayTransitionKind {
+    /// A candidate sent APPLY to the source host.
+    ApplySent,
+    /// The peer became a relay (APPLY_ACK received, or an UPDATE push
+    /// implicitly confirmed candidacy).
+    Promoted,
+    /// The peer resigned relay duty (CANCEL sent or demotion swept).
+    Demoted,
+    /// A stale relay asked the source for missed content (GET_NEW).
+    ResyncStarted,
+    /// The relay's copy was refreshed (SEND_NEW or UPDATE arrived).
+    ResyncCompleted,
+}
+
+impl RelayTransitionKind {
+    /// Short snake_case label used in JSONL output.
+    pub fn label(self) -> &'static str {
+        match self {
+            RelayTransitionKind::ApplySent => "apply_sent",
+            RelayTransitionKind::Promoted => "promoted",
+            RelayTransitionKind::Demoted => "demoted",
+            RelayTransitionKind::ResyncStarted => "resync_started",
+            RelayTransitionKind::ResyncCompleted => "resync_completed",
+        }
+    }
+}
+
+/// The consistency level a query was issued under (Section 4: weak,
+/// delta, strong). Mirrors the core crate's `ConsistencyLevel` without
+/// making the trace crate depend on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LevelTag {
+    /// Weak consistency ("WC"): any cached copy is acceptable.
+    Weak,
+    /// Delta consistency ("DC"): staleness bounded by a lease.
+    Delta,
+    /// Strong consistency ("SC"): the answer must be validated.
+    Strong,
+}
+
+impl LevelTag {
+    /// The paper's two-letter label ("WC" / "DC" / "SC").
+    pub fn label(self) -> &'static str {
+        match self {
+            LevelTag::Weak => "WC",
+            LevelTag::Delta => "DC",
+            LevelTag::Strong => "SC",
+        }
+    }
+}
+
+/// One structured flight-recorder event.
+///
+/// Each variant carries the acting node plus the minimum context needed
+/// to reconstruct the run offline: message class and size for traffic
+/// accounting, hop counts for TTL auditing, the issue instant for
+/// latency accounting, and so on. Everything is `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A MAC-level transmission (`dest: None` means a local broadcast).
+    /// One event is emitted per hop, matching [`mp2p_metrics::TrafficStats`].
+    MsgSend {
+        /// The transmitting node.
+        node: NodeId,
+        /// What the frame carried.
+        class: MessageClass,
+        /// Frame size on the air, in bytes.
+        bytes: u32,
+        /// MAC receiver for unicast, `None` for broadcast.
+        dest: Option<NodeId>,
+    },
+    /// An application message reached its destination protocol.
+    MsgDeliver {
+        /// The receiving node.
+        node: NodeId,
+        /// The node that created the message.
+        origin: NodeId,
+        /// What the message carried.
+        class: MessageClass,
+        /// Hops travelled from origin to this node.
+        hops: u8,
+        /// True if it arrived via a flood rather than routed unicast.
+        via_flood: bool,
+    },
+    /// A unicast transmission whose next hop had moved out of range.
+    MacDrop {
+        /// The transmitting node.
+        node: NodeId,
+        /// The unreachable MAC receiver.
+        next_hop: NodeId,
+        /// What the lost frame carried.
+        class: MessageClass,
+    },
+    /// The network layer gave up on a message (no route after retries).
+    Undeliverable {
+        /// The sending node that got the message handed back.
+        node: NodeId,
+        /// The unreachable destination.
+        dest: NodeId,
+        /// What the abandoned message carried.
+        class: MessageClass,
+    },
+    /// A flood frame was ignored as a duplicate.
+    FloodDupDrop {
+        /// The node that ignored the frame.
+        node: NodeId,
+        /// The flood's originator.
+        origin: NodeId,
+    },
+    /// A flood frame arrived with an exhausted TTL and was not re-broadcast.
+    FloodTtlExhausted {
+        /// The node where propagation stopped.
+        node: NodeId,
+        /// The flood's originator.
+        origin: NodeId,
+    },
+    /// A route request was ignored as a duplicate.
+    RreqDupDrop {
+        /// The node that ignored the RREQ.
+        node: NodeId,
+        /// The RREQ's originator.
+        origin: NodeId,
+    },
+    /// A unicast frame exceeded the hop budget and was dropped.
+    HopBudgetDrop {
+        /// The node that dropped the frame.
+        node: NodeId,
+        /// The frame's originator.
+        origin: NodeId,
+        /// The frame's intended destination.
+        dest: NodeId,
+    },
+    /// A forwarding node had no route for an in-flight unicast frame.
+    NoRouteDrop {
+        /// The node that dropped the frame.
+        node: NodeId,
+        /// The frame's originator.
+        origin: NodeId,
+        /// The frame's intended destination.
+        dest: NodeId,
+    },
+    /// Route discovery started (attempt 1) or was retried (attempt > 1).
+    DiscoveryStart {
+        /// The node searching for a route.
+        node: NodeId,
+        /// The destination being searched for.
+        dest: NodeId,
+        /// 1-based discovery attempt number.
+        attempt: u8,
+    },
+    /// Route discovery exhausted its retries; buffered packets dropped.
+    DiscoveryFailed {
+        /// The node that gave up.
+        node: NodeId,
+        /// The destination that was never found.
+        dest: NodeId,
+        /// How many buffered packets were abandoned.
+        dropped: u32,
+    },
+    /// A relay-peer state-machine transition (Fig. 5).
+    RelayTransition {
+        /// The transitioning peer.
+        node: NodeId,
+        /// The item whose relay duty changed.
+        item: ItemId,
+        /// What happened.
+        kind: RelayTransitionKind,
+    },
+    /// A peer issued a query.
+    QueryIssued {
+        /// The querying peer.
+        node: NodeId,
+        /// The globally unique query number.
+        query: u64,
+        /// The item queried.
+        item: ItemId,
+        /// The consistency level requested.
+        level: LevelTag,
+    },
+    /// A query was answered.
+    QueryServed {
+        /// The peer whose query completed.
+        node: NodeId,
+        /// The query number from [`TraceEvent::QueryIssued`].
+        query: u64,
+        /// The consistency level it ran under.
+        level: LevelTag,
+        /// Which copy answered it.
+        served_by: ServedBy,
+        /// When the query was issued (lets a summary sink recompute the
+        /// exact latency and warm-up filtering offline).
+        issued: SimTime,
+    },
+    /// A query timed out unanswered.
+    QueryFailed {
+        /// The peer whose query failed.
+        node: NodeId,
+        /// The query number from [`TraceEvent::QueryIssued`].
+        query: u64,
+        /// The consistency level it ran under.
+        level: LevelTag,
+    },
+    /// A node switched on (rejoined the network).
+    NodeUp {
+        /// The node that came up.
+        node: NodeId,
+    },
+    /// A node switched off (left the network).
+    NodeDown {
+        /// The node that went down.
+        node: NodeId,
+    },
+    /// A source host updated its master copy.
+    SourceUpdate {
+        /// The source host.
+        node: NodeId,
+        /// The updated item.
+        item: ItemId,
+        /// The new master version.
+        version: u64,
+    },
+}
+
+/// Discriminant of a [`TraceEvent`], for counting and table rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// See [`TraceEvent::MsgSend`].
+    MsgSend,
+    /// See [`TraceEvent::MsgDeliver`].
+    MsgDeliver,
+    /// See [`TraceEvent::MacDrop`].
+    MacDrop,
+    /// See [`TraceEvent::Undeliverable`].
+    Undeliverable,
+    /// See [`TraceEvent::FloodDupDrop`].
+    FloodDupDrop,
+    /// See [`TraceEvent::FloodTtlExhausted`].
+    FloodTtlExhausted,
+    /// See [`TraceEvent::RreqDupDrop`].
+    RreqDupDrop,
+    /// See [`TraceEvent::HopBudgetDrop`].
+    HopBudgetDrop,
+    /// See [`TraceEvent::NoRouteDrop`].
+    NoRouteDrop,
+    /// See [`TraceEvent::DiscoveryStart`].
+    DiscoveryStart,
+    /// See [`TraceEvent::DiscoveryFailed`].
+    DiscoveryFailed,
+    /// See [`TraceEvent::RelayTransition`].
+    RelayTransition,
+    /// See [`TraceEvent::QueryIssued`].
+    QueryIssued,
+    /// See [`TraceEvent::QueryServed`].
+    QueryServed,
+    /// See [`TraceEvent::QueryFailed`].
+    QueryFailed,
+    /// See [`TraceEvent::NodeUp`].
+    NodeUp,
+    /// See [`TraceEvent::NodeDown`].
+    NodeDown,
+    /// See [`TraceEvent::SourceUpdate`].
+    SourceUpdate,
+}
+
+impl EventKind {
+    /// All kinds, for iteration and table rendering.
+    pub const ALL: [EventKind; 18] = [
+        EventKind::MsgSend,
+        EventKind::MsgDeliver,
+        EventKind::MacDrop,
+        EventKind::Undeliverable,
+        EventKind::FloodDupDrop,
+        EventKind::FloodTtlExhausted,
+        EventKind::RreqDupDrop,
+        EventKind::HopBudgetDrop,
+        EventKind::NoRouteDrop,
+        EventKind::DiscoveryStart,
+        EventKind::DiscoveryFailed,
+        EventKind::RelayTransition,
+        EventKind::QueryIssued,
+        EventKind::QueryServed,
+        EventKind::QueryFailed,
+        EventKind::NodeUp,
+        EventKind::NodeDown,
+        EventKind::SourceUpdate,
+    ];
+
+    /// Position of this kind in [`EventKind::ALL`] (stable array index
+    /// for per-kind counters).
+    pub fn index(self) -> usize {
+        Self::ALL
+            .iter()
+            .position(|&k| k == self)
+            .expect("kind listed in ALL")
+    }
+
+    /// The snake_case label used both in JSONL `"ev"` fields and tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::MsgSend => "msg_send",
+            EventKind::MsgDeliver => "msg_deliver",
+            EventKind::MacDrop => "mac_drop",
+            EventKind::Undeliverable => "undeliverable",
+            EventKind::FloodDupDrop => "flood_dup_drop",
+            EventKind::FloodTtlExhausted => "flood_ttl_exhausted",
+            EventKind::RreqDupDrop => "rreq_dup_drop",
+            EventKind::HopBudgetDrop => "hop_budget_drop",
+            EventKind::NoRouteDrop => "no_route_drop",
+            EventKind::DiscoveryStart => "discovery_start",
+            EventKind::DiscoveryFailed => "discovery_failed",
+            EventKind::RelayTransition => "relay_transition",
+            EventKind::QueryIssued => "query_issued",
+            EventKind::QueryServed => "query_served",
+            EventKind::QueryFailed => "query_failed",
+            EventKind::NodeUp => "node_up",
+            EventKind::NodeDown => "node_down",
+            EventKind::SourceUpdate => "source_update",
+        }
+    }
+}
+
+impl TraceEvent {
+    /// The kind discriminant of this event.
+    pub fn kind(&self) -> EventKind {
+        match self {
+            TraceEvent::MsgSend { .. } => EventKind::MsgSend,
+            TraceEvent::MsgDeliver { .. } => EventKind::MsgDeliver,
+            TraceEvent::MacDrop { .. } => EventKind::MacDrop,
+            TraceEvent::Undeliverable { .. } => EventKind::Undeliverable,
+            TraceEvent::FloodDupDrop { .. } => EventKind::FloodDupDrop,
+            TraceEvent::FloodTtlExhausted { .. } => EventKind::FloodTtlExhausted,
+            TraceEvent::RreqDupDrop { .. } => EventKind::RreqDupDrop,
+            TraceEvent::HopBudgetDrop { .. } => EventKind::HopBudgetDrop,
+            TraceEvent::NoRouteDrop { .. } => EventKind::NoRouteDrop,
+            TraceEvent::DiscoveryStart { .. } => EventKind::DiscoveryStart,
+            TraceEvent::DiscoveryFailed { .. } => EventKind::DiscoveryFailed,
+            TraceEvent::RelayTransition { .. } => EventKind::RelayTransition,
+            TraceEvent::QueryIssued { .. } => EventKind::QueryIssued,
+            TraceEvent::QueryServed { .. } => EventKind::QueryServed,
+            TraceEvent::QueryFailed { .. } => EventKind::QueryFailed,
+            TraceEvent::NodeUp { .. } => EventKind::NodeUp,
+            TraceEvent::NodeDown { .. } => EventKind::NodeDown,
+            TraceEvent::SourceUpdate { .. } => EventKind::SourceUpdate,
+        }
+    }
+
+    /// Serialises this event as one JSON object appended to `out` (no
+    /// trailing newline). `at` is the simulated timestamp.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mp2p_sim::{NodeId, SimTime};
+    /// use mp2p_trace::TraceEvent;
+    ///
+    /// let mut line = String::new();
+    /// TraceEvent::NodeDown { node: NodeId::new(3) }
+    ///     .write_json(SimTime::from_millis(1_500), &mut line);
+    /// assert_eq!(line, r#"{"t":1500,"ev":"node_down","node":3}"#);
+    /// ```
+    pub fn write_json(&self, at: SimTime, out: &mut String) {
+        use std::fmt::Write;
+
+        let field_str = |out: &mut String, key: &str, value: &str| {
+            out.push_str(",\"");
+            out.push_str(key);
+            out.push_str("\":");
+            json::escape_into(out, value);
+        };
+        let field_num = |out: &mut String, key: &str, value: u64| {
+            let _ = write!(out, ",\"{key}\":{value}");
+        };
+
+        out.push_str("{\"t\":");
+        let _ = write!(out, "{}", at.as_millis());
+        field_str(out, "ev", self.kind().label());
+        match *self {
+            TraceEvent::MsgSend {
+                node,
+                class,
+                bytes,
+                dest,
+            } => {
+                field_num(out, "node", node.index() as u64);
+                field_str(out, "class", class.label());
+                field_num(out, "bytes", u64::from(bytes));
+                match dest {
+                    Some(d) => field_num(out, "dest", d.index() as u64),
+                    None => out.push_str(",\"dest\":null"),
+                }
+            }
+            TraceEvent::MsgDeliver {
+                node,
+                origin,
+                class,
+                hops,
+                via_flood,
+            } => {
+                field_num(out, "node", node.index() as u64);
+                field_num(out, "origin", origin.index() as u64);
+                field_str(out, "class", class.label());
+                field_num(out, "hops", u64::from(hops));
+                let _ = write!(out, ",\"flood\":{via_flood}");
+            }
+            TraceEvent::MacDrop {
+                node,
+                next_hop,
+                class,
+            } => {
+                field_num(out, "node", node.index() as u64);
+                field_num(out, "next_hop", next_hop.index() as u64);
+                field_str(out, "class", class.label());
+            }
+            TraceEvent::Undeliverable { node, dest, class } => {
+                field_num(out, "node", node.index() as u64);
+                field_num(out, "dest", dest.index() as u64);
+                field_str(out, "class", class.label());
+            }
+            TraceEvent::FloodDupDrop { node, origin }
+            | TraceEvent::FloodTtlExhausted { node, origin }
+            | TraceEvent::RreqDupDrop { node, origin } => {
+                field_num(out, "node", node.index() as u64);
+                field_num(out, "origin", origin.index() as u64);
+            }
+            TraceEvent::HopBudgetDrop { node, origin, dest }
+            | TraceEvent::NoRouteDrop { node, origin, dest } => {
+                field_num(out, "node", node.index() as u64);
+                field_num(out, "origin", origin.index() as u64);
+                field_num(out, "dest", dest.index() as u64);
+            }
+            TraceEvent::DiscoveryStart {
+                node,
+                dest,
+                attempt,
+            } => {
+                field_num(out, "node", node.index() as u64);
+                field_num(out, "dest", dest.index() as u64);
+                field_num(out, "attempt", u64::from(attempt));
+            }
+            TraceEvent::DiscoveryFailed {
+                node,
+                dest,
+                dropped,
+            } => {
+                field_num(out, "node", node.index() as u64);
+                field_num(out, "dest", dest.index() as u64);
+                field_num(out, "dropped", u64::from(dropped));
+            }
+            TraceEvent::RelayTransition { node, item, kind } => {
+                field_num(out, "node", node.index() as u64);
+                field_num(out, "item", item.index() as u64);
+                field_str(out, "kind", kind.label());
+            }
+            TraceEvent::QueryIssued {
+                node,
+                query,
+                item,
+                level,
+            } => {
+                field_num(out, "node", node.index() as u64);
+                field_num(out, "query", query);
+                field_num(out, "item", item.index() as u64);
+                field_str(out, "level", level.label());
+            }
+            TraceEvent::QueryServed {
+                node,
+                query,
+                level,
+                served_by,
+                issued,
+            } => {
+                field_num(out, "node", node.index() as u64);
+                field_num(out, "query", query);
+                field_str(out, "level", level.label());
+                field_str(out, "by", served_by.label());
+                field_num(out, "issued", issued.as_millis());
+            }
+            TraceEvent::QueryFailed { node, query, level } => {
+                field_num(out, "node", node.index() as u64);
+                field_num(out, "query", query);
+                field_str(out, "level", level.label());
+            }
+            TraceEvent::NodeUp { node } | TraceEvent::NodeDown { node } => {
+                field_num(out, "node", node.index() as u64);
+            }
+            TraceEvent::SourceUpdate {
+                node,
+                item,
+                version,
+            } => {
+                field_num(out, "node", node.index() as u64);
+                field_num(out, "item", item.index() as u64);
+                field_num(out, "version", version);
+            }
+        }
+        out.push('}');
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    /// One sample of every variant, exercising every serialisation arm.
+    pub(crate) fn samples() -> Vec<TraceEvent> {
+        let n = NodeId::new(1);
+        let m = NodeId::new(2);
+        let item = ItemId::new(3);
+        vec![
+            TraceEvent::MsgSend {
+                node: n,
+                class: MessageClass::Poll,
+                bytes: 48,
+                dest: Some(m),
+            },
+            TraceEvent::MsgSend {
+                node: n,
+                class: MessageClass::Invalidation,
+                bytes: 40,
+                dest: None,
+            },
+            TraceEvent::MsgDeliver {
+                node: m,
+                origin: n,
+                class: MessageClass::Update,
+                hops: 3,
+                via_flood: false,
+            },
+            TraceEvent::MacDrop {
+                node: n,
+                next_hop: m,
+                class: MessageClass::Apply,
+            },
+            TraceEvent::Undeliverable {
+                node: n,
+                dest: m,
+                class: MessageClass::GetNew,
+            },
+            TraceEvent::FloodDupDrop { node: n, origin: m },
+            TraceEvent::FloodTtlExhausted { node: n, origin: m },
+            TraceEvent::RreqDupDrop { node: n, origin: m },
+            TraceEvent::HopBudgetDrop {
+                node: n,
+                origin: m,
+                dest: n,
+            },
+            TraceEvent::NoRouteDrop {
+                node: n,
+                origin: m,
+                dest: n,
+            },
+            TraceEvent::DiscoveryStart {
+                node: n,
+                dest: m,
+                attempt: 2,
+            },
+            TraceEvent::DiscoveryFailed {
+                node: n,
+                dest: m,
+                dropped: 5,
+            },
+            TraceEvent::RelayTransition {
+                node: n,
+                item,
+                kind: RelayTransitionKind::Promoted,
+            },
+            TraceEvent::QueryIssued {
+                node: n,
+                query: 7,
+                item,
+                level: LevelTag::Strong,
+            },
+            TraceEvent::QueryServed {
+                node: n,
+                query: 7,
+                level: LevelTag::Strong,
+                served_by: ServedBy::Relay,
+                issued: SimTime::from_millis(120),
+            },
+            TraceEvent::QueryFailed {
+                node: n,
+                query: 8,
+                level: LevelTag::Weak,
+            },
+            TraceEvent::NodeUp { node: n },
+            TraceEvent::NodeDown { node: n },
+            TraceEvent::SourceUpdate {
+                node: n,
+                item,
+                version: 4,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_serialises_to_valid_json() {
+        for event in samples() {
+            let mut line = String::new();
+            event.write_json(SimTime::from_millis(250), &mut line);
+            assert!(
+                json::is_valid(&line),
+                "{:?} produced invalid JSON: {line}",
+                event.kind()
+            );
+            assert!(
+                line.contains(&format!("\"ev\":\"{}\"", event.kind().label())),
+                "missing kind tag in {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn samples_cover_every_kind() {
+        let mut kinds: Vec<_> = samples().iter().map(|e| e.kind()).collect();
+        kinds.sort_by_key(|k| k.index());
+        kinds.dedup();
+        assert_eq!(kinds.len(), EventKind::ALL.len());
+    }
+
+    #[test]
+    fn kind_labels_and_indices_are_unique() {
+        let mut labels: Vec<_> = EventKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), EventKind::ALL.len());
+        for (i, kind) in EventKind::ALL.into_iter().enumerate() {
+            assert_eq!(kind.index(), i);
+        }
+    }
+
+    #[test]
+    fn broadcast_dest_serialises_as_null() {
+        let mut line = String::new();
+        TraceEvent::MsgSend {
+            node: NodeId::new(0),
+            class: MessageClass::Invalidation,
+            bytes: 40,
+            dest: None,
+        }
+        .write_json(SimTime::ZERO, &mut line);
+        assert!(line.contains("\"dest\":null"), "{line}");
+        assert!(json::is_valid(&line));
+    }
+}

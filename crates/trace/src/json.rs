@@ -1,0 +1,314 @@
+//! Hand-rolled JSON helpers for the JSONL trace sink.
+//!
+//! The build environment has no crates.io access, so instead of `serde`
+//! this module provides the two pieces the flight recorder needs: a
+//! string escaper used while serialising events, and a small
+//! recursive-descent validator used by tests to check that every emitted
+//! line is well-formed JSON.
+
+/// Appends `s` to `out` as a JSON string literal, including the
+/// surrounding quotes.
+///
+/// Escapes `"` and `\`, the usual control-character shorthands, and any
+/// other byte below `0x20` as `\u00XX`.
+///
+/// # Example
+///
+/// ```
+/// use mp2p_trace::json;
+///
+/// let mut out = String::new();
+/// json::escape_into(&mut out, "a\"b\\c\n");
+/// assert_eq!(out, r#""a\"b\\c\n""#);
+/// ```
+pub fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str("\\u00");
+                let b = c as u32;
+                for shift in [4, 0] {
+                    let digit = (b >> shift) & 0xF;
+                    out.push(char::from_digit(digit, 16).expect("hex digit"));
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Returns `s` as a quoted, escaped JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    escape_into(&mut out, s);
+    out
+}
+
+/// Checks that `s` is exactly one well-formed JSON value.
+///
+/// This is a minimal validator (objects, arrays, strings, numbers,
+/// booleans, null) used by tests to confirm trace lines parse; it is not
+/// a general-purpose JSON library and does not build a document tree.
+///
+/// # Example
+///
+/// ```
+/// use mp2p_trace::json;
+///
+/// assert!(json::is_valid(r#"{"t":12,"ev":"msg_send","dest":null}"#));
+/// assert!(!json::is_valid(r#"{"t":12,"#));
+/// ```
+pub fn is_valid(s: &str) -> bool {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    if !p.value() {
+        return false;
+    }
+    p.skip_ws();
+    p.pos == p.bytes.len()
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> bool {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.eat("true"),
+            Some(b'f') => self.eat("false"),
+            Some(b'n') => self.eat("null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => false,
+        }
+    }
+
+    fn object(&mut self) -> bool {
+        self.pos += 1; // consume '{'
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return true;
+        }
+        loop {
+            self.skip_ws();
+            if !self.string() {
+                return false;
+            }
+            self.skip_ws();
+            if self.bump() != Some(b':') {
+                return false;
+            }
+            self.skip_ws();
+            if !self.value() {
+                return false;
+            }
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return true,
+                _ => return false,
+            }
+        }
+    }
+
+    fn array(&mut self) -> bool {
+        self.pos += 1; // consume '['
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return true;
+        }
+        loop {
+            self.skip_ws();
+            if !self.value() {
+                return false;
+            }
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return true,
+                _ => return false,
+            }
+        }
+    }
+
+    fn string(&mut self) -> bool {
+        if self.bump() != Some(b'"') {
+            return false;
+        }
+        while let Some(b) = self.bump() {
+            match b {
+                b'"' => return true,
+                b'\\' => match self.bump() {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {}
+                    Some(b'u') => {
+                        for _ in 0..4 {
+                            match self.bump() {
+                                Some(h) if h.is_ascii_hexdigit() => {}
+                                _ => return false,
+                            }
+                        }
+                    }
+                    _ => return false,
+                },
+                0x00..=0x1F => return false,
+                _ => {}
+            }
+        }
+        false
+    }
+
+    fn number(&mut self) -> bool {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut digits = 0;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+            digits += 1;
+        }
+        if digits == 0 {
+            return false;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let mut frac = 0;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+                frac += 1;
+            }
+            if frac == 0 {
+                return false;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let mut exp = 0;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+                exp += 1;
+            }
+            if exp == 0 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn escapes_specials_and_controls() {
+        assert_eq!(escape("plain"), "\"plain\"");
+        assert_eq!(escape("a\"b"), "\"a\\\"b\"");
+        assert_eq!(escape("back\\slash"), "\"back\\\\slash\"");
+        assert_eq!(escape("nl\ncr\rtab\t"), "\"nl\\ncr\\rtab\\t\"");
+        assert_eq!(escape("\u{8}\u{c}"), "\"\\b\\f\"");
+        assert_eq!(escape("\u{1}\u{1f}"), "\"\\u0001\\u001f\"");
+        assert_eq!(escape("uni ✓ 漢"), "\"uni ✓ 漢\"");
+    }
+
+    #[test]
+    fn validator_accepts_well_formed_values() {
+        for ok in [
+            "null",
+            "true",
+            "false",
+            "0",
+            "-12.5e3",
+            "\"hi\"",
+            "[]",
+            "[1, 2, 3]",
+            "{}",
+            r#"{"a": [1, {"b": null}], "c": "x"}"#,
+            r#"{"t":0,"ev":"node_down","node":3}"#,
+        ] {
+            assert!(is_valid(ok), "should accept {ok:?}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed_values() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "\"unterminated",
+            "01a",
+            "1 2",
+            "nul",
+            "{\"a\":1,}",
+            "\"bad\\x\"",
+            "-",
+            "1.",
+            "1e",
+        ] {
+            assert!(!is_valid(bad), "should reject {bad:?}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_escaped_strings_always_validate(
+            codes in proptest::collection::vec(0u32..0x11_0000, 0..64),
+        ) {
+            // Any unicode string (surrogate code points skipped), once
+            // escaped, must embed into a valid JSON object.
+            let s: String = codes.iter().filter_map(|&c| char::from_u32(c)).collect();
+            let line = format!("{{\"s\":{}}}", escape(&s));
+            prop_assert!(is_valid(&line));
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Flight recorder: structured sim-time event tracing for the RPCC
+//! simulation.
+//!
+//! The paper's evaluation reports aggregates (traffic by message class,
+//! query latency), but debugging a consistency protocol needs the story
+//! *between* the aggregates: which flood reached whom, when a relay peer
+//! was promoted or resigned (Fig. 5), why a poll timed out. This crate
+//! provides that story as a typed, sim-time-stamped event stream:
+//!
+//! * [`TraceEvent`] — the event vocabulary: message lifecycle
+//!   (send / forward-drop / deliver / undeliverable, keyed by
+//!   [`mp2p_metrics::MessageClass`] and hop count), relay state-machine
+//!   transitions ([`RelayTransitionKind`]), query lifecycle
+//!   ([`LevelTag`], [`ServedBy`]), and node churn.
+//! * [`TraceSink`] — where events go: a bounded [`RingSink`], a
+//!   streaming [`JsonlSink`] (hand-rolled serialisation via [`json`];
+//!   the build environment has no serde), an aggregating
+//!   [`SummarySink`] that rebuilds the run's traffic/latency instruments
+//!   from the stream alone, and a fan-out [`TeeSink`].
+//! * [`NullSink`] — the default: `enabled()` is `false`, so an untraced
+//!   simulation pays one boolean test per emission site and never
+//!   allocates.
+//!
+//! The simulation driver (`mp2p-rpcc`'s `World`) owns a boxed sink and
+//! emits at every layer boundary; see `World::set_tracer` and
+//! `World::run_traced`.
+//!
+//! # Example
+//!
+//! ```
+//! use mp2p_metrics::MessageClass;
+//! use mp2p_sim::{NodeId, SimTime};
+//! use mp2p_trace::{RingSink, TraceEvent, TraceSink};
+//!
+//! let mut sink = RingSink::new(1024);
+//! sink.record(
+//!     SimTime::from_millis(40),
+//!     &TraceEvent::MsgSend {
+//!         node: NodeId::new(2),
+//!         class: MessageClass::Poll,
+//!         bytes: 48,
+//!         dest: Some(NodeId::new(5)),
+//!     },
+//! );
+//! assert_eq!(sink.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+pub mod json;
+mod sink;
+
+pub use event::{EventKind, LevelTag, RelayTransitionKind, ServedBy, TraceEvent};
+pub use sink::{JsonlSink, NullSink, RingSink, SummarySink, TeeSink, TraceSink};

@@ -15,6 +15,7 @@
 //! * [`net`] — topology snapshots, MAC/PHY link model, flooding, routing.
 //! * [`cache`] — versioned items, LRU store, workload generators.
 //! * [`metrics`] — traffic/latency/staleness/energy instruments.
+//! * [`trace`] — the flight recorder: typed sim-time event tracing.
 //! * [`rpcc`] — the protocols ([`rpcc::Rpcc`], [`rpcc::SimplePush`],
 //!   [`rpcc::SimplePull`]) and the simulation [`rpcc::World`].
 //! * [`experiments`] — Table 1 and Figs. 7–9 as runnable sweeps.
@@ -49,3 +50,4 @@ pub use mp2p_mobility as mobility;
 pub use mp2p_net as net;
 pub use mp2p_rpcc as rpcc;
 pub use mp2p_sim as sim;
+pub use mp2p_trace as trace;

@@ -1,0 +1,168 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! bench harness.
+//!
+//! The build sandbox has no crates.io access, so this vendored crate
+//! implements the subset of the criterion API the workspace's benches
+//! use: [`Criterion::benchmark_group`], [`BenchmarkGroup::sample_size`] /
+//! [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::finish`],
+//! [`Bencher::iter`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Statistics are deliberately simple: each benchmark does one warm-up
+//! call, then times batches until either a wall-clock budget or an
+//! iteration cap is hit, and prints the mean per-iteration time. There
+//! is no outlier analysis, no plotting, and no saved baselines — the
+//! point is that `cargo bench` builds, runs, and reports sane numbers
+//! without network access.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Per-benchmark wall-clock budget once warmed up.
+const TIME_BUDGET: Duration = Duration::from_millis(300);
+
+/// Hard cap on timed iterations per benchmark.
+const MAX_ITERS: u64 = 1_000;
+
+/// The top-level harness handle passed to every bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{id}"), f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this harness sizes runs by a
+    /// wall-clock budget instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Times one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{id}", self.name), f);
+        self
+    }
+
+    /// Ends the group (printing is immediate, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Handed to each benchmark closure; [`Bencher::iter`] does the timing.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine` (one warm-up call first).
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        std::hint::black_box(routine());
+        let budget_start = Instant::now();
+        while self.iters < MAX_ITERS && budget_start.elapsed() < TIME_BUDGET {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+fn run_benchmark<F>(label: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    if bencher.iters == 0 {
+        println!("  {label}: no timed iterations");
+        return;
+    }
+    let mean = bencher.elapsed / bencher.iters as u32;
+    println!("  {label}: mean {mean:?} over {} iters", bencher.iters);
+}
+
+/// Prevents the optimiser from discarding `value` (re-export shim; the
+/// workspace benches use `std::hint::black_box` directly).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Bundles bench functions into one group runner named `$name`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main`, running every listed group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_and_counts() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub");
+        let mut calls = 0u64;
+        group.sample_size(10).bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.finish();
+        // One warm-up call plus at least one timed iteration.
+        assert!(calls >= 2);
+    }
+}
