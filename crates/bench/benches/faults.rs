@@ -1,0 +1,86 @@
+//! Chaos-harness overhead benches: the contract is that a disabled fault
+//! plan costs nothing. `FaultPlan::none()` must leave the world's hot
+//! path (per-frame delivery, per-transmission scheduling) with only an
+//! `Option` discriminant check — compare the `none` and pre-chaos-shaped
+//! numbers here against `hostile` to see what an *active* plan costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mp2p_net::{FaultPlan, GeParams, GilbertElliott, LinkModel};
+use mp2p_rpcc::{LevelMix, Strategy, World, WorldConfig};
+use mp2p_sim::{SimDuration, SimRng};
+
+fn scenario(seed: u64) -> WorldConfig {
+    let mut cfg = WorldConfig::paper_default(seed);
+    cfg.n_peers = 20;
+    cfg.terrain = mp2p_mobility::Terrain::new(900.0, 900.0);
+    cfg.c_num = 5;
+    cfg.sim_time = SimDuration::from_mins(8);
+    cfg.warmup = SimDuration::from_mins(2);
+    cfg.strategy = Strategy::Rpcc;
+    cfg.level_mix = LevelMix::hybrid();
+    cfg
+}
+
+/// Whole-run cost with the fault subsystem disabled vs active. The
+/// `none` number is the regression guard: it must match the pre-chaos
+/// baseline for this scenario, because a disabled plan never constructs
+/// a `FaultRuntime` at all.
+fn bench_fault_plan_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_plan_overhead");
+    group.sample_size(10);
+    group.bench_function("none", |b| {
+        b.iter(|| {
+            let cfg = scenario(21); // default faults: FaultPlan::none()
+            black_box(World::new(cfg).run().traffic.transmissions())
+        })
+    });
+    group.bench_function("hostile", |b| {
+        b.iter(|| {
+            let mut cfg = scenario(21);
+            cfg.proto = cfg.proto.hardened();
+            cfg.faults = FaultPlan::hostile(cfg.sim_time);
+            black_box(World::new(cfg).run().traffic.transmissions())
+        })
+    });
+    group.finish();
+}
+
+/// Per-frame loss-check micro-costs: the lossless Bernoulli path (what
+/// every fault-free frame pays — no RNG draw at loss 0) vs the
+/// Gilbert–Elliott chain (two draws per frame when a burst plan is on).
+fn bench_loss_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("loss_check_1m_frames");
+    group.bench_function("bernoulli_lossless", |b| {
+        let link = LinkModel::default().lossless();
+        let mut rng = SimRng::from_seed(3, 0);
+        b.iter(|| {
+            let mut delivered = 0u64;
+            for _ in 0..1_000_000 {
+                delivered += u64::from(link.delivered(&mut rng));
+            }
+            black_box(delivered)
+        })
+    });
+    group.bench_function("gilbert_elliott", |b| {
+        let mut ge = GilbertElliott::new(GeParams {
+            p_good_to_bad: 0.02,
+            p_bad_to_good: 0.25,
+            loss_good: 0.01,
+            loss_bad: 0.6,
+        });
+        let mut rng = SimRng::from_seed(3, 1);
+        b.iter(|| {
+            let mut delivered = 0u64;
+            for _ in 0..1_000_000 {
+                delivered += u64::from(ge.delivered(&mut rng));
+            }
+            black_box(delivered)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(faults, bench_fault_plan_overhead, bench_loss_check);
+criterion_main!(faults);

@@ -1,6 +1,6 @@
 //! Protocol timing and threshold parameters (Table 1 and Section 4).
 
-use mp2p_sim::SimDuration;
+use mp2p_sim::{SimDuration, SimRng};
 
 /// All protocol-level tunables, defaulting to Table 1 of the paper.
 ///
@@ -78,6 +78,26 @@ pub struct ProtocolConfig {
     /// peers cannot be controlled" in the base protocol). `None`
     /// reproduces the paper: every qualified applicant is approved.
     pub max_relays_per_item: Option<usize>,
+    /// **Hardening:** multiplicative backoff applied to retry delays
+    /// (POLL retries, and — when `> 1` — re-APPLY attempts). `1.0`
+    /// reproduces the paper's fixed retry period exactly.
+    pub retry_backoff: f64,
+    /// **Hardening:** fraction of deterministic jitter added to each
+    /// retry delay (the delay is stretched by up to this fraction, drawn
+    /// from the caller's protocol RNG stream). `0.0` draws nothing from
+    /// the RNG, keeping un-hardened runs bit-identical.
+    pub retry_jitter: f64,
+    /// **Hardening:** how long past its TTR expiry a relay copy may sit
+    /// without any source contact before the peer concludes the source
+    /// is unreachable and demotes itself with a best-effort CANCEL
+    /// (a *relay lease*). `None` reproduces the paper: relays only
+    /// demote on coefficient failure or explicit sweep.
+    pub relay_orphan_grace: Option<SimDuration>,
+    /// **Hardening:** when routed POLL retries are exhausted, fall back
+    /// to one max-TTL flood aimed at reaching the source before the
+    /// query fails (graceful degradation instead of hard failure).
+    /// `false` reproduces the paper.
+    pub fallback_flood: bool,
 }
 
 impl Default for ProtocolConfig {
@@ -106,6 +126,10 @@ impl Default for ProtocolConfig {
             adaptive: false,
             adaptive_span: 4.0,
             max_relays_per_item: None,
+            retry_backoff: 1.0,
+            retry_jitter: 0.0,
+            relay_orphan_grace: None,
+            fallback_flood: false,
         }
     }
 }
@@ -117,6 +141,39 @@ impl ProtocolConfig {
         let doublings = attempt.saturating_sub(1).min(6);
         let ttl = u32::from(self.poll_ttl) << doublings;
         ttl.min(u32::from(self.poll_ttl_max)).max(1) as u8
+    }
+
+    /// The delay before the `attempt`-th retry (1-based) of a timer
+    /// whose base period is `base`: exponential backoff by
+    /// [`Self::retry_backoff`] per prior attempt (exponent capped at 6),
+    /// stretched by up to [`Self::retry_jitter`] of itself.
+    ///
+    /// With the default `retry_backoff = 1.0` / `retry_jitter = 0.0`
+    /// this returns `base` unchanged and draws **nothing** from `rng`,
+    /// so un-hardened runs replay bit-identically.
+    pub fn retry_delay(&self, base: SimDuration, attempt: u8, rng: &mut SimRng) -> SimDuration {
+        let mut delay = base;
+        if self.retry_backoff > 1.0 {
+            let exponent = i32::from(attempt.saturating_sub(1).min(6));
+            delay = delay.mul_f64(self.retry_backoff.powi(exponent));
+        }
+        if self.retry_jitter > 0.0 {
+            delay = delay.mul_f64(1.0 + self.retry_jitter * rng.uniform_f64());
+        }
+        delay
+    }
+
+    /// Switches on every hardening extension with its recommended
+    /// setting: doubling backoff, 30% retry jitter, a 30-second relay
+    /// orphan lease past TTR expiry, and fallback flooding. Used by the
+    /// chaos harness and the `--harden` experiment flag.
+    #[must_use]
+    pub fn hardened(mut self) -> Self {
+        self.retry_backoff = 2.0;
+        self.retry_jitter = 0.3;
+        self.relay_orphan_grace = Some(SimDuration::from_secs(30));
+        self.fallback_flood = true;
+        self
     }
 
     /// Validates internal consistency.
@@ -163,6 +220,20 @@ impl ProtocolConfig {
         if let Some(cap) = self.max_relays_per_item {
             assert!(cap >= 1, "a relay cap of zero disables the protocol");
         }
+        assert!(
+            self.retry_backoff >= 1.0 && self.retry_backoff.is_finite(),
+            "retry backoff must be >= 1"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.retry_jitter),
+            "retry jitter must be in [0,1]"
+        );
+        if let Some(grace) = self.relay_orphan_grace {
+            assert!(
+                !grace.is_zero(),
+                "an orphan grace of zero would demote relays on every sweep"
+            );
+        }
     }
 }
 
@@ -193,6 +264,43 @@ mod tests {
         assert_eq!(c.poll_ttl_for_attempt(3), 8);
         assert_eq!(c.poll_ttl_for_attempt(4), 8, "capped at poll_ttl_max");
         assert_eq!(c.poll_ttl_for_attempt(200), 8, "doubling saturates safely");
+    }
+
+    #[test]
+    fn default_retry_delay_is_exact_and_draws_nothing() {
+        let c = ProtocolConfig::default();
+        let mut rng = SimRng::from_seed(1, 2);
+        let before = rng.uniform_f64();
+        let mut rng = SimRng::from_seed(1, 2);
+        for attempt in 1..=5 {
+            assert_eq!(
+                c.retry_delay(c.poll_timeout, attempt, &mut rng),
+                c.poll_timeout,
+                "backoff 1.0 must not change the period"
+            );
+        }
+        assert_eq!(
+            rng.uniform_f64(),
+            before,
+            "default hardening must not consume RNG draws"
+        );
+    }
+
+    #[test]
+    fn hardened_backoff_grows_and_jitters_within_bound() {
+        let c = ProtocolConfig::default().hardened();
+        c.validate();
+        let mut rng = SimRng::from_seed(1, 2);
+        let base = c.poll_timeout;
+        let mut prev = SimDuration::ZERO;
+        for attempt in 1..=4u8 {
+            let d = c.retry_delay(base, attempt, &mut rng);
+            let nominal = base.mul_f64(2.0f64.powi(i32::from(attempt - 1)));
+            assert!(d >= nominal, "jitter only stretches, never shrinks");
+            assert!(d <= nominal.mul_f64(1.0 + c.retry_jitter), "jitter bounded");
+            assert!(d > prev, "delays grow across attempts");
+            prev = d;
+        }
     }
 
     #[test]

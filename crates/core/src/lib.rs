@@ -51,9 +51,11 @@ pub use coefficients::Coefficients;
 pub use config::ProtocolConfig;
 pub use level::{ConsistencyLevel, LevelMix};
 pub use msg::ProtoMsg;
-pub use protocol::{Ctx, CtxOut, Protocol, QueryId, Timer};
+pub use protocol::{Ctx, CtxOut, DegradationKind, Protocol, QueryId, Timer};
 pub use pull::SimplePull;
 pub use push::SimplePush;
 pub use push_adaptive::PushAdaptivePull;
 pub use rpcc::{RelayRole, Rpcc};
-pub use world::{MobilityKind, RoutingMode, RunReport, Strategy, WorkloadMode, World, WorldConfig};
+pub use world::{
+    FaultStats, MobilityKind, RoutingMode, RunReport, Strategy, WorkloadMode, World, WorldConfig,
+};

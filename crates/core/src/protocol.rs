@@ -46,6 +46,20 @@ pub enum Timer {
     RelayHoldSweep,
 }
 
+/// A graceful-degradation decision a hardened protocol took instead of
+/// failing outright (surfaced as a typed trace event and counted in the
+/// run report's fault statistics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DegradationKind {
+    /// A relay's hold on an item outlived TTR plus the configured orphan
+    /// grace without any source contact; the peer demoted itself with a
+    /// best-effort CANCEL rather than serve unverifiable data.
+    RelayLeaseExpired,
+    /// Routed POLL retries were exhausted; the peer fell back to one
+    /// max-TTL flood aimed at the source before giving up.
+    FallbackFlood,
+}
+
 /// One output of a protocol handler, applied by the simulation driver.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CtxOut {
@@ -91,6 +105,17 @@ pub enum CtxOut {
         item: ItemId,
         /// What happened.
         kind: RelayTransitionKind,
+    },
+    /// Report a graceful-degradation decision (hardening extensions) to
+    /// the flight recorder and fault counters. Carries no simulation
+    /// effect beyond bookkeeping.
+    Degraded {
+        /// The item the decision concerned.
+        item: ItemId,
+        /// The query being rescued, if the decision was query-scoped.
+        query: Option<QueryId>,
+        /// Which degradation path was taken.
+        kind: DegradationKind,
     },
 }
 
@@ -182,6 +207,11 @@ impl<'a> Ctx<'a> {
     /// Reports a relay state-machine transition (Fig. 5) for tracing.
     pub fn transition(&mut self, item: ItemId, kind: RelayTransitionKind) {
         self.out.push(CtxOut::Transition { item, kind });
+    }
+
+    /// Reports a graceful-degradation decision for tracing/accounting.
+    pub fn degraded(&mut self, item: ItemId, query: Option<QueryId>, kind: DegradationKind) {
+        self.out.push(CtxOut::Degraded { item, query, kind });
     }
 
     /// Drains the buffered outputs (driver-side).

@@ -49,7 +49,8 @@ impl SimplePull {
             .unwrap_or(Version::INITIAL);
         ctx.flood(ctx.cfg.broadcast_ttl, ProtoMsg::Poll { item, version });
         self.pending.insert(query, PendingPoll { item, attempt });
-        ctx.set_timer(ctx.cfg.poll_timeout, Timer::PollRetry { query, attempt });
+        let delay = ctx.cfg.retry_delay(ctx.cfg.poll_timeout, attempt, ctx.rng);
+        ctx.set_timer(delay, Timer::PollRetry { query, attempt });
     }
 
     fn answer_pending_for(&mut self, ctx: &mut Ctx<'_>, item: ItemId, version: Version) {

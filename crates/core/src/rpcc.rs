@@ -23,7 +23,7 @@ use crate::coefficients::Coefficients;
 use crate::config::ProtocolConfig;
 use crate::level::ConsistencyLevel;
 use crate::msg::ProtoMsg;
-use crate::protocol::{Ctx, Protocol, QueryId, Timer};
+use crate::protocol::{Ctx, DegradationKind, Protocol, QueryId, Timer};
 
 /// The node-level position in the Fig. 5 state machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,6 +99,9 @@ pub struct Rpcc {
     /// APPLYs sent and not yet acknowledged (item → when), to rate-limit
     /// re-application.
     applied: HashMap<ItemId, SimTime>,
+    /// Consecutive unacknowledged APPLYs per item, driving the hardened
+    /// re-APPLY backoff (empty when `retry_backoff == 1.0`).
+    apply_attempts: HashMap<ItemId, u8>,
     /// Adaptive push/pull frequency machinery (extension, future work
     /// §6 item 1); `None` reproduces the paper.
     tuner: Option<AdaptiveTuner>,
@@ -124,6 +127,7 @@ impl Rpcc {
             known_relay: HashMap::new(),
             pending: HashMap::new(),
             applied: HashMap::new(),
+            apply_attempts: HashMap::new(),
             tuner: cfg.adaptive.then(|| AdaptiveTuner::new(cfg.adaptive_span)),
         }
     }
@@ -216,7 +220,8 @@ impl Rpcc {
                 attempt,
             },
         );
-        ctx.set_timer(ctx.cfg.poll_timeout, Timer::PollRetry { query, attempt });
+        let delay = ctx.cfg.retry_delay(ctx.cfg.poll_timeout, attempt, ctx.rng);
+        ctx.set_timer(delay, Timer::PollRetry { query, attempt });
     }
 
     /// Starts a cache-miss fetch for an open query.
@@ -230,7 +235,8 @@ impl Rpcc {
                 attempt,
             },
         );
-        ctx.set_timer(ctx.cfg.fetch_timeout, Timer::PollRetry { query, attempt });
+        let delay = ctx.cfg.retry_delay(ctx.cfg.fetch_timeout, attempt, ctx.rng);
+        ctx.set_timer(delay, Timer::PollRetry { query, attempt });
     }
 
     /// Answers every open query on `item` with the (just-validated)
@@ -358,12 +364,22 @@ impl Rpcc {
         // Candidate hearing an invalidation for a cached item applies for
         // promotion (Section 4.3).
         if self.candidate && ctx.cache.contains(item) {
+            // Hardening: each unacknowledged APPLY widens the re-apply
+            // gap (with the default backoff of 1.0 the gap stays exactly
+            // TTN and no attempt state accrues — the paper's behaviour).
+            let attempts = self.apply_attempts.get(&item).copied().unwrap_or(0);
+            let gap = ctx
+                .cfg
+                .retry_delay(ctx.cfg.ttn, attempts.saturating_add(1), ctx.rng);
             let reapply_ok = match self.applied.get(&item) {
-                Some(&when) => ctx.now.saturating_since(when) >= ctx.cfg.ttn,
+                Some(&when) => ctx.now.saturating_since(when) >= gap,
                 None => true,
             };
             if reapply_ok {
                 self.applied.insert(item, ctx.now);
+                if ctx.cfg.retry_backoff > 1.0 {
+                    self.apply_attempts.insert(item, attempts.saturating_add(1));
+                }
                 ctx.send(source, ProtoMsg::Apply { item });
                 ctx.transition(item, RelayTransitionKind::ApplySent);
             }
@@ -392,6 +408,7 @@ impl Rpcc {
             // We are a candidate that missed its APPLY_ACK: the UPDATE
             // proves the source considers us a relay (Fig. 6(d) 28–31).
             self.applied.remove(&item);
+            self.apply_attempts.remove(&item);
             refresh_or_insert(ctx, item, version, content);
             self.relay.insert(
                 item,
@@ -502,6 +519,7 @@ impl Rpcc {
     /// Promotion on APPLY_ACK (Fig. 6(d) lines 24–26).
     fn on_apply_ack(&mut self, ctx: &mut Ctx<'_>, item: ItemId, version: Version) {
         self.applied.remove(&item);
+        self.apply_attempts.remove(&item);
         self.note_master_version(item, version);
         if !ctx.cache.contains(item) {
             return; // cached copy evicted meanwhile; let the table age out
@@ -542,6 +560,32 @@ impl Rpcc {
             self.renew_ttp(ctx, item);
         }
         self.applied.clear();
+        self.apply_attempts.clear();
+    }
+
+    /// Hardening: demote relay items whose lease ran out — TTR expired
+    /// more than `relay_orphan_grace` ago with no source contact since.
+    /// The peer stops serving data it cannot verify and tells the source
+    /// with a best-effort CANCEL (which may itself be lost; the source's
+    /// own MAC-failure pruning is the backstop).
+    fn expire_orphaned_relays(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(grace) = ctx.cfg.relay_orphan_grace else {
+            return;
+        };
+        let expired: Vec<ItemId> = self
+            .relay
+            .iter()
+            .filter(|(_, st)| ctx.now.saturating_since(st.ttr_expiry) > grace)
+            .map(|(&item, _)| item)
+            .collect();
+        for item in expired {
+            self.relay.remove(&item);
+            ctx.send(item.source_host(), ProtoMsg::Cancel { item });
+            ctx.transition(item, RelayTransitionKind::Demoted);
+            ctx.degraded(item, None, DegradationKind::RelayLeaseExpired);
+            // The copy stays cached as ordinary (possibly stale) data;
+            // it gets no fresh TTP lease because nothing validated it.
+        }
     }
 }
 
@@ -739,6 +783,25 @@ impl Protocol for Rpcc {
                     return; // stale timer from an earlier attempt
                 }
                 if attempt >= ctx.cfg.poll_attempts {
+                    // Hardening: before giving up, one last max-TTL flood
+                    // aimed at reaching the source (or any relay) past
+                    // whatever localized damage swallowed the ring polls.
+                    if ctx.cfg.fallback_flood {
+                        let version = ctx
+                            .cache
+                            .peek(pending.item)
+                            .map(|e| e.version)
+                            .unwrap_or(Version::INITIAL);
+                        self.known_relay.remove(&pending.item);
+                        ctx.flood(
+                            ctx.cfg.broadcast_ttl,
+                            ProtoMsg::Poll {
+                                item: pending.item,
+                                version,
+                            },
+                        );
+                        ctx.degraded(pending.item, Some(query), DegradationKind::FallbackFlood);
+                    }
                     // A relay may still be holding our poll until its next
                     // INVALIDATION; linger before giving up.
                     ctx.set_timer(ctx.cfg.poll_grace, Timer::PollGrace { query });
@@ -761,6 +824,7 @@ impl Protocol for Rpcc {
                     st.held_polls
                         .retain(|p| now.saturating_since(p.held_at) < hold);
                 }
+                self.expire_orphaned_relays(ctx);
                 ctx.set_timer(hold, Timer::RelayHoldSweep);
             }
             Timer::PushWait { .. } => {}
@@ -1630,5 +1694,203 @@ mod tests {
         let out =
             fx.run(|p, ctx| p.on_query(ctx, QueryId(12), ItemId::new(0), ConsistencyLevel::Strong));
         assert_eq!(answers_of(&out), vec![(QueryId(12), Version::new(1))]);
+    }
+
+    /// Promotes the fixture to relay for D1 via APPLY_ACK.
+    fn make_relay(fx: &mut Fixture) {
+        fx.make_candidate();
+        let _ = fx.run(|p, ctx| {
+            p.on_message(
+                ctx,
+                NodeId::new(1),
+                ProtoMsg::ApplyAck {
+                    item: ItemId::new(1),
+                    version: Version::INITIAL,
+                },
+            )
+        });
+        assert!(fx.proto.is_relay_for(ItemId::new(1)));
+    }
+
+    #[test]
+    fn orphaned_relay_lease_expires_with_self_cancel() {
+        let mut fx = Fixture::new(0);
+        fx.cfg = fx.cfg.hardened();
+        fx.proto = Rpcc::new(&fx.cfg, true);
+        make_relay(&mut fx);
+        let grace = fx.cfg.relay_orphan_grace.expect("hardened sets a grace");
+        // Within lease + grace: the sweep leaves the relay alone.
+        fx.now += Rpcc::relay_lease(&fx.cfg);
+        let out = fx.run(|p, ctx| p.on_timer(ctx, Timer::RelayHoldSweep));
+        assert!(fx.proto.is_relay_for(ItemId::new(1)));
+        assert!(!out
+            .iter()
+            .any(|o| matches!(o, crate::CtxOut::Degraded { .. })));
+        // Past the grace with no source contact: self-CANCEL demotion.
+        fx.now += grace + SimDuration::from_secs(1);
+        let out = fx.run(|p, ctx| p.on_timer(ctx, Timer::RelayHoldSweep));
+        assert!(!fx.proto.is_relay_for(ItemId::new(1)));
+        assert_eq!(fx.proto.role(), RelayRole::Candidate);
+        assert!(
+            sends_of(&out).iter().any(|(to, m)| *to == NodeId::new(1)
+                && matches!(m, ProtoMsg::Cancel { item } if *item == ItemId::new(1))),
+            "orphaned relay must tell the source it resigned"
+        );
+        assert!(
+            out.iter().any(|o| matches!(
+                o,
+                crate::CtxOut::Degraded {
+                    kind: DegradationKind::RelayLeaseExpired,
+                    query: None,
+                    ..
+                }
+            )),
+            "lease expiry must surface as a degradation output"
+        );
+    }
+
+    #[test]
+    fn source_contact_keeps_renewing_the_relay_lease() {
+        let mut fx = Fixture::new(0);
+        fx.cfg = fx.cfg.hardened();
+        fx.proto = Rpcc::new(&fx.cfg, true);
+        make_relay(&mut fx);
+        // Invalidations keep arriving: even far past the original expiry
+        // the lease stays alive.
+        for _ in 0..5 {
+            fx.now += SimDuration::from_mins(2);
+            let _ = fx.run(|p, ctx| {
+                p.on_message(
+                    ctx,
+                    NodeId::new(1),
+                    ProtoMsg::Invalidation {
+                        item: ItemId::new(1),
+                        version: Version::INITIAL,
+                    },
+                )
+            });
+            let out = fx.run(|p, ctx| p.on_timer(ctx, Timer::RelayHoldSweep));
+            assert!(
+                !out.iter()
+                    .any(|o| matches!(o, crate::CtxOut::Degraded { .. })),
+                "a relay in contact with its source never orphans"
+            );
+        }
+        assert!(fx.proto.is_relay_for(ItemId::new(1)));
+    }
+
+    #[test]
+    fn exhausted_poll_falls_back_to_source_flood() {
+        let mut fx = Fixture::new(0);
+        fx.cfg = fx.cfg.hardened();
+        fx.proto = Rpcc::new(&fx.cfg, true);
+        // Strong query on the cached (non-fresh) D1 starts a POLL.
+        let out =
+            fx.run(|p, ctx| p.on_query(ctx, QueryId(5), ItemId::new(1), ConsistencyLevel::Strong));
+        assert!(out.iter().any(|o| matches!(o, crate::CtxOut::Flood { .. })));
+        // Exhaust every attempt without an answer.
+        for attempt in 1..fx.cfg.poll_attempts {
+            let out = fx.run(|p, ctx| {
+                p.on_timer(
+                    ctx,
+                    Timer::PollRetry {
+                        query: QueryId(5),
+                        attempt,
+                    },
+                )
+            });
+            assert!(
+                !out.iter()
+                    .any(|o| matches!(o, crate::CtxOut::Degraded { .. })),
+                "no fallback before the attempts run out"
+            );
+        }
+        let last_attempt = fx.cfg.poll_attempts;
+        let out = fx.run(|p, ctx| {
+            p.on_timer(
+                ctx,
+                Timer::PollRetry {
+                    query: QueryId(5),
+                    attempt: last_attempt,
+                },
+            )
+        });
+        let fallback = out.iter().find_map(|o| match o {
+            crate::CtxOut::Flood { ttl, msg } => Some((*ttl, *msg)),
+            _ => None,
+        });
+        let (ttl, msg) = fallback.expect("exhaustion must trigger the fallback flood");
+        assert_eq!(ttl, fx.cfg.broadcast_ttl, "fallback goes out at max TTL");
+        assert!(matches!(msg, ProtoMsg::Poll { item, .. } if item == ItemId::new(1)));
+        assert!(out.iter().any(|o| matches!(
+            o,
+            crate::CtxOut::Degraded {
+                kind: DegradationKind::FallbackFlood,
+                query: Some(QueryId(5)),
+                ..
+            }
+        )));
+        // The query lingers (PollGrace) rather than failing on the spot,
+        // so a flood answer can still rescue it.
+        assert!(out.iter().any(|o| matches!(
+            o,
+            crate::CtxOut::SetTimer {
+                timer: Timer::PollGrace { query: QueryId(5) },
+                ..
+            }
+        )));
+        let out = fx.run(|p, ctx| {
+            p.on_message(
+                ctx,
+                NodeId::new(1),
+                ProtoMsg::PollAckB {
+                    item: ItemId::new(1),
+                    version: Version::new(2),
+                    content_bytes: 1_024,
+                },
+            )
+        });
+        assert_eq!(answers_of(&out), vec![(QueryId(5), Version::new(2))]);
+    }
+
+    #[test]
+    fn hardened_poll_retries_back_off_exponentially() {
+        let mut fx = Fixture::new(0);
+        fx.cfg.retry_backoff = 2.0; // no jitter: exact delays
+        fx.proto = Rpcc::new(&fx.cfg, true);
+        let timer_delay = |out: &[crate::CtxOut]| {
+            out.iter()
+                .find_map(|o| match o {
+                    crate::CtxOut::SetTimer {
+                        after,
+                        timer: Timer::PollRetry { .. },
+                    } => Some(*after),
+                    _ => None,
+                })
+                .expect("poll schedules a retry timer")
+        };
+        let out =
+            fx.run(|p, ctx| p.on_query(ctx, QueryId(6), ItemId::new(1), ConsistencyLevel::Strong));
+        assert_eq!(timer_delay(&out), fx.cfg.poll_timeout);
+        let out = fx.run(|p, ctx| {
+            p.on_timer(
+                ctx,
+                Timer::PollRetry {
+                    query: QueryId(6),
+                    attempt: 1,
+                },
+            )
+        });
+        assert_eq!(timer_delay(&out), fx.cfg.poll_timeout.mul_f64(2.0));
+        let out = fx.run(|p, ctx| {
+            p.on_timer(
+                ctx,
+                Timer::PollRetry {
+                    query: QueryId(6),
+                    attempt: 2,
+                },
+            )
+        });
+        assert_eq!(timer_delay(&out), fx.cfg.poll_timeout.mul_f64(4.0));
     }
 }

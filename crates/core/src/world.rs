@@ -15,7 +15,8 @@ use mp2p_mobility::{
     SubnetGrid, Terrain,
 };
 use mp2p_net::{
-    Frame, LinkModel, NetAction, NetConfig, NetEvent, NetStack, NetTimer, RouteControl, Topology,
+    Axis, FaultPlan, Frame, GilbertElliott, LinkModel, NetAction, NetConfig, NetEvent, NetStack,
+    NetTimer, RouteControl, Topology,
 };
 use mp2p_sim::{EventQueue, ItemId, NodeId, SimDuration, SimRng, SimTime};
 use mp2p_trace::{LevelTag, NullSink, ServedBy, TraceEvent, TraceSink};
@@ -23,7 +24,7 @@ use mp2p_trace::{LevelTag, NullSink, ServedBy, TraceEvent, TraceSink};
 use crate::config::ProtocolConfig;
 use crate::level::{ConsistencyLevel, LevelMix};
 use crate::msg::ProtoMsg;
-use crate::protocol::{Ctx, CtxOut, Protocol, QueryId, Timer};
+use crate::protocol::{Ctx, CtxOut, DegradationKind, Protocol, QueryId, Timer};
 use crate::pull::SimplePull;
 use crate::push::SimplePush;
 use crate::push_adaptive::PushAdaptivePull;
@@ -177,6 +178,11 @@ pub struct WorldConfig {
     pub sample_period: SimDuration,
     /// Subnet grid (columns, rows) for the PMR coefficient.
     pub subnet_grid: (u32, u32),
+    /// Scheduled fault-injection plan (chaos harness). [`FaultPlan::none`]
+    /// — the default — keeps every hot path and random stream untouched:
+    /// a fault-free run is bit-identical to one built before the fault
+    /// subsystem existed.
+    pub faults: FaultPlan,
     /// Master random seed.
     pub seed: u64,
 }
@@ -218,6 +224,7 @@ impl WorldConfig {
             topology_refresh: SimDuration::from_millis(200),
             sample_period: SimDuration::from_secs(30),
             subnet_grid: (3, 3),
+            faults: FaultPlan::none(),
             seed,
         }
     }
@@ -267,6 +274,7 @@ impl WorldConfig {
             "topology refresh must be positive"
         );
         self.proto.validate();
+        self.faults.validate(self.n_peers);
     }
 }
 
@@ -293,6 +301,19 @@ macro_rules! dispatch {
 }
 
 impl AnyProtocol {
+    /// Builds a fresh (empty-state) protocol instance for one node. Used
+    /// at construction and again when a crash fault wipes a node.
+    fn fresh(strategy: Strategy, cfg: &ProtocolConfig, publishes: bool) -> Self {
+        match strategy {
+            Strategy::Rpcc => AnyProtocol::Rpcc(Rpcc::new(cfg, publishes)),
+            Strategy::Push => AnyProtocol::Push(SimplePush::new(cfg, publishes)),
+            Strategy::Pull => AnyProtocol::Pull(SimplePull::new(cfg, publishes)),
+            Strategy::PushAdaptivePull => {
+                AnyProtocol::PushAdaptive(PushAdaptivePull::new(cfg, publishes))
+            }
+        }
+    }
+
     fn relay_item_count(&self) -> usize {
         dispatch!(self, p => p.relay_item_count())
     }
@@ -350,6 +371,18 @@ enum Event {
     },
     CoeffTick,
     Sample,
+    /// A scheduled fault-plan action fires.
+    Fault(FaultAction),
+}
+
+/// One scheduled action of the active [`FaultPlan`], with indices into
+/// the plan's window lists.
+#[derive(Debug, Clone, Copy)]
+enum FaultAction {
+    PartitionStart(usize),
+    PartitionHeal(usize),
+    Crash(usize),
+    Recover(usize),
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -363,6 +396,9 @@ struct OpenWrite {
 
 #[derive(Debug, Clone, Copy)]
 struct OpenQuery {
+    /// The node the query was issued at (a crash fault fails its open
+    /// queries — the pending state dies with the node).
+    node: NodeId,
     item: ItemId,
     level: ConsistencyLevel,
     issued: SimTime,
@@ -370,6 +406,29 @@ struct OpenQuery {
     /// warm-up period), decided once at issue time so served/failed/issued
     /// counters partition exactly.
     measured: bool,
+}
+
+/// Counters for injected faults and the hardening decisions they
+/// provoked. All-zero — and absent from [`RunReport::to_json`] — for a
+/// fault-free run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Hard node crashes injected (volatile state wiped).
+    pub crashes: u64,
+    /// Crash recoveries completed.
+    pub recoveries: u64,
+    /// Partition windows opened.
+    pub partitions_started: u64,
+    /// Partition windows healed.
+    pub partitions_healed: u64,
+    /// Frames duplicated in flight.
+    pub frames_duplicated: u64,
+    /// Frames dropped by the Gilbert–Elliott chain's bad (burst) state.
+    pub burst_drops: u64,
+    /// Relay leases expired without source contact (self-CANCEL).
+    pub lease_expiries: u64,
+    /// Fallback floods issued after routed POLL retries were exhausted.
+    pub fallback_floods: u64,
 }
 
 /// Aggregated results of one run.
@@ -410,6 +469,10 @@ pub struct RunReport {
     pub battery_gauge: Gauge,
     /// Total energy drained across all nodes (mJ, whole run).
     pub energy_used_mj: f64,
+    /// Label of the active fault plan (`None` for a fault-free run).
+    pub fault_plan: Option<&'static str>,
+    /// Injected-fault and degradation counters.
+    pub faults: FaultStats,
     /// The measured window (sim_time − warmup).
     pub measured: SimDuration,
 }
@@ -522,9 +585,46 @@ impl RunReport {
             self.battery_gauge.mean(),
             self.energy_used_mj,
         );
+        // Fault keys appear only when a plan was active, so a fault-free
+        // report stays byte-identical to one from a pre-chaos build.
+        if let Some(plan) = self.fault_plan {
+            let _ = write!(
+                s,
+                ",\"fault_plan\":{},\"crashes\":{},\"recoveries\":{},\"partitions_started\":{},\"partitions_healed\":{},\"frames_duplicated\":{},\"burst_drops\":{},\"lease_expiries\":{},\"fallback_floods\":{}",
+                mp2p_trace::json::escape(plan),
+                self.faults.crashes,
+                self.faults.recoveries,
+                self.faults.partitions_started,
+                self.faults.partitions_healed,
+                self.faults.frames_duplicated,
+                self.faults.burst_drops,
+                self.faults.lease_expiries,
+                self.faults.fallback_floods,
+            );
+        }
         s.push('}');
         s
     }
+}
+
+/// Live state of the fault injector. Present only when the configured
+/// plan is non-empty, so the fault-free hot path carries nothing beyond
+/// one `Option` discriminant check.
+#[derive(Debug)]
+struct FaultRuntime {
+    /// Dedicated randomness (stream [`FAULT_STREAM`]): an active plan
+    /// never perturbs the workload or link streams, so the *pattern* of
+    /// faults stays fixed across plans and strategies for one seed.
+    rng: SimRng,
+    /// The burst-loss chain, replacing the memoryless link model.
+    ge: Option<GilbertElliott>,
+    /// Per-transmission duplication probability.
+    duplicate_prob: f64,
+    /// Which partition windows are currently open (plan order).
+    partition_active: Vec<bool>,
+    /// Crash victims, one per [`mp2p_net::CrashWindow`], resolved from
+    /// the fault stream at construction when the plan leaves them open.
+    crash_victims: Vec<NodeId>,
 }
 
 /// The simulation world. Construct with a [`WorldConfig`], call
@@ -565,6 +665,9 @@ pub struct World {
     candidate_gauge: Gauge,
     route_gauge: Gauge,
     battery_gauge: Gauge,
+    /// Fault injector (None unless the plan is non-empty).
+    faults: Option<FaultRuntime>,
+    fault_stats: FaultStats,
     /// Flight recorder. [`NullSink`] by default, so the hot path stays
     /// allocation-free unless a run opts in via [`World::set_tracer`].
     tracer: Box<dyn TraceSink>,
@@ -596,14 +699,7 @@ impl World {
                 Some(src) => id == src,
                 None => true,
             };
-            let proto = match cfg.strategy {
-                Strategy::Rpcc => AnyProtocol::Rpcc(Rpcc::new(&cfg.proto, publishes)),
-                Strategy::Push => AnyProtocol::Push(SimplePush::new(&cfg.proto, publishes)),
-                Strategy::Pull => AnyProtocol::Pull(SimplePull::new(&cfg.proto, publishes)),
-                Strategy::PushAdaptivePull => {
-                    AnyProtocol::PushAdaptive(PushAdaptivePull::new(&cfg.proto, publishes))
-                }
-            };
+            let proto = AnyProtocol::fresh(cfg.strategy, &cfg.proto, publishes);
             nodes.push(NodeState {
                 mobility,
                 up: true,
@@ -666,6 +762,28 @@ impl World {
             .map(|i| SimRng::from_seed(master, 0x800 + i as u64))
             .collect();
 
+        let faults = if cfg.faults.enabled() {
+            let mut rng = SimRng::from_seed(master, FAULT_STREAM);
+            let crash_victims = cfg
+                .faults
+                .crashes
+                .iter()
+                .map(|w| match w.node {
+                    Some(node) => NodeId::new(node),
+                    None => NodeId::new(rng.uniform_u64(n as u64) as u32),
+                })
+                .collect();
+            Some(FaultRuntime {
+                ge: cfg.faults.ge.map(GilbertElliott::new),
+                duplicate_prob: cfg.faults.duplicate_prob,
+                partition_active: vec![false; cfg.faults.partitions.len()],
+                crash_victims,
+                rng,
+            })
+        } else {
+            None
+        };
+
         let mut world = World {
             cfg,
             queue: EventQueue::with_capacity(1024),
@@ -697,6 +815,8 @@ impl World {
             candidate_gauge: Gauge::default(),
             route_gauge: Gauge::default(),
             battery_gauge: Gauge::default(),
+            faults,
+            fault_stats: FaultStats::default(),
             tracer: Box::new(NullSink),
         };
         world.bootstrap();
@@ -786,6 +906,21 @@ impl World {
             .push(self.now + self.cfg.proto.phi, Event::CoeffTick);
         self.queue
             .push(self.now + self.cfg.sample_period, Event::Sample);
+        // The fault schedule is fixed at bootstrap: every window of the
+        // plan becomes a pair of queued actions.
+        if self.faults.is_some() {
+            for (i, w) in self.cfg.faults.partitions.iter().enumerate() {
+                self.queue
+                    .push(w.start, Event::Fault(FaultAction::PartitionStart(i)));
+                self.queue
+                    .push(w.heal, Event::Fault(FaultAction::PartitionHeal(i)));
+            }
+            for (i, w) in self.cfg.faults.crashes.iter().enumerate() {
+                self.queue.push(w.at, Event::Fault(FaultAction::Crash(i)));
+                self.queue
+                    .push(w.recover, Event::Fault(FaultAction::Recover(i)));
+            }
+        }
     }
 
     fn queries_enabled(&self, id: NodeId) -> bool {
@@ -884,6 +1019,8 @@ impl World {
             route_gauge: self.route_gauge,
             battery_gauge: self.battery_gauge,
             energy_used_mj,
+            fault_plan: self.faults.is_some().then_some(self.cfg.faults.label),
+            faults: self.fault_stats,
             measured: self.cfg.sim_time - self.cfg.warmup,
         };
         (report, tracer)
@@ -988,7 +1125,97 @@ impl World {
                 self.queue
                     .push(self.now + self.cfg.sample_period, Event::Sample);
             }
+            Event::Fault(action) => self.handle_fault(action),
         }
+    }
+
+    /// Applies one scheduled action of the active fault plan.
+    fn handle_fault(&mut self, action: FaultAction) {
+        match action {
+            FaultAction::PartitionStart(idx) => {
+                let axis = self.cfg.faults.partitions[idx].axis;
+                if let Some(fr) = self.faults.as_mut() {
+                    fr.partition_active[idx] = true;
+                }
+                self.topo = None; // connectivity changed
+                self.fault_stats.partitions_started += 1;
+                self.trace(TraceEvent::PartitionStart { axis: axis.tag() });
+            }
+            FaultAction::PartitionHeal(idx) => {
+                let axis = self.cfg.faults.partitions[idx].axis;
+                if let Some(fr) = self.faults.as_mut() {
+                    fr.partition_active[idx] = false;
+                }
+                self.topo = None;
+                self.fault_stats.partitions_healed += 1;
+                self.trace(TraceEvent::PartitionHeal { axis: axis.tag() });
+            }
+            FaultAction::Crash(idx) => self.crash_node(idx),
+            FaultAction::Recover(idx) => self.recover_node(idx),
+        }
+    }
+
+    /// A hard crash: volatile state — cache contents, relay duties,
+    /// pending polls, route tables — is wiped and rebuilt empty, and
+    /// queries pending at the node die with it. Only the durable master
+    /// copy of the node's own item survives. Contrast with
+    /// [`Event::Switch`], which merely silences a node while all its
+    /// state persists.
+    fn crash_node(&mut self, idx: usize) {
+        let id = match self.faults.as_ref() {
+            Some(fr) => fr.crash_victims[idx],
+            None => return,
+        };
+        let mut orphans: Vec<QueryId> = self
+            .open
+            .iter()
+            .filter(|(_, q)| q.node == id)
+            .map(|(&q, _)| q)
+            .collect();
+        orphans.sort_unstable(); // hash order is process-random
+        for query in orphans {
+            self.close_failed(id, query);
+        }
+        let mut dead_writes: Vec<QueryId> = self
+            .open_writes
+            .iter()
+            .filter(|(_, w)| w.writer == id)
+            .map(|(&q, _)| q)
+            .collect();
+        dead_writes.sort_unstable();
+        for write in dead_writes {
+            self.close_write_failed(write);
+        }
+        let tracing = self.tracer.enabled();
+        let node = &mut self.nodes[id.index()];
+        node.up = false;
+        node.cache = CacheStore::new(self.cfg.c_num.max(1));
+        node.stack = NetStack::new(id, self.cfg.net);
+        node.stack.set_tracing(tracing);
+        node.proto = AnyProtocol::fresh(self.cfg.strategy, &self.cfg.proto, node.publishes);
+        self.topo = None;
+        self.fault_stats.crashes += 1;
+        self.trace(TraceEvent::NodeCrash { node: id });
+    }
+
+    /// Recovery from a crash: the node rejoins with its volatile state
+    /// still empty. `on_init` is deliberately NOT re-run — the perpetual
+    /// timer chains scheduled before the crash (TTN, relay-hold sweeps)
+    /// are still queued and resume against the fresh instance, exactly
+    /// as a rebooted host rejoining mid-protocol would.
+    fn recover_node(&mut self, idx: usize) {
+        let id = match self.faults.as_ref() {
+            Some(fr) => fr.crash_victims[idx],
+            None => return,
+        };
+        self.nodes[id.index()].up = true;
+        self.topo = None;
+        self.fault_stats.recoveries += 1;
+        self.trace(TraceEvent::NodeRecover { node: id });
+        self.with_proto(
+            id,
+            |proto, ctx| dispatch!(proto, p => p.on_status_change(ctx, true)),
+        );
     }
 
     fn take_samples(&mut self) {
@@ -1038,6 +1265,7 @@ impl World {
         self.open.insert(
             query,
             OpenQuery {
+                node: id,
                 item,
                 level,
                 issued: self.now,
@@ -1063,8 +1291,35 @@ impl World {
         if !self.nodes[at.index()].up {
             return; // switched-off nodes hear nothing
         }
-        if !self.cfg.link.delivered(&mut self.link_rng) {
-            return; // channel loss
+        // Channel loss. A Gilbert–Elliott chain (when the fault plan
+        // installs one) replaces the memoryless link model entirely;
+        // drops rolled in its bad state are counted as burst losses.
+        let dropped_in_burst = if let Some(fr) = self.faults.as_mut() {
+            if let Some(ge) = fr.ge.as_mut() {
+                let was_bad = ge.is_bad();
+                if ge.delivered(&mut fr.rng) {
+                    None
+                } else {
+                    Some(was_bad)
+                }
+            } else if self.cfg.link.delivered(&mut self.link_rng) {
+                None
+            } else {
+                Some(false)
+            }
+        } else if self.cfg.link.delivered(&mut self.link_rng) {
+            None
+        } else {
+            Some(false)
+        };
+        match dropped_in_burst {
+            None => {}
+            Some(false) => return, // channel loss
+            Some(true) => {
+                self.fault_stats.burst_drops += 1;
+                self.trace(TraceEvent::BurstDrop { node: at });
+                return;
+            }
         }
         let rx_cost = self.cfg.energy.rx_cost(frame.size());
         self.nodes[at.index()].battery.drain(rx_cost);
@@ -1085,9 +1340,54 @@ impl World {
                 .map(|n| n.mobility.position_at(self.now))
                 .collect();
             let up: Vec<bool> = self.nodes.iter().map(|n| n.up).collect();
-            self.topo = Some((self.now, Topology::new(&positions, &up, self.cfg.range)));
+            let axes = self.active_partition_axes();
+            let topo = if axes.is_empty() {
+                Topology::new(&positions, &up, self.cfg.range)
+            } else {
+                // A bisection partition severs every link crossing the
+                // terrain midline of each open window's axis; nodes keep
+                // moving and hearing their own side.
+                let mid_x = self.cfg.terrain.width() / 2.0;
+                let mid_y = self.cfg.terrain.height() / 2.0;
+                Topology::with_link_filter(&positions, &up, self.cfg.range, |a, b| {
+                    axes.iter().all(|axis| match axis {
+                        Axis::Vertical => (positions[a].x < mid_x) == (positions[b].x < mid_x),
+                        Axis::Horizontal => (positions[a].y < mid_y) == (positions[b].y < mid_y),
+                    })
+                })
+            };
+            self.topo = Some((self.now, topo));
         }
         &self.topo.as_ref().expect("just built").1
+    }
+
+    /// Axes of the currently open partition windows (deduplicated, plan
+    /// order). Empty — without allocating — for a fault-free run.
+    fn active_partition_axes(&self) -> Vec<Axis> {
+        let Some(fr) = self.faults.as_ref() else {
+            return Vec::new();
+        };
+        let mut axes: Vec<Axis> = self
+            .cfg
+            .faults
+            .partitions
+            .iter()
+            .zip(&fr.partition_active)
+            .filter(|(_, &active)| active)
+            .map(|(w, _)| w.axis)
+            .collect();
+        axes.dedup();
+        axes
+    }
+
+    /// Rolls the fault plan's duplication dice for one transmission and
+    /// returns the duplicate copy's extra delay beyond the original's.
+    fn duplicate_delay(&mut self, frame_bytes: u32) -> Option<SimDuration> {
+        let fr = self.faults.as_mut()?;
+        if fr.duplicate_prob <= 0.0 || !fr.rng.bernoulli(fr.duplicate_prob) {
+            return None;
+        }
+        Some(self.cfg.link.hop_delay(frame_bytes, &mut fr.rng))
     }
 
     /// Counts one MAC transmission towards the traffic metric (when past
@@ -1120,7 +1420,7 @@ impl World {
                     self.nodes[node.index()].battery.drain(tx_cost);
                     let delay = self.cfg.link.hop_delay(frame.size(), &mut self.link_rng);
                     let neighbors: Vec<NodeId> = self.topology().neighbors(node).to_vec();
-                    for nb in neighbors {
+                    for &nb in &neighbors {
                         self.queue.push(
                             self.now + delay,
                             Event::Rx {
@@ -1129,6 +1429,26 @@ impl World {
                                 frame: frame.clone(),
                             },
                         );
+                    }
+                    // In-flight duplication (fault plan): the whole
+                    // broadcast is heard a second time after an extra,
+                    // independently drawn hop delay.
+                    if let Some(extra) = self.duplicate_delay(frame.size()) {
+                        self.fault_stats.frames_duplicated += 1;
+                        self.trace(TraceEvent::FrameDup {
+                            node,
+                            class: frame_class(&frame),
+                        });
+                        for &nb in &neighbors {
+                            self.queue.push(
+                                self.now + delay + extra,
+                                Event::Rx {
+                                    at: nb,
+                                    from: node,
+                                    frame: frame.clone(),
+                                },
+                            );
+                        }
                     }
                 }
                 NetAction::Send { next_hop, frame } => {
@@ -1142,6 +1462,21 @@ impl World {
                         && self.nodes[next_hop.index()].up;
                     if reachable {
                         let delay = self.cfg.link.hop_delay(frame.size(), &mut self.link_rng);
+                        if let Some(extra) = self.duplicate_delay(frame.size()) {
+                            self.fault_stats.frames_duplicated += 1;
+                            self.trace(TraceEvent::FrameDup {
+                                node,
+                                class: frame_class(&frame),
+                            });
+                            self.queue.push(
+                                self.now + delay + extra,
+                                Event::Rx {
+                                    at: next_hop,
+                                    from: node,
+                                    frame: frame.clone(),
+                                },
+                            );
+                        }
                         self.queue.push(
                             self.now + delay,
                             Event::Rx {
@@ -1271,6 +1606,20 @@ impl World {
                         kind,
                     });
                 }
+                CtxOut::Degraded { item, query, kind } => match kind {
+                    DegradationKind::RelayLeaseExpired => {
+                        self.fault_stats.lease_expiries += 1;
+                        self.trace(TraceEvent::RelayLeaseExpired { node: id, item });
+                    }
+                    DegradationKind::FallbackFlood => {
+                        self.fault_stats.fallback_floods += 1;
+                        self.trace(TraceEvent::FallbackFlood {
+                            node: id,
+                            query: query.map_or(0, |q| q.0),
+                            item,
+                        });
+                    }
+                },
             }
         }
     }
@@ -1517,6 +1866,11 @@ fn level_tag(level: ConsistencyLevel) -> LevelTag {
 /// Stream id of the world-level RNG ("WORLD" in ASCII).
 const WORLD_STREAM: u64 = 0x57_4F_52_4C_44;
 
+/// Stream id of the fault injector's RNG. Distinct from every per-node
+/// stream family (0x100..0x8ff) and from [`WORLD_STREAM`], so enabling a
+/// plan cannot shift any pre-existing random sequence.
+const FAULT_STREAM: u64 = 0x900;
+
 fn build_mobility(cfg: &WorldConfig, rng: SimRng) -> AnyMobility {
     match cfg.mobility {
         MobilityKind::Waypoint {
@@ -1661,5 +2015,135 @@ mod tests {
         assert_eq!(report.measured, SimDuration::from_mins(4));
         let per_min = report.traffic.transmissions() as f64 / 4.0;
         assert!((report.traffic_per_minute() - per_min).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_free_report_json_carries_no_fault_keys() {
+        let report = World::new(tiny(Strategy::Rpcc, 9)).run();
+        assert!(report.fault_plan.is_none());
+        assert_eq!(report.faults, FaultStats::default());
+        assert!(!report.to_json().contains("fault_plan"));
+    }
+
+    #[test]
+    fn hostile_plan_keeps_accounting_exact_and_deterministic() {
+        let make = || {
+            let mut cfg = tiny(Strategy::Rpcc, 11);
+            cfg.proto = cfg.proto.hardened();
+            cfg.faults = FaultPlan::hostile(cfg.sim_time);
+            cfg
+        };
+        let a = World::new(make()).run();
+        let b = World::new(make()).run();
+        assert_eq!(a.to_json(), b.to_json(), "same seed, same bytes");
+        assert_eq!(
+            a.queries_issued,
+            a.queries_served() + a.queries_failed,
+            "accounting must stay exact under faults"
+        );
+        assert_eq!(a.fault_plan, Some("hostile"));
+        assert!(a.faults.crashes >= 1, "hostile plan crashes nodes");
+        assert!(a.faults.recoveries >= 1);
+        assert_eq!(a.faults.partitions_started, 1);
+        assert_eq!(a.faults.partitions_healed, 1);
+        assert!(mp2p_trace::json::is_valid(&a.to_json()));
+    }
+
+    #[test]
+    fn bursty_preset_records_burst_drops_and_duplicates() {
+        let mut cfg = tiny(Strategy::Pull, 14);
+        cfg.faults = FaultPlan::bursty(cfg.sim_time);
+        let report = World::new(cfg).run();
+        assert_eq!(report.fault_plan, Some("bursty"));
+        assert!(report.faults.burst_drops > 0, "GE bad state never dropped");
+        assert!(report.faults.frames_duplicated > 0, "no frame duplicated");
+        assert_eq!(
+            report.queries_issued,
+            report.queries_served() + report.queries_failed
+        );
+    }
+
+    #[test]
+    fn partition_preset_opens_and_heals_exactly_once() {
+        let mut cfg = tiny(Strategy::Pull, 13);
+        cfg.faults = FaultPlan::partition(cfg.sim_time);
+        let report = World::new(cfg).run();
+        assert_eq!(report.faults.partitions_started, 1);
+        assert_eq!(report.faults.partitions_healed, 1);
+        assert_eq!(
+            report.queries_issued,
+            report.queries_served() + report.queries_failed
+        );
+    }
+
+    #[test]
+    fn crash_wipes_volatile_state_but_keeps_the_master_copy() {
+        use mp2p_net::CrashWindow;
+        let mut cfg = tiny(Strategy::Rpcc, 12);
+        cfg.faults = FaultPlan {
+            label: "one-crash",
+            crashes: vec![CrashWindow {
+                at: SimTime::ZERO + SimDuration::from_secs(10),
+                recover: SimTime::ZERO + SimDuration::from_secs(20),
+                node: Some(3),
+            }],
+            ..FaultPlan::none()
+        };
+        let mut world = World::new(cfg);
+        let version_before = world.nodes[3].own_item.version();
+        assert!(!world.nodes[3].cache.is_empty(), "cache pre-warmed");
+        world.crash_node(0);
+        assert!(!world.nodes[3].up, "crashed node is down");
+        assert_eq!(world.nodes[3].cache.len(), 0, "cache wiped");
+        assert_eq!(
+            world.nodes[3].own_item.version(),
+            version_before,
+            "durable master copy survives the crash"
+        );
+        assert_eq!(world.fault_stats.crashes, 1);
+        world.recover_node(0);
+        assert!(world.nodes[3].up, "recovered node is back up");
+        assert_eq!(world.fault_stats.recoveries, 1);
+    }
+
+    #[test]
+    fn crash_fails_the_victims_open_queries() {
+        use mp2p_net::CrashWindow;
+        let mut cfg = tiny(Strategy::Rpcc, 15);
+        cfg.warmup = SimDuration::from_millis(1); // measure from the start
+        cfg.faults = FaultPlan {
+            label: "one-crash",
+            crashes: vec![CrashWindow {
+                at: SimTime::ZERO + SimDuration::from_secs(10),
+                recover: SimTime::ZERO + SimDuration::from_secs(20),
+                node: Some(2),
+            }],
+            ..FaultPlan::none()
+        };
+        let mut world = World::new(cfg);
+        world.now = SimTime::ZERO + SimDuration::from_secs(5);
+        world.handle_query_arrival(NodeId::new(2));
+        let pending_at_victim = world
+            .open
+            .values()
+            .filter(|q| q.node == NodeId::new(2))
+            .count();
+        assert!(pending_at_victim > 0, "fixture produced no open query");
+        let failed_before = world.queries_failed;
+        world.crash_node(0);
+        assert_eq!(
+            world
+                .open
+                .values()
+                .filter(|q| q.node == NodeId::new(2))
+                .count(),
+            0,
+            "crash closes the victim's open queries"
+        );
+        assert_eq!(
+            world.queries_failed,
+            failed_before + pending_at_victim as u64,
+            "closed queries are counted as failed, keeping accounting exact"
+        );
     }
 }

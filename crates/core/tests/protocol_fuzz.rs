@@ -243,7 +243,7 @@ fn drive<P: Protocol>(mut proto: P, steps: &[Step], adaptive: bool) {
                 }
                 CtxOut::SetTimer { .. } => {}
                 // Pure flight-recorder metadata, no simulation effect.
-                CtxOut::Transition { .. } => {}
+                CtxOut::Transition { .. } | CtxOut::Degraded { .. } => {}
             }
         }
     }

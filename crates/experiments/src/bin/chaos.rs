@@ -1,0 +1,190 @@
+//! Chaos soak: a strategy × fault-preset matrix with invariant checks.
+//!
+//! ```text
+//! chaos [--smoke] [--seed N] [--sim MINUTES]
+//! ```
+//!
+//! Every cell runs Rpcc/Push/Pull under one of the fault presets
+//! (`bursty`, `partition`, `crash`, `hostile`) with the hardened protocol
+//! knobs on, **twice with the same seed**, and asserts:
+//!
+//! 1. **No panics** — the run completes under every fault plan.
+//! 2. **Exact accounting** — `queries_issued == served + failed` (and the
+//!    same for writes), i.e. faults never leak or double-count a query.
+//! 3. **Determinism** — the two same-seed runs produce byte-identical
+//!    JSON reports: fault injection draws only from its own stream.
+//! 4. **Schedule integrity** — every partition window that opened also
+//!    healed, and every crash recovered, within the run.
+//!
+//! The full soak additionally re-runs the `partition` preset with the
+//! measurement window starting only after heal + TTP + TTN, asserting the
+//! Δ-staleness bound is re-established once the partition heals.
+//!
+//! `--smoke` shrinks the matrix to a 2-minute `hostile` run per strategy
+//! (still double-run for determinism) so CI can afford it.
+//!
+//! Exit status is non-zero the moment any invariant fails.
+
+use mp2p_experiments::render_table;
+use mp2p_net::FaultPlan;
+use mp2p_rpcc::{RunReport, Strategy, World, WorldConfig};
+use mp2p_sim::SimDuration;
+
+/// One soak cell's scenario: a scaled-down Table 1 point with the
+/// hardened protocol and the given fault preset installed.
+fn cell_config(strategy: Strategy, preset: &str, seed: u64, sim: SimDuration) -> WorldConfig {
+    let mut cfg = WorldConfig::paper_default(seed);
+    cfg.n_peers = 20;
+    cfg.terrain = mp2p_mobility::Terrain::new(900.0, 900.0);
+    cfg.c_num = 5;
+    cfg.sim_time = sim;
+    cfg.warmup = SimDuration::from_secs_f64((sim.as_secs_f64() * 0.15).max(30.0));
+    cfg.strategy = strategy;
+    cfg.proto = cfg.proto.hardened();
+    cfg.faults = FaultPlan::preset(preset, sim).expect("preset names come from PRESETS");
+    cfg
+}
+
+/// Runs one cell twice and checks the invariants; returns the first
+/// run's report. Pushes a message per violation instead of panicking so
+/// one broken cell doesn't mask the rest of the matrix.
+fn soak_cell(cfg: WorldConfig, violations: &mut Vec<String>) -> RunReport {
+    let label = format!("{}/{}", cfg.strategy, cfg.faults.label);
+    let first = World::new(cfg.clone()).run();
+    let second = World::new(cfg).run();
+    if first.to_json() != second.to_json() {
+        violations.push(format!("{label}: same-seed runs differ (non-determinism)"));
+    }
+    if first.queries_issued != first.queries_served() + first.queries_failed {
+        violations.push(format!(
+            "{label}: accounting leak — issued {} != served {} + failed {}",
+            first.queries_issued,
+            first.queries_served(),
+            first.queries_failed
+        ));
+    }
+    if first.writes_issued != first.writes_completed() + first.writes_failed {
+        violations.push(format!(
+            "{label}: write accounting leak — issued {} != acked {} + failed {}",
+            first.writes_issued,
+            first.writes_completed(),
+            first.writes_failed
+        ));
+    }
+    if first.faults.partitions_started != first.faults.partitions_healed {
+        violations.push(format!(
+            "{label}: {} partitions opened but {} healed",
+            first.faults.partitions_started, first.faults.partitions_healed
+        ));
+    }
+    if first.faults.crashes != first.faults.recoveries {
+        violations.push(format!(
+            "{label}: {} crashes but {} recoveries",
+            first.faults.crashes, first.faults.recoveries
+        ));
+    }
+    first
+}
+
+/// After a partition heals, RPCC's Δ-guarantee must re-establish itself:
+/// with the measurement window opening only after heal + TTP + TTN, no
+/// served answer may be staler than the friendly-run bound.
+fn heal_convergence_check(seed: u64, violations: &mut Vec<String>) {
+    let sim = SimDuration::from_mins(25);
+    let mut cfg = cell_config(Strategy::Rpcc, "partition", seed, sim);
+    let heal = cfg.faults.partitions[0].heal;
+    let settle = cfg.proto.ttp + cfg.proto.ttn + SimDuration::from_secs(30);
+    cfg.warmup = heal.saturating_since(mp2p_sim::SimTime::ZERO) + settle;
+    assert!(cfg.warmup < cfg.sim_time, "soak scenario leaves a window");
+    let report = World::new(cfg.clone()).run();
+    let bound = cfg.proto.ttp + cfg.proto.ttn + SimDuration::from_secs(15);
+    if report.audit.max_staleness() > bound {
+        violations.push(format!(
+            "heal convergence: max staleness {:.1}s exceeds the {:.1}s bound after heal",
+            report.audit.max_staleness().as_secs_f64(),
+            bound.as_secs_f64()
+        ));
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+    let sim_mins: f64 = args
+        .iter()
+        .position(|a| a == "--sim")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if smoke { 2.0 } else { 10.0 });
+    let sim = SimDuration::from_secs_f64(sim_mins * 60.0);
+
+    let strategies = [Strategy::Rpcc, Strategy::Push, Strategy::Pull];
+    let presets: &[&str] = if smoke {
+        &["hostile"]
+    } else {
+        &FaultPlan::PRESETS
+    };
+    println!(
+        "Chaos soak: {} strategies x {} presets, {sim} per run, two same-seed runs per cell (seed {seed})",
+        strategies.len(),
+        presets.len()
+    );
+
+    let mut violations = Vec::new();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for &preset in presets {
+        for strategy in strategies {
+            let report = soak_cell(cell_config(strategy, preset, seed, sim), &mut violations);
+            rows.push(vec![
+                preset.to_string(),
+                strategy.to_string(),
+                report.queries_issued.to_string(),
+                report.queries_served().to_string(),
+                report.queries_failed.to_string(),
+                report.faults.burst_drops.to_string(),
+                report.faults.frames_duplicated.to_string(),
+                format!("{}/{}", report.faults.crashes, report.faults.recoveries),
+                report.faults.lease_expiries.to_string(),
+                report.faults.fallback_floods.to_string(),
+            ]);
+        }
+    }
+    if !smoke {
+        heal_convergence_check(seed, &mut violations);
+    }
+
+    print!(
+        "{}",
+        render_table(
+            &[
+                "preset",
+                "strategy",
+                "issued",
+                "served",
+                "failed",
+                "burst",
+                "dups",
+                "crash/rec",
+                "leases",
+                "floods",
+            ],
+            &rows
+        )
+    );
+
+    if violations.is_empty() {
+        let cells = rows.len();
+        println!("\nchaos soak passed: {cells} cells, all invariants held");
+    } else {
+        for v in &violations {
+            eprintln!("INVARIANT VIOLATED: {v}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,5 +1,6 @@
 //! Side-by-side strategy comparison at the Table 1 default point:
-//! `compare [--full] [--seed N] [--range M] [--trace PREFIX]`.
+//! `compare [--full] [--seed N] [--range M] [--faults PRESET] [--hardened]
+//! [--trace PREFIX]`.
 //!
 //! Prints traffic (total and per message class), latency, staleness,
 //! failure rate, relay population and energy for Pull, Push and the four
@@ -54,6 +55,12 @@ fn main() {
         .position(|a| a == "--trace")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let fault_preset: Option<String> = args
+        .iter()
+        .position(|a| a == "--faults")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let hardened = args.iter().any(|a| a == "--hardened");
     let opts = if full {
         RunOptions::full()
     } else {
@@ -77,6 +84,19 @@ fn main() {
             }
             if let Some(t) = ttl {
                 cfg.proto.invalidation_ttl = t;
+            }
+            if hardened {
+                cfg.proto = cfg.proto.hardened();
+            }
+            if let Some(preset) = &fault_preset {
+                cfg.faults =
+                    mp2p_net::FaultPlan::preset(preset, cfg.sim_time).unwrap_or_else(|| {
+                        eprintln!(
+                            "unknown fault plan {preset:?} (none|{})",
+                            mp2p_net::FaultPlan::PRESETS.join("|")
+                        );
+                        std::process::exit(2);
+                    });
             }
             let mut world = World::new(cfg);
             if let Some(prefix) = &trace_prefix {
@@ -134,6 +154,17 @@ fn main() {
     row("energy used (J)", &|r| {
         format!("{:.0}", r.energy_used_mj / 1_000.0)
     });
+    if reports.iter().any(|r| r.fault_plan.is_some()) {
+        row("burst drops", &|r| r.faults.burst_drops.to_string());
+        row("frames duplicated", &|r| {
+            r.faults.frames_duplicated.to_string()
+        });
+        row("crashes", &|r| r.faults.crashes.to_string());
+        row("relay leases expired", &|r| {
+            r.faults.lease_expiries.to_string()
+        });
+        row("fallback floods", &|r| r.faults.fallback_floods.to_string());
+    }
     for class in MessageClass::ALL {
         let any = reports.iter().any(|r| r.traffic.by_class(class) > 0);
         if any {

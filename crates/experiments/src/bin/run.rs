@@ -7,6 +7,7 @@
 //!     [--update-secs S] [--query-secs S] [--write-secs S]
 //!     [--ttl HOPS] [--loss P] [--no-churn] [--oracle-routing]
 //!     [--adaptive] [--relay-cap N] [--single-item] [--seed N]
+//!     [--faults none|bursty|partition|crash|hostile] [--hardened]
 //!     [--trace FILE.jsonl]
 //! ```
 //!
@@ -20,6 +21,10 @@
 //! `--trace` switches the flight recorder on: every message, relay
 //! transition, query and churn event is appended to the given JSONL file,
 //! and an event-count table is printed after the run.
+//!
+//! `--faults` installs one of the chaos presets (scaled to the simulated
+//! duration); `--hardened` switches on the protocol-hardening knobs
+//! (retry backoff + jitter, relay orphan lease, fallback flood).
 
 use mp2p_experiments::render_table;
 use mp2p_metrics::MessageClass;
@@ -112,6 +117,18 @@ fn parse_args() -> Result<(WorldConfig, Option<std::path::PathBuf>), String> {
     }
     if args.iter().any(|a| a == "--single-item") {
         cfg.workload = WorkloadMode::SingleItem;
+    }
+    if args.iter().any(|a| a == "--hardened") {
+        cfg.proto = cfg.proto.hardened();
+    }
+    // Resolved after --sim so the preset windows scale to the actual run.
+    if let Some(v) = value_of("--faults") {
+        cfg.faults = mp2p_net::FaultPlan::preset(v, cfg.sim_time).ok_or_else(|| {
+            format!(
+                "unknown fault plan {v:?} (none|{})",
+                mp2p_net::FaultPlan::PRESETS.join("|")
+            )
+        })?;
     }
     if args.iter().any(|a| a == "--help" || a == "-h") {
         return Err("see the module docs at the top of run.rs for the flag list".into());
@@ -214,6 +231,30 @@ fn main() {
             "write latency",
             format!("{:.3}s", report.write_latency.mean_secs()),
         );
+    }
+    if let Some(plan) = report.fault_plan {
+        row("fault plan", plan.to_string());
+        row(
+            "crashes/recoveries",
+            format!("{}/{}", report.faults.crashes, report.faults.recoveries),
+        );
+        row(
+            "partitions opened/healed",
+            format!(
+                "{}/{}",
+                report.faults.partitions_started, report.faults.partitions_healed
+            ),
+        );
+        row("burst drops", report.faults.burst_drops.to_string());
+        row(
+            "frames duplicated",
+            report.faults.frames_duplicated.to_string(),
+        );
+        row(
+            "relay leases expired",
+            report.faults.lease_expiries.to_string(),
+        );
+        row("fallback floods", report.faults.fallback_floods.to_string());
     }
     print!("{}", render_table(&["metric", "value"], &rows));
 

@@ -26,12 +26,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod faults;
 mod frame;
 mod link;
 mod stack;
 mod topology;
 
+pub use faults::{Axis, CrashWindow, FaultPlan, PartitionWindow};
 pub use frame::{FloodId, Frame, NetMeta, NetPayload, RouteControl};
-pub use link::LinkModel;
+pub use link::{GeParams, GilbertElliott, LinkModel};
 pub use stack::{NetAction, NetConfig, NetEvent, NetStack, NetTimer};
 pub use topology::Topology;

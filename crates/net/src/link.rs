@@ -100,6 +100,116 @@ impl Default for LinkModel {
     }
 }
 
+/// Parameters of the Gilbert–Elliott two-state burst-loss channel.
+///
+/// The channel is a two-state Markov chain stepped once per delivery
+/// trial: in the *good* state frames drop with `loss_good`, in the *bad*
+/// state with `loss_bad`. After each trial the chain transitions
+/// good→bad with `p_good_to_bad` and bad→good with `p_bad_to_good`, so
+/// the mean dwell in the bad state — the mean loss-burst length when
+/// `loss_bad = 1` — is the geometric `1 / p_bad_to_good` trials, and the
+/// stationary bad-state probability is
+/// `p_good_to_bad / (p_good_to_bad + p_bad_to_good)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeParams {
+    /// Transition probability good → bad after each trial.
+    pub p_good_to_bad: f64,
+    /// Transition probability bad → good after each trial.
+    pub p_bad_to_good: f64,
+    /// Per-frame loss probability while in the good state.
+    pub loss_good: f64,
+    /// Per-frame loss probability while in the bad state.
+    pub loss_bad: f64,
+}
+
+impl GeParams {
+    /// Validates every probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1]` or
+    /// `p_bad_to_good` is zero (the bad state would be absorbing).
+    pub fn validate(&self) {
+        for (name, p) in [
+            ("p_good_to_bad", self.p_good_to_bad),
+            ("p_bad_to_good", self.p_bad_to_good),
+            ("loss_good", self.loss_good),
+            ("loss_bad", self.loss_bad),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} must be in [0,1], got {p}");
+        }
+        assert!(
+            self.p_bad_to_good > 0.0,
+            "p_bad_to_good must be positive or the bad state is absorbing"
+        );
+    }
+
+    /// Closed-form mean dwell time in the bad state, in trials
+    /// (`1 / p_bad_to_good`): the expected loss-burst length when
+    /// `loss_bad = 1`.
+    pub fn mean_burst_len(&self) -> f64 {
+        1.0 / self.p_bad_to_good
+    }
+
+    /// Closed-form stationary probability of the bad state.
+    pub fn stationary_bad(&self) -> f64 {
+        self.p_good_to_bad / (self.p_good_to_bad + self.p_bad_to_good)
+    }
+}
+
+/// The running Gilbert–Elliott channel: [`GeParams`] plus the current
+/// Markov state. One instance models the shared channel of a run (the
+/// same granularity as the Bernoulli `loss_prob` it replaces); the chain
+/// starts in the good state.
+#[derive(Debug, Clone, Copy)]
+pub struct GilbertElliott {
+    params: GeParams,
+    bad: bool,
+}
+
+impl GilbertElliott {
+    /// Creates the channel in the good state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fail [`GeParams::validate`].
+    pub fn new(params: GeParams) -> Self {
+        params.validate();
+        GilbertElliott { params, bad: false }
+    }
+
+    /// The parameters this channel runs.
+    pub fn params(&self) -> GeParams {
+        self.params
+    }
+
+    /// Whether the chain currently sits in the bad state.
+    pub fn is_bad(&self) -> bool {
+        self.bad
+    }
+
+    /// One delivery trial: samples loss under the current state, then
+    /// steps the Markov chain. Draws exactly two values from `rng` per
+    /// call, whatever the outcome, so event schedules stay reproducible.
+    pub fn delivered(&mut self, rng: &mut SimRng) -> bool {
+        let loss = if self.bad {
+            self.params.loss_bad
+        } else {
+            self.params.loss_good
+        };
+        let delivered = rng.uniform_f64() >= loss;
+        let flip = if self.bad {
+            self.params.p_bad_to_good
+        } else {
+            self.params.p_good_to_bad
+        };
+        if rng.uniform_f64() < flip {
+            self.bad = !self.bad;
+        }
+        delivered
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,6 +249,47 @@ mod tests {
         );
     }
 
+    #[test]
+    fn ge_starts_good_and_visits_bad() {
+        let mut ge = GilbertElliott::new(GeParams {
+            p_good_to_bad: 0.5,
+            p_bad_to_good: 0.5,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        });
+        assert!(!ge.is_bad());
+        let mut rng = SimRng::from_seed(3, 0);
+        let mut visited_bad = false;
+        for _ in 0..100 {
+            ge.delivered(&mut rng);
+            visited_bad |= ge.is_bad();
+        }
+        assert!(visited_bad, "chain never left the good state");
+    }
+
+    #[test]
+    fn ge_good_state_with_zero_loss_always_delivers() {
+        let mut ge = GilbertElliott::new(GeParams {
+            p_good_to_bad: 0.0, // never leaves good
+            p_bad_to_good: 1.0,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        });
+        let mut rng = SimRng::from_seed(4, 0);
+        assert!((0..1_000).all(|_| ge.delivered(&mut rng)));
+    }
+
+    #[test]
+    #[should_panic(expected = "absorbing")]
+    fn ge_rejects_absorbing_bad_state() {
+        let _ = GilbertElliott::new(GeParams {
+            p_good_to_bad: 0.1,
+            p_bad_to_good: 0.0,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        });
+    }
+
     proptest! {
         #[test]
         fn prop_delay_bounded(size in 0u32..65_536, seed in any::<u64>()) {
@@ -148,6 +299,51 @@ mod tests {
             let serialisation = (size as u64 * 8 * 1_000 / 2_000_000).max(1);
             prop_assert!(d.as_millis() > serialisation);
             prop_assert!(d.as_millis() <= serialisation + 1 + 4);
+        }
+
+        /// The empirical mean loss-burst length of the Gilbert–Elliott
+        /// chain (loss_bad = 1, loss_good = 0, so a loss burst is exactly
+        /// one bad-state dwell) matches the closed form 1/p_bad_to_good.
+        #[test]
+        fn prop_ge_burst_length_matches_closed_form(
+            // Keep expected bursts in [1.25, 10] trials and entries
+            // frequent, so ~50k trials see hundreds of bursts and the
+            // sample mean concentrates.
+            p_bg in (0.1f64..=0.8).prop_filter(
+                "burst mean must be finite", |p| *p > 0.0),
+            p_gb in 0.05f64..0.5,
+            seed in any::<u64>(),
+        ) {
+            let params = GeParams {
+                p_good_to_bad: p_gb,
+                p_bad_to_good: p_bg,
+                loss_good: 0.0,
+                loss_bad: 1.0,
+            };
+            let mut ge = GilbertElliott::new(params);
+            let mut rng = SimRng::from_seed(seed, 0x6E);
+            let mut bursts = 0u64;
+            let mut lost = 0u64;
+            let mut in_burst = false;
+            for _ in 0..50_000 {
+                if ge.delivered(&mut rng) {
+                    in_burst = false;
+                } else {
+                    if !in_burst {
+                        bursts += 1;
+                        in_burst = true;
+                    }
+                    lost += 1;
+                }
+            }
+            prop_assert!(bursts > 100, "too few bursts observed: {bursts}");
+            let empirical = lost as f64 / bursts as f64;
+            let expected = params.mean_burst_len();
+            prop_assert!(
+                (empirical - expected).abs() / expected < 0.25,
+                "burst mean {empirical:.3} vs closed form {expected:.3} \
+                 (p_bg={p_bg:.3}, p_gb={p_gb:.3})"
+            );
         }
     }
 }

@@ -44,6 +44,25 @@ impl Topology {
     /// Panics if the two slices differ in length or `range` is not finite
     /// and positive.
     pub fn new(positions: &[Point], connected: &[bool], range: f64) -> Self {
+        Topology::with_link_filter(positions, connected, range, |_, _| true)
+    }
+
+    /// Builds a snapshot like [`Topology::new`] but suppresses any edge
+    /// for which `keep(i, j)` (with `i < j`, both indices up and within
+    /// range) returns false. This is the fault-injection hook: a
+    /// scheduled partition keeps only edges whose endpoints lie on the
+    /// same side of a cut, without touching the nodes themselves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two slices differ in length or `range` is not finite
+    /// and positive.
+    pub fn with_link_filter(
+        positions: &[Point],
+        connected: &[bool],
+        range: f64,
+        keep: impl Fn(usize, usize) -> bool,
+    ) -> Self {
         assert_eq!(
             positions.len(),
             connected.len(),
@@ -63,7 +82,7 @@ impl Topology {
                 if !connected[j] {
                     continue;
                 }
-                if positions[i].distance(positions[j]) <= range {
+                if positions[i].distance(positions[j]) <= range && keep(i, j) {
                     neighbors[i].push(NodeId::new(j as u32));
                     neighbors[j].push(NodeId::new(i as u32));
                 }
@@ -273,6 +292,34 @@ mod tests {
         ids.sort_unstable();
         assert_eq!(ids, vec![1, 2, 3]);
         assert!(t.within_hops(NodeId::new(0), 0).is_empty());
+    }
+
+    #[test]
+    fn link_filter_cuts_edges_without_touching_nodes() {
+        let positions: Vec<Point> = (0..6).map(|i| Point::new(i as f64 * 200.0, 0.0)).collect();
+        // Cut the line between indices 2 and 3 (a bisection at x = 500).
+        let t = Topology::with_link_filter(&positions, &[true; 6], 250.0, |i, j| {
+            (positions[i].x < 500.0) == (positions[j].x < 500.0)
+        });
+        assert!(t.is_up(NodeId::new(2)) && t.is_up(NodeId::new(3)));
+        assert!(!t.are_neighbors(NodeId::new(2), NodeId::new(3)));
+        assert_eq!(t.hops(NodeId::new(0), NodeId::new(5)), None);
+        assert_eq!(t.components().len(), 2);
+        // The permissive filter reproduces `new` exactly.
+        let unfiltered = Topology::new(&positions, &[true; 6], 250.0);
+        for i in 0..6u32 {
+            for j in 0..6u32 {
+                let (a, b) = (NodeId::new(i), NodeId::new(j));
+                if i.abs_diff(j) == 1 && (i.min(j) != 2) {
+                    assert!(t.are_neighbors(a, b));
+                }
+                assert_eq!(
+                    unfiltered.are_neighbors(a, b),
+                    i.abs_diff(j) == 1,
+                    "new() adjacency unchanged"
+                );
+            }
+        }
     }
 
     #[test]

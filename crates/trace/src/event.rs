@@ -260,6 +260,58 @@ pub enum TraceEvent {
         /// The new master version.
         version: u64,
     },
+    /// Fault injection crashed a node: its volatile state (cache store,
+    /// relay/pending protocol state, routing tables) was wiped.
+    NodeCrash {
+        /// The crashed node.
+        node: NodeId,
+    },
+    /// A crashed node cold-booted.
+    NodeRecover {
+        /// The recovering node.
+        node: NodeId,
+    },
+    /// Fault injection started a bisection partition of the terrain.
+    PartitionStart {
+        /// Cut orientation tag (0 = vertical, 1 = horizontal).
+        axis: u8,
+    },
+    /// A bisection partition healed.
+    PartitionHeal {
+        /// Cut orientation tag (0 = vertical, 1 = horizontal).
+        axis: u8,
+    },
+    /// Fault injection duplicated a transmitted frame.
+    FrameDup {
+        /// The transmitting node whose frame was duplicated.
+        node: NodeId,
+        /// What the duplicated frame carried.
+        class: MessageClass,
+    },
+    /// The Gilbert–Elliott channel dropped an arriving frame while in
+    /// its bad (burst) state.
+    BurstDrop {
+        /// The node whose reception was lost.
+        node: NodeId,
+    },
+    /// A relay's hold on an item expired without source contact; the
+    /// peer demoted itself (graceful degradation, self-CANCEL).
+    RelayLeaseExpired {
+        /// The demoting relay peer.
+        node: NodeId,
+        /// The item whose relay duty lapsed.
+        item: ItemId,
+    },
+    /// A peer exhausted its routed retries and fell back to flooding
+    /// the source directly (graceful degradation).
+    FallbackFlood {
+        /// The degrading peer.
+        node: NodeId,
+        /// The query being rescued.
+        query: u64,
+        /// The item being polled.
+        item: ItemId,
+    },
 }
 
 /// Discriminant of a [`TraceEvent`], for counting and table rendering.
@@ -301,11 +353,27 @@ pub enum EventKind {
     NodeDown,
     /// See [`TraceEvent::SourceUpdate`].
     SourceUpdate,
+    /// See [`TraceEvent::NodeCrash`].
+    NodeCrash,
+    /// See [`TraceEvent::NodeRecover`].
+    NodeRecover,
+    /// See [`TraceEvent::PartitionStart`].
+    PartitionStart,
+    /// See [`TraceEvent::PartitionHeal`].
+    PartitionHeal,
+    /// See [`TraceEvent::FrameDup`].
+    FrameDup,
+    /// See [`TraceEvent::BurstDrop`].
+    BurstDrop,
+    /// See [`TraceEvent::RelayLeaseExpired`].
+    RelayLeaseExpired,
+    /// See [`TraceEvent::FallbackFlood`].
+    FallbackFlood,
 }
 
 impl EventKind {
     /// All kinds, for iteration and table rendering.
-    pub const ALL: [EventKind; 18] = [
+    pub const ALL: [EventKind; 26] = [
         EventKind::MsgSend,
         EventKind::MsgDeliver,
         EventKind::MacDrop,
@@ -324,6 +392,14 @@ impl EventKind {
         EventKind::NodeUp,
         EventKind::NodeDown,
         EventKind::SourceUpdate,
+        EventKind::NodeCrash,
+        EventKind::NodeRecover,
+        EventKind::PartitionStart,
+        EventKind::PartitionHeal,
+        EventKind::FrameDup,
+        EventKind::BurstDrop,
+        EventKind::RelayLeaseExpired,
+        EventKind::FallbackFlood,
     ];
 
     /// Position of this kind in [`EventKind::ALL`] (stable array index
@@ -356,6 +432,14 @@ impl EventKind {
             EventKind::NodeUp => "node_up",
             EventKind::NodeDown => "node_down",
             EventKind::SourceUpdate => "source_update",
+            EventKind::NodeCrash => "node_crash",
+            EventKind::NodeRecover => "node_recover",
+            EventKind::PartitionStart => "partition_start",
+            EventKind::PartitionHeal => "partition_heal",
+            EventKind::FrameDup => "frame_dup",
+            EventKind::BurstDrop => "burst_drop",
+            EventKind::RelayLeaseExpired => "relay_lease_expired",
+            EventKind::FallbackFlood => "fallback_flood",
         }
     }
 }
@@ -382,6 +466,14 @@ impl TraceEvent {
             TraceEvent::NodeUp { .. } => EventKind::NodeUp,
             TraceEvent::NodeDown { .. } => EventKind::NodeDown,
             TraceEvent::SourceUpdate { .. } => EventKind::SourceUpdate,
+            TraceEvent::NodeCrash { .. } => EventKind::NodeCrash,
+            TraceEvent::NodeRecover { .. } => EventKind::NodeRecover,
+            TraceEvent::PartitionStart { .. } => EventKind::PartitionStart,
+            TraceEvent::PartitionHeal { .. } => EventKind::PartitionHeal,
+            TraceEvent::FrameDup { .. } => EventKind::FrameDup,
+            TraceEvent::BurstDrop { .. } => EventKind::BurstDrop,
+            TraceEvent::RelayLeaseExpired { .. } => EventKind::RelayLeaseExpired,
+            TraceEvent::FallbackFlood { .. } => EventKind::FallbackFlood,
         }
     }
 
@@ -533,6 +625,27 @@ impl TraceEvent {
                 field_num(out, "item", item.index() as u64);
                 field_num(out, "version", version);
             }
+            TraceEvent::NodeCrash { node }
+            | TraceEvent::NodeRecover { node }
+            | TraceEvent::BurstDrop { node } => {
+                field_num(out, "node", node.index() as u64);
+            }
+            TraceEvent::PartitionStart { axis } | TraceEvent::PartitionHeal { axis } => {
+                field_num(out, "axis", u64::from(axis));
+            }
+            TraceEvent::FrameDup { node, class } => {
+                field_num(out, "node", node.index() as u64);
+                field_str(out, "class", class.label());
+            }
+            TraceEvent::RelayLeaseExpired { node, item } => {
+                field_num(out, "node", node.index() as u64);
+                field_num(out, "item", item.index() as u64);
+            }
+            TraceEvent::FallbackFlood { node, query, item } => {
+                field_num(out, "node", node.index() as u64);
+                field_num(out, "query", query);
+                field_num(out, "item", item.index() as u64);
+            }
         }
         out.push('}');
     }
@@ -629,6 +742,21 @@ pub(crate) mod tests {
                 node: n,
                 item,
                 version: 4,
+            },
+            TraceEvent::NodeCrash { node: n },
+            TraceEvent::NodeRecover { node: n },
+            TraceEvent::PartitionStart { axis: 0 },
+            TraceEvent::PartitionHeal { axis: 0 },
+            TraceEvent::FrameDup {
+                node: n,
+                class: MessageClass::Update,
+            },
+            TraceEvent::BurstDrop { node: m },
+            TraceEvent::RelayLeaseExpired { node: n, item },
+            TraceEvent::FallbackFlood {
+                node: n,
+                query: 9,
+                item,
             },
         ]
     }

@@ -128,6 +128,41 @@ fn friendly_conditions_serve_almost_everything() {
 }
 
 #[test]
+fn delta_bound_reestablishes_after_partition_heal() {
+    // Satellite of the chaos harness: a bisection partition severs the
+    // network for the middle fifth of the run, orphaning relays and
+    // stranding leases on the far side. Once the partition heals, the
+    // next TTN report cycle revalidates (or the orphan-lease machinery
+    // demotes) every surviving relay — so measuring only after
+    // heal + TTP + TTN must find the Δ-staleness bound intact again.
+    let mut cfg = friendly(9);
+    cfg.strategy = Strategy::Rpcc;
+    cfg.level_mix = LevelMix::delta_only();
+    cfg.proto = cfg.proto.hardened();
+    cfg.faults = mp2p::net::FaultPlan::partition(cfg.sim_time);
+    let heal = cfg.faults.partitions[0].heal;
+    cfg.warmup = heal.saturating_since(mp2p::sim::SimTime::ZERO)
+        + cfg.proto.ttp
+        + cfg.proto.ttn
+        + SimDuration::from_secs(30);
+    assert!(
+        cfg.warmup < cfg.sim_time,
+        "scenario leaves a measured window"
+    );
+    let bound = cfg.proto.ttp + cfg.proto.ttn + SimDuration::from_secs(15);
+    let r = World::new(cfg).run();
+    assert_eq!(r.faults.partitions_started, 1);
+    assert_eq!(r.faults.partitions_healed, 1);
+    assert!(r.audit.served() > 50, "need a meaningful post-heal sample");
+    assert!(
+        r.audit.max_staleness() <= bound,
+        "post-heal Δ staleness {} exceeds TTP + TTN bound {}",
+        r.audit.max_staleness(),
+        bound
+    );
+}
+
+#[test]
 fn version_lag_is_small_for_validated_reads() {
     // Updates batch per TTN cycle: with I_Update = TTN = 2 min, the
     // per-cycle update count is Poisson(1), so a validated answer can

@@ -122,6 +122,57 @@ fn sparse_partitioned_network_fails_queries_but_never_lies() {
 }
 
 #[test]
+fn pending_poll_accounting_survives_churn_and_crashes() {
+    // Regression: a node can disappear (soft churn) or crash (fault plan,
+    // volatile state wiped) while POLL retry timers for its queries are
+    // still queued. Stale timers must fire as no-ops and every query must
+    // end up exactly once in served or failed — under both kinds of
+    // removal at once.
+    let mut cfg = hostile(8);
+    cfg.strategy = Strategy::Rpcc;
+    cfg.level_mix = LevelMix::strong_only();
+    cfg.proto = cfg.proto.hardened();
+    cfg.faults = mp2p::net::FaultPlan::preset("crash", cfg.sim_time).expect("known preset");
+    let r = World::new(cfg).run();
+    assert_eq!(
+        r.queries_issued,
+        r.queries_served() + r.queries_failed,
+        "pending-poll accounting leaked under churn + crashes"
+    );
+    assert!(r.faults.crashes >= 1, "the plan must actually crash nodes");
+    assert_eq!(
+        r.faults.crashes, r.faults.recoveries,
+        "every crash window must close"
+    );
+    assert!(r.audit.served() > 0, "the system must keep serving");
+}
+
+#[test]
+fn fault_presets_stay_deterministic_and_leak_free() {
+    // Same seed, same preset: byte-identical reports, exact accounting.
+    // Exercises the full injector (burst loss, duplication, partition,
+    // crashes) on top of the baseline churn of this suite.
+    let run_hostile = |seed: u64| {
+        let mut cfg = hostile(seed);
+        cfg.strategy = Strategy::Rpcc;
+        cfg.level_mix = LevelMix::hybrid();
+        cfg.proto = cfg.proto.hardened();
+        cfg.faults = mp2p::net::FaultPlan::preset("hostile", cfg.sim_time).expect("known preset");
+        World::new(cfg).run()
+    };
+    let a = run_hostile(9);
+    let b = run_hostile(9);
+    assert_eq!(
+        a.to_json(),
+        b.to_json(),
+        "fault injection broke determinism"
+    );
+    assert_eq!(a.queries_issued, a.queries_served() + a.queries_failed);
+    assert!(a.faults.burst_drops > 0, "GE chain never dropped a frame");
+    assert!(a.faults.frames_duplicated > 0, "duplication never fired");
+}
+
+#[test]
 fn depleted_batteries_demote_relays() {
     let mut cfg = hostile(7);
     cfg.strategy = Strategy::Rpcc;

@@ -109,6 +109,24 @@ pub mod strategy {
             Map { inner: self, f }
         }
 
+        /// Keeps only values satisfying `pred`, re-drawing otherwise.
+        ///
+        /// Unlike real proptest (which rejects the whole case and may
+        /// exhaust a global rejection budget), this stand-in simply
+        /// retries locally and panics with `reason` after 1 000 failed
+        /// draws — predicates must not be vanishingly selective.
+        fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                reason,
+                pred,
+            }
+        }
+
         /// Type-erases the strategy (used by [`crate::prop_oneof!`]).
         fn boxed(self) -> BoxedStrategy<Self::Value>
         where
@@ -116,6 +134,35 @@ pub mod strategy {
         {
             let strat = self;
             BoxedStrategy(Rc::new(move |rng| strat.pick(rng)))
+        }
+    }
+
+    /// [`Strategy::prop_filter`] adapter.
+    #[derive(Debug, Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: &'static str,
+        pred: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+
+        fn pick(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1_000 {
+                let value = self.inner.pick(rng);
+                if (self.pred)(&value) {
+                    return value;
+                }
+            }
+            panic!(
+                "prop_filter rejected 1000 consecutive draws: {}",
+                self.reason
+            );
         }
     }
 
@@ -228,6 +275,19 @@ pub mod strategy {
         fn pick(&self, rng: &mut TestRng) -> f64 {
             assert!(self.start < self.end, "empty range strategy");
             self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+
+        fn pick(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty range strategy");
+            // next_f64 is in [0, 1); scale by the next float up so the
+            // upper endpoint is reachable (to within one ulp).
+            let unit = rng.next_f64() * (1.0 + f64::EPSILON);
+            (lo + unit * (hi - lo)).min(hi)
         }
     }
 
@@ -492,6 +552,13 @@ mod tests {
             any::<u8>().prop_map(u64::from),
         ]) {
             prop_assert!(step <= u64::from(u8::MAX));
+        }
+
+        #[test]
+        fn filter_and_inclusive_float_range_compose(
+            p in (0.0f64..=1.0).prop_filter("upper half only", |p| *p >= 0.5),
+        ) {
+            prop_assert!((0.5..=1.0).contains(&p));
         }
     }
 }
