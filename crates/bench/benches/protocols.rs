@@ -114,6 +114,7 @@ fn bench_handler_throughput(c: &mut Criterion) {
                     mp2p_rpcc::ProtoMsg::Poll {
                         item: ItemId::new(0),
                         version: Version::INITIAL,
+                        span: None,
                     },
                 );
                 outputs += ctx.take_outputs().len();

@@ -72,6 +72,11 @@ pub enum ProtoMsg {
         item: ItemId,
         /// The poller's cached version.
         version: Version,
+        /// The query span this poll serves. Diagnostic metadata only: it
+        /// rides outside [`ProtoMsg::size_bytes`] and never influences
+        /// protocol decisions; responders echo it into their acks so the
+        /// flight recorder can attribute frames to spans.
+        span: Option<u64>,
     },
     /// `POLL_ACK_A(ID_d, CP_d, VER_d)` — the poller's copy is up to date.
     PollAckA {
@@ -79,6 +84,8 @@ pub enum ProtoMsg {
         item: ItemId,
         /// The confirmed version.
         version: Version,
+        /// Echo of the poll's span tag (see [`ProtoMsg::Poll::span`]).
+        span: Option<u64>,
     },
     /// `POLL_ACK_B(ID_d, CP_d, VER_d, CT_d)` — the poller's copy was
     /// stale; fresh content attached.
@@ -89,11 +96,15 @@ pub enum ProtoMsg {
         version: Version,
         /// Content payload size.
         content_bytes: u32,
+        /// Echo of the poll's span tag (see [`ProtoMsg::Poll::span`]).
+        span: Option<u64>,
     },
     /// Baseline cache-miss/refresh request to the source host.
     Fetch {
         /// The wanted item.
         item: ItemId,
+        /// The query span this fetch serves (see [`ProtoMsg::Poll::span`]).
+        span: Option<u64>,
     },
     /// Baseline fetch answer with content.
     FetchReply {
@@ -103,6 +114,8 @@ pub enum ProtoMsg {
         version: Version,
         /// Content payload size.
         content_bytes: u32,
+        /// Echo of the fetch's span tag (see [`ProtoMsg::Poll::span`]).
+        span: Option<u64>,
     },
     /// **Extension (future work §6 item 3):** a replica write routed to
     /// the item's source host for serialisation (primary-based
@@ -139,7 +152,7 @@ impl ProtoMsg {
             | ProtoMsg::Poll { item, .. }
             | ProtoMsg::PollAckA { item, .. }
             | ProtoMsg::PollAckB { item, .. }
-            | ProtoMsg::Fetch { item }
+            | ProtoMsg::Fetch { item, .. }
             | ProtoMsg::FetchReply { item, .. }
             | ProtoMsg::WriteRequest { item, .. }
             | ProtoMsg::WriteAck { item, .. } => item,
@@ -157,6 +170,20 @@ impl ProtoMsg {
             _ => 0,
         };
         HEADER_BYTES + content
+    }
+
+    /// The query span this message serves, if it carries one (the
+    /// poll/fetch request-reply traffic). Diagnostic metadata only —
+    /// see [`ProtoMsg::Poll::span`].
+    pub fn span(&self) -> Option<u64> {
+        match *self {
+            ProtoMsg::Poll { span, .. }
+            | ProtoMsg::PollAckA { span, .. }
+            | ProtoMsg::PollAckB { span, .. }
+            | ProtoMsg::Fetch { span, .. }
+            | ProtoMsg::FetchReply { span, .. } => span,
+            _ => None,
+        }
     }
 
     /// The traffic-accounting class of this message.
@@ -189,14 +216,42 @@ mod tests {
         let small = ProtoMsg::Poll {
             item: ItemId::new(0),
             version: Version::new(1),
+            span: None,
         };
         let big = ProtoMsg::PollAckB {
             item: ItemId::new(0),
             version: Version::new(2),
             content_bytes: 1_024,
+            span: None,
         };
         assert_eq!(small.size_bytes(), HEADER_BYTES);
         assert_eq!(big.size_bytes(), HEADER_BYTES + 1_024);
+    }
+
+    #[test]
+    fn span_tag_never_changes_the_wire_size() {
+        // The span is out-of-band diagnostic metadata; a tagged poll
+        // must cost exactly the same bytes as an untagged one.
+        let untagged = ProtoMsg::Poll {
+            item: ItemId::new(0),
+            version: Version::new(1),
+            span: None,
+        };
+        let tagged = ProtoMsg::Poll {
+            item: ItemId::new(0),
+            version: Version::new(1),
+            span: Some(42),
+        };
+        assert_eq!(untagged.size_bytes(), tagged.size_bytes());
+        assert_eq!(tagged.span(), Some(42));
+        assert_eq!(
+            ProtoMsg::Invalidation {
+                item: ItemId::new(0),
+                version: Version::new(1),
+            }
+            .span(),
+            None
+        );
     }
 
     #[test]
@@ -221,6 +276,7 @@ mod tests {
             },
             ProtoMsg::Fetch {
                 item: ItemId::new(3),
+                span: None,
             },
         ];
         let mut classes: Vec<_> = msgs.iter().map(|m| m.class()).collect();

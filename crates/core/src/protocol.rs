@@ -2,7 +2,7 @@
 
 use mp2p_cache::{CacheStore, DataItem, Version};
 use mp2p_sim::{ItemId, NodeId, SimDuration, SimRng, SimTime};
-use mp2p_trace::{RelayTransitionKind, ServedBy};
+use mp2p_trace::{RelayTransitionKind, ServedBy, SpanPhase};
 
 use crate::config::ProtocolConfig;
 use crate::level::ConsistencyLevel;
@@ -117,6 +117,19 @@ pub enum CtxOut {
         /// Which degradation path was taken.
         kind: DegradationKind,
     },
+    /// Report that an open query entered a new causal phase (span
+    /// tracing). Carries no simulation effect.
+    QueryPhase {
+        /// The query whose span advanced.
+        query: QueryId,
+        /// The item being queried.
+        item: ItemId,
+        /// Which phase was entered.
+        phase: SpanPhase,
+        /// 1-based attempt number within the phase (0 where attempts are
+        /// meaningless).
+        attempt: u8,
+    },
 }
 
 /// The per-call context a protocol handler runs against: direct access to
@@ -212,6 +225,16 @@ impl<'a> Ctx<'a> {
     /// Reports a graceful-degradation decision for tracing/accounting.
     pub fn degraded(&mut self, item: ItemId, query: Option<QueryId>, kind: DegradationKind) {
         self.out.push(CtxOut::Degraded { item, query, kind });
+    }
+
+    /// Reports that `query` entered a new causal phase (span tracing).
+    pub fn phase(&mut self, query: QueryId, item: ItemId, phase: SpanPhase, attempt: u8) {
+        self.out.push(CtxOut::QueryPhase {
+            query,
+            item,
+            phase,
+            attempt,
+        });
     }
 
     /// Drains the buffered outputs (driver-side).

@@ -11,7 +11,7 @@ use std::collections::HashMap;
 
 use mp2p_cache::Version;
 use mp2p_sim::{ItemId, NodeId};
-use mp2p_trace::ServedBy;
+use mp2p_trace::{ServedBy, SpanPhase};
 
 use crate::config::ProtocolConfig;
 use crate::level::ConsistencyLevel;
@@ -47,7 +47,15 @@ impl SimplePull {
             .peek(item)
             .map(|e| e.version)
             .unwrap_or(Version::INITIAL);
-        ctx.flood(ctx.cfg.broadcast_ttl, ProtoMsg::Poll { item, version });
+        ctx.phase(query, item, SpanPhase::PollFlood, attempt);
+        ctx.flood(
+            ctx.cfg.broadcast_ttl,
+            ProtoMsg::Poll {
+                item,
+                version,
+                span: Some(query.0),
+            },
+        );
         self.pending.insert(query, PendingPoll { item, attempt });
         let delay = ctx.cfg.retry_delay(ctx.cfg.poll_timeout, attempt, ctx.rng);
         ctx.set_timer(delay, Timer::PollRetry { query, attempt });
@@ -99,12 +107,12 @@ impl Protocol for SimplePull {
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: ProtoMsg) {
         match msg {
-            ProtoMsg::Poll { item, version }
+            ProtoMsg::Poll { item, version, span }
                 // Only the source host answers polls in simple pull.
                 if self.publishes && item == ctx.own_item.id() => {
                     let master = ctx.own_item.version();
                     if version >= master {
-                        ctx.send(from, ProtoMsg::PollAckA { item, version });
+                        ctx.send(from, ProtoMsg::PollAckA { item, version, span });
                     } else {
                         ctx.send(
                             from,
@@ -112,14 +120,15 @@ impl Protocol for SimplePull {
                                 item,
                                 version: master,
                                 content_bytes: ctx.own_item.size_bytes(),
+                                span,
                             },
                         );
                     }
                 }
-            ProtoMsg::PollAckA { item, version } => {
+            ProtoMsg::PollAckA { item, version, .. } => {
                 self.answer_pending_for(ctx, item, version);
             }
-            ProtoMsg::PollAckB { item, version, content_bytes } => {
+            ProtoMsg::PollAckB { item, version, content_bytes, .. } => {
                 if !ctx.cache.refresh(item, version, ctx.now) {
                     ctx.cache.insert(item, version, content_bytes, ctx.now);
                 }
@@ -241,6 +250,7 @@ mod tests {
                 ProtoMsg::Poll {
                     item: ItemId::new(0),
                     version: Version::INITIAL,
+                    span: None,
                 },
             )
         });
@@ -264,6 +274,7 @@ mod tests {
                     item: ItemId::new(1),
                     version: Version::new(3),
                     content_bytes: 1_024,
+                    span: None,
                 },
             )
         });
@@ -362,6 +373,7 @@ mod tests {
                     item: ItemId::new(7),
                     version: Version::new(2),
                     content_bytes: 1_024,
+                    span: None,
                 },
             )
         });

@@ -14,7 +14,7 @@
 use std::collections::HashMap;
 
 use mp2p_sim::{ItemId, NodeId, SimDuration};
-use mp2p_trace::ServedBy;
+use mp2p_trace::{ServedBy, SpanPhase};
 
 use crate::config::ProtocolConfig;
 use crate::level::ConsistencyLevel;
@@ -62,9 +62,16 @@ impl SimplePush {
         let in_flight = self.fetch_in_flight.entry(item).or_insert(false);
         if !*in_flight {
             *in_flight = true;
-            ctx.send(item.source_host(), ProtoMsg::Fetch { item });
+            ctx.send(
+                item.source_host(),
+                ProtoMsg::Fetch {
+                    item,
+                    span: query.map(|q| q.0),
+                },
+            );
         }
         if let Some(q) = query {
+            ctx.phase(q, item, SpanPhase::Fetch, attempt);
             self.pending_fetch.insert(q, PendingFetch { item, attempt });
             ctx.set_timer(
                 ctx.cfg.fetch_timeout,
@@ -128,6 +135,7 @@ impl Protocol for SimplePush {
         }
         // IR discipline: hold the query until the next invalidation report
         // (or the fallback timeout) regardless of the requested level.
+        ctx.phase(query, item, SpanPhase::PushWait, 0);
         self.waiting.entry(item).or_default().push(query);
         ctx.set_timer(ctx.cfg.push_wait_timeout, Timer::PushWait { query });
     }
@@ -155,13 +163,14 @@ impl Protocol for SimplePush {
                     }
                 }
             }
-            ProtoMsg::Fetch { item } if self.publishes && item == ctx.own_item.id() => {
+            ProtoMsg::Fetch { item, span } if self.publishes && item == ctx.own_item.id() => {
                 ctx.send(
                     from,
                     ProtoMsg::FetchReply {
                         item,
                         version: ctx.own_item.version(),
                         content_bytes: ctx.own_item.size_bytes(),
+                        span,
                     },
                 );
             }
@@ -169,6 +178,7 @@ impl Protocol for SimplePush {
                 item,
                 version,
                 content_bytes,
+                ..
             } => {
                 if !ctx.cache.refresh(item, version, ctx.now) {
                     ctx.cache.insert(item, version, content_bytes, ctx.now);
@@ -227,7 +237,7 @@ impl Protocol for SimplePush {
     }
 
     fn on_undeliverable(&mut self, ctx: &mut Ctx<'_>, _dest: NodeId, msg: ProtoMsg) {
-        if let ProtoMsg::Fetch { item } = msg {
+        if let ProtoMsg::Fetch { item, .. } = msg {
             self.fetch_in_flight.insert(item, false);
             let mut queries: Vec<QueryId> = self
                 .pending_fetch
@@ -355,6 +365,7 @@ mod tests {
                     item: ItemId::new(1),
                     version: Version::new(2),
                     content_bytes: 1_024,
+                    span: None,
                 },
             )
         });
@@ -413,6 +424,7 @@ mod tests {
                 NodeId::new(5),
                 ProtoMsg::Fetch {
                     item: ItemId::new(5),
+                    span: None,
                 },
             )
         });

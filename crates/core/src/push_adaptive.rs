@@ -14,7 +14,7 @@
 use std::collections::HashMap;
 
 use mp2p_sim::{ItemId, NodeId, SimDuration, SimTime};
-use mp2p_trace::ServedBy;
+use mp2p_trace::{ServedBy, SpanPhase};
 
 use crate::config::ProtocolConfig;
 use crate::level::ConsistencyLevel;
@@ -55,7 +55,14 @@ impl PushAdaptivePull {
     }
 
     fn start_fetch(&mut self, ctx: &mut Ctx<'_>, query: QueryId, item: ItemId, attempt: u8) {
-        ctx.send(item.source_host(), ProtoMsg::Fetch { item });
+        ctx.phase(query, item, SpanPhase::Fetch, attempt);
+        ctx.send(
+            item.source_host(),
+            ProtoMsg::Fetch {
+                item,
+                span: Some(query.0),
+            },
+        );
         self.pending.insert(query, PendingFetch { item, attempt });
         ctx.set_timer(ctx.cfg.fetch_timeout, Timer::PollRetry { query, attempt });
     }
@@ -139,13 +146,14 @@ impl Protocol for PushAdaptivePull {
                     }
                 }
             }
-            ProtoMsg::Fetch { item } if self.publishes && item == ctx.own_item.id() => {
+            ProtoMsg::Fetch { item, span } if self.publishes && item == ctx.own_item.id() => {
                 ctx.send(
                     from,
                     ProtoMsg::FetchReply {
                         item,
                         version: ctx.own_item.version(),
                         content_bytes: ctx.own_item.size_bytes(),
+                        span,
                     },
                 );
             }
@@ -153,6 +161,7 @@ impl Protocol for PushAdaptivePull {
                 item,
                 version,
                 content_bytes,
+                ..
             } => {
                 if !ctx.cache.refresh(item, version, ctx.now) {
                     ctx.cache.insert(item, version, content_bytes, ctx.now);
@@ -197,7 +206,7 @@ impl Protocol for PushAdaptivePull {
     }
 
     fn on_undeliverable(&mut self, ctx: &mut Ctx<'_>, _dest: NodeId, msg: ProtoMsg) {
-        if let ProtoMsg::Fetch { item } = msg {
+        if let ProtoMsg::Fetch { item, .. } = msg {
             let mut queries: Vec<QueryId> = self
                 .pending
                 .iter()
@@ -333,6 +342,7 @@ mod tests {
                     item: ItemId::new(1),
                     version: Version::new(2),
                     content_bytes: 1_024,
+                    span: None,
                 },
             )
         });

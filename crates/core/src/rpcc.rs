@@ -16,7 +16,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use mp2p_cache::Version;
 use mp2p_sim::{ItemId, NodeId, SimTime};
-use mp2p_trace::{RelayTransitionKind, ServedBy};
+use mp2p_trace::{RelayTransitionKind, ServedBy, SpanPhase};
 
 use crate::adaptive::AdaptiveTuner;
 use crate::coefficients::Coefficients;
@@ -52,6 +52,8 @@ struct HeldPoll {
     from: NodeId,
     version: Version,
     held_at: SimTime,
+    /// Span tag of the held poll, echoed into the eventual ack.
+    span: Option<u64>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -202,14 +204,31 @@ impl Rpcc {
             .peek(item)
             .map(|e| e.version)
             .unwrap_or(Version::INITIAL);
+        let span = Some(query.0);
         match self.known_relay.get(&item) {
             Some(&relay) if attempt == 1 => {
-                ctx.send(relay, ProtoMsg::Poll { item, version });
+                ctx.phase(query, item, SpanPhase::PollUnicast, attempt);
+                ctx.send(
+                    relay,
+                    ProtoMsg::Poll {
+                        item,
+                        version,
+                        span,
+                    },
+                );
             }
             _ => {
                 self.known_relay.remove(&item);
                 let ttl = ctx.cfg.poll_ttl_for_attempt(attempt);
-                ctx.flood(ttl, ProtoMsg::Poll { item, version });
+                ctx.phase(query, item, SpanPhase::PollFlood, attempt);
+                ctx.flood(
+                    ttl,
+                    ProtoMsg::Poll {
+                        item,
+                        version,
+                        span,
+                    },
+                );
             }
         }
         self.pending.insert(
@@ -226,7 +245,14 @@ impl Rpcc {
 
     /// Starts a cache-miss fetch for an open query.
     fn start_fetch(&mut self, ctx: &mut Ctx<'_>, query: QueryId, item: ItemId, attempt: u8) {
-        ctx.send(item.source_host(), ProtoMsg::Fetch { item });
+        ctx.phase(query, item, SpanPhase::Fetch, attempt);
+        ctx.send(
+            item.source_host(),
+            ProtoMsg::Fetch {
+                item,
+                span: Some(query.0),
+            },
+        );
         self.pending.insert(
             query,
             PendingQuery {
@@ -260,8 +286,16 @@ impl Rpcc {
         }
     }
 
-    /// Relay-side: answer one POLL against the local (fresh) copy.
-    fn answer_poll(&self, ctx: &mut Ctx<'_>, from: NodeId, item: ItemId, their_version: Version) {
+    /// Relay-side: answer one POLL against the local (fresh) copy,
+    /// echoing the poll's span tag into the ack.
+    fn answer_poll(
+        &self,
+        ctx: &mut Ctx<'_>,
+        from: NodeId,
+        item: ItemId,
+        their_version: Version,
+        span: Option<u64>,
+    ) {
         let Some(entry) = ctx.cache.peek(item) else {
             return;
         };
@@ -271,6 +305,7 @@ impl Rpcc {
                 ProtoMsg::PollAckA {
                     item,
                     version: their_version,
+                    span,
                 },
             );
         } else {
@@ -280,6 +315,7 @@ impl Rpcc {
                     item,
                     version: entry.version,
                     content_bytes: entry.size_bytes,
+                    span,
                 },
             );
         }
@@ -292,7 +328,7 @@ impl Rpcc {
             None => return,
         };
         for poll in held {
-            self.answer_poll(ctx, poll.from, item, poll.version);
+            self.answer_poll(ctx, poll.from, item, poll.version, poll.span);
         }
     }
 
@@ -430,7 +466,14 @@ impl Rpcc {
 
     /// Handles POLL (Fig. 6(c) lines 9–18, plus the source answering for
     /// its own item).
-    fn on_poll(&mut self, ctx: &mut Ctx<'_>, from: NodeId, item: ItemId, their_version: Version) {
+    fn on_poll(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: NodeId,
+        item: ItemId,
+        their_version: Version,
+        span: Option<u64>,
+    ) {
         if from == ctx.me {
             return; // own flood heard back; floods do not self-deliver, but guard anyway
         }
@@ -443,6 +486,7 @@ impl Rpcc {
                     ProtoMsg::PollAckA {
                         item,
                         version: their_version,
+                        span,
                     },
                 );
             } else {
@@ -452,6 +496,7 @@ impl Rpcc {
                         item,
                         version: master,
                         content_bytes: ctx.own_item.size_bytes(),
+                        span,
                     },
                 );
             }
@@ -460,7 +505,7 @@ impl Rpcc {
         if self.relay.contains_key(&item) {
             self.coeffs.note_access();
             if self.ttr_fresh(item, ctx.now) {
-                self.answer_poll(ctx, from, item, their_version);
+                self.answer_poll(ctx, from, item, their_version, span);
             } else if let Some(st) = self.relay.get_mut(&item) {
                 // Stale TTR: hold the poll (Fig. 6(c) 16). Rather than
                 // idle until the next INVALIDATION, resynchronise with the
@@ -473,6 +518,7 @@ impl Rpcc {
                     from,
                     version: their_version,
                     held_at: ctx.now,
+                    span,
                 });
                 if !st.awaiting_get_new {
                     st.awaiting_get_new = true;
@@ -734,16 +780,21 @@ impl Protocol for Rpcc {
                     self.relay_table.remove(&from);
                 }
             }
-            ProtoMsg::Poll { item, version } => self.on_poll(ctx, from, item, version),
-            ProtoMsg::PollAckA { item, version } => {
+            ProtoMsg::Poll {
+                item,
+                version,
+                span,
+            } => self.on_poll(ctx, from, item, version, span),
+            ProtoMsg::PollAckA { item, version, .. } => {
                 self.on_poll_ack(ctx, from, item, version, None)
             }
             ProtoMsg::PollAckB {
                 item,
                 version,
                 content_bytes,
+                ..
             } => self.on_poll_ack(ctx, from, item, version, Some(content_bytes)),
-            ProtoMsg::Fetch { item } => {
+            ProtoMsg::Fetch { item, span } => {
                 if self.publishes && item == ctx.own_item.id() {
                     self.coeffs.note_access();
                     ctx.send(
@@ -752,6 +803,7 @@ impl Protocol for Rpcc {
                             item,
                             version: ctx.own_item.version(),
                             content_bytes: ctx.own_item.size_bytes(),
+                            span,
                         },
                     );
                 }
@@ -760,6 +812,7 @@ impl Protocol for Rpcc {
                 item,
                 version,
                 content_bytes,
+                ..
             } => {
                 self.note_master_version(item, version);
                 refresh_or_insert(ctx, item, version, content_bytes);
@@ -793,17 +846,20 @@ impl Protocol for Rpcc {
                             .map(|e| e.version)
                             .unwrap_or(Version::INITIAL);
                         self.known_relay.remove(&pending.item);
+                        ctx.phase(query, pending.item, SpanPhase::FallbackFlood, attempt);
                         ctx.flood(
                             ctx.cfg.broadcast_ttl,
                             ProtoMsg::Poll {
                                 item: pending.item,
                                 version,
+                                span: Some(query.0),
                             },
                         );
                         ctx.degraded(pending.item, Some(query), DegradationKind::FallbackFlood);
                     }
                     // A relay may still be holding our poll until its next
                     // INVALIDATION; linger before giving up.
+                    ctx.phase(query, pending.item, SpanPhase::Grace, 0);
                     ctx.set_timer(ctx.cfg.poll_grace, Timer::PollGrace { query });
                     return;
                 }
@@ -852,7 +908,7 @@ impl Protocol for Rpcc {
                 // flooding on the retry.
                 self.known_relay.remove(&item);
             }
-            ProtoMsg::Fetch { item } => {
+            ProtoMsg::Fetch { item, .. } => {
                 let mut queries: Vec<QueryId> = self
                     .pending
                     .iter()
@@ -1049,6 +1105,7 @@ mod tests {
                 ProtoMsg::PollAckA {
                     item: ItemId::new(1),
                     version: Version::INITIAL,
+                    span: None,
                 },
             )
         });
@@ -1073,6 +1130,7 @@ mod tests {
                     item: ItemId::new(1),
                     version: Version::new(4),
                     content_bytes: 1_024,
+                    span: None,
                 },
             )
         });
@@ -1147,6 +1205,7 @@ mod tests {
                 ProtoMsg::PollAckA {
                     item: ItemId::new(1),
                     version: Version::INITIAL,
+                    span: None,
                 },
             )
         });
@@ -1190,6 +1249,7 @@ mod tests {
                 ProtoMsg::Poll {
                     item: ItemId::new(0),
                     version: Version::INITIAL,
+                    span: None,
                 },
             )
         });
@@ -1322,6 +1382,7 @@ mod tests {
                 ProtoMsg::Poll {
                     item: ItemId::new(1),
                     version: Version::INITIAL,
+                    span: None,
                 },
             )
         });
@@ -1337,6 +1398,7 @@ mod tests {
                 ProtoMsg::Poll {
                     item: ItemId::new(1),
                     version: Version::INITIAL,
+                    span: None,
                 },
             )
         });
@@ -1557,6 +1619,7 @@ mod tests {
                     item: ItemId::new(5),
                     version: Version::new(1),
                     content_bytes: 1_024,
+                    span: None,
                 },
             )
         });
@@ -1627,6 +1690,7 @@ mod tests {
                     ProtoMsg::PollAckA {
                         item: ItemId::new(1),
                         version: Version::INITIAL,
+                        span: None,
                     },
                 )
             });
@@ -1645,6 +1709,7 @@ mod tests {
                     item: ItemId::new(1),
                     version: Version::new(2),
                     content_bytes: 64,
+                    span: None,
                 },
             )
         });
@@ -1847,6 +1912,7 @@ mod tests {
                     item: ItemId::new(1),
                     version: Version::new(2),
                     content_bytes: 1_024,
+                    span: None,
                 },
             )
         });

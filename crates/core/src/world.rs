@@ -459,6 +459,10 @@ pub struct RunReport {
     pub writes_issued: u64,
     /// Replica writes abandoned after retries.
     pub writes_failed: u64,
+    /// Served queries by answer provenance, indexed by
+    /// [`ServedBy::index`] (source, relay, cache). Post-warmup; the three
+    /// cells sum to [`RunReport::queries_served`].
+    pub served_by: [u64; 3],
     /// Relay-peer items held across all nodes, sampled.
     pub relay_gauge: Gauge,
     /// Candidate nodes, sampled.
@@ -509,6 +513,19 @@ impl RunReport {
             0.0
         } else {
             self.queries_failed as f64 / self.queries_issued as f64
+        }
+    }
+
+    /// Fraction of served queries answered from a cached copy — the
+    /// poller's own cache or a relay peer — rather than the source host.
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let total: u64 = self.served_by.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            let hits =
+                self.served_by[ServedBy::Relay.index()] + self.served_by[ServedBy::Cache.index()];
+            hits as f64 / total as f64
         }
     }
 
@@ -585,6 +602,14 @@ impl RunReport {
             self.battery_gauge.mean(),
             self.energy_used_mj,
         );
+        let _ = write!(
+            s,
+            ",\"served_by\":{{\"source\":{},\"relay\":{},\"cache\":{}}},\"cache_hit_ratio\":{}",
+            self.served_by[ServedBy::Source.index()],
+            self.served_by[ServedBy::Relay.index()],
+            self.served_by[ServedBy::Cache.index()],
+            self.cache_hit_ratio(),
+        );
         // Fault keys appear only when a plan was active, so a fault-free
         // report stays byte-identical to one from a pre-chaos build.
         if let Some(plan) = self.fault_plan {
@@ -658,6 +683,7 @@ pub struct World {
     audit_by_level: [ConsistencyAudit; 3],
     queries_issued: u64,
     queries_failed: u64,
+    served_by: [u64; 3],
     write_latency: LatencyStats,
     writes_issued: u64,
     writes_failed: u64,
@@ -808,6 +834,7 @@ impl World {
             audit_by_level: Default::default(),
             queries_issued: 0,
             queries_failed: 0,
+            served_by: [0; 3],
             write_latency: LatencyStats::default(),
             writes_issued: 0,
             writes_failed: 0,
@@ -1011,6 +1038,7 @@ impl World {
             audit_by_level: self.audit_by_level,
             queries_issued: self.queries_issued,
             queries_failed: self.queries_failed,
+            served_by: self.served_by,
             write_latency: self.write_latency,
             writes_issued: self.writes_issued,
             writes_failed: self.writes_failed,
@@ -1099,6 +1127,7 @@ impl World {
                         class: msg.class(),
                         hops: 0, // the oracle bypasses hop accounting
                         via_flood: false,
+                        span: msg.span(),
                     });
                     self.with_proto(
                         at,
@@ -1404,6 +1433,7 @@ impl World {
             class,
             bytes,
             dest,
+            span: frame_span(frame),
         });
     }
 
@@ -1505,6 +1535,7 @@ impl World {
                         class: payload.class(),
                         hops: meta.hops,
                         via_flood: meta.via_flood,
+                        span: payload.span(),
                     });
                     match payload {
                         // Replica writes are driver-level machinery: apply at
@@ -1606,6 +1637,20 @@ impl World {
                         kind,
                     });
                 }
+                CtxOut::QueryPhase {
+                    query,
+                    item,
+                    phase,
+                    attempt,
+                } => {
+                    self.trace(TraceEvent::QueryPhase {
+                        node: id,
+                        query: query.0,
+                        item,
+                        phase,
+                        attempt,
+                    });
+                }
                 CtxOut::Degraded { item, query, kind } => match kind {
                     DegradationKind::RelayLeaseExpired => {
                         self.fault_stats.lease_expiries += 1;
@@ -1651,6 +1696,7 @@ impl World {
                         class: msg.class(),
                         bytes: size,
                         dest: Some(pair[1]),
+                        span: msg.span(),
                     });
                     let tx_cost = self.cfg.energy.tx_cost(size);
                     self.nodes[pair[0].index()].battery.drain(tx_cost);
@@ -1813,6 +1859,7 @@ impl World {
         if !open.measured {
             return;
         }
+        self.served_by[served_by.index()] += 1;
         let latency = self.now.saturating_since(open.issued);
         self.latency.record(latency);
         self.latency_by_level[open.level.index()].record(latency);
@@ -1850,6 +1897,17 @@ fn frame_class(frame: &Frame<ProtoMsg>) -> MessageClass {
             mp2p_net::NetPayload::Control(
                 RouteControl::Rreq { .. } | RouteControl::Rrep { .. } | RouteControl::Rerr { .. },
             ) => MessageClass::RouteControl,
+        },
+    }
+}
+
+/// Span tag riding on one frame, if its payload is a tagged application
+/// message. Routing control never belongs to a query span.
+fn frame_span(frame: &Frame<ProtoMsg>) -> Option<u64> {
+    match frame {
+        Frame::Flood { payload, .. } | Frame::Unicast { payload, .. } => match payload {
+            mp2p_net::NetPayload::App(m) => m.span(),
+            mp2p_net::NetPayload::Control(_) => None,
         },
     }
 }

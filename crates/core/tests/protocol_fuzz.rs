@@ -127,21 +127,28 @@ fn to_proto_msg(msg: &Msg) -> ProtoMsg {
         Msg::Poll { item: i, version } => ProtoMsg::Poll {
             item: item(i),
             version: ver(*version),
+            span: None,
         },
         Msg::PollAckA { item: i, version } => ProtoMsg::PollAckA {
             item: item(i),
             version: ver(*version),
+            span: None,
         },
         Msg::PollAckB { item: i, version } => ProtoMsg::PollAckB {
             item: item(i),
             version: ver(*version),
             content_bytes: 64,
+            span: None,
         },
-        Msg::Fetch { item: i } => ProtoMsg::Fetch { item: item(i) },
+        Msg::Fetch { item: i } => ProtoMsg::Fetch {
+            item: item(i),
+            span: None,
+        },
         Msg::FetchReply { item: i, version } => ProtoMsg::FetchReply {
             item: item(i),
             version: ver(*version),
             content_bytes: 64,
+            span: None,
         },
     }
 }
@@ -243,7 +250,8 @@ fn drive<P: Protocol>(mut proto: P, steps: &[Step], adaptive: bool) {
                 }
                 CtxOut::SetTimer { .. } => {}
                 // Pure flight-recorder metadata, no simulation effect.
-                CtxOut::Transition { .. } | CtxOut::Degraded { .. } => {}
+                CtxOut::Transition { .. } | CtxOut::Degraded { .. } | CtxOut::QueryPhase { .. } => {
+                }
             }
         }
     }

@@ -1,0 +1,501 @@
+//! Offline trace analysis: span reconstruction and report cross-checks.
+//!
+//! This is the library half of the `analyze` binary. It streams a JSONL
+//! journal (written with `run --trace`) through the trace crate's
+//! [`JournalReader`], folds every event into a [`SpanAssembler`] and a
+//! windowed [`MetricsBridge`], and derives the same post-warm-up totals
+//! the simulation's own [`RunReport`](mp2p_rpcc::RunReport) keeps —
+//! which makes the two independently-computed views comparable *exactly*,
+//! counter for counter. A mismatch means the flight recorder and the
+//! world disagree about what happened, which is a bug by definition.
+
+use std::io::BufRead;
+use std::path::Path;
+
+use mp2p_metrics::{LatencyStats, Registry};
+use mp2p_sim::{SimDuration, SimTime};
+use mp2p_trace::bridge::{MetricsBridge, DEFAULT_WINDOW};
+use mp2p_trace::reader::{JournalHeader, JournalReader, ReadError};
+use mp2p_trace::span::{QuerySpan, SpanAssembler, SpanOutcome};
+use mp2p_trace::{json, LevelTag, ServedBy, SpanPhase};
+
+use crate::render_table;
+
+/// Everything the analyzer learns from one journal.
+#[derive(Debug)]
+pub struct TraceAnalysis {
+    /// The journal's validated header.
+    pub header: JournalHeader,
+    /// Event lines parsed (header excluded).
+    pub events: u64,
+    /// Span-tagged messages whose `QueryIssued` was never seen
+    /// (non-zero means the journal was truncated).
+    pub orphan_tagged: u64,
+    /// Reconstructed spans, sorted by query id.
+    pub spans: Vec<QuerySpan>,
+    /// Windowed time series folded from the same stream.
+    pub registry: Registry,
+}
+
+/// Post-warm-up totals derived purely from reconstructed spans, shaped
+/// to line up with the corresponding `RunReport` counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanTotals {
+    /// Spans issued after warm-up that reached a terminal
+    /// (↔ `queries_issued` — the world removes queries still in flight
+    /// at end of run from its issued count, so served + failed ==
+    /// issued stays exact; mirror that censoring here).
+    pub issued: u64,
+    /// ... of which served (↔ `queries_served()`).
+    pub served: u64,
+    /// ... of which failed (↔ `queries_failed`).
+    pub failed: u64,
+    /// Measured spans still open when the journal ended (censored
+    /// observations, excluded from `issued`).
+    pub open: u64,
+    /// Served spans by answer provenance (↔ `RunReport::served_by`).
+    pub served_by: [u64; 3],
+    /// Latency of measured served spans (↔ `RunReport::latency`).
+    pub latency: LatencyStats,
+    /// Latency split by consistency level, [`LevelTag::index`]-indexed.
+    pub latency_by_level: [LatencyStats; 3],
+    /// Latency split by provenance, [`ServedBy::index`]-indexed.
+    pub latency_by_served: [LatencyStats; 3],
+}
+
+impl SpanTotals {
+    /// Fraction of served spans answered from a cached copy.
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let total: u64 = self.served_by.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            let hits =
+                self.served_by[ServedBy::Relay.index()] + self.served_by[ServedBy::Cache.index()];
+            hits as f64 / total as f64
+        }
+    }
+}
+
+/// The report-side counters the span totals must reproduce, either taken
+/// from a live `RunReport` or parsed back out of its `to_json` output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReportTotals {
+    /// Queries issued post-warm-up.
+    pub queries_issued: u64,
+    /// Queries answered post-warm-up.
+    pub queries_served: u64,
+    /// Queries failed post-warm-up.
+    pub queries_failed: u64,
+    /// Served split by provenance (source, relay, cache).
+    pub served_by: [u64; 3],
+}
+
+impl ReportTotals {
+    /// Extracts the cross-checkable counters from a `RunReport::to_json`
+    /// document. `None` if any expected key is missing or mistyped.
+    pub fn from_report_json(text: &str) -> Option<Self> {
+        let v = json::parse(text)?;
+        let num = |key: &str| v.get(key).and_then(json::Value::as_u64);
+        let by = v.get("served_by")?;
+        Some(ReportTotals {
+            queries_issued: num("queries_issued")?,
+            queries_served: num("queries_served")?,
+            queries_failed: num("queries_failed")?,
+            served_by: [
+                by.get("source")?.as_u64()?,
+                by.get("relay")?.as_u64()?,
+                by.get("cache")?.as_u64()?,
+            ],
+        })
+    }
+}
+
+/// Streams a journal into spans and windowed metrics.
+pub fn analyze_journal<R: BufRead>(input: R) -> Result<TraceAnalysis, ReadError> {
+    let mut reader = JournalReader::new(input)?;
+    let header = reader.header();
+    let warmup = SimDuration::from_millis(header.warmup_ms);
+    let mut assembler = SpanAssembler::new();
+    let mut bridge = MetricsBridge::new(DEFAULT_WINDOW, warmup);
+    let mut events = 0u64;
+    for entry in reader.by_ref() {
+        let (at, event) = entry?;
+        assembler.record(at, &event);
+        bridge.record(at, &event);
+        events += 1;
+    }
+    Ok(TraceAnalysis {
+        header,
+        events,
+        orphan_tagged: assembler.orphan_tagged,
+        spans: assembler.finish(),
+        registry: bridge.into_registry(),
+    })
+}
+
+/// Opens and streams a journal file.
+pub fn analyze_file(path: &Path) -> Result<TraceAnalysis, ReadError> {
+    let file = std::fs::File::open(path)?;
+    analyze_journal(std::io::BufReader::new(file))
+}
+
+impl TraceAnalysis {
+    /// The warm-up boundary recorded in the header.
+    pub fn warmup(&self) -> SimDuration {
+        SimDuration::from_millis(self.header.warmup_ms)
+    }
+
+    /// True for spans the world's report also counted (issued after
+    /// warm-up — the censoring rule the simulation applies at issue
+    /// time).
+    pub fn is_measured(&self, span: &QuerySpan) -> bool {
+        span.issued.saturating_since(SimTime::ZERO) >= self.warmup()
+    }
+
+    /// Folds the measured spans into report-comparable totals.
+    pub fn measured_totals(&self) -> SpanTotals {
+        let mut t = SpanTotals {
+            issued: 0,
+            served: 0,
+            failed: 0,
+            open: 0,
+            served_by: [0; 3],
+            latency: LatencyStats::default(),
+            latency_by_level: Default::default(),
+            latency_by_served: Default::default(),
+        };
+        for span in self.spans.iter().filter(|s| self.is_measured(s)) {
+            match span.outcome {
+                SpanOutcome::Served { at, served_by } => {
+                    t.issued += 1;
+                    t.served += 1;
+                    t.served_by[served_by.index()] += 1;
+                    let latency = at.saturating_since(span.issued);
+                    t.latency.record(latency);
+                    t.latency_by_level[span.level.index()].record(latency);
+                    t.latency_by_served[served_by.index()].record(latency);
+                }
+                SpanOutcome::Failed { .. } => {
+                    t.issued += 1;
+                    t.failed += 1;
+                }
+                SpanOutcome::Open => t.open += 1,
+            }
+        }
+        t
+    }
+
+    /// Spans whose `QueryServed` terminal was seen (any issue time).
+    pub fn answered_spans(&self) -> impl Iterator<Item = &QuerySpan> {
+        self.spans
+            .iter()
+            .filter(|s| matches!(s.outcome, SpanOutcome::Served { .. }))
+    }
+}
+
+/// Compares span-derived totals against the report's counters. Returns
+/// one human-readable line per mismatch; empty means exact agreement.
+pub fn crosscheck(totals: &SpanTotals, report: &ReportTotals) -> Vec<String> {
+    let mut mismatches = Vec::new();
+    let mut check = |what: &str, span_side: u64, report_side: u64| {
+        if span_side != report_side {
+            mismatches.push(format!(
+                "{what}: spans say {span_side}, report says {report_side}"
+            ));
+        }
+    };
+    check("queries issued", totals.issued, report.queries_issued);
+    check("queries served", totals.served, report.queries_served);
+    check("queries failed", totals.failed, report.queries_failed);
+    for by in ServedBy::ALL {
+        check(
+            &format!("served by {}", by.label()),
+            totals.served_by[by.index()],
+            report.served_by[by.index()],
+        );
+    }
+    mismatches
+}
+
+fn fmt_latency(stats: &LatencyStats) -> Vec<String> {
+    vec![
+        stats.count().to_string(),
+        format!("{:.3}", stats.mean_secs()),
+        format!("{:.3}", stats.percentile(0.50).as_secs_f64()),
+        format!("{:.3}", stats.percentile(0.95).as_secs_f64()),
+        format!("{:.3}", stats.percentile(0.99).as_secs_f64()),
+        format!("{:.3}", stats.max().as_secs_f64()),
+    ]
+}
+
+/// Renders the full per-run report: outcomes, latency percentiles by
+/// level and provenance, the span-phase breakdown, the traffic timeline,
+/// and the `top` slowest spans.
+pub fn render_analysis(analysis: &TraceAnalysis, top: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(4096);
+    let totals = analysis.measured_totals();
+
+    let _ = writeln!(
+        out,
+        "Journal: schema {}, {} events, {} spans ({} measured post-warm-up), warm-up {}",
+        analysis.header.schema,
+        analysis.events,
+        analysis.spans.len(),
+        totals.issued,
+        analysis.warmup(),
+    );
+    if analysis.orphan_tagged > 0 {
+        let _ = writeln!(
+            out,
+            "warning: {} span-tagged messages had no QueryIssued (truncated journal?)",
+            analysis.orphan_tagged
+        );
+    }
+
+    out.push_str("\nOutcomes (measured):\n");
+    let rows = vec![
+        vec!["served".to_string(), totals.served.to_string()],
+        vec!["failed".to_string(), totals.failed.to_string()],
+        vec!["open at end".to_string(), totals.open.to_string()],
+        vec![
+            "served by source".to_string(),
+            totals.served_by[ServedBy::Source.index()].to_string(),
+        ],
+        vec![
+            "served by relay".to_string(),
+            totals.served_by[ServedBy::Relay.index()].to_string(),
+        ],
+        vec![
+            "served by cache".to_string(),
+            totals.served_by[ServedBy::Cache.index()].to_string(),
+        ],
+        vec![
+            "cache-hit ratio".to_string(),
+            format!("{:.4}", totals.cache_hit_ratio()),
+        ],
+    ];
+    out.push_str(&render_table(&["outcome", "count"], &rows));
+
+    out.push_str("\nLatency by consistency level (seconds):\n");
+    let header = ["level", "count", "mean", "p50", "p95", "p99", "max"];
+    let mut rows = Vec::new();
+    for level in LevelTag::ALL {
+        let stats = &totals.latency_by_level[level.index()];
+        if stats.count() == 0 {
+            continue;
+        }
+        let mut row = vec![level.label().to_string()];
+        row.extend(fmt_latency(stats));
+        rows.push(row);
+    }
+    let mut all_row = vec!["all".to_string()];
+    all_row.extend(fmt_latency(&totals.latency));
+    rows.push(all_row);
+    out.push_str(&render_table(&header, &rows));
+
+    out.push_str("\nLatency by answer provenance (seconds):\n");
+    let header = ["served by", "count", "mean", "p50", "p95", "p99", "max"];
+    let mut rows = Vec::new();
+    for by in ServedBy::ALL {
+        let stats = &totals.latency_by_served[by.index()];
+        if stats.count() == 0 {
+            continue;
+        }
+        let mut row = vec![by.label().to_string()];
+        row.extend(fmt_latency(stats));
+        rows.push(row);
+    }
+    out.push_str(&render_table(&header, &rows));
+
+    // Per-phase time: every measured span's critical path, aggregated by
+    // segment label. "local" segments are same-instant cache hits.
+    out.push_str("\nSpan-phase breakdown (critical-path time, measured spans):\n");
+    let labels: Vec<&str> = SpanPhase::ALL
+        .iter()
+        .map(|p| p.label())
+        .chain(["local", "issue"])
+        .collect();
+    let mut time_ms = vec![0u64; labels.len()];
+    let mut seg_count = vec![0u64; labels.len()];
+    for span in analysis.spans.iter().filter(|s| analysis.is_measured(s)) {
+        for seg in span.critical_path() {
+            if let Some(i) = labels.iter().position(|&l| l == seg.label) {
+                time_ms[i] += seg.duration().as_millis();
+                seg_count[i] += 1;
+            }
+        }
+    }
+    let mut rows = Vec::new();
+    for (i, label) in labels.iter().enumerate() {
+        if seg_count[i] == 0 {
+            continue;
+        }
+        rows.push(vec![
+            label.to_string(),
+            seg_count[i].to_string(),
+            format!("{:.1}", time_ms[i] as f64 / 1_000.0),
+            format!("{:.1}", time_ms[i] as f64 / seg_count[i] as f64 / 1_000.0),
+        ]);
+    }
+    out.push_str(&render_table(
+        &["phase", "segments", "total s", "mean s"],
+        &rows,
+    ));
+
+    // Traffic timeline: the bridge's windowed byte counter, one row per
+    // window that saw traffic.
+    if let Some(bytes) = analysis.registry.counter("traffic_bytes_total") {
+        out.push_str("\nTraffic timeline (post-warm-up bytes per window):\n");
+        let window_secs = analysis.registry.window().as_secs_f64();
+        let mut rows = Vec::new();
+        for (i, n) in bytes.series().iter().enumerate() {
+            if *n == 0 {
+                continue;
+            }
+            let start = i as f64 * window_secs;
+            rows.push(vec![
+                format!("{:.0}-{:.0}s", start, start + window_secs),
+                n.to_string(),
+            ]);
+        }
+        out.push_str(&render_table(&["window", "bytes"], &rows));
+    }
+
+    if top > 0 {
+        let _ = writeln!(out, "\nTop {top} slowest served spans:");
+        let mut served: Vec<&QuerySpan> = analysis
+            .answered_spans()
+            .filter(|s| analysis.is_measured(s))
+            .collect();
+        served.sort_by_key(|s| std::cmp::Reverse(s.latency().unwrap_or(SimDuration::ZERO)));
+        let mut rows = Vec::new();
+        for span in served.into_iter().take(top) {
+            let trail: Vec<&str> = span.critical_path().iter().map(|s| s.label).collect();
+            rows.push(vec![
+                span.query.to_string(),
+                span.node.to_string(),
+                span.item.to_string(),
+                span.level.label().to_string(),
+                format!(
+                    "{:.3}",
+                    span.latency().unwrap_or(SimDuration::ZERO).as_secs_f64()
+                ),
+                format!("{}/{}", span.sends, span.hops.len()),
+                trail.join(">"),
+            ]);
+        }
+        out.push_str(&render_table(
+            &["query", "node", "item", "lvl", "latency s", "tx/rx", "path"],
+            &rows,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn journal(lines: &[&str]) -> String {
+        let mut s = String::from("{\"schema\":1,\"kinds\":27,\"warmup_ms\":60000}\n");
+        for line in lines {
+            s.push_str(line);
+            s.push('\n');
+        }
+        s
+    }
+
+    #[test]
+    fn analyze_reconstructs_spans_and_censors_warmup() {
+        // Query 1 issued pre-warm-up (censored), query 2 post-warm-up.
+        let text = journal(&[
+            "{\"t\":1000,\"ev\":\"query_issued\",\"node\":0,\"query\":1,\"item\":3,\"level\":\"SC\"}",
+            "{\"t\":1400,\"ev\":\"query_served\",\"node\":0,\"query\":1,\"level\":\"SC\",\"by\":\"source\",\"issued\":1000}",
+            "{\"t\":61000,\"ev\":\"query_issued\",\"node\":1,\"query\":2,\"item\":3,\"level\":\"DC\"}",
+            "{\"t\":61000,\"ev\":\"query_phase\",\"node\":1,\"query\":2,\"item\":3,\"phase\":\"poll_flood\",\"attempt\":1}",
+            "{\"t\":61000,\"ev\":\"msg_send\",\"node\":1,\"class\":\"POLL\",\"bytes\":48,\"dest\":null,\"span\":2}",
+            "{\"t\":61500,\"ev\":\"msg_deliver\",\"node\":1,\"origin\":2,\"class\":\"POLL_ACK_A\",\"hops\":2,\"flood\":false,\"span\":2}",
+            "{\"t\":61500,\"ev\":\"query_served\",\"node\":1,\"query\":2,\"level\":\"DC\",\"by\":\"relay\",\"issued\":61000}",
+        ]);
+        let analysis = analyze_journal(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(analysis.events, 7);
+        assert_eq!(analysis.spans.len(), 2);
+        assert_eq!(analysis.orphan_tagged, 0);
+
+        let totals = analysis.measured_totals();
+        assert_eq!(totals.issued, 1, "pre-warm-up span censored");
+        assert_eq!(totals.served, 1);
+        assert_eq!(totals.served_by, [0, 1, 0]);
+        assert_eq!(totals.cache_hit_ratio(), 1.0);
+        assert_eq!(totals.latency.count(), 1);
+        assert_eq!(totals.latency.mean(), SimDuration::from_millis(500));
+        assert_eq!(totals.latency_by_level[LevelTag::Delta.index()].count(), 1);
+        // The bridge saw the same stream: its counters agree.
+        assert_eq!(
+            analysis
+                .registry
+                .counter("queries_served_total{by=\"relay\"}")
+                .unwrap()
+                .total(),
+            1
+        );
+    }
+
+    #[test]
+    fn crosscheck_flags_every_divergent_counter() {
+        let text = journal(&[
+            "{\"t\":61000,\"ev\":\"query_issued\",\"node\":0,\"query\":1,\"item\":3,\"level\":\"SC\"}",
+            "{\"t\":61400,\"ev\":\"query_served\",\"node\":0,\"query\":1,\"level\":\"SC\",\"by\":\"cache\",\"issued\":61000}",
+        ]);
+        let analysis = analyze_journal(BufReader::new(text.as_bytes())).unwrap();
+        let totals = analysis.measured_totals();
+        let good = ReportTotals {
+            queries_issued: 1,
+            queries_served: 1,
+            queries_failed: 0,
+            served_by: [0, 0, 1],
+        };
+        assert!(crosscheck(&totals, &good).is_empty());
+        let bad = ReportTotals {
+            queries_issued: 2,
+            queries_served: 1,
+            queries_failed: 0,
+            served_by: [1, 0, 0],
+        };
+        let mismatches = crosscheck(&totals, &bad);
+        assert_eq!(mismatches.len(), 3, "{mismatches:?}");
+    }
+
+    #[test]
+    fn report_totals_parse_from_report_json() {
+        let text = "{\"queries_issued\":10,\"queries_served\":8,\"queries_failed\":2,\
+                    \"served_by\":{\"source\":3,\"relay\":4,\"cache\":1},\"cache_hit_ratio\":0.625}";
+        let totals = ReportTotals::from_report_json(text).unwrap();
+        assert_eq!(totals.queries_issued, 10);
+        assert_eq!(totals.served_by, [3, 4, 1]);
+        assert!(ReportTotals::from_report_json("{\"queries_issued\":10}").is_none());
+    }
+
+    #[test]
+    fn render_analysis_mentions_the_key_sections() {
+        let text = journal(&[
+            "{\"t\":61000,\"ev\":\"query_issued\",\"node\":0,\"query\":1,\"item\":3,\"level\":\"SC\"}",
+            "{\"t\":61000,\"ev\":\"query_phase\",\"node\":0,\"query\":1,\"item\":3,\"phase\":\"fetch\",\"attempt\":1}",
+            "{\"t\":61900,\"ev\":\"query_served\",\"node\":0,\"query\":1,\"level\":\"SC\",\"by\":\"source\",\"issued\":61000}",
+        ]);
+        let analysis = analyze_journal(BufReader::new(text.as_bytes())).unwrap();
+        let report = render_analysis(&analysis, 5);
+        for needle in [
+            "Outcomes (measured)",
+            "Latency by consistency level",
+            "Span-phase breakdown",
+            "slowest served spans",
+            "fetch",
+        ] {
+            assert!(report.contains(needle), "missing {needle:?} in:\n{report}");
+        }
+    }
+}

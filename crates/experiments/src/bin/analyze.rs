@@ -1,0 +1,103 @@
+//! Offline trace analyzer: span reconstruction and report cross-checks.
+//!
+//! ```text
+//! analyze --trace FILE.jsonl [--report FILE.json] [--top N]
+//! ```
+//!
+//! Reads a JSONL journal written by `run --trace`, reconstructs the
+//! causal span of every query (issue → phases → answer), and prints a
+//! per-run report: latency percentiles by consistency level and answer
+//! provenance, the span-phase time breakdown, a post-warm-up traffic
+//! timeline, and the top-N slowest spans.
+//!
+//! With `--report` (the JSON written by `run --json`), the span-derived
+//! totals are cross-checked against the simulation's own counters; any
+//! divergence is printed and the process exits non-zero, making the
+//! check usable as a CI gate. Exit codes: 0 clean, 1 cross-check
+//! mismatch or truncated journal, 2 usage or I/O error.
+
+use mp2p_experiments::{analyze_file, crosscheck, render_analysis, ReportTotals};
+
+struct Args {
+    trace: std::path::PathBuf,
+    report: Option<std::path::PathBuf>,
+    top: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        return Err("usage: analyze --trace FILE.jsonl [--report FILE.json] [--top N]".into());
+    }
+    let value_of = |flag: &str| -> Option<&String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+    };
+    let trace = value_of("--trace")
+        .map(std::path::PathBuf::from)
+        .ok_or("missing --trace FILE.jsonl (see --help)")?;
+    let report = value_of("--report").map(std::path::PathBuf::from);
+    let top = match value_of("--top") {
+        Some(text) => text
+            .parse()
+            .map_err(|_| format!("--top expects a number, got {text:?}"))?,
+        None => 10,
+    };
+    Ok(Args { trace, report, top })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let analysis = match analyze_file(&args.trace) {
+        Ok(analysis) => analysis,
+        Err(err) => {
+            eprintln!("cannot analyze {}: {err}", args.trace.display());
+            std::process::exit(2);
+        }
+    };
+    print!("{}", render_analysis(&analysis, args.top));
+
+    let mut failed = false;
+    if analysis.orphan_tagged > 0 {
+        failed = true; // already reported inside render_analysis
+    }
+    if let Some(path) = &args.report {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("cannot read report {}: {err}", path.display());
+                std::process::exit(2);
+            }
+        };
+        let report = match ReportTotals::from_report_json(&text) {
+            Some(report) => report,
+            None => {
+                eprintln!(
+                    "report {} lacks the expected counters (written by run --json?)",
+                    path.display()
+                );
+                std::process::exit(2);
+            }
+        };
+        let mismatches = crosscheck(&analysis.measured_totals(), &report);
+        if mismatches.is_empty() {
+            println!("\nCross-check against {}: exact agreement", path.display());
+        } else {
+            failed = true;
+            eprintln!("\nCross-check against {} FAILED:", path.display());
+            for line in &mismatches {
+                eprintln!("  {line}");
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -8,7 +8,7 @@
 //!     [--ttl HOPS] [--loss P] [--no-churn] [--oracle-routing]
 //!     [--adaptive] [--relay-cap N] [--single-item] [--seed N]
 //!     [--faults none|bursty|partition|crash|hostile] [--hardened]
-//!     [--trace FILE.jsonl]
+//!     [--trace FILE.jsonl] [--json FILE.json]
 //! ```
 //!
 //! Example: the paper's default RPCC point with lossy links and writes:
@@ -19,8 +19,11 @@
 //! ```
 //!
 //! `--trace` switches the flight recorder on: every message, relay
-//! transition, query and churn event is appended to the given JSONL file,
-//! and an event-count table is printed after the run.
+//! transition, query and churn event is appended to the given JSONL file
+//! (with a versioned `{"schema":...}` header line), and an event-count
+//! table is printed after the run. `--json` writes the machine-readable
+//! run report; feed both to the `analyze` binary to reconstruct query
+//! spans and cross-check them against the report's counters.
 //!
 //! `--faults` installs one of the chaos presets (scaled to the simulated
 //! duration); `--hardened` switches on the protocol-hardening knobs
@@ -32,7 +35,14 @@ use mp2p_rpcc::{LevelMix, RoutingMode, Strategy, WorkloadMode, World, WorldConfi
 use mp2p_sim::SimDuration;
 use mp2p_trace::{EventKind, JsonlSink, SummarySink, TeeSink};
 
-fn parse_args() -> Result<(WorldConfig, Option<std::path::PathBuf>), String> {
+fn parse_args() -> Result<
+    (
+        WorldConfig,
+        Option<std::path::PathBuf>,
+        Option<std::path::PathBuf>,
+    ),
+    String,
+> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = WorldConfig::paper_default(42);
     cfg.sim_time = SimDuration::from_mins(45);
@@ -141,11 +151,12 @@ fn parse_args() -> Result<(WorldConfig, Option<std::path::PathBuf>), String> {
         cfg.c_num = clamped;
     }
     let trace_path = value_of("--trace").map(std::path::PathBuf::from);
-    Ok((cfg, trace_path))
+    let json_path = value_of("--json").map(std::path::PathBuf::from);
+    Ok((cfg, trace_path, json_path))
 }
 
 fn main() {
-    let (cfg, trace_path) = match parse_args() {
+    let (cfg, trace_path, json_path) = match parse_args() {
         Ok(parsed) => parsed,
         Err(msg) => {
             eprintln!("{msg}");
@@ -165,7 +176,7 @@ fn main() {
     let warmup = cfg.warmup;
     let mut world = World::new(cfg);
     if let Some(path) = &trace_path {
-        let jsonl = match JsonlSink::create(path) {
+        let jsonl = match JsonlSink::create_with_warmup(path, warmup) {
             Ok(sink) => sink,
             Err(err) => {
                 eprintln!("cannot create trace file {}: {err}", path.display());
@@ -178,6 +189,14 @@ fn main() {
         ])));
     }
     let (report, tracer) = world.run_traced();
+
+    if let Some(path) = &json_path {
+        if let Err(err) = std::fs::write(path, report.to_json()) {
+            eprintln!("cannot write report {}: {err}", path.display());
+            std::process::exit(2);
+        }
+        println!("Report JSON -> {}", path.display());
+    }
 
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut row = |k: &str, v: String| rows.push(vec![k.to_string(), v]);
@@ -193,6 +212,17 @@ fn main() {
         ),
     );
     row("queries served", report.queries_served().to_string());
+    row(
+        "served by src/relay/cache",
+        format!(
+            "{}/{}/{}",
+            report.served_by[0], report.served_by[1], report.served_by[2]
+        ),
+    );
+    row(
+        "cache-hit ratio",
+        format!("{:.4}", report.cache_hit_ratio()),
+    );
     row("failure rate", format!("{:.4}", report.failure_rate()));
     row(
         "mean latency",

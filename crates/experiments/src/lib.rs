@@ -21,10 +21,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 mod figures;
 mod report;
 mod sweep;
 
+pub use analysis::{
+    analyze_file, analyze_journal, crosscheck, render_analysis, ReportTotals, SpanTotals,
+    TraceAnalysis,
+};
 pub use figures::{fig7a, fig7b, fig7c, fig8a, fig8b, fig8c, fig9, table1_rows, FigureData};
 pub use report::{render_series_table, render_table, write_csv};
 pub use sweep::{

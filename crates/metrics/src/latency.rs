@@ -115,6 +115,25 @@ impl LatencyStats {
         self.max()
     }
 
+    /// Number of log₂ buckets (see [`LatencyStats::bucket`]).
+    pub const BUCKETS: usize = BUCKETS;
+
+    /// Observations in bucket `i`, which covers `[2^i, 2^(i+1)) ms`
+    /// (bucket 0 covers `[0, 2) ms`). Used by the windowed registry's
+    /// Prometheus exposition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= LatencyStats::BUCKETS`.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Exact sum of all observations, in milliseconds.
+    pub fn sum_millis(&self) -> u64 {
+        self.total_ms
+    }
+
     /// Adds another instrument's observations into this one.
     pub fn merge(&mut self, other: &LatencyStats) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -178,6 +197,70 @@ mod tests {
         }
         a.merge(&b);
         assert_eq!(a, c);
+    }
+
+    #[test]
+    fn bucket_boundaries_land_in_the_right_bucket() {
+        // ms < 2 goes to bucket 0; otherwise bucket = floor(log2 ms),
+        // so an exact power of two 2^i opens bucket i and 2^i - 1
+        // still belongs to bucket i-1.
+        let mut l = LatencyStats::default();
+        l.record(SimDuration::from_millis(0));
+        l.record(SimDuration::from_millis(1));
+        assert_eq!(l.bucket(0), 2);
+        for i in 1..20usize {
+            let mut l = LatencyStats::default();
+            let edge = 1u64 << i;
+            l.record(SimDuration::from_millis(edge));
+            l.record(SimDuration::from_millis(edge - 1));
+            l.record(SimDuration::from_millis(2 * edge - 1));
+            assert_eq!(l.bucket(i), 2, "2^{i} and 2^{{{i}+1}}-1 share bucket {i}");
+            assert_eq!(l.bucket(i - 1), 1, "2^{i}-1 stays below bucket {i}");
+        }
+    }
+
+    #[test]
+    fn huge_values_clamp_to_the_last_bucket() {
+        let mut l = LatencyStats::default();
+        l.record(SimDuration::from_millis(u64::MAX / 2));
+        assert_eq!(l.bucket(LatencyStats::BUCKETS - 1), 1);
+        assert_eq!(l.count(), 1);
+        // The percentile reports the last bucket's upper bound
+        // (2^BUCKETS - 1 ms), which caps below the observed max.
+        let bound = (1u64 << LatencyStats::BUCKETS) - 1;
+        assert_eq!(l.percentile(1.0), SimDuration::from_millis(bound));
+        assert!(l.percentile(1.0) <= l.max());
+    }
+
+    #[test]
+    fn p99_on_tiny_samples_returns_the_top_observation_bucket() {
+        // One observation: every percentile must resolve to it.
+        let mut one = LatencyStats::default();
+        one.record(SimDuration::from_millis(100));
+        assert_eq!(one.percentile(0.99), SimDuration::from_millis(100));
+        assert_eq!(one.percentile(0.01), SimDuration::from_millis(100));
+
+        // Two observations far apart: p99 ranks to the larger one, p50
+        // to the smaller one's bucket (upper bound 2^(i+1)-1).
+        let mut two = LatencyStats::default();
+        two.record(SimDuration::from_millis(10));
+        two.record(SimDuration::from_millis(5_000));
+        assert_eq!(two.percentile(0.99), SimDuration::from_millis(5_000));
+        assert_eq!(two.percentile(0.5), SimDuration::from_millis(15));
+
+        // p = 0 still ranks at least one observation deep.
+        assert_eq!(two.percentile(0.0), SimDuration::from_millis(15));
+    }
+
+    #[test]
+    fn sum_and_bucket_accessors_agree_with_recording() {
+        let mut l = LatencyStats::default();
+        for ms in [1, 2, 3, 4, 1_000] {
+            l.record(SimDuration::from_millis(ms));
+        }
+        assert_eq!(l.sum_millis(), 1_010);
+        let total: u64 = (0..LatencyStats::BUCKETS).map(|i| l.bucket(i)).sum();
+        assert_eq!(total, l.count());
     }
 
     proptest! {

@@ -17,6 +17,9 @@
 //!   paper's `CE` coefficient (Eq. 4.2.7).
 //! * [`Gauge`] — a generic sampled time series (relay-peer population,
 //!   route-table sizes, …).
+//! * [`Registry`] — named windowed counters/gauges/histograms with JSON
+//!   and Prometheus-style snapshots (percentiles *over time*, not just
+//!   end-of-run aggregates).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,11 +27,13 @@
 mod energy;
 mod gauge;
 mod latency;
+mod registry;
 mod staleness;
 mod traffic;
 
 pub use energy::{EnergyModel, PeerEnergy};
 pub use gauge::Gauge;
 pub use latency::LatencyStats;
+pub use registry::{Registry, WindowedCounter, WindowedGauge, WindowedHistogram};
 pub use staleness::{ConsistencyAudit, ServedQuery, VersionHistory};
 pub use traffic::{MessageClass, TrafficStats};

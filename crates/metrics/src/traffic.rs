@@ -90,6 +90,11 @@ impl MessageClass {
             MessageClass::RouteControl => "ROUTE_CTRL",
         }
     }
+
+    /// Inverse of [`MessageClass::label`] (journal parsing).
+    pub fn from_label(label: &str) -> Option<MessageClass> {
+        Self::ALL.into_iter().find(|c| c.label() == label)
+    }
 }
 
 impl fmt::Display for MessageClass {
@@ -196,5 +201,13 @@ mod tests {
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), MessageClass::ALL.len());
+    }
+
+    #[test]
+    fn from_label_inverts_label() {
+        for class in MessageClass::ALL {
+            assert_eq!(MessageClass::from_label(class.label()), Some(class));
+        }
+        assert_eq!(MessageClass::from_label("NOPE"), None);
     }
 }

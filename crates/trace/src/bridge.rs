@@ -1,0 +1,257 @@
+//! Bridge from the event stream to a windowed [`Registry`] time series.
+//!
+//! [`MetricsBridge`] folds events into named windowed metrics — traffic
+//! by message class, latency histograms per consistency level, the
+//! relay-peer population gauge, served-by counters, and fault counters —
+//! applying the same warm-up censoring the simulation applies to its
+//! end-of-run report. [`RegistrySink`] wraps the bridge as a
+//! [`TraceSink`] so the same code runs live behind a tee or offline
+//! over a journal.
+
+use std::any::Any;
+
+use mp2p_metrics::Registry;
+use mp2p_sim::{SimDuration, SimTime};
+
+use crate::event::{RelayTransitionKind, TraceEvent};
+use crate::sink::TraceSink;
+
+/// Default window width for bridged registries (60 s of sim time).
+pub const DEFAULT_WINDOW: SimDuration = SimDuration::from_secs(60);
+
+/// Folds trace events into a windowed metrics [`Registry`].
+#[derive(Debug)]
+pub struct MetricsBridge {
+    warmup: SimDuration,
+    relay_peers: i64,
+    registry: Registry,
+}
+
+impl MetricsBridge {
+    /// Creates a bridge slicing time into `window` buckets and censoring
+    /// traffic/latency before `warmup`, mirroring the world's report.
+    pub fn new(window: SimDuration, warmup: SimDuration) -> Self {
+        MetricsBridge {
+            warmup,
+            relay_peers: 0,
+            registry: Registry::new(window),
+        }
+    }
+
+    /// Read access to the registry built so far.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Consumes the bridge, returning the registry.
+    pub fn into_registry(self) -> Registry {
+        self.registry
+    }
+
+    fn past_warmup(&self, at: SimTime) -> bool {
+        at.saturating_since(SimTime::ZERO) >= self.warmup
+    }
+
+    /// Consumes one event.
+    pub fn record(&mut self, at: SimTime, event: &TraceEvent) {
+        match *event {
+            TraceEvent::MsgSend { class, bytes, .. } if self.past_warmup(at) => {
+                let name = format!("traffic_sends_total{{class=\"{}\"}}", class.label());
+                self.registry.counter_add(&name, at, 1);
+                self.registry
+                    .counter_add("traffic_bytes_total", at, u64::from(bytes));
+            }
+            TraceEvent::QueryIssued { .. } if self.past_warmup(at) => {
+                self.registry.counter_add("queries_issued_total", at, 1);
+            }
+            // Latency censoring keys off the *issue* instant, the same
+            // rule the world applies.
+            TraceEvent::QueryServed {
+                level,
+                served_by,
+                issued,
+                ..
+            } if issued.saturating_since(SimTime::ZERO) >= self.warmup => {
+                let name = format!("queries_served_total{{by=\"{}\"}}", served_by.label());
+                self.registry.counter_add(&name, at, 1);
+                let hist = format!("query_latency_ms{{level=\"{}\"}}", level.label());
+                self.registry
+                    .observe(&hist, at, at.saturating_since(issued));
+            }
+            _ => {}
+        }
+        match *event {
+            TraceEvent::QueryFailed { .. } if self.past_warmup(at) => {
+                self.registry.counter_add("queries_failed_total", at, 1);
+            }
+            TraceEvent::RelayTransition { kind, .. } => {
+                match kind {
+                    RelayTransitionKind::Promoted => self.relay_peers += 1,
+                    RelayTransitionKind::Demoted => self.relay_peers -= 1,
+                    _ => {}
+                }
+                self.registry.gauge_set("relay_peers", at, self.relay_peers);
+            }
+            TraceEvent::NodeCrash { .. } => self.fault(at, "node_crash"),
+            TraceEvent::NodeRecover { .. } => self.fault(at, "node_recover"),
+            TraceEvent::BurstDrop { .. } => self.fault(at, "burst_drop"),
+            TraceEvent::FrameDup { .. } => self.fault(at, "frame_dup"),
+            TraceEvent::PartitionStart { .. } => self.fault(at, "partition_start"),
+            TraceEvent::PartitionHeal { .. } => self.fault(at, "partition_heal"),
+            TraceEvent::RelayLeaseExpired { .. } => self.fault(at, "relay_lease_expired"),
+            TraceEvent::FallbackFlood { .. } => self.fault(at, "fallback_flood"),
+            _ => {}
+        }
+    }
+
+    fn fault(&mut self, at: SimTime, kind: &str) {
+        let name = format!("faults_total{{kind=\"{kind}\"}}");
+        self.registry.counter_add(&name, at, 1);
+    }
+}
+
+/// [`MetricsBridge`] as a live [`TraceSink`] (put it behind a tee).
+#[derive(Debug)]
+pub struct RegistrySink {
+    bridge: MetricsBridge,
+}
+
+impl RegistrySink {
+    /// Creates a sink bridging into a fresh registry.
+    pub fn new(window: SimDuration, warmup: SimDuration) -> Self {
+        RegistrySink {
+            bridge: MetricsBridge::new(window, warmup),
+        }
+    }
+
+    /// The registry built so far.
+    pub fn registry(&self) -> &Registry {
+        self.bridge.registry()
+    }
+
+    /// Consumes the sink, returning the registry.
+    pub fn into_registry(self) -> Registry {
+        self.bridge.into_registry()
+    }
+}
+
+impl TraceSink for RegistrySink {
+    fn record(&mut self, at: SimTime, event: &TraceEvent) {
+        self.bridge.record(at, event);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{LevelTag, ServedBy};
+    use mp2p_metrics::MessageClass;
+    use mp2p_sim::NodeId;
+
+    #[test]
+    fn bridge_applies_the_worlds_censoring_rules() {
+        let warmup = SimDuration::from_secs(60);
+        let mut bridge = MetricsBridge::new(DEFAULT_WINDOW, warmup);
+
+        // Warm-up send: dropped. Post-warm-up send: counted.
+        let send = |node: u32| TraceEvent::MsgSend {
+            node: NodeId::new(node),
+            class: MessageClass::Poll,
+            bytes: 48,
+            dest: None,
+            span: None,
+        };
+        bridge.record(SimTime::from_millis(1_000), &send(0));
+        bridge.record(SimTime::from_millis(61_000), &send(0));
+
+        // Query issued pre-warm-up, served post-warm-up: censored.
+        let served = |query: u64, issued_ms: u64| TraceEvent::QueryServed {
+            node: NodeId::new(1),
+            query,
+            level: LevelTag::Delta,
+            served_by: ServedBy::Relay,
+            issued: SimTime::from_millis(issued_ms),
+        };
+        bridge.record(SimTime::from_millis(62_000), &served(1, 59_000));
+        bridge.record(SimTime::from_millis(63_000), &served(2, 62_500));
+
+        let reg = bridge.registry();
+        assert_eq!(
+            reg.counter("traffic_sends_total{class=\"POLL\"}")
+                .unwrap()
+                .total(),
+            1
+        );
+        assert_eq!(reg.counter("traffic_bytes_total").unwrap().total(), 48);
+        assert_eq!(
+            reg.counter("queries_served_total{by=\"relay\"}")
+                .unwrap()
+                .total(),
+            1
+        );
+        let hist = reg.histogram("query_latency_ms{level=\"DC\"}").unwrap();
+        assert_eq!(hist.cumulative().count(), 1);
+        assert_eq!(
+            hist.cumulative().mean(),
+            SimDuration::from_millis(500),
+            "only the post-warm-up issue is measured"
+        );
+    }
+
+    #[test]
+    fn relay_gauge_tracks_promotions_and_demotions() {
+        let mut bridge = MetricsBridge::new(DEFAULT_WINDOW, SimDuration::ZERO);
+        let transition = |kind| TraceEvent::RelayTransition {
+            node: NodeId::new(2),
+            item: mp2p_sim::ItemId::new(2),
+            kind,
+        };
+        bridge.record(
+            SimTime::from_millis(10),
+            &transition(RelayTransitionKind::Promoted),
+        );
+        bridge.record(
+            SimTime::from_millis(20),
+            &transition(RelayTransitionKind::Promoted),
+        );
+        bridge.record(
+            SimTime::from_millis(70_000),
+            &transition(RelayTransitionKind::Demoted),
+        );
+        let g = bridge.registry().gauge("relay_peers").unwrap();
+        assert_eq!(g.last(), Some(1));
+        assert_eq!(g.series(), &[Some(2), Some(1)]);
+    }
+
+    #[test]
+    fn faults_count_by_kind() {
+        let mut bridge = MetricsBridge::new(DEFAULT_WINDOW, SimDuration::ZERO);
+        bridge.record(
+            SimTime::from_millis(5),
+            &TraceEvent::NodeCrash {
+                node: NodeId::new(3),
+            },
+        );
+        bridge.record(
+            SimTime::from_millis(6),
+            &TraceEvent::PartitionStart { axis: 0 },
+        );
+        bridge.record(
+            SimTime::from_millis(7),
+            &TraceEvent::PartitionHeal { axis: 0 },
+        );
+        let reg = bridge.registry();
+        for kind in ["node_crash", "partition_start", "partition_heal"] {
+            let name = format!("faults_total{{kind=\"{kind}\"}}");
+            assert_eq!(reg.counter(&name).unwrap().total(), 1, "{kind}");
+        }
+    }
+}

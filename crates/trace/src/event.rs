@@ -25,6 +25,18 @@ pub enum ServedBy {
 }
 
 impl ServedBy {
+    /// All answer paths, for iteration and per-path counters.
+    pub const ALL: [ServedBy; 3] = [ServedBy::Source, ServedBy::Relay, ServedBy::Cache];
+
+    /// Position of this path in [`ServedBy::ALL`] (stable array index).
+    pub fn index(self) -> usize {
+        match self {
+            ServedBy::Source => 0,
+            ServedBy::Relay => 1,
+            ServedBy::Cache => 2,
+        }
+    }
+
     /// Short lowercase label used in JSONL output.
     pub fn label(self) -> &'static str {
         match self {
@@ -32,6 +44,11 @@ impl ServedBy {
             ServedBy::Relay => "relay",
             ServedBy::Cache => "cache",
         }
+    }
+
+    /// Inverse of [`ServedBy::label`] (journal parsing).
+    pub fn from_label(label: &str) -> Option<ServedBy> {
+        Self::ALL.into_iter().find(|s| s.label() == label)
     }
 }
 
@@ -54,6 +71,15 @@ pub enum RelayTransitionKind {
 }
 
 impl RelayTransitionKind {
+    /// All transition kinds, for iteration and journal parsing.
+    pub const ALL: [RelayTransitionKind; 5] = [
+        RelayTransitionKind::ApplySent,
+        RelayTransitionKind::Promoted,
+        RelayTransitionKind::Demoted,
+        RelayTransitionKind::ResyncStarted,
+        RelayTransitionKind::ResyncCompleted,
+    ];
+
     /// Short snake_case label used in JSONL output.
     pub fn label(self) -> &'static str {
         match self {
@@ -63,6 +89,11 @@ impl RelayTransitionKind {
             RelayTransitionKind::ResyncStarted => "resync_started",
             RelayTransitionKind::ResyncCompleted => "resync_completed",
         }
+    }
+
+    /// Inverse of [`RelayTransitionKind::label`] (journal parsing).
+    pub fn from_label(label: &str) -> Option<RelayTransitionKind> {
+        Self::ALL.into_iter().find(|k| k.label() == label)
     }
 }
 
@@ -80,6 +111,18 @@ pub enum LevelTag {
 }
 
 impl LevelTag {
+    /// All levels, for iteration and per-level counters.
+    pub const ALL: [LevelTag; 3] = [LevelTag::Weak, LevelTag::Delta, LevelTag::Strong];
+
+    /// Position of this level in [`LevelTag::ALL`] (stable array index).
+    pub fn index(self) -> usize {
+        match self {
+            LevelTag::Weak => 0,
+            LevelTag::Delta => 1,
+            LevelTag::Strong => 2,
+        }
+    }
+
     /// The paper's two-letter label ("WC" / "DC" / "SC").
     pub fn label(self) -> &'static str {
         match self {
@@ -87,6 +130,76 @@ impl LevelTag {
             LevelTag::Delta => "DC",
             LevelTag::Strong => "SC",
         }
+    }
+
+    /// Inverse of [`LevelTag::label`] (journal parsing).
+    pub fn from_label(label: &str) -> Option<LevelTag> {
+        Self::ALL.into_iter().find(|l| l.label() == label)
+    }
+}
+
+/// The causal phase a query entered while being resolved. Together with
+/// [`TraceEvent::QueryIssued`] / [`TraceEvent::QueryServed`] these phase
+/// markers reconstruct the span tree of each query: issue → (phases) →
+/// answer, with per-phase sim-time durations.
+///
+/// A query with *no* phase events was a local hit: it was answered in the
+/// same instant it was issued, from this node's own copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanPhase {
+    /// A POLL was unicast to the last known relay peer (RPCC attempt 1).
+    PollUnicast,
+    /// A POLL went out as a TTL-scoped flood (expanding ring or baseline
+    /// broadcast).
+    PollFlood,
+    /// A content FETCH was sent to the item's source host (cache miss or
+    /// push-baseline refresh).
+    Fetch,
+    /// The push-baseline query parked, waiting for the next invalidation
+    /// report.
+    PushWait,
+    /// Routed retries were exhausted; one max-TTL flood toward the source
+    /// went out (hardened degradation path).
+    FallbackFlood,
+    /// All attempts exhausted; the query lingers for a late answer before
+    /// failing.
+    Grace,
+}
+
+impl SpanPhase {
+    /// All phases, for iteration and per-phase breakdown tables.
+    pub const ALL: [SpanPhase; 6] = [
+        SpanPhase::PollUnicast,
+        SpanPhase::PollFlood,
+        SpanPhase::Fetch,
+        SpanPhase::PushWait,
+        SpanPhase::FallbackFlood,
+        SpanPhase::Grace,
+    ];
+
+    /// Position of this phase in [`SpanPhase::ALL`] (stable array index).
+    pub fn index(self) -> usize {
+        Self::ALL
+            .iter()
+            .position(|&p| p == self)
+            .expect("phase listed in ALL")
+    }
+
+    /// Short snake_case label used in JSONL output and tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanPhase::PollUnicast => "poll_unicast",
+            SpanPhase::PollFlood => "poll_flood",
+            SpanPhase::Fetch => "fetch",
+            SpanPhase::PushWait => "push_wait",
+            SpanPhase::FallbackFlood => "fallback_flood",
+            SpanPhase::Grace => "grace",
+        }
+    }
+
+    /// Inverse of [`SpanPhase::label`] (journal parsing).
+    pub fn from_label(label: &str) -> Option<SpanPhase> {
+        Self::ALL.into_iter().find(|p| p.label() == label)
     }
 }
 
@@ -109,6 +222,10 @@ pub enum TraceEvent {
         bytes: u32,
         /// MAC receiver for unicast, `None` for broadcast.
         dest: Option<NodeId>,
+        /// The query span this frame serves (POLL/ACK/FETCH traffic),
+        /// if any. Diagnostic metadata only: it rides outside the wire
+        /// size and never influences protocol decisions.
+        span: Option<u64>,
     },
     /// An application message reached its destination protocol.
     MsgDeliver {
@@ -122,6 +239,9 @@ pub enum TraceEvent {
         hops: u8,
         /// True if it arrived via a flood rather than routed unicast.
         via_flood: bool,
+        /// The query span this message serves, if any (see
+        /// [`TraceEvent::MsgSend::span`]).
+        span: Option<u64>,
     },
     /// A unicast transmission whose next hop had moved out of range.
     MacDrop {
@@ -217,6 +337,22 @@ pub enum TraceEvent {
         item: ItemId,
         /// The consistency level requested.
         level: LevelTag,
+    },
+    /// An open query entered a new causal phase (sent a poll, widened the
+    /// ring, parked on a push report, …). Phase markers plus the
+    /// span-tagged message events reconstruct each query's span tree.
+    QueryPhase {
+        /// The querying peer.
+        node: NodeId,
+        /// The query number from [`TraceEvent::QueryIssued`].
+        query: u64,
+        /// The item queried.
+        item: ItemId,
+        /// Which phase was entered.
+        phase: SpanPhase,
+        /// 1-based attempt number within the phase (ring widenings,
+        /// fetch retries); 0 where attempts are meaningless.
+        attempt: u8,
     },
     /// A query was answered.
     QueryServed {
@@ -369,11 +505,13 @@ pub enum EventKind {
     RelayLeaseExpired,
     /// See [`TraceEvent::FallbackFlood`].
     FallbackFlood,
+    /// See [`TraceEvent::QueryPhase`].
+    QueryPhase,
 }
 
 impl EventKind {
     /// All kinds, for iteration and table rendering.
-    pub const ALL: [EventKind; 26] = [
+    pub const ALL: [EventKind; 27] = [
         EventKind::MsgSend,
         EventKind::MsgDeliver,
         EventKind::MacDrop,
@@ -400,6 +538,7 @@ impl EventKind {
         EventKind::BurstDrop,
         EventKind::RelayLeaseExpired,
         EventKind::FallbackFlood,
+        EventKind::QueryPhase,
     ];
 
     /// Position of this kind in [`EventKind::ALL`] (stable array index
@@ -440,7 +579,13 @@ impl EventKind {
             EventKind::BurstDrop => "burst_drop",
             EventKind::RelayLeaseExpired => "relay_lease_expired",
             EventKind::FallbackFlood => "fallback_flood",
+            EventKind::QueryPhase => "query_phase",
         }
+    }
+
+    /// Inverse of [`EventKind::label`] (journal parsing).
+    pub fn from_label(label: &str) -> Option<EventKind> {
+        Self::ALL.into_iter().find(|k| k.label() == label)
     }
 }
 
@@ -474,6 +619,7 @@ impl TraceEvent {
             TraceEvent::BurstDrop { .. } => EventKind::BurstDrop,
             TraceEvent::RelayLeaseExpired { .. } => EventKind::RelayLeaseExpired,
             TraceEvent::FallbackFlood { .. } => EventKind::FallbackFlood,
+            TraceEvent::QueryPhase { .. } => EventKind::QueryPhase,
         }
     }
 
@@ -513,6 +659,7 @@ impl TraceEvent {
                 class,
                 bytes,
                 dest,
+                span,
             } => {
                 field_num(out, "node", node.index() as u64);
                 field_str(out, "class", class.label());
@@ -521,6 +668,9 @@ impl TraceEvent {
                     Some(d) => field_num(out, "dest", d.index() as u64),
                     None => out.push_str(",\"dest\":null"),
                 }
+                if let Some(span) = span {
+                    field_num(out, "span", span);
+                }
             }
             TraceEvent::MsgDeliver {
                 node,
@@ -528,12 +678,16 @@ impl TraceEvent {
                 class,
                 hops,
                 via_flood,
+                span,
             } => {
                 field_num(out, "node", node.index() as u64);
                 field_num(out, "origin", origin.index() as u64);
                 field_str(out, "class", class.label());
                 field_num(out, "hops", u64::from(hops));
                 let _ = write!(out, ",\"flood\":{via_flood}");
+                if let Some(span) = span {
+                    field_num(out, "span", span);
+                }
             }
             TraceEvent::MacDrop {
                 node,
@@ -646,6 +800,19 @@ impl TraceEvent {
                 field_num(out, "query", query);
                 field_num(out, "item", item.index() as u64);
             }
+            TraceEvent::QueryPhase {
+                node,
+                query,
+                item,
+                phase,
+                attempt,
+            } => {
+                field_num(out, "node", node.index() as u64);
+                field_num(out, "query", query);
+                field_num(out, "item", item.index() as u64);
+                field_str(out, "phase", phase.label());
+                field_num(out, "attempt", u64::from(attempt));
+            }
         }
         out.push('}');
     }
@@ -666,12 +833,14 @@ pub(crate) mod tests {
                 class: MessageClass::Poll,
                 bytes: 48,
                 dest: Some(m),
+                span: Some(7),
             },
             TraceEvent::MsgSend {
                 node: n,
                 class: MessageClass::Invalidation,
                 bytes: 40,
                 dest: None,
+                span: None,
             },
             TraceEvent::MsgDeliver {
                 node: m,
@@ -679,6 +848,15 @@ pub(crate) mod tests {
                 class: MessageClass::Update,
                 hops: 3,
                 via_flood: false,
+                span: None,
+            },
+            TraceEvent::MsgDeliver {
+                node: m,
+                origin: n,
+                class: MessageClass::PollAckB,
+                hops: 2,
+                via_flood: true,
+                span: Some(7),
             },
             TraceEvent::MacDrop {
                 node: n,
@@ -758,6 +936,20 @@ pub(crate) mod tests {
                 query: 9,
                 item,
             },
+            TraceEvent::QueryPhase {
+                node: n,
+                query: 7,
+                item,
+                phase: SpanPhase::PollFlood,
+                attempt: 2,
+            },
+            TraceEvent::QueryPhase {
+                node: n,
+                query: 9,
+                item,
+                phase: SpanPhase::Grace,
+                attempt: 0,
+            },
         ]
     }
 
@@ -805,9 +997,47 @@ pub(crate) mod tests {
             class: MessageClass::Invalidation,
             bytes: 40,
             dest: None,
+            span: None,
         }
         .write_json(SimTime::ZERO, &mut line);
         assert!(line.contains("\"dest\":null"), "{line}");
+        assert!(!line.contains("\"span\""), "untagged frames omit the span");
         assert!(json::is_valid(&line));
+    }
+
+    #[test]
+    fn span_tag_serialises_only_when_present() {
+        let mut line = String::new();
+        TraceEvent::MsgSend {
+            node: NodeId::new(0),
+            class: MessageClass::Poll,
+            bytes: 40,
+            dest: Some(NodeId::new(4)),
+            span: Some(31),
+        }
+        .write_json(SimTime::ZERO, &mut line);
+        assert!(line.contains("\"span\":31"), "{line}");
+        assert!(json::is_valid(&line));
+    }
+
+    #[test]
+    fn phase_and_tag_labels_are_unique() {
+        for labels in [
+            SpanPhase::ALL.map(SpanPhase::label).to_vec(),
+            LevelTag::ALL.map(LevelTag::label).to_vec(),
+            ServedBy::ALL.map(ServedBy::label).to_vec(),
+            RelayTransitionKind::ALL
+                .map(RelayTransitionKind::label)
+                .to_vec(),
+        ] {
+            let mut sorted = labels.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), labels.len(), "{labels:?}");
+        }
+        for (i, phase) in SpanPhase::ALL.into_iter().enumerate() {
+            assert_eq!(phase.index(), i);
+            assert_eq!(SpanPhase::from_label(phase.label()), Some(phase));
+        }
     }
 }

@@ -1,10 +1,11 @@
 //! Hand-rolled JSON helpers for the JSONL trace sink.
 //!
 //! The build environment has no crates.io access, so instead of `serde`
-//! this module provides the two pieces the flight recorder needs: a
-//! string escaper used while serialising events, and a small
-//! recursive-descent validator used by tests to check that every emitted
-//! line is well-formed JSON.
+//! this module provides the pieces the flight recorder needs: a string
+//! escaper used while serialising events, a small recursive-descent
+//! validator used by tests to check that every emitted line is
+//! well-formed JSON, and a [`Value`] tree parser used by the offline
+//! journal reader and the run-report cross-checker.
 
 /// Appends `s` to `out` as a JSON string literal, including the
 /// surrounding quotes.
@@ -241,6 +242,210 @@ impl Parser<'_> {
     }
 }
 
+/// A parsed JSON value tree.
+///
+/// Numbers are stored as `f64`: every number the trace stack emits
+/// (millisecond timestamps, node/item/query ids, byte counts) fits a
+/// 53-bit mantissa exactly, so round-tripping through `f64` is lossless
+/// for this domain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string (escapes resolved).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in source key order (duplicate keys kept as-is).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up `key` in an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if this is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 9.007_199_254_740_992e15 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// True if this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Parses exactly one JSON value (surrounded by optional whitespace)
+/// into a [`Value`] tree. Returns `None` on any syntax error.
+///
+/// # Example
+///
+/// ```
+/// use mp2p_trace::json;
+///
+/// let v = json::parse(r#"{"t":12,"ev":"msg_send","dest":null}"#).unwrap();
+/// assert_eq!(v.get("t").and_then(|t| t.as_u64()), Some(12));
+/// assert_eq!(v.get("ev").and_then(|e| e.as_str()), Some("msg_send"));
+/// assert!(v.get("dest").is_some_and(|d| d.is_null()));
+/// ```
+pub fn parse(s: &str) -> Option<Value> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    (p.pos == p.bytes.len()).then_some(v)
+}
+
+impl Parser<'_> {
+    fn parse_value(&mut self) -> Option<Value> {
+        match self.peek()? {
+            b'{' => self.parse_object(),
+            b'[' => self.parse_array(),
+            b'"' => self.parse_string().map(Value::Str),
+            b't' => self.eat("true").then_some(Value::Bool(true)),
+            b'f' => self.eat("false").then_some(Value::Bool(false)),
+            b'n' => self.eat("null").then_some(Value::Null),
+            b'-' | b'0'..=b'9' => self.parse_number(),
+            _ => None,
+        }
+    }
+
+    fn parse_object(&mut self) -> Option<Value> {
+        self.pos += 1; // consume '{'
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Some(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            if self.bump() != Some(b':') {
+                return None;
+            }
+            self.skip_ws();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Some(Value::Obj(fields)),
+                _ => return None,
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Option<Value> {
+        self.pos += 1; // consume '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Some(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Some(Value::Arr(items)),
+                _ => return None,
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Option<String> {
+        if self.bump() != Some(b'"') {
+            return None;
+        }
+        let mut out = Vec::new();
+        loop {
+            match self.bump()? {
+                b'"' => break,
+                b'\\' => match self.bump()? {
+                    b'"' => out.push(b'"'),
+                    b'\\' => out.push(b'\\'),
+                    b'/' => out.push(b'/'),
+                    b'b' => out.push(0x08),
+                    b'f' => out.push(0x0C),
+                    b'n' => out.push(b'\n'),
+                    b'r' => out.push(b'\r'),
+                    b't' => out.push(b'\t'),
+                    b'u' => {
+                        let mut code: u32 = 0;
+                        for _ in 0..4 {
+                            let h = self.bump()?;
+                            code = code * 16 + (h as char).to_digit(16)?;
+                        }
+                        // Surrogate pairs never appear in our own output;
+                        // map lone surrogates to the replacement char.
+                        let ch = char::from_u32(code).unwrap_or('\u{FFFD}');
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(ch.encode_utf8(&mut buf).as_bytes());
+                    }
+                    _ => return None,
+                },
+                b @ 0x20.. => out.push(b),
+                _ => return None, // raw control character
+            }
+        }
+        String::from_utf8(out).ok()
+    }
+
+    fn parse_number(&mut self) -> Option<Value> {
+        let start = self.pos;
+        if !self.number() {
+            return None;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).ok()?;
+        text.parse::<f64>().ok().map(Value::Num)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,7 +504,54 @@ mod tests {
         }
     }
 
+    #[test]
+    fn parser_builds_the_expected_tree() {
+        let v = parse(r#"{"a": [1, {"b": null}], "c": "x\ny", "d": true, "e": -2.5}"#).unwrap();
+        assert_eq!(
+            v.get("a").unwrap(),
+            &Value::Arr(vec![
+                Value::Num(1.0),
+                Value::Obj(vec![("b".to_string(), Value::Null)]),
+            ])
+        );
+        assert_eq!(v.get("c").and_then(Value::as_str), Some("x\ny"));
+        assert_eq!(v.get("d").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("e").and_then(Value::as_f64), Some(-2.5));
+        assert_eq!(v.get("e").and_then(Value::as_u64), None, "negative");
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parser_rejects_what_the_validator_rejects() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "\"bad\\x\"", "1 2"] {
+            assert!(parse(bad).is_none(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parser_resolves_escapes() {
+        let v = parse(r#""a\"b\\cA\n""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\cA\n"));
+    }
+
+    #[test]
+    fn u64_roundtrip_is_exact_for_53_bits() {
+        let big = (1u64 << 53) - 1;
+        let v = parse(&format!("{{\"n\":{big}}}")).unwrap();
+        assert_eq!(v.get("n").and_then(Value::as_u64), Some(big));
+    }
+
     proptest! {
+        #[test]
+        fn prop_escaped_strings_roundtrip_through_parse(
+            codes in proptest::collection::vec(0u32..0x11_0000, 0..64),
+        ) {
+            let s: String = codes.iter().filter_map(|&c| char::from_u32(c)).collect();
+            let line = format!("{{\"s\":{}}}", escape(&s));
+            let v = parse(&line).expect("escaped string must parse");
+            prop_assert_eq!(v.get("s").and_then(Value::as_str), Some(s.as_str()));
+        }
+
         #[test]
         fn prop_escaped_strings_always_validate(
             codes in proptest::collection::vec(0u32..0x11_0000, 0..64),

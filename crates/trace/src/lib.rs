@@ -40,17 +40,27 @@
 //!         class: MessageClass::Poll,
 //!         bytes: 48,
 //!         dest: Some(NodeId::new(5)),
+//!         span: Some(7),
 //!     },
 //! );
 //! assert_eq!(sink.len(), 1);
 //! ```
+//!
+//! Offline, the [`reader`] module parses a JSONL journal back into
+//! events, [`span`] reassembles per-query causal spans from them, and
+//! [`bridge`] rebuilds a windowed [`mp2p_metrics::Registry`] time series
+//! — the toolkit behind the `analyze` binary.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod event;
 pub mod json;
+pub mod reader;
 mod sink;
+pub mod span;
 
-pub use event::{EventKind, LevelTag, RelayTransitionKind, ServedBy, TraceEvent};
-pub use sink::{JsonlSink, NullSink, RingSink, SummarySink, TeeSink, TraceSink};
+pub mod bridge;
+
+pub use event::{EventKind, LevelTag, RelayTransitionKind, ServedBy, SpanPhase, TraceEvent};
+pub use sink::{JsonlSink, NullSink, RingSink, SummarySink, TeeSink, TraceSink, JOURNAL_SCHEMA};

@@ -150,7 +150,13 @@ impl TraceSink for RingSink {
     }
 }
 
-/// Streams events as JSON Lines (one object per event) to a writer.
+/// The journal schema version written in the header line and checked by
+/// the offline reader. Bump when the event vocabulary changes shape
+/// incompatibly (adding optional fields or new kinds does not count).
+pub const JOURNAL_SCHEMA: u64 = 1;
+
+/// Streams events as JSON Lines to a writer: one versioned header object
+/// (`{"schema":1,...}`) followed by one object per event.
 ///
 /// Serialisation is hand-rolled via [`crate::json`] — the build
 /// environment has no crates.io access, so there is no serde. On an I/O
@@ -173,23 +179,53 @@ impl std::fmt::Debug for JsonlSink {
 }
 
 impl JsonlSink {
-    /// Wraps an arbitrary writer.
+    /// Wraps an arbitrary writer. The header records a zero warm-up;
+    /// use [`JsonlSink::new_with_warmup`] when the run censors one.
     pub fn new(writer: Box<dyn Write>) -> Self {
-        JsonlSink {
+        JsonlSink::new_with_warmup(writer, SimDuration::ZERO)
+    }
+
+    /// Wraps an arbitrary writer and stamps `warmup` into the header so
+    /// offline consumers can reproduce the run's censoring rules.
+    pub fn new_with_warmup(writer: Box<dyn Write>, warmup: SimDuration) -> Self {
+        let mut sink = JsonlSink {
             out: BufWriter::new(writer),
             line: String::with_capacity(160),
             records: 0,
             io_error: None,
-        }
+        };
+        sink.write_header(warmup);
+        sink
     }
 
     /// Creates (truncating) `path` and streams to it.
     pub fn create(path: &Path) -> io::Result<Self> {
-        let file = std::fs::File::create(path)?;
-        Ok(JsonlSink::new(Box::new(file)))
+        JsonlSink::create_with_warmup(path, SimDuration::ZERO)
     }
 
-    /// Lines successfully written so far.
+    /// Creates (truncating) `path`, stamping `warmup` into the header.
+    pub fn create_with_warmup(path: &Path, warmup: SimDuration) -> io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlSink::new_with_warmup(Box::new(file), warmup))
+    }
+
+    /// Writes the versioned header line. The header is metadata, not an
+    /// event: it does not count toward [`JsonlSink::records`].
+    fn write_header(&mut self, warmup: SimDuration) {
+        self.line.clear();
+        self.line.push_str("{\"schema\":");
+        self.line.push_str(&JOURNAL_SCHEMA.to_string());
+        self.line.push_str(",\"kinds\":");
+        self.line.push_str(&EventKind::ALL.len().to_string());
+        self.line.push_str(",\"warmup_ms\":");
+        self.line.push_str(&warmup.as_millis().to_string());
+        self.line.push_str("}\n");
+        if let Err(e) = self.out.write_all(self.line.as_bytes()) {
+            self.io_error = Some(e);
+        }
+    }
+
+    /// Event lines successfully written so far (header excluded).
     pub fn records(&self) -> u64 {
         self.records
     }
@@ -381,6 +417,7 @@ mod tests {
             class,
             bytes,
             dest: None,
+            span: None,
         }
     }
 
@@ -515,10 +552,83 @@ mod tests {
         }
         let contents = std::fs::read_to_string(&path).expect("read back");
         let lines: Vec<&str> = contents.lines().collect();
-        assert_eq!(lines.len(), crate::event::tests::samples().len());
+        // Header line + one line per event.
+        assert_eq!(lines.len(), crate::event::tests::samples().len() + 1);
+        assert!(
+            lines[0].starts_with("{\"schema\":1,"),
+            "bad header: {}",
+            lines[0]
+        );
+        assert!(lines[0].contains("\"warmup_ms\":0"));
         for line in lines {
             assert!(json::is_valid(line), "bad line: {line}");
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn jsonl_header_carries_warmup_and_is_not_a_record() {
+        let buf: Vec<u8> = Vec::new();
+        let mut sink = JsonlSink::new_with_warmup(Box::new(buf), SimDuration::from_secs(60));
+        assert_eq!(sink.records(), 0);
+        sink.record(SimTime::from_millis(5), &send(0, MessageClass::Poll, 48));
+        sink.flush();
+        assert!(sink.io_error().is_none());
+        assert_eq!(sink.records(), 1);
+    }
+
+    #[test]
+    fn ring_high_volume_wrap_keeps_newest_in_order() {
+        const CAP: usize = 1_000;
+        const TOTAL: u64 = 100_000;
+        let mut ring = RingSink::new(CAP);
+        for i in 0..TOTAL {
+            ring.record(SimTime::from_millis(i), &send(0, MessageClass::Poll, 48));
+        }
+        assert_eq!(ring.len(), CAP);
+        assert_eq!(ring.total_recorded(), TOTAL);
+        // The retained window is exactly the newest CAP events, oldest
+        // first, with no gaps or reordering.
+        for (k, (t, _)) in ring.iter().enumerate() {
+            assert_eq!(t.as_millis(), TOTAL - CAP as u64 + k as u64);
+        }
+    }
+
+    #[test]
+    fn tee_delivers_to_both_children_in_order() {
+        const TOTAL: u64 = 50_000;
+        let mut tee = TeeSink::new(vec![
+            Box::new(RingSink::new(TOTAL as usize)),
+            Box::new(RingSink::new(64)),
+        ]);
+        for i in 0..TOTAL {
+            let class = if i % 2 == 0 {
+                MessageClass::Poll
+            } else {
+                MessageClass::Update
+            };
+            tee.record(SimTime::from_millis(i), &send((i % 7) as u32, class, 48));
+        }
+        tee.flush();
+
+        let rings: Vec<&RingSink> = tee
+            .sinks()
+            .iter()
+            .map(|s| s.as_any().downcast_ref::<RingSink>().expect("ring child"))
+            .collect();
+        // Both children saw every event...
+        assert_eq!(rings[0].total_recorded(), TOTAL);
+        assert_eq!(rings[1].total_recorded(), TOTAL);
+        assert_eq!(rings[0].len(), TOTAL as usize);
+        assert_eq!(rings[1].len(), 64);
+        // ...in the same order: the small ring's retained tail is
+        // exactly the tail of the large ring's full record.
+        let tail_of_big: Vec<_> = rings[0].iter().skip(TOTAL as usize - 64).collect();
+        let small: Vec<_> = rings[1].iter().collect();
+        assert_eq!(tail_of_big, small);
+        // And the full stream arrived strictly in emission order.
+        for (k, (t, _)) in rings[0].iter().enumerate() {
+            assert_eq!(t.as_millis(), k as u64);
+        }
     }
 }

@@ -8,6 +8,7 @@ use std::collections::HashSet;
 use mp2p::metrics::MessageClass;
 use mp2p::rpcc::{Strategy, World, WorldConfig};
 use mp2p::sim::SimTime;
+use mp2p::trace::reader::JournalReader;
 use mp2p::trace::{EventKind, JsonlSink, RingSink, SummarySink, TeeSink, TraceEvent};
 
 fn traced_world(seed: u64) -> World {
@@ -159,7 +160,7 @@ fn jsonl_journal_is_parseable_and_complete() {
     let warmup = cfg.warmup;
     let mut world = World::new(cfg);
     world.set_tracer(Box::new(TeeSink::new(vec![
-        Box::new(JsonlSink::create(&path).expect("temp file")),
+        Box::new(JsonlSink::create_with_warmup(&path, warmup).expect("temp file")),
         Box::new(SummarySink::new(warmup)),
     ])));
     let (_report, tracer) = world.run_traced();
@@ -174,35 +175,34 @@ fn jsonl_journal_is_parseable_and_complete() {
         .expect("summary second");
     assert!(jsonl.io_error().is_none(), "journal hit an I/O error");
 
-    let text = std::fs::read_to_string(&path).expect("journal readable");
-    std::fs::remove_file(&path).ok();
-    let lines: Vec<&str> = text.lines().collect();
+    // Streaming validation: the versioned header line plus one typed event
+    // per recorded line, never buffering the journal as a whole.
+    let file = std::fs::File::open(&path).expect("journal readable");
+    let mut reader =
+        JournalReader::new(std::io::BufReader::new(file)).expect("valid journal header");
+    assert_eq!(reader.header().schema, mp2p::trace::JOURNAL_SCHEMA);
+    assert_eq!(reader.header().kinds as usize, EventKind::ALL.len());
+    assert_eq!(reader.header().warmup_ms, warmup.as_millis());
+    let mut parsed = 0u64;
+    let mut last_t = SimTime::ZERO;
+    for entry in reader.by_ref() {
+        let (at, _event) = entry.expect("every journal line parses back to a typed event");
+        assert!(at >= last_t, "journal timestamps must be monotone");
+        last_t = at;
+        parsed += 1;
+    }
     assert_eq!(
-        lines.len() as u64,
-        jsonl.records(),
-        "one JSONL line per recorded event"
+        reader.lines_read() as u64,
+        jsonl.records() + 1,
+        "header line plus one JSONL line per recorded event"
     );
+    std::fs::remove_file(&path).ok();
+    assert_eq!(parsed, jsonl.records(), "every event line parsed");
     assert_eq!(
         jsonl.records(),
         summary.total_events(),
         "both tee branches saw every event"
     );
-    let known: HashSet<&str> = EventKind::ALL.iter().map(|k| k.label()).collect();
-    for (i, line) in lines.iter().enumerate() {
-        assert!(
-            mp2p::trace::json::is_valid(line),
-            "line {} is not valid JSON: {line}",
-            i + 1
-        );
-        // Every line carries the envelope fields in a fixed prefix order.
-        assert!(line.starts_with("{\"t\":"), "line {} lacks a time", i + 1);
-        let ev = line
-            .split("\"ev\":\"")
-            .nth(1)
-            .and_then(|rest| rest.split('"').next())
-            .unwrap_or_else(|| panic!("line {} lacks an event kind: {line}", i + 1));
-        assert!(known.contains(ev), "unknown event kind {ev:?}");
-    }
 }
 
 #[test]
