@@ -25,6 +25,34 @@ fn bench_event_queue(c: &mut Criterion) {
             black_box(sum)
         })
     });
+    // Interleaved churn: steady-state push/pop traffic over a warm queue,
+    // the access pattern `World::run` actually produces. Two sizes to
+    // expose any super-linear behaviour in the binary heap.
+    for &total in &[100_000u64, 1_000_000u64] {
+        group.bench_function(format!("churn_{total}"), |b| {
+            b.iter(|| {
+                let mut q = EventQueue::with_capacity(1_024);
+                let mut rng = SimRng::from_seed(5, 0);
+                let mut now = 0u64;
+                let mut sum = 0u64;
+                // Keep ~512 events pending; each pop schedules a successor
+                // at a later time, like handlers re-arming timers.
+                for i in 0..512u64 {
+                    q.push(SimTime::from_millis(rng.uniform_u64(1_000)), i);
+                }
+                for i in 512..total {
+                    let (t, e) = q.pop().expect("queue stays warm");
+                    now = now.max(t.as_millis());
+                    sum = sum.wrapping_add(e);
+                    q.push(SimTime::from_millis(now + 1 + rng.uniform_u64(1_000)), i);
+                }
+                while let Some((_, e)) = q.pop() {
+                    sum = sum.wrapping_add(e);
+                }
+                black_box(sum)
+            })
+        });
+    }
     group.finish();
 }
 

@@ -18,7 +18,7 @@ use mp2p_net::{
     Axis, FaultPlan, Frame, GilbertElliott, LinkModel, NetAction, NetConfig, NetEvent, NetStack,
     NetTimer, RouteControl, Topology,
 };
-use mp2p_sim::{EventQueue, ItemId, NodeId, SimDuration, SimRng, SimTime};
+use mp2p_sim::{EventQueue, ItemId, NodeId, PerfReport, Profiler, SimDuration, SimRng, SimTime};
 use mp2p_trace::{LevelTag, NullSink, ServedBy, TraceEvent, TraceSink};
 
 use crate::config::ProtocolConfig;
@@ -477,6 +477,10 @@ pub struct RunReport {
     pub fault_plan: Option<&'static str>,
     /// Injected-fault and degradation counters.
     pub faults: FaultStats,
+    /// Wall-clock profile of the run (`None` unless profiling was
+    /// enabled via [`World::enable_profiling`]). Strictly observational:
+    /// its presence never changes any other field.
+    pub perf: Option<PerfReport>,
     /// The measured window (sim_time − warmup).
     pub measured: SimDuration,
 }
@@ -627,6 +631,11 @@ impl RunReport {
                 self.faults.fallback_floods,
             );
         }
+        // Likewise the perf section exists only for profiled runs, so an
+        // unprofiled report is byte-identical to a pre-profiler build's.
+        if let Some(perf) = &self.perf {
+            let _ = write!(s, ",\"perf\":{}", perf.to_json());
+        }
         s.push('}');
         s
     }
@@ -697,6 +706,13 @@ pub struct World {
     /// Flight recorder. [`NullSink`] by default, so the hot path stays
     /// allocation-free unless a run opts in via [`World::set_tracer`].
     tracer: Box<dyn TraceSink>,
+    /// Wall-clock profiler (host-side, strictly observational; disabled
+    /// by default so the event loop pays one branch per scope).
+    profiler: Profiler,
+    /// MAC-level frames transmitted (plus oracle-mode per-hop sends)
+    /// over the whole run, warm-up included. A plain counter — always
+    /// maintained, reported only through the perf section.
+    frames_sent: u64,
 }
 
 impl World {
@@ -845,6 +861,8 @@ impl World {
             faults,
             fault_stats: FaultStats::default(),
             tracer: Box::new(NullSink),
+            profiler: Profiler::disabled(),
+            frames_sent: 0,
         };
         world.bootstrap();
         world
@@ -860,6 +878,15 @@ impl World {
         for node in self.nodes.iter_mut() {
             node.stack.set_tracing(on);
         }
+    }
+
+    /// Switches wall-clock profiling on for this run: the report gains a
+    /// [`RunReport::perf`] section. Profiling only *reads* the host
+    /// clock — it never feeds back into simulation state — so a seeded
+    /// run produces bit-identical protocol results and trace journals
+    /// with or without it (asserted by `profiler_determinism` tests).
+    pub fn enable_profiling(&mut self) {
+        self.profiler = Profiler::enabled();
     }
 
     /// Records one event at the current sim time, if tracing is on.
@@ -1004,13 +1031,21 @@ impl World {
     /// [`NullSink`] when none was), flushed and ready for inspection.
     pub fn run_traced(mut self) -> (RunReport, Box<dyn TraceSink>) {
         let end = SimTime::ZERO + self.cfg.sim_time;
+        self.profiler.begin();
         while let Some((t, event)) = self.queue.pop() {
             if t > end {
                 break;
             }
             debug_assert!(t >= self.now, "event time went backwards");
             self.now = t;
+            // Name the bucket before the event is consumed; the scope
+            // covers everything the event triggers (message dispatch is
+            // additionally sub-attributed to `msg:*` buckets, which
+            // therefore nest inside — not add to — the event buckets).
+            let bucket = event_bucket(&event);
+            let scope = self.profiler.start();
             self.handle(event);
+            self.profiler.stop(bucket, scope);
         }
         // Queries still legitimately in flight when the run ends are
         // censored observations, not failures: remove them from the
@@ -1028,6 +1063,15 @@ impl World {
         let energy_used_mj = self.nodes.iter().map(|n| n.battery.used_mj()).sum();
         let mut tracer = std::mem::replace(&mut self.tracer, Box::new(NullSink));
         tracer.flush();
+        let perf = self
+            .profiler
+            .finish(self.cfg.sim_time.as_millis())
+            .map(|mut p| {
+                p.queue = self.queue.stats();
+                p.frames_sent = self.frames_sent;
+                p.journal_bytes = tracer.bytes_written();
+                p
+            });
         let report = RunReport {
             strategy: self.cfg.strategy,
             level_mix: self.cfg.level_mix,
@@ -1049,6 +1093,7 @@ impl World {
             energy_used_mj,
             fault_plan: self.faults.is_some().then_some(self.cfg.faults.label),
             faults: self.fault_stats,
+            perf,
             measured: self.cfg.sim_time - self.cfg.warmup,
         };
         (report, tracer)
@@ -1129,10 +1174,13 @@ impl World {
                         via_flood: false,
                         span: msg.span(),
                     });
+                    let bucket = msg_bucket(msg.class());
+                    let scope = self.profiler.start();
                     self.with_proto(
                         at,
                         |proto, ctx| dispatch!(proto, p => p.on_message(ctx, from, msg)),
                     );
+                    self.profiler.stop(bucket, scope);
                 }
             }
             Event::CoeffTick => {
@@ -1425,6 +1473,7 @@ impl World {
     fn record_transmission(&mut self, node: NodeId, frame: &Frame<ProtoMsg>, dest: Option<NodeId>) {
         let class = frame_class(frame);
         let bytes = frame.size();
+        self.frames_sent += 1;
         if self.measuring() {
             self.traffic.record(class, bytes);
         }
@@ -1537,6 +1586,8 @@ impl World {
                         via_flood: meta.via_flood,
                         span: payload.span(),
                     });
+                    let bucket = msg_bucket(payload.class());
+                    let scope = self.profiler.start();
                     match payload {
                         // Replica writes are driver-level machinery: apply at
                         // the source, acknowledge to the writer; the running
@@ -1553,6 +1604,7 @@ impl World {
                         });
                         }
                     }
+                    self.profiler.stop(bucket, scope);
                 }
                 NetAction::SetTimer { after, timer } => {
                     self.queue
@@ -1688,6 +1740,7 @@ impl World {
                 let size = msg.size_bytes();
                 let mut arrival = self.now;
                 for pair in path.windows(2) {
+                    self.frames_sent += 1;
                     if self.measuring() {
                         self.traffic.record(msg.class(), size);
                     }
@@ -1909,6 +1962,47 @@ fn frame_span(frame: &Frame<ProtoMsg>) -> Option<u64> {
             mp2p_net::NetPayload::App(m) => m.span(),
             mp2p_net::NetPayload::Control(_) => None,
         },
+    }
+}
+
+/// Profiler bucket label of one world event. Static strings from a
+/// closed vocabulary, so [`PerfReport::to_json`] needs no escaping and
+/// `PerfReport::events` can recognise the family by its `event:` prefix.
+fn event_bucket(event: &Event) -> &'static str {
+    match event {
+        Event::Query(_) => "event:query",
+        Event::Update(_) => "event:update",
+        Event::Switch(_) => "event:switch",
+        Event::Write(_) => "event:write",
+        Event::WriteRetry { .. } => "event:write_retry",
+        Event::Rx { .. } => "event:rx",
+        Event::NetTimer { .. } => "event:net_timer",
+        Event::ProtoTimer { .. } => "event:proto_timer",
+        Event::OracleDeliver { .. } => "event:oracle_deliver",
+        Event::CoeffTick => "event:coeff_tick",
+        Event::Sample => "event:sample",
+        Event::Fault(_) => "event:fault",
+    }
+}
+
+/// Profiler bucket label of one delivered protocol message, by class.
+fn msg_bucket(class: MessageClass) -> &'static str {
+    match class {
+        MessageClass::Invalidation => "msg:INVALIDATION",
+        MessageClass::Update => "msg:UPDATE",
+        MessageClass::Poll => "msg:POLL",
+        MessageClass::PollAckA => "msg:POLL_ACK_A",
+        MessageClass::PollAckB => "msg:POLL_ACK_B",
+        MessageClass::Apply => "msg:APPLY",
+        MessageClass::ApplyAck => "msg:APPLY_ACK",
+        MessageClass::Cancel => "msg:CANCEL",
+        MessageClass::GetNew => "msg:GET_NEW",
+        MessageClass::SendNew => "msg:SEND_NEW",
+        MessageClass::Fetch => "msg:FETCH",
+        MessageClass::FetchReply => "msg:FETCH_REPLY",
+        MessageClass::WriteRequest => "msg:WRITE_REQ",
+        MessageClass::WriteAck => "msg:WRITE_ACK",
+        MessageClass::RouteControl => "msg:ROUTE_CTRL",
     }
 }
 

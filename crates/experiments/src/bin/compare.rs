@@ -1,12 +1,15 @@
 //! Side-by-side strategy comparison at the Table 1 default point:
 //! `compare [--full] [--seed N] [--range M] [--faults PRESET] [--hardened]
-//! [--trace PREFIX]`.
+//! [--trace PREFIX] [--json FILE]`.
 //!
 //! Prints traffic (total and per message class), latency, staleness,
 //! failure rate, relay population and energy for Pull, Push and the four
 //! RPCC variants. With `--trace PREFIX`, each strategy's run additionally
 //! writes a flight-recorder journal to `PREFIX-<name>.jsonl` (strategy
 //! names are sanitised for the filesystem: `RPCC(SC)` → `RPCC-SC`).
+//! `--json FILE` writes every run's machine-readable report — the same
+//! `RunReport::to_json` objects the `run` binary emits — as
+//! `{"seed":N,"reports":[...]}`.
 
 use mp2p_experiments::{render_table, RunOptions};
 use mp2p_metrics::MessageClass;
@@ -58,6 +61,11 @@ fn main() {
     let fault_preset: Option<String> = args
         .iter()
         .position(|a| a == "--faults")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let json_path: Option<String> = args
+        .iter()
+        .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1))
         .cloned();
     let hardened = args.iter().any(|a| a == "--hardened");
@@ -115,6 +123,16 @@ fn main() {
             world.run_traced().0
         })
         .collect();
+
+    if let Some(path) = &json_path {
+        let body: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
+        let doc = format!("{{\"seed\":{seed},\"reports\":[{}]}}\n", body.join(","));
+        if let Err(err) = std::fs::write(path, doc) {
+            eprintln!("cannot write report JSON {path}: {err}");
+            std::process::exit(2);
+        }
+        eprintln!("Report JSON -> {path}");
+    }
 
     let mut headers = vec!["metric"];
     headers.extend(specs.iter().map(|s| s.name));

@@ -1,0 +1,236 @@
+//! Engine performance observatory: profiled benchmark matrix and
+//! regression gate.
+//!
+//! ```text
+//! perf [--out DIR] [--smoke] [--sim MINUTES] [--warmup MINUTES] [--seed N]
+//! perf --baseline BENCH_x.json [--tolerance T] [--out DIR]
+//! ```
+//!
+//! Matrix mode (the default) runs every strategy at 25 and 50 peers with
+//! wall-clock profiling on and writes one schema-versioned
+//! `BENCH_<strategy>_<peers>.json` snapshot per point into `--out`
+//! (default: the current directory). `--smoke` shrinks the matrix to the
+//! single `rpcc_50` point with a two-minute run — the CI smoke step.
+//!
+//! Baseline mode reproduces the exact scenario recorded in the given
+//! snapshot (strategy, peers, duration, seed), measures it afresh, and
+//! exits non-zero if throughput fell more than `--tolerance` (default
+//! 0.15) below the stored events/sec. The fresh measurement is also
+//! written next to the baseline's name into `--out` so a passing run can
+//! be promoted to the new baseline.
+//!
+//! Profiling is strictly observational: the same seeds produce
+//! bit-identical protocol results with or without it, so snapshots never
+//! perturb the science. Wall-clock numbers are only comparable on the
+//! machine that produced the baseline.
+
+use std::path::{Path, PathBuf};
+
+use mp2p_experiments::perf::{compare, parse_strategy, strategy_token, BenchSnapshot};
+use mp2p_experiments::render_table;
+use mp2p_rpcc::{Strategy, World, WorldConfig};
+use mp2p_sim::SimDuration;
+
+struct Args {
+    out_dir: PathBuf,
+    smoke: bool,
+    sim: SimDuration,
+    warmup: SimDuration,
+    seed: u64,
+    baseline: Option<PathBuf>,
+    tolerance: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        return Err("see the module docs at the top of perf.rs for the flag list".into());
+    }
+    let value_of = |flag: &str| -> Option<&String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+    };
+    let parse = |flag: &str, text: &String| -> Result<f64, String> {
+        text.parse()
+            .map_err(|_| format!("{flag} expects a number, got {text:?}"))
+    };
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut parsed = Args {
+        out_dir: value_of("--out").map(PathBuf::from).unwrap_or_default(),
+        smoke,
+        // Long enough for tens of thousands of events per point, short
+        // enough to stay interactive; --smoke halves it again.
+        sim: SimDuration::from_mins(if smoke { 2 } else { 10 }),
+        warmup: SimDuration::from_mins(if smoke { 1 } else { 2 }),
+        seed: 42,
+        baseline: value_of("--baseline").map(PathBuf::from),
+        tolerance: 0.15,
+    };
+    if let Some(v) = value_of("--sim") {
+        parsed.sim = SimDuration::from_secs_f64(parse("--sim", v)? * 60.0);
+    }
+    if let Some(v) = value_of("--warmup") {
+        parsed.warmup = SimDuration::from_secs_f64(parse("--warmup", v)? * 60.0);
+    }
+    if let Some(v) = value_of("--seed") {
+        parsed.seed = parse("--seed", v)? as u64;
+    }
+    if let Some(v) = value_of("--tolerance") {
+        parsed.tolerance = parse("--tolerance", v)?;
+    }
+    Ok(parsed)
+}
+
+/// Runs one profiled matrix point and freezes its snapshot.
+fn run_point(
+    strategy: Strategy,
+    peers: usize,
+    sim: SimDuration,
+    warmup: SimDuration,
+    seed: u64,
+) -> BenchSnapshot {
+    let mut cfg = WorldConfig::paper_default(seed);
+    cfg.strategy = strategy;
+    cfg.n_peers = peers;
+    cfg.sim_time = sim;
+    cfg.warmup = warmup;
+    let name = format!("{}_{}", strategy_token(strategy), peers);
+    let mut world = World::new(cfg);
+    world.enable_profiling();
+    let report = world.run();
+    let perf = report.perf.expect("profiling was enabled");
+    BenchSnapshot::from_run(&name, strategy, peers, warmup.as_millis(), seed, &perf)
+}
+
+/// Writes `BENCH_<name>.json`, creating the directory if needed.
+fn write_snapshot(dir: &Path, snap: &BenchSnapshot) -> std::io::Result<PathBuf> {
+    if !dir.as_os_str().is_empty() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let path = dir.join(format!("BENCH_{}.json", snap.name));
+    std::fs::write(&path, snap.to_json())?;
+    Ok(path)
+}
+
+/// One summary table row per snapshot: throughput, ratio, hottest buckets.
+fn table_row(snap: &BenchSnapshot) -> Vec<String> {
+    let top: Vec<String> = snap
+        .buckets
+        .iter()
+        .take(3)
+        .map(|b| format!("{} {:.0}%", b.name, b.share * 100.0))
+        .collect();
+    vec![
+        snap.name.clone(),
+        format!("{:.2}", snap.wall_secs),
+        snap.events.to_string(),
+        format!("{:.0}", snap.events_per_sec),
+        format!("{:.0}x", snap.sim_time_ratio),
+        snap.queue.peak_len.to_string(),
+        top.join(", "),
+    ]
+}
+
+const TABLE_HEADER: [&str; 7] = [
+    "point",
+    "wall s",
+    "events",
+    "events/s",
+    "sim/real",
+    "queue peak",
+    "hottest buckets",
+];
+
+fn run_matrix(args: &Args) -> Result<(), String> {
+    let strategies: &[Strategy] = if args.smoke {
+        &[Strategy::Rpcc]
+    } else {
+        &[
+            Strategy::Rpcc,
+            Strategy::Push,
+            Strategy::Pull,
+            Strategy::PushAdaptivePull,
+        ]
+    };
+    let sizes: &[usize] = if args.smoke { &[50] } else { &[25, 50] };
+    let mut rows = Vec::new();
+    for &strategy in strategies {
+        for &peers in sizes {
+            let snap = run_point(strategy, peers, args.sim, args.warmup, args.seed);
+            let path = write_snapshot(&args.out_dir, &snap)
+                .map_err(|e| format!("cannot write snapshot: {e}"))?;
+            println!("{} -> {}", snap.name, path.display());
+            rows.push(table_row(&snap));
+        }
+    }
+    print!("{}", render_table(&TABLE_HEADER, &rows));
+    Ok(())
+}
+
+fn run_baseline(args: &Args, path: &Path) -> Result<bool, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+    let baseline =
+        BenchSnapshot::from_json(&text).map_err(|e| format!("baseline {}: {e}", path.display()))?;
+    let strategy = parse_strategy(&baseline.strategy)
+        .ok_or_else(|| format!("baseline has unknown strategy {:?}", baseline.strategy))?;
+    println!(
+        "Replaying {} ({} peers, {} sim, seed {}) against {}",
+        baseline.name,
+        baseline.peers,
+        SimDuration::from_millis(baseline.sim_ms),
+        baseline.seed,
+        path.display(),
+    );
+    let measured = run_point(
+        strategy,
+        baseline.peers as usize,
+        SimDuration::from_millis(baseline.sim_ms),
+        SimDuration::from_millis(baseline.warmup_ms),
+        baseline.seed,
+    );
+    let out = write_snapshot(&args.out_dir, &measured)
+        .map_err(|e| format!("cannot write snapshot: {e}"))?;
+    println!("fresh measurement -> {}", out.display());
+    print!("{}", render_table(&TABLE_HEADER, &[table_row(&measured)]));
+    let verdict = compare(&baseline, &measured, args.tolerance)?;
+    println!(
+        "baseline {:.0} ev/s, measured {:.0} ev/s ({:.1}% of baseline, floor {:.0})",
+        verdict.baseline_eps,
+        verdict.measured_eps,
+        verdict.ratio() * 100.0,
+        verdict.floor,
+    );
+    if verdict.regressed() {
+        println!(
+            "REGRESSION: throughput fell more than {:.0}% below baseline",
+            args.tolerance * 100.0
+        );
+    } else {
+        println!("PASS: within tolerance");
+    }
+    Ok(!verdict.regressed())
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let outcome = match &args.baseline {
+        Some(path) => run_baseline(&args, &path.clone()),
+        None => run_matrix(&args).map(|()| true),
+    };
+    match outcome {
+        Ok(true) => {}
+        Ok(false) => std::process::exit(1),
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -8,7 +8,7 @@
 //!     [--ttl HOPS] [--loss P] [--no-churn] [--oracle-routing]
 //!     [--adaptive] [--relay-cap N] [--single-item] [--seed N]
 //!     [--faults none|bursty|partition|crash|hostile] [--hardened]
-//!     [--trace FILE.jsonl] [--json FILE.json]
+//!     [--trace FILE.jsonl] [--json FILE.json] [--profile]
 //! ```
 //!
 //! Example: the paper's default RPCC point with lossy links and writes:
@@ -28,6 +28,11 @@
 //! `--faults` installs one of the chaos presets (scaled to the simulated
 //! duration); `--hardened` switches on the protocol-hardening knobs
 //! (retry backoff + jitter, relay orphan lease, fallback flood).
+//!
+//! `--profile` switches the wall-clock profiler on: a per-bucket wall
+//! time table is printed after the run and the `--json` report gains a
+//! `perf` section. Profiling is strictly observational — the simulated
+//! results are bit-identical either way.
 
 use mp2p_experiments::render_table;
 use mp2p_metrics::MessageClass;
@@ -40,6 +45,7 @@ fn parse_args() -> Result<
         WorldConfig,
         Option<std::path::PathBuf>,
         Option<std::path::PathBuf>,
+        bool,
     ),
     String,
 > {
@@ -152,11 +158,12 @@ fn parse_args() -> Result<
     }
     let trace_path = value_of("--trace").map(std::path::PathBuf::from);
     let json_path = value_of("--json").map(std::path::PathBuf::from);
-    Ok((cfg, trace_path, json_path))
+    let profile = args.iter().any(|a| a == "--profile");
+    Ok((cfg, trace_path, json_path, profile))
 }
 
 fn main() {
-    let (cfg, trace_path, json_path) = match parse_args() {
+    let (cfg, trace_path, json_path, profile) = match parse_args() {
         Ok(parsed) => parsed,
         Err(msg) => {
             eprintln!("{msg}");
@@ -175,6 +182,9 @@ fn main() {
     let writes_on = cfg.i_write.is_some();
     let warmup = cfg.warmup;
     let mut world = World::new(cfg);
+    if profile {
+        world.enable_profiling();
+    }
     if let Some(path) = &trace_path {
         let jsonl = match JsonlSink::create_with_warmup(path, warmup) {
             Ok(sink) => sink,
@@ -297,6 +307,37 @@ fn main() {
         }
     }
     print!("{}", render_table(&["class", "transmissions"], &rows));
+
+    if let Some(perf) = &report.perf {
+        println!(
+            "\nWall-clock profile: {} events in {:.2}s ({:.0} events/s, {:.0}x real time)",
+            perf.events(),
+            perf.wall_secs(),
+            perf.events_per_sec(),
+            perf.sim_time_ratio(),
+        );
+        println!(
+            "Queue: {} pushes / {} pops, peak {} pending (capacity {}); {} frames sent",
+            perf.queue.pushes,
+            perf.queue.pops,
+            perf.queue.peak_len,
+            perf.queue.peak_capacity,
+            perf.frames_sent,
+        );
+        let mut rows = Vec::new();
+        for bucket in perf.top(10) {
+            rows.push(vec![
+                bucket.name.to_string(),
+                bucket.count.to_string(),
+                format!("{:.4}", bucket.secs()),
+                format!("{:.1}%", perf.share(bucket) * 100.0),
+            ]);
+        }
+        print!(
+            "{}",
+            render_table(&["bucket", "count", "wall s", "share"], &rows)
+        );
+    }
 
     if let Some(path) = &trace_path {
         let tee = tracer

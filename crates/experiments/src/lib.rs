@@ -23,6 +23,7 @@
 
 pub mod analysis;
 mod figures;
+pub mod perf;
 mod report;
 mod sweep;
 
@@ -31,6 +32,9 @@ pub use analysis::{
     TraceAnalysis,
 };
 pub use figures::{fig7a, fig7b, fig7c, fig8a, fig8b, fig8c, fig9, table1_rows, FigureData};
+pub use perf::{
+    compare, parse_strategy, strategy_token, BenchSnapshot, BucketShare, Comparison, BENCH_SCHEMA,
+};
 pub use report::{render_series_table, render_table, write_csv};
 pub use sweep::{
     extended_strategies, paper_strategies, sweep, MeasuredPoint, RunOptions, Series, StrategySpec,

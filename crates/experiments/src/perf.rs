@@ -1,0 +1,443 @@
+//! `BENCH_*.json` performance snapshots and the regression comparator.
+//!
+//! The `perf` binary runs a fixed strategy×size matrix with
+//! [`mp2p_rpcc::World::enable_profiling`] switched on and freezes each
+//! run's [`mp2p_sim::PerfReport`] into a schema-versioned
+//! [`BenchSnapshot`]. A later run on the same machine reloads the
+//! snapshot with [`BenchSnapshot::from_json`], reproduces the scenario
+//! from its recorded knobs, and [`compare`]s throughput: events/sec
+//! below `baseline × (1 − tolerance)` is a regression (CI exits
+//! non-zero on it).
+//!
+//! Snapshots are wall-clock measurements, so they are only comparable
+//! across runs on comparable hardware; the schema field exists so a
+//! future layout change refuses old files instead of misreading them.
+
+use mp2p_rpcc::Strategy;
+use mp2p_sim::{PerfReport, QueueStats};
+use mp2p_trace::json::{self, Value};
+
+/// Version tag written into every snapshot. Bump on layout changes.
+pub const BENCH_SCHEMA: u64 = 1;
+
+/// CLI token of a strategy (`rpcc`, `push`, `pull`, `push-ap`) — also
+/// the snapshot's file-name stem, so it is lowercase and path-safe.
+pub fn strategy_token(strategy: Strategy) -> &'static str {
+    match strategy {
+        Strategy::Rpcc => "rpcc",
+        Strategy::Push => "push",
+        Strategy::Pull => "pull",
+        Strategy::PushAdaptivePull => "push-ap",
+    }
+}
+
+/// Inverse of [`strategy_token`].
+pub fn parse_strategy(token: &str) -> Option<Strategy> {
+    match token {
+        "rpcc" => Some(Strategy::Rpcc),
+        "push" => Some(Strategy::Push),
+        "pull" => Some(Strategy::Pull),
+        "push-ap" => Some(Strategy::PushAdaptivePull),
+        _ => None,
+    }
+}
+
+/// One profiler bucket frozen into a snapshot (name, invocation count,
+/// wall seconds, share of total measured wall time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BucketShare {
+    /// Bucket label (`event:rx`, `msg:POLL`, ...).
+    pub name: String,
+    /// Scopes closed under this label.
+    pub count: u64,
+    /// Wall-clock seconds attributed to the label.
+    pub wall_secs: f64,
+    /// Fraction of all measured wall time, in `[0, 1]`.
+    pub share: f64,
+}
+
+/// One frozen benchmark result: the scenario knobs needed to reproduce
+/// the run plus the measured perf metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSnapshot {
+    /// Matrix-point name (`rpcc_50`); the file is `BENCH_<name>.json`.
+    pub name: String,
+    /// Strategy token (`rpcc`, `push`, ...).
+    pub strategy: String,
+    /// Peer count of the scenario.
+    pub peers: u64,
+    /// Simulated duration in milliseconds.
+    pub sim_ms: u64,
+    /// Warm-up offset in milliseconds.
+    pub warmup_ms: u64,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Wall-clock seconds the event loop took.
+    pub wall_secs: f64,
+    /// World events handled.
+    pub events: u64,
+    /// Event-loop throughput (the regression-gated figure).
+    pub events_per_sec: f64,
+    /// Simulated seconds per wall-clock second.
+    pub sim_time_ratio: f64,
+    /// Event-queue telemetry (push/pop totals, high-water marks).
+    pub queue: QueueStats,
+    /// MAC-level frames transmitted over the run.
+    pub frames_sent: u64,
+    /// Per-bucket wall-time breakdown, hottest first.
+    pub buckets: Vec<BucketShare>,
+}
+
+impl BenchSnapshot {
+    /// Freezes one profiled run. `perf` must come from the same run the
+    /// scenario knobs describe.
+    pub fn from_run(
+        name: &str,
+        strategy: Strategy,
+        peers: usize,
+        warmup_ms: u64,
+        seed: u64,
+        perf: &PerfReport,
+    ) -> Self {
+        BenchSnapshot {
+            name: name.to_owned(),
+            strategy: strategy_token(strategy).to_owned(),
+            peers: peers as u64,
+            sim_ms: perf.sim_millis,
+            warmup_ms,
+            seed,
+            wall_secs: perf.wall_secs(),
+            events: perf.events(),
+            events_per_sec: perf.events_per_sec(),
+            sim_time_ratio: perf.sim_time_ratio(),
+            queue: perf.queue,
+            frames_sent: perf.frames_sent,
+            buckets: perf
+                .buckets
+                .iter()
+                .map(|b| BucketShare {
+                    name: b.name.to_owned(),
+                    count: b.count,
+                    wall_secs: b.secs(),
+                    share: perf.share(b),
+                })
+                .collect(),
+        }
+    }
+
+    /// Serialises the snapshot as one JSON object, `bench_schema` first.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(1024);
+        let _ = write!(
+            s,
+            "{{\"bench_schema\":{BENCH_SCHEMA},\"name\":{},\"strategy\":{},\"peers\":{},\"sim_ms\":{},\"warmup_ms\":{},\"seed\":{}",
+            json::escape(&self.name),
+            json::escape(&self.strategy),
+            self.peers,
+            self.sim_ms,
+            self.warmup_ms,
+            self.seed,
+        );
+        let _ = write!(
+            s,
+            ",\"wall_secs\":{},\"events\":{},\"events_per_sec\":{},\"sim_time_ratio\":{}",
+            self.wall_secs, self.events, self.events_per_sec, self.sim_time_ratio,
+        );
+        let _ = write!(
+            s,
+            ",\"queue\":{{\"pushes\":{},\"pops\":{},\"peak_len\":{},\"peak_capacity\":{}}},\"frames_sent\":{}",
+            self.queue.pushes,
+            self.queue.pops,
+            self.queue.peak_len,
+            self.queue.peak_capacity,
+            self.frames_sent,
+        );
+        s.push_str(",\"buckets\":[");
+        for (i, b) in self.buckets.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"name\":{},\"count\":{},\"wall_secs\":{},\"share\":{}}}",
+                json::escape(&b.name),
+                b.count,
+                b.wall_secs,
+                b.share,
+            );
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Parses a snapshot back, refusing unknown schema versions and any
+    /// structural mismatch with a descriptive error.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = json::parse(text).ok_or("snapshot is not valid JSON")?;
+        let schema = v
+            .get("bench_schema")
+            .and_then(Value::as_u64)
+            .ok_or("snapshot has no numeric bench_schema field")?;
+        if schema != BENCH_SCHEMA {
+            return Err(format!(
+                "snapshot schema {schema} unsupported (this build speaks {BENCH_SCHEMA})"
+            ));
+        }
+        let str_field = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("missing string field {key:?}"))
+        };
+        let u64_field = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("missing integer field {key:?}"))
+        };
+        let f64_field = |key: &str| -> Result<f64, String> {
+            v.get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("missing numeric field {key:?}"))
+        };
+        let queue = {
+            let q = v.get("queue").ok_or("missing queue object")?;
+            let qfield = |key: &str| -> Result<u64, String> {
+                q.get(key)
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("missing queue field {key:?}"))
+            };
+            QueueStats {
+                pushes: qfield("pushes")?,
+                pops: qfield("pops")?,
+                peak_len: qfield("peak_len")? as usize,
+                peak_capacity: qfield("peak_capacity")? as usize,
+            }
+        };
+        let buckets = match v.get("buckets") {
+            Some(Value::Arr(items)) => items
+                .iter()
+                .map(|b| {
+                    Ok(BucketShare {
+                        name: b
+                            .get("name")
+                            .and_then(Value::as_str)
+                            .ok_or("bucket without name")?
+                            .to_owned(),
+                        count: b
+                            .get("count")
+                            .and_then(Value::as_u64)
+                            .ok_or("bucket without count")?,
+                        wall_secs: b
+                            .get("wall_secs")
+                            .and_then(Value::as_f64)
+                            .ok_or("bucket without wall_secs")?,
+                        share: b
+                            .get("share")
+                            .and_then(Value::as_f64)
+                            .ok_or("bucket without share")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, &str>>()
+                .map_err(str::to_owned)?,
+            _ => return Err("missing buckets array".to_owned()),
+        };
+        Ok(BenchSnapshot {
+            name: str_field("name")?,
+            strategy: str_field("strategy")?,
+            peers: u64_field("peers")?,
+            sim_ms: u64_field("sim_ms")?,
+            warmup_ms: u64_field("warmup_ms")?,
+            seed: u64_field("seed")?,
+            wall_secs: f64_field("wall_secs")?,
+            events: u64_field("events")?,
+            events_per_sec: f64_field("events_per_sec")?,
+            sim_time_ratio: f64_field("sim_time_ratio")?,
+            queue,
+            frames_sent: u64_field("frames_sent")?,
+            buckets,
+        })
+    }
+}
+
+/// Verdict of one baseline-vs-measured throughput comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Comparison {
+    /// Baseline events/sec.
+    pub baseline_eps: f64,
+    /// Freshly measured events/sec.
+    pub measured_eps: f64,
+    /// The pass floor: `baseline × (1 − tolerance)`.
+    pub floor: f64,
+}
+
+impl Comparison {
+    /// True when the measurement fell below the floor.
+    pub fn regressed(&self) -> bool {
+        self.measured_eps < self.floor
+    }
+
+    /// Measured/baseline ratio (> 1 means faster than baseline).
+    pub fn ratio(&self) -> f64 {
+        if self.baseline_eps == 0.0 {
+            f64::INFINITY
+        } else {
+            self.measured_eps / self.baseline_eps
+        }
+    }
+}
+
+/// Compares a fresh measurement against a stored baseline.
+///
+/// Errs — without a verdict — when the two snapshots describe different
+/// scenarios (strategy, peer count, simulated duration or seed differ):
+/// throughput numbers from different workloads must never be compared.
+/// `tolerance` is the allowed fractional slowdown, e.g. `0.15` passes
+/// anything no more than 15 % below baseline.
+pub fn compare(
+    baseline: &BenchSnapshot,
+    measured: &BenchSnapshot,
+    tolerance: f64,
+) -> Result<Comparison, String> {
+    if !(0.0..1.0).contains(&tolerance) {
+        return Err(format!("tolerance must be in [0, 1), got {tolerance}"));
+    }
+    for (what, base, fresh) in [
+        (
+            "strategy",
+            baseline.strategy.as_str(),
+            measured.strategy.as_str(),
+        ),
+        ("name", baseline.name.as_str(), measured.name.as_str()),
+    ] {
+        if base != fresh {
+            return Err(format!("snapshot {what} differs: {base:?} vs {fresh:?}"));
+        }
+    }
+    for (what, base, fresh) in [
+        ("peers", baseline.peers, measured.peers),
+        ("sim_ms", baseline.sim_ms, measured.sim_ms),
+        ("warmup_ms", baseline.warmup_ms, measured.warmup_ms),
+        ("seed", baseline.seed, measured.seed),
+    ] {
+        if base != fresh {
+            return Err(format!("snapshot {what} differs: {base} vs {fresh}"));
+        }
+    }
+    Ok(Comparison {
+        baseline_eps: baseline.events_per_sec,
+        measured_eps: measured.events_per_sec,
+        floor: baseline.events_per_sec * (1.0 - tolerance),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchSnapshot {
+        BenchSnapshot {
+            name: "rpcc_50".into(),
+            strategy: "rpcc".into(),
+            peers: 50,
+            sim_ms: 120_000,
+            warmup_ms: 30_000,
+            seed: 42,
+            wall_secs: 0.5,
+            events: 100_000,
+            events_per_sec: 200_000.0,
+            sim_time_ratio: 240.0,
+            queue: QueueStats {
+                pushes: 120_000,
+                pops: 100_100,
+                peak_len: 900,
+                peak_capacity: 1024,
+            },
+            frames_sent: 40_000,
+            buckets: vec![
+                BucketShare {
+                    name: "event:rx".into(),
+                    count: 60_000,
+                    wall_secs: 0.3,
+                    share: 0.6,
+                },
+                BucketShare {
+                    name: "msg:POLL".into(),
+                    count: 9_000,
+                    wall_secs: 0.2,
+                    share: 0.4,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn snapshot_json_roundtrips() {
+        let snap = sample();
+        let json = snap.to_json();
+        assert!(json.starts_with("{\"bench_schema\":1,\"name\":\"rpcc_50\""));
+        assert!(mp2p_trace::json::is_valid(&json));
+        let back = BenchSnapshot::from_json(&json).expect("roundtrip");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn wrong_schema_and_garbage_are_refused() {
+        let future = sample()
+            .to_json()
+            .replacen("\"bench_schema\":1", "\"bench_schema\":99", 1);
+        let err = BenchSnapshot::from_json(&future).unwrap_err();
+        assert!(err.contains("schema 99"), "{err}");
+        assert!(BenchSnapshot::from_json("not json").is_err());
+        assert!(BenchSnapshot::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn double_speed_baseline_is_a_regression() {
+        // The acceptance case: a baseline claiming 2× our throughput
+        // must trip the gate at any sane tolerance.
+        let measured = sample();
+        let mut baseline = sample();
+        baseline.events_per_sec = measured.events_per_sec * 2.0;
+        let cmp = compare(&baseline, &measured, 0.15).expect("same scenario");
+        assert!(cmp.regressed());
+        assert!(cmp.ratio() < 0.51);
+        // And a matching baseline passes at the same tolerance.
+        let cmp = compare(&sample(), &measured, 0.15).expect("same scenario");
+        assert!(!cmp.regressed());
+    }
+
+    #[test]
+    fn tolerance_sets_the_floor() {
+        let mut slower = sample();
+        slower.events_per_sec = sample().events_per_sec * 0.9;
+        let lenient = compare(&sample(), &slower, 0.15).unwrap();
+        assert!(!lenient.regressed(), "10% down is inside a 15% band");
+        let strict = compare(&sample(), &slower, 0.05).unwrap();
+        assert!(strict.regressed(), "10% down is outside a 5% band");
+    }
+
+    #[test]
+    fn scenario_mismatch_is_an_error_not_a_verdict() {
+        let mut other = sample();
+        other.peers = 25;
+        assert!(compare(&sample(), &other, 0.15).is_err());
+        let mut other = sample();
+        other.strategy = "push".into();
+        assert!(compare(&sample(), &other, 0.15).is_err());
+        assert!(compare(&sample(), &sample(), 1.5).is_err());
+    }
+
+    #[test]
+    fn strategy_tokens_roundtrip() {
+        for strategy in [
+            Strategy::Rpcc,
+            Strategy::Push,
+            Strategy::Pull,
+            Strategy::PushAdaptivePull,
+        ] {
+            assert_eq!(parse_strategy(strategy_token(strategy)), Some(strategy));
+        }
+        assert_eq!(parse_strategy("bogus"), None);
+    }
+}

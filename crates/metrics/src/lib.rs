@@ -34,6 +34,9 @@ mod traffic;
 pub use energy::{EnergyModel, PeerEnergy};
 pub use gauge::Gauge;
 pub use latency::LatencyStats;
-pub use registry::{Registry, WindowedCounter, WindowedGauge, WindowedHistogram};
+pub use registry::{
+    metric_name, valid_label_key, valid_metric_name, Registry, WindowedCounter, WindowedGauge,
+    WindowedHistogram,
+};
 pub use staleness::{ConsistencyAudit, ServedQuery, VersionHistory};
 pub use traffic::{MessageClass, TrafficStats};

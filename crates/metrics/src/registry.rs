@@ -291,20 +291,38 @@ impl Registry {
     /// Renders the registry in Prometheus text exposition format
     /// (counters and gauges as-is, histograms as summaries with
     /// `quantile` labels plus `_sum`/`_count`).
+    ///
+    /// Each metric *family* (base name with labels stripped) gets exactly
+    /// one `# TYPE` line, even when many labelled series share it.
     pub fn render_prometheus(&self) -> String {
+        use std::collections::BTreeSet;
         use std::fmt::Write;
 
+        // Families already typed. A set rather than compare-with-previous:
+        // BTreeMap iteration order can interleave families ('{' sorts
+        // after some name characters), so same-family keys need not be
+        // adjacent.
+        let mut typed: BTreeSet<&str> = BTreeSet::new();
         let mut out = String::with_capacity(1024);
         for (name, c) in &self.counters {
-            let _ = writeln!(out, "# TYPE {} counter", base_name(name));
+            let base = base_name(name);
+            if typed.insert(base) {
+                let _ = writeln!(out, "# TYPE {base} counter");
+            }
             let _ = writeln!(out, "{} {}", name, c.total);
         }
         for (name, g) in &self.gauges {
-            let _ = writeln!(out, "# TYPE {} gauge", base_name(name));
+            let base = base_name(name);
+            if typed.insert(base) {
+                let _ = writeln!(out, "# TYPE {base} gauge");
+            }
             let _ = writeln!(out, "{} {}", name, g.last.unwrap_or(0));
         }
         for (name, h) in &self.histograms {
-            let _ = writeln!(out, "# TYPE {} summary", base_name(name));
+            let base = base_name(name);
+            if typed.insert(base) {
+                let _ = writeln!(out, "# TYPE {base} summary");
+            }
             let cum = &h.cumulative;
             for (p, tag) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
                 let _ = writeln!(
@@ -339,6 +357,71 @@ fn write_histogram_json(out: &mut String, h: &LatencyStats) {
 /// The metric name with any `{label="…"}` suffix stripped (for `# TYPE`).
 fn base_name(name: &str) -> &str {
     name.split('{').next().unwrap_or(name)
+}
+
+/// Builds a registry key `base{k1="v1",k2="v2"}` with label values
+/// escaped per the Prometheus text exposition format (`\\` for a
+/// backslash, `\"` for a double quote, `\n` for a line feed). With no
+/// labels the base name is returned bare.
+///
+/// Use this instead of `format!` whenever a label value is not a known
+/// literal — a raw `"` or newline in a value otherwise corrupts the
+/// whole exposition.
+///
+/// # Panics
+///
+/// Panics (debug builds) if `base` or a label key strays outside the
+/// Prometheus name charsets (`[a-zA-Z_:][a-zA-Z0-9_:]*` for metric
+/// names, `[a-zA-Z_][a-zA-Z0-9_]*` for label keys).
+pub fn metric_name(base: &str, labels: &[(&str, &str)]) -> String {
+    debug_assert!(valid_metric_name(base), "bad metric name {base:?}");
+    if labels.is_empty() {
+        return base.to_owned();
+    }
+    let mut out = String::with_capacity(base.len() + 16 * labels.len());
+    out.push_str(base);
+    out.push('{');
+    for (i, (key, value)) in labels.iter().enumerate() {
+        debug_assert!(valid_label_key(key), "bad label key {key:?}");
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(key);
+        out.push_str("=\"");
+        for c in value.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Whether `name` matches the Prometheus metric-name charset
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+pub fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Whether `key` matches the Prometheus label-key charset
+/// `[a-zA-Z_][a-zA-Z0-9_]*`.
+pub fn valid_label_key(key: &str) -> bool {
+    let mut chars = key.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
 /// Inserts `key="value"` into the name's label set, creating one if the
@@ -472,6 +555,47 @@ mod tests {
         assert!(text.contains("lat_ms{quantile=\"0.99\"} 100\n"));
         assert!(text.contains("lat_ms_sum 100\n"));
         assert!(text.contains("lat_ms_count 1\n"));
+    }
+
+    #[test]
+    fn one_type_line_per_family() {
+        let mut reg = Registry::new(SimDuration::from_secs(60));
+        reg.counter_add("sends_total{class=\"POLL\"}", t(1), 4);
+        reg.counter_add("sends_total{class=\"UPDATE\"}", t(1), 2);
+        // A base name sorting *between* the two labelled keys ('x' < '{'
+        // in ASCII) — the dedup must survive interleaved iteration order.
+        reg.counter_add("sends_totalx", t(1), 1);
+        let text = reg.render_prometheus();
+        assert_eq!(text.matches("# TYPE sends_total counter\n").count(), 1);
+        assert_eq!(text.matches("# TYPE sends_totalx counter\n").count(), 1);
+        assert!(text.contains("sends_total{class=\"POLL\"} 4\n"));
+        assert!(text.contains("sends_total{class=\"UPDATE\"} 2\n"));
+    }
+
+    #[test]
+    fn metric_name_escapes_label_values() {
+        assert_eq!(metric_name("plain", &[]), "plain");
+        assert_eq!(
+            metric_name("m_total", &[("class", "POLL"), ("node", "7")]),
+            "m_total{class=\"POLL\",node=\"7\"}"
+        );
+        assert_eq!(
+            metric_name("m", &[("k", "a\\b\"c\nd")]),
+            "m{k=\"a\\\\b\\\"c\\nd\"}"
+        );
+    }
+
+    #[test]
+    fn name_charset_predicates() {
+        assert!(valid_metric_name("traffic_sends_total"));
+        assert!(valid_metric_name(":ns:metric"));
+        assert!(valid_metric_name("_x9"));
+        assert!(!valid_metric_name(""));
+        assert!(!valid_metric_name("9lives"));
+        assert!(!valid_metric_name("dashed-name"));
+        assert!(valid_label_key("class"));
+        assert!(!valid_label_key("with:colon"));
+        assert!(!valid_label_key(""));
     }
 
     #[test]

@@ -1,0 +1,232 @@
+//! Prometheus text-exposition conformance for `Registry::render_prometheus`.
+//!
+//! A scrape endpoint that emits even one malformed line poisons the whole
+//! scrape, so the renderer is checked against the format rules with a
+//! hand-rolled line parser (no prometheus crate in the workspace):
+//!
+//! * metric names match `[a-zA-Z_:][a-zA-Z0-9_:]*`;
+//! * label keys match `[a-zA-Z_][a-zA-Z0-9_]*` and label values escape
+//!   `\`, `"` and newline;
+//! * every sample line carries a parseable numeric value;
+//! * each metric family has exactly one `# TYPE` line, placed before the
+//!   family's first sample.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mp2p_metrics::{metric_name, valid_label_key, valid_metric_name, Registry};
+use mp2p_sim::{SimDuration, SimTime};
+
+/// One parsed sample line: base name, raw (still-escaped) label pairs,
+/// and the value token.
+struct Sample {
+    base: String,
+    labels: Vec<(String, String)>,
+    value: String,
+}
+
+/// Parses one non-comment exposition line, panicking with context on any
+/// syntax violation.
+fn parse_sample(line: &str) -> Sample {
+    let (name_part, value) = line
+        .rsplit_once(' ')
+        .unwrap_or_else(|| panic!("no value separator in {line:?}"));
+    let (base, labels) = match name_part.split_once('{') {
+        None => (name_part.to_owned(), Vec::new()),
+        Some((base, rest)) => {
+            let body = rest
+                .strip_suffix('}')
+                .unwrap_or_else(|| panic!("unterminated label set in {line:?}"));
+            (base.to_owned(), parse_labels(body, line))
+        }
+    };
+    Sample {
+        base,
+        labels,
+        value: value.to_owned(),
+    }
+}
+
+/// Parses `k1="v1",k2="v2"`, honouring backslash escapes inside values.
+fn parse_labels(body: &str, line: &str) -> Vec<(String, String)> {
+    let mut labels = Vec::new();
+    let mut chars = body.chars().peekable();
+    loop {
+        let mut key = String::new();
+        while let Some(&c) = chars.peek() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+            chars.next();
+        }
+        assert_eq!(chars.next(), Some('='), "missing '=' in {line:?}");
+        assert_eq!(chars.next(), Some('"'), "unquoted label value in {line:?}");
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                Some('\\') => {
+                    let e = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("dangling backslash in {line:?}"));
+                    assert!(
+                        matches!(e, '\\' | '"' | 'n'),
+                        "unknown escape \\{e} in {line:?}"
+                    );
+                    value.push('\\');
+                    value.push(e);
+                }
+                Some('"') => break,
+                Some('\n') | None => panic!("unterminated label value in {line:?}"),
+                Some(c) => value.push(c),
+            }
+        }
+        labels.push((key, value));
+        match chars.next() {
+            Some(',') => continue,
+            None => break,
+            Some(c) => panic!("unexpected {c:?} after label value in {line:?}"),
+        }
+    }
+    labels
+}
+
+/// Full conformance check of one exposition document; returns the parsed
+/// samples grouped by base name.
+fn check_exposition(text: &str) -> BTreeMap<String, Vec<Sample>> {
+    let mut typed: BTreeSet<String> = BTreeSet::new();
+    let mut sampled: BTreeSet<String> = BTreeSet::new();
+    let mut samples: BTreeMap<String, Vec<Sample>> = BTreeMap::new();
+    assert!(text.ends_with('\n'), "exposition must end with a newline");
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (family, kind) = rest
+                .split_once(' ')
+                .unwrap_or_else(|| panic!("malformed TYPE line {line:?}"));
+            assert!(
+                matches!(
+                    kind,
+                    "counter" | "gauge" | "summary" | "histogram" | "untyped"
+                ),
+                "unknown metric type in {line:?}"
+            );
+            assert!(valid_metric_name(family), "bad family name in {line:?}");
+            assert!(
+                typed.insert(family.to_owned()),
+                "duplicate # TYPE line for family {family}"
+            );
+            assert!(
+                !sampled.contains(family),
+                "# TYPE for {family} appears after its first sample"
+            );
+            continue;
+        }
+        assert!(
+            !line.starts_with('#'),
+            "only TYPE comments expected: {line:?}"
+        );
+        let sample = parse_sample(line);
+        assert!(
+            valid_metric_name(&sample.base),
+            "bad metric name in {line:?}"
+        );
+        for (key, _) in &sample.labels {
+            assert!(valid_label_key(key), "bad label key {key:?} in {line:?}");
+        }
+        assert!(
+            sample.value.parse::<f64>().is_ok(),
+            "unparseable value {:?} in {line:?}",
+            sample.value
+        );
+        sampled.insert(sample.base.clone());
+        samples.entry(sample.base.clone()).or_default().push(sample);
+    }
+    // `_sum`/`_count` ride on their summary's TYPE line; everything else
+    // must be typed.
+    for family in &sampled {
+        let parent_typed = ["_sum", "_count"].iter().any(|suffix| {
+            family
+                .strip_suffix(suffix)
+                .is_some_and(|head| typed.contains(head))
+        });
+        assert!(
+            typed.contains(family) || parent_typed,
+            "family {family} has samples but no # TYPE line"
+        );
+    }
+    samples
+}
+
+fn t(ms: u64) -> SimTime {
+    SimTime::from_millis(ms)
+}
+
+#[test]
+fn rendered_registry_conforms() {
+    let mut reg = Registry::new(SimDuration::from_secs(60));
+    // Several series of one family, plus a family whose name sorts
+    // between them (BTreeMap order interleaves it with the labelled keys).
+    reg.counter_add(&metric_name("sends_total", &[("class", "POLL")]), t(1), 4);
+    reg.counter_add(&metric_name("sends_total", &[("class", "UPDATE")]), t(1), 2);
+    reg.counter_add("sends_totalx", t(5), 1);
+    reg.gauge_set("relays", t(9), -3);
+    reg.observe("query_latency_ms", t(30), SimDuration::from_millis(250));
+    reg.observe("query_latency_ms", t(31), SimDuration::from_millis(750));
+
+    let samples = check_exposition(&reg.render_prometheus());
+    assert_eq!(samples["sends_total"].len(), 2);
+    assert_eq!(samples["sends_totalx"][0].value, "1");
+    assert_eq!(samples["relays"][0].value, "-3");
+    // Summary: three quantile samples plus _sum and _count families.
+    assert_eq!(samples["query_latency_ms"].len(), 3);
+    assert_eq!(samples["query_latency_ms_sum"][0].value, "1000");
+    assert_eq!(samples["query_latency_ms_count"][0].value, "2");
+}
+
+#[test]
+fn hostile_label_values_stay_well_formed() {
+    let mut reg = Registry::new(SimDuration::from_secs(60));
+    let hostile = [
+        ("quote", "he said \"hi\""),
+        ("backslash", "C:\\temp\\x"),
+        ("newline", "line1\nline2"),
+        ("mixed", "\\\"\n\\"),
+        ("empty", ""),
+    ];
+    for (i, (key, value)) in hostile.iter().enumerate() {
+        reg.counter_add(
+            &metric_name("hostile_total", &[(*key, *value)]),
+            t(1),
+            i as u64 + 1,
+        );
+    }
+    let text = reg.render_prometheus();
+    let samples = check_exposition(&text);
+    assert_eq!(samples["hostile_total"].len(), hostile.len());
+    // The raw escape sequences — not the raw control bytes — are on the
+    // wire: exactly one physical line per sample.
+    assert!(text.contains("newline=\"line1\\nline2\""));
+    assert!(text.contains("backslash=\"C:\\\\temp\\\\x\""));
+    assert!(text.contains("quote=\"he said \\\"hi\\\"\""));
+    assert_eq!(
+        text.lines().count(),
+        hostile.len() + 1, // one TYPE line
+        "escapes must not introduce physical newlines"
+    );
+}
+
+#[test]
+fn quantile_lines_merge_into_existing_label_sets() {
+    let mut reg = Registry::new(SimDuration::from_secs(60));
+    reg.observe(
+        &metric_name("lat_ms", &[("class", "POLL")]),
+        t(1),
+        SimDuration::from_millis(80),
+    );
+    let samples = check_exposition(&reg.render_prometheus());
+    for sample in &samples["lat_ms"] {
+        let keys: Vec<&str> = sample.labels.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["class", "quantile"]);
+    }
+    assert_eq!(samples["lat_ms_sum"][0].labels.len(), 1);
+    assert_eq!(samples["lat_ms_count"][0].labels.len(), 1);
+}

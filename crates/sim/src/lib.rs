@@ -17,6 +17,9 @@
 //! * [`NodeId`] / [`ItemId`] — the identifier newtypes shared by the whole
 //!   system model (Section 3 of the paper: hosts `M_1..M_m`, items
 //!   `D_1..D_n`).
+//! * [`Profiler`] — strictly observational host-side wall-clock
+//!   profiling of the event loop (reads `std::time::Instant`, never
+//!   feeds back into sim state), plus [`QueueStats`] queue telemetry.
 //!
 //! # Example
 //!
@@ -38,11 +41,13 @@
 #![warn(missing_docs)]
 
 mod ids;
+pub mod profile;
 mod queue;
 mod rng;
 mod time;
 
 pub use ids::{ItemId, NodeId};
-pub use queue::EventQueue;
+pub use profile::{PerfBucket, PerfReport, Profiler};
+pub use queue::{EventQueue, QueueStats};
 pub use rng::{SimRng, Zipf};
 pub use time::{SimDuration, SimTime};

@@ -28,6 +28,24 @@ use crate::time::SimTime;
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
+    pops: u64,
+    peak_len: usize,
+    peak_capacity: usize,
+}
+
+/// Lifetime telemetry of one [`EventQueue`]: totals and high-water
+/// marks. Strictly observational — the counters never influence
+/// scheduling order, so reading them cannot perturb a seeded run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Events pushed over the queue's lifetime.
+    pub pushes: u64,
+    /// Events popped over the queue's lifetime.
+    pub pops: u64,
+    /// Largest number of events ever pending at once.
+    pub peak_len: usize,
+    /// Largest backing-heap capacity ever reserved.
+    pub peak_capacity: usize,
 }
 
 #[derive(Debug, Clone)]
@@ -64,6 +82,9 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
+            pops: 0,
+            peak_len: 0,
+            peak_capacity: 0,
         }
     }
 
@@ -72,6 +93,9 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::with_capacity(capacity),
             next_seq: 0,
+            pops: 0,
+            peak_len: 0,
+            peak_capacity: capacity,
         }
     }
 
@@ -80,11 +104,17 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { time, seq, event });
+        self.peak_len = self.peak_len.max(self.heap.len());
+        self.peak_capacity = self.peak_capacity.max(self.heap.capacity());
     }
 
     /// Removes and returns the earliest event, FIFO among ties.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.time, e.event))
+        let popped = self.heap.pop().map(|e| (e.time, e.event));
+        if popped.is_some() {
+            self.pops += 1;
+        }
+        popped
     }
 
     /// The timestamp of the earliest pending event, if any.
@@ -105,6 +135,18 @@ impl<E> EventQueue<E> {
     /// Drops all pending events.
     pub fn clear(&mut self) {
         self.heap.clear();
+    }
+
+    /// Lifetime telemetry: push/pop totals and high-water marks.
+    /// `pushes` equals the number of sequence numbers ever issued, so
+    /// `pushes - pops` is the current backlog plus anything cleared.
+    pub fn stats(&self) -> QueueStats {
+        QueueStats {
+            pushes: self.next_seq,
+            pops: self.pops,
+            peak_len: self.peak_len,
+            peak_capacity: self.peak_capacity.max(self.heap.capacity()),
+        }
     }
 }
 
@@ -166,6 +208,36 @@ mod tests {
         assert_eq!(q.pop().unwrap().1, "mid");
         assert_eq!(q.pop().unwrap().1, "late");
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn stats_track_totals_and_high_water() {
+        let mut q = EventQueue::with_capacity(4);
+        assert_eq!(
+            q.stats(),
+            QueueStats {
+                pushes: 0,
+                pops: 0,
+                peak_len: 0,
+                peak_capacity: 4,
+            }
+        );
+        for i in 0..3u64 {
+            q.push(SimTime::from_millis(i), i);
+        }
+        q.pop();
+        q.push(SimTime::from_millis(9), 9);
+        let s = q.stats();
+        assert_eq!(s.pushes, 4);
+        assert_eq!(s.pops, 1);
+        assert_eq!(s.peak_len, 3);
+        assert!(s.peak_capacity >= 4);
+        // Draining to empty: pops catch up with pushes, peaks persist.
+        while q.pop().is_some() {}
+        assert_eq!(q.pop(), None);
+        let s = q.stats();
+        assert_eq!(s.pops, s.pushes);
+        assert_eq!(s.peak_len, 3, "high-water mark survives the drain");
     }
 
     #[test]

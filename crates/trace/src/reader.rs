@@ -96,18 +96,25 @@ impl From<io::Error> for ReadError {
 pub struct JournalReader<R: BufRead> {
     input: R,
     header: JournalHeader,
-    line: String,
+    buf: Vec<u8>,
     line_no: usize,
 }
 
 impl<R: BufRead> JournalReader<R> {
     /// Opens a journal, consuming and validating its header line.
+    ///
+    /// Lines are read as raw bytes and validated as UTF-8 here rather
+    /// than through `read_line`, so a corrupt journal (truncated write,
+    /// binary garbage) yields a line-accurate [`ReadError::BadLine`]
+    /// instead of an anonymous I/O error.
     pub fn new(mut input: R) -> Result<Self, ReadError> {
-        let mut line = String::with_capacity(256);
-        if input.read_line(&mut line)? == 0 {
+        let mut buf = Vec::with_capacity(256);
+        if input.read_until(b'\n', &mut buf)? == 0 {
             return Err(ReadError::MissingHeader);
         }
-        let header = parse_header(line.trim_end()).ok_or(ReadError::MissingHeader)?;
+        // A non-UTF-8 first line cannot be the header object.
+        let text = std::str::from_utf8(&buf).map_err(|_| ReadError::MissingHeader)?;
+        let header = parse_header(text.trim_end()).ok_or(ReadError::MissingHeader)?;
         if header.schema != JOURNAL_SCHEMA {
             return Err(ReadError::SchemaMismatch {
                 found: header.schema,
@@ -116,7 +123,7 @@ impl<R: BufRead> JournalReader<R> {
         Ok(JournalReader {
             input,
             header,
-            line,
+            buf,
             line_no: 1,
         })
     }
@@ -137,14 +144,23 @@ impl<R: BufRead> Iterator for JournalReader<R> {
 
     fn next(&mut self) -> Option<Self::Item> {
         loop {
-            self.line.clear();
-            match self.input.read_line(&mut self.line) {
+            self.buf.clear();
+            match self.input.read_until(b'\n', &mut self.buf) {
                 Ok(0) => return None,
                 Ok(_) => {}
                 Err(e) => return Some(Err(ReadError::Io(e))),
             }
             self.line_no += 1;
-            let text = self.line.trim_end();
+            // Invalid UTF-8 is a corrupt line, not an I/O failure: report
+            // it with its line number like any other unparseable line.
+            let Ok(text) = std::str::from_utf8(&self.buf) else {
+                let text = String::from_utf8_lossy(&self.buf);
+                return Some(Err(ReadError::BadLine {
+                    line_no: self.line_no,
+                    text: text.trim_end().chars().take(160).collect(),
+                }));
+            };
+            let text = text.trim_end();
             if text.is_empty() {
                 continue; // tolerate a trailing blank line
             }

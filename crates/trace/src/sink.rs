@@ -39,6 +39,13 @@ pub trait TraceSink {
     /// Flushes any buffered output (called once at end of run).
     fn flush(&mut self) {}
 
+    /// Bytes this sink has durably serialised (journal output). In-memory
+    /// sinks report 0; [`TeeSink`] sums its children. Used by the perf
+    /// observatory's allocation counters.
+    fn bytes_written(&self) -> u64 {
+        0
+    }
+
     /// Downcasting support, so callers of `World::run_traced` can get
     /// their concrete sink back.
     fn as_any(&self) -> &dyn Any;
@@ -166,6 +173,7 @@ pub struct JsonlSink {
     out: BufWriter<Box<dyn Write>>,
     line: String,
     records: u64,
+    bytes: u64,
     io_error: Option<io::Error>,
 }
 
@@ -192,6 +200,7 @@ impl JsonlSink {
             out: BufWriter::new(writer),
             line: String::with_capacity(160),
             records: 0,
+            bytes: 0,
             io_error: None,
         };
         sink.write_header(warmup);
@@ -220,8 +229,9 @@ impl JsonlSink {
         self.line.push_str(",\"warmup_ms\":");
         self.line.push_str(&warmup.as_millis().to_string());
         self.line.push_str("}\n");
-        if let Err(e) = self.out.write_all(self.line.as_bytes()) {
-            self.io_error = Some(e);
+        match self.out.write_all(self.line.as_bytes()) {
+            Ok(()) => self.bytes += self.line.len() as u64,
+            Err(e) => self.io_error = Some(e),
         }
     }
 
@@ -234,6 +244,11 @@ impl JsonlSink {
     pub fn io_error(&self) -> Option<&io::Error> {
         self.io_error.as_ref()
     }
+
+    /// Journal bytes successfully handed to the writer (header included).
+    pub fn journal_bytes(&self) -> u64 {
+        self.bytes
+    }
 }
 
 impl TraceSink for JsonlSink {
@@ -245,7 +260,10 @@ impl TraceSink for JsonlSink {
         event.write_json(at, &mut self.line);
         self.line.push('\n');
         match self.out.write_all(self.line.as_bytes()) {
-            Ok(()) => self.records += 1,
+            Ok(()) => {
+                self.records += 1;
+                self.bytes += self.line.len() as u64;
+            }
             Err(e) => self.io_error = Some(e),
         }
     }
@@ -256,6 +274,10 @@ impl TraceSink for JsonlSink {
                 self.io_error = Some(e);
             }
         }
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.bytes
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -392,6 +414,10 @@ impl TraceSink for TeeSink {
         for sink in &mut self.sinks {
             sink.flush();
         }
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.sinks.iter().map(|s| s.bytes_written()).sum()
     }
 
     fn as_any(&self) -> &dyn Any {

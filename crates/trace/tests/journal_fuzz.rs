@@ -1,0 +1,204 @@
+//! Fuzz-style hardening tests for [`mp2p_trace::reader::JournalReader`]:
+//! truncated journals, byte-level corruption, invalid UTF-8 and wrong
+//! schema headers must all surface as line-accurate `Err`s — the reader
+//! must never panic, whatever bytes it is fed.
+//!
+//! The journal lines are hand-built from the writer's documented shapes
+//! (the serialise-then-parse identity itself is covered by the reader's
+//! unit tests against `TraceEvent::write_json`).
+
+use std::io::BufReader;
+
+use mp2p_trace::reader::{JournalReader, ReadError};
+use proptest::prelude::*;
+
+/// A well-formed header for the schema this reader speaks.
+fn header(schema: u64) -> String {
+    format!("{{\"schema\":{schema},\"kinds\":27,\"warmup_ms\":60000}}")
+}
+
+/// One well-formed event line, drawn from a handful of real shapes.
+fn valid_line() -> impl Strategy<Value = String> {
+    let t = 0u64..500_000;
+    let node = 0u64..64;
+    prop_oneof![
+        (t.clone(), node.clone())
+            .prop_map(|(t, n)| format!("{{\"t\":{t},\"ev\":\"node_up\",\"node\":{n}}}")),
+        (t.clone(), node.clone())
+            .prop_map(|(t, n)| format!("{{\"t\":{t},\"ev\":\"node_down\",\"node\":{n}}}")),
+        (t.clone(), node.clone(), 1u64..99).prop_map(|(t, n, v)| format!(
+            "{{\"t\":{t},\"ev\":\"source_update\",\"node\":{n},\"item\":{n},\"version\":{v}}}"
+        )),
+        (t.clone(), node.clone(), 0u64..64).prop_map(|(t, n, o)| format!(
+            "{{\"t\":{t},\"ev\":\"flood_dup_drop\",\"node\":{n},\"origin\":{o}}}"
+        )),
+        (t, node, 1u64..2048).prop_map(|(t, n, b)| format!(
+            "{{\"t\":{t},\"ev\":\"msg_send\",\"node\":{n},\"class\":\"POLL\",\"bytes\":{b},\"dest\":null}}"
+        )),
+    ]
+}
+
+/// Assembles header + event lines into journal bytes.
+fn journal(schema: u64, lines: &[String]) -> Vec<u8> {
+    let mut bytes = header(schema).into_bytes();
+    bytes.push(b'\n');
+    for line in lines {
+        bytes.extend_from_slice(line.as_bytes());
+        bytes.push(b'\n');
+    }
+    bytes
+}
+
+/// Drains a reader, panicking only on a reader panic — errors are data.
+fn drain(
+    reader: &mut JournalReader<BufReader<&[u8]>>,
+) -> Vec<Result<(mp2p_sim::SimTime, mp2p_trace::TraceEvent), ReadError>> {
+    reader.collect()
+}
+
+proptest! {
+    /// A fully valid journal streams back every line.
+    #[test]
+    fn valid_journals_parse_completely(
+        lines in proptest::collection::vec(valid_line(), 0..40),
+    ) {
+        let bytes = journal(1, &lines);
+        let mut reader = JournalReader::new(BufReader::new(bytes.as_slice())).unwrap();
+        let items = drain(&mut reader);
+        prop_assert_eq!(items.len(), lines.len());
+        for item in &items {
+            prop_assert!(item.is_ok(), "unexpected error: {:?}", item.as_ref().err());
+        }
+        prop_assert_eq!(reader.lines_read(), lines.len() + 1);
+    }
+
+    /// Truncating a valid journal at any byte offset never panics, and a
+    /// partial trailing line is reported under its own line number.
+    #[test]
+    fn truncation_is_line_accurate(
+        lines in proptest::collection::vec(valid_line(), 1..20),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let bytes = journal(1, &lines);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        let cut_bytes = &bytes[..cut];
+        let header_len = header(1).len() + 1;
+        match JournalReader::new(BufReader::new(cut_bytes)) {
+            Err(e) => {
+                // Losing part of the header line is the only legal
+                // construction failure for this input.
+                prop_assert!(cut < header_len, "rejected with full header: {e}");
+                prop_assert!(matches!(e, ReadError::MissingHeader));
+            }
+            Ok(mut reader) => {
+                let items = drain(&mut reader);
+                // Complete lines survive; only a partial trailing line may
+                // error, and it must carry the journal's final line number.
+                let whole_lines = cut_bytes.iter().filter(|&&b| b == b'\n').count();
+                let has_partial_tail = cut > 0 && cut_bytes[cut - 1] != b'\n';
+                for (i, item) in items.iter().enumerate() {
+                    match item {
+                        Ok(_) => {}
+                        Err(ReadError::BadLine { line_no, .. }) => {
+                            prop_assert!(has_partial_tail, "complete lines must parse");
+                            prop_assert_eq!(i, items.len() - 1, "only the tail may fail");
+                            prop_assert_eq!(*line_no, whole_lines + 1);
+                        }
+                        Err(other) => prop_assert!(false, "unexpected error kind: {other}"),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Any schema other than the reader's is refused up front, echoing
+    /// the version it found.
+    #[test]
+    fn wrong_schema_is_refused(
+        schema in 0u64..50,
+        lines in proptest::collection::vec(valid_line(), 0..5),
+    ) {
+        let bytes = journal(schema, &lines);
+        let result = JournalReader::new(BufReader::new(bytes.as_slice()));
+        if schema == 1 {
+            prop_assert!(result.is_ok());
+        } else {
+            match result {
+                Err(ReadError::SchemaMismatch { found }) => prop_assert_eq!(found, schema),
+                other => prop_assert!(false, "expected SchemaMismatch, got {:?}", other.err()),
+            }
+        }
+    }
+
+    /// A line of invalid UTF-8 mid-journal yields a `BadLine` carrying
+    /// exactly that line's number; the lines around it still parse.
+    #[test]
+    fn invalid_utf8_is_a_bad_line_not_a_panic(
+        before in proptest::collection::vec(valid_line(), 0..10),
+        after in proptest::collection::vec(valid_line(), 0..10),
+        garbage in proptest::collection::vec(0x80u8..0xc0, 1..16),
+    ) {
+        // Continuation bytes with no lead byte are never valid UTF-8.
+        let mut bytes = journal(1, &before);
+        bytes.extend_from_slice(&garbage);
+        bytes.push(b'\n');
+        for line in &after {
+            bytes.extend_from_slice(line.as_bytes());
+            bytes.push(b'\n');
+        }
+        let mut reader = JournalReader::new(BufReader::new(bytes.as_slice())).unwrap();
+        let items = drain(&mut reader);
+        prop_assert_eq!(items.len(), before.len() + 1 + after.len());
+        for (i, item) in items.iter().enumerate() {
+            if i == before.len() {
+                match item {
+                    Err(ReadError::BadLine { line_no, .. }) => {
+                        // Header is line 1, so the garbage sits at +2.
+                        prop_assert_eq!(*line_no, before.len() + 2);
+                    }
+                    other => prop_assert!(false, "expected BadLine, got {other:?}"),
+                }
+            } else {
+                prop_assert!(item.is_ok(), "spillover at {}: {:?}", i, item.as_ref().err());
+            }
+        }
+    }
+
+    /// Flipping one byte of a valid journal body never panics, and any
+    /// resulting error points at the mutated line.
+    #[test]
+    fn single_byte_corruption_never_panics(
+        lines in proptest::collection::vec(valid_line(), 1..10),
+        pos_frac in 0.0f64..1.0,
+        replacement in 0u8..=255,
+    ) {
+        let mut bytes = journal(1, &lines);
+        let body_start = header(1).len() + 1;
+        let pos = body_start
+            + (((bytes.len() - body_start) as f64) * pos_frac) as usize;
+        let pos = pos.min(bytes.len() - 1);
+        let victim_line = 2 + bytes[body_start..pos].iter().filter(|&&b| b == b'\n').count();
+        bytes[pos] = replacement;
+        let mut reader = JournalReader::new(BufReader::new(bytes.as_slice())).unwrap();
+        for item in drain(&mut reader) {
+            match item {
+                Ok(_) => {}
+                Err(ReadError::BadLine { line_no, .. }) => {
+                    // Mutating a byte to '\n' splits the line in two, so
+                    // later fragments may fail too; never *earlier* ones.
+                    prop_assert!(line_no >= victim_line, "error before the mutation");
+                }
+                Err(other) => prop_assert!(false, "unexpected error kind: {other}"),
+            }
+        }
+    }
+
+    /// Completely arbitrary bytes: constructing and draining the reader
+    /// must not panic, whatever comes back.
+    #[test]
+    fn arbitrary_bytes_never_panic(input in proptest::collection::vec(0u8..=255, 0..512)) {
+        if let Ok(mut reader) = JournalReader::new(BufReader::new(input.as_slice())) {
+            for _ in drain(&mut reader) {}
+        }
+    }
+}
