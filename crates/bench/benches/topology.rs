@@ -1,0 +1,106 @@
+//! Substrate scaling benches: old O(n²) pairwise topology build vs the
+//! spatial-hash/CSR build, and allocation-free scratch queries, at the
+//! node counts the large-n perf matrix uses (50 paper-scale, 500, 5000).
+//! Node density is held at the paper's (one peer per ~45 000 m²) so the
+//! average degree — and thus per-node work — stays comparable across n;
+//! what changes with n is exactly the build strategy's complexity class.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mp2p_experiments::perf::bench_terrain;
+use mp2p_mobility::Point;
+use mp2p_net::{Topology, TopologyBuilder, TopologyScratch};
+use mp2p_sim::{NodeId, SimRng};
+
+const RANGE: f64 = 250.0;
+const SIZES: [usize; 3] = [50, 500, 5_000];
+
+fn field(n: usize) -> (Vec<Point>, Vec<bool>) {
+    let terrain = bench_terrain(n);
+    let mut rng = SimRng::from_seed(n as u64, 0xBE);
+    let positions: Vec<Point> = (0..n).map(|_| terrain.random_point(&mut rng)).collect();
+    (positions, vec![true; n])
+}
+
+/// Snapshot construction: the reference pairwise scan, the spatial-hash
+/// build from scratch, and the steady-state rebuild that recycles the
+/// previous snapshot's CSR arrays (the path `World` actually runs).
+fn bench_build(c: &mut Criterion) {
+    for n in SIZES {
+        let (positions, up) = field(n);
+        let mut group = c.benchmark_group(format!("topology_build_n{n}"));
+        // The O(n²) reference is too slow to be worth timing at 5 000
+        // nodes beyond one confirmation run; keep it for the smaller
+        // sizes where the crossover is visible.
+        if n <= 500 {
+            group.bench_function("naive_pairwise", |b| {
+                b.iter(|| {
+                    black_box(Topology::with_link_filter_naive(
+                        &positions,
+                        &up,
+                        RANGE,
+                        |_, _| true,
+                    ))
+                })
+            });
+        }
+        group.bench_function("grid_fresh", |b| {
+            b.iter(|| black_box(Topology::new(&positions, &up, RANGE)))
+        });
+        group.bench_function("grid_recycled", |b| {
+            let mut builder = TopologyBuilder::new();
+            let mut prev = Some(builder.build(&positions, &up, RANGE, |_, _| true));
+            b.iter(|| {
+                let topo = builder.rebuild(prev.take(), &positions, &up, RANGE, |_, _| true);
+                let edges = topo.edge_count();
+                prev = Some(topo);
+                black_box(edges)
+            })
+        });
+        group.finish();
+    }
+}
+
+/// Scratch-based BFS queries on a warm scratch: the TTL-scope scan every
+/// flood pays and the shortest-path walk oracle mode pays.
+fn bench_queries(c: &mut Criterion) {
+    for n in SIZES {
+        let (positions, up) = field(n);
+        let topo = Topology::new(&positions, &up, RANGE);
+        let mut group = c.benchmark_group(format!("topology_query_n{n}"));
+        group.bench_function("within_hops_ttl5", |b| {
+            let mut scratch = TopologyScratch::new();
+            let mut out = Vec::new();
+            let mut probe = SimRng::from_seed(n as u64, 0xBF);
+            b.iter(|| {
+                let from = NodeId::new(probe.uniform_u64(n as u64) as u32);
+                topo.within_hops_with(&mut scratch, from, 5, &mut out);
+                black_box(out.len())
+            })
+        });
+        group.bench_function("shortest_path", |b| {
+            let mut scratch = TopologyScratch::new();
+            let mut out = Vec::new();
+            let mut probe = SimRng::from_seed(n as u64, 0xC0);
+            b.iter(|| {
+                let from = NodeId::new(probe.uniform_u64(n as u64) as u32);
+                let to = NodeId::new(probe.uniform_u64(n as u64) as u32);
+                let found = topo.shortest_path_with(&mut scratch, from, to, &mut out);
+                black_box((found, out.len()))
+            })
+        });
+        group.bench_function("are_neighbors", |b| {
+            let mut probe = SimRng::from_seed(n as u64, 0xC1);
+            b.iter(|| {
+                let a = NodeId::new(probe.uniform_u64(n as u64) as u32);
+                let bb = NodeId::new(probe.uniform_u64(n as u64) as u32);
+                black_box(topo.are_neighbors(a, bb))
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_build, bench_queries);
+criterion_main!(benches);

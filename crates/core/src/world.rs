@@ -16,7 +16,7 @@ use mp2p_mobility::{
 };
 use mp2p_net::{
     Axis, FaultPlan, Frame, GilbertElliott, LinkModel, NetAction, NetConfig, NetEvent, NetStack,
-    NetTimer, RouteControl, Topology,
+    NetTimer, RouteControl, Topology, TopologyBuilder, TopologyScratch,
 };
 use mp2p_sim::{EventQueue, ItemId, NodeId, PerfReport, Profiler, SimDuration, SimRng, SimTime};
 use mp2p_trace::{LevelTag, NullSink, ServedBy, TraceEvent, TraceSink};
@@ -676,6 +676,17 @@ pub struct World {
     switch_rngs: Vec<SimRng>,
     link_rng: SimRng,
     topo: Option<(SimTime, Topology)>,
+    /// Snapshot-build scratch: spatial-hash bins plus — by recycling the
+    /// retired snapshot's CSR arrays — allocation-free steady-state
+    /// rebuilds.
+    topo_builder: TopologyBuilder,
+    /// BFS bookkeeping reused by every topology query.
+    topo_scratch: TopologyScratch,
+    /// Position/up staging buffers reused across topology rebuilds.
+    topo_positions: Vec<Point>,
+    topo_up: Vec<bool>,
+    /// Oracle-mode shortest-path buffer, reused across sends.
+    path_buf: Vec<NodeId>,
     grid: SubnetGrid,
     /// Fig. 9 single-item source (when applicable).
     single_source: Option<NodeId>,
@@ -836,6 +847,11 @@ impl World {
             switch_rngs,
             link_rng: SimRng::from_seed(master, 0x700),
             topo: None,
+            topo_builder: TopologyBuilder::new(),
+            topo_scratch: TopologyScratch::new(),
+            topo_positions: Vec::with_capacity(n),
+            topo_up: Vec::with_capacity(n),
+            path_buf: Vec::new(),
             grid,
             single_source,
             next_query_id: 0,
@@ -1406,36 +1422,52 @@ impl World {
 
     /// Current topology snapshot, rebuilt when stale.
     fn topology(&mut self) -> &Topology {
+        self.ensure_topology();
+        &self.topo.as_ref().expect("just built").1
+    }
+
+    /// Rebuilds the topology snapshot if stale. Steady-state rebuilds
+    /// recycle the staging buffers, the builder's spatial-hash bins and
+    /// the retired snapshot's CSR arrays, so a refresh allocates nothing
+    /// once the run is warm.
+    fn ensure_topology(&mut self) {
         let stale = match &self.topo {
             Some((built, _)) => self.now.saturating_since(*built) > self.cfg.topology_refresh,
             None => true,
         };
-        if stale {
-            let positions: Vec<Point> = self
-                .nodes
-                .iter_mut()
-                .map(|n| n.mobility.position_at(self.now))
-                .collect();
-            let up: Vec<bool> = self.nodes.iter().map(|n| n.up).collect();
-            let axes = self.active_partition_axes();
-            let topo = if axes.is_empty() {
-                Topology::new(&positions, &up, self.cfg.range)
-            } else {
-                // A bisection partition severs every link crossing the
-                // terrain midline of each open window's axis; nodes keep
-                // moving and hearing their own side.
-                let mid_x = self.cfg.terrain.width() / 2.0;
-                let mid_y = self.cfg.terrain.height() / 2.0;
-                Topology::with_link_filter(&positions, &up, self.cfg.range, |a, b| {
+        if !stale {
+            return;
+        }
+        let now = self.now;
+        let mut positions = std::mem::take(&mut self.topo_positions);
+        positions.clear();
+        positions.extend(self.nodes.iter_mut().map(|n| n.mobility.position_at(now)));
+        let mut up = std::mem::take(&mut self.topo_up);
+        up.clear();
+        up.extend(self.nodes.iter().map(|n| n.up));
+        let axes = self.active_partition_axes();
+        let recycle = self.topo.take().map(|(_, t)| t);
+        let topo = if axes.is_empty() {
+            self.topo_builder
+                .rebuild(recycle, &positions, &up, self.cfg.range, |_, _| true)
+        } else {
+            // A bisection partition severs every link crossing the
+            // terrain midline of each open window's axis; nodes keep
+            // moving and hearing their own side.
+            let mid_x = self.cfg.terrain.width() / 2.0;
+            let mid_y = self.cfg.terrain.height() / 2.0;
+            let pos = &positions;
+            self.topo_builder
+                .rebuild(recycle, pos, &up, self.cfg.range, |a, b| {
                     axes.iter().all(|axis| match axis {
-                        Axis::Vertical => (positions[a].x < mid_x) == (positions[b].x < mid_x),
-                        Axis::Horizontal => (positions[a].y < mid_y) == (positions[b].y < mid_y),
+                        Axis::Vertical => (pos[a].x < mid_x) == (pos[b].x < mid_x),
+                        Axis::Horizontal => (pos[a].y < mid_y) == (pos[b].y < mid_y),
                     })
                 })
-            };
-            self.topo = Some((self.now, topo));
-        }
-        &self.topo.as_ref().expect("just built").1
+        };
+        self.topo_positions = positions;
+        self.topo_up = up;
+        self.topo = Some((now, topo));
     }
 
     /// Axes of the currently open partition windows (deduplicated, plan
@@ -1498,8 +1530,25 @@ impl World {
                     let tx_cost = self.cfg.energy.tx_cost(frame.size());
                     self.nodes[node.index()].battery.drain(tx_cost);
                     let delay = self.cfg.link.hop_delay(frame.size(), &mut self.link_rng);
-                    let neighbors: Vec<NodeId> = self.topology().neighbors(node).to_vec();
-                    for &nb in &neighbors {
+                    // In-flight duplication (fault plan): the whole
+                    // broadcast is heard a second time after an extra,
+                    // independently drawn hop delay. The dice roll and
+                    // trace record are hoisted above the enqueue loops
+                    // (which draw no randomness and emit no trace events,
+                    // so observable order is unchanged) to let the
+                    // neighbour slice borrow the snapshot directly
+                    // instead of being cloned per broadcast.
+                    let extra = self.duplicate_delay(frame.size());
+                    if extra.is_some() {
+                        self.fault_stats.frames_duplicated += 1;
+                        self.trace(TraceEvent::FrameDup {
+                            node,
+                            class: frame_class(&frame),
+                        });
+                    }
+                    self.ensure_topology();
+                    let topo = &self.topo.as_ref().expect("just refreshed").1;
+                    for &nb in topo.neighbors(node) {
                         self.queue.push(
                             self.now + delay,
                             Event::Rx {
@@ -1509,16 +1558,8 @@ impl World {
                             },
                         );
                     }
-                    // In-flight duplication (fault plan): the whole
-                    // broadcast is heard a second time after an extra,
-                    // independently drawn hop delay.
-                    if let Some(extra) = self.duplicate_delay(frame.size()) {
-                        self.fault_stats.frames_duplicated += 1;
-                        self.trace(TraceEvent::FrameDup {
-                            node,
-                            class: frame_class(&frame),
-                        });
-                        for &nb in &neighbors {
+                    if let Some(extra) = extra {
+                        for &nb in topo.neighbors(node) {
                             self.queue.push(
                                 self.now + delay + extra,
                                 Event::Rx {
@@ -1734,41 +1775,44 @@ impl World {
         if !self.nodes[from.index()].up {
             return; // a down node cannot transmit
         }
-        let path = self.topology().shortest_path(from, to);
-        match path {
-            Some(path) => {
-                let size = msg.size_bytes();
-                let mut arrival = self.now;
-                for pair in path.windows(2) {
-                    self.frames_sent += 1;
-                    if self.measuring() {
-                        self.traffic.record(msg.class(), size);
-                    }
-                    self.trace(TraceEvent::MsgSend {
-                        node: pair[0],
-                        class: msg.class(),
-                        bytes: size,
-                        dest: Some(pair[1]),
-                        span: msg.span(),
-                    });
-                    let tx_cost = self.cfg.energy.tx_cost(size);
-                    self.nodes[pair[0].index()].battery.drain(tx_cost);
-                    let rx_cost = self.cfg.energy.rx_cost(size);
-                    self.nodes[pair[1].index()].battery.drain(rx_cost);
-                    arrival += self.cfg.link.hop_delay(size, &mut self.link_rng);
+        // Take the reusable path buffer out of `self` so per-hop costing
+        // below can borrow the world mutably; no allocation either way.
+        let mut path = std::mem::take(&mut self.path_buf);
+        self.ensure_topology();
+        let topo = &self.topo.as_ref().expect("just refreshed").1;
+        let found = topo.shortest_path_with(&mut self.topo_scratch, from, to, &mut path);
+        if found {
+            let size = msg.size_bytes();
+            let mut arrival = self.now;
+            for pair in path.windows(2) {
+                self.frames_sent += 1;
+                if self.measuring() {
+                    self.traffic.record(msg.class(), size);
                 }
-                self.queue
-                    .push(arrival, Event::OracleDeliver { at: to, from, msg });
+                self.trace(TraceEvent::MsgSend {
+                    node: pair[0],
+                    class: msg.class(),
+                    bytes: size,
+                    dest: Some(pair[1]),
+                    span: msg.span(),
+                });
+                let tx_cost = self.cfg.energy.tx_cost(size);
+                self.nodes[pair[0].index()].battery.drain(tx_cost);
+                let rx_cost = self.cfg.energy.rx_cost(size);
+                self.nodes[pair[1].index()].battery.drain(rx_cost);
+                arrival += self.cfg.link.hop_delay(size, &mut self.link_rng);
             }
-            None => {
-                // No path: surface as the MAC-level failure the protocols
-                // already handle.
-                self.with_proto(
-                    from,
-                    |proto, ctx| dispatch!(proto, p => p.on_undeliverable(ctx, to, msg)),
-                );
-            }
+            self.queue
+                .push(arrival, Event::OracleDeliver { at: to, from, msg });
+        } else {
+            // No path: surface as the MAC-level failure the protocols
+            // already handle.
+            self.with_proto(
+                from,
+                |proto, ctx| dispatch!(proto, p => p.on_undeliverable(ctx, to, msg)),
+            );
         }
+        self.path_buf = path;
     }
 
     /// A node decides to write one of its cached items (extension).

@@ -2,7 +2,7 @@
 //! regression gate.
 //!
 //! ```text
-//! perf [--out DIR] [--smoke] [--sim MINUTES] [--warmup MINUTES] [--seed N]
+//! perf [--out DIR] [--smoke | --large] [--sim MINUTES] [--warmup MINUTES] [--seed N]
 //! perf --baseline BENCH_x.json [--tolerance T] [--out DIR]
 //! ```
 //!
@@ -11,6 +11,10 @@
 //! `BENCH_<strategy>_<peers>.json` snapshot per point into `--out`
 //! (default: the current directory). `--smoke` shrinks the matrix to the
 //! single `rpcc_50` point with a two-minute run — the CI smoke step.
+//! `--large` instead runs RPCC at 50/500/2000/5000 peers on
+//! density-scaled terrain (see `perf::bench_terrain`) with a one-minute
+//! run — the scalability matrix that exercises the spatial-hash topology
+//! substrate well past the paper's 50-node regime.
 //!
 //! Baseline mode reproduces the exact scenario recorded in the given
 //! snapshot (strategy, peers, duration, seed), measures it afresh, and
@@ -26,14 +30,15 @@
 
 use std::path::{Path, PathBuf};
 
-use mp2p_experiments::perf::{compare, parse_strategy, strategy_token, BenchSnapshot};
+use mp2p_experiments::perf::{compare, parse_strategy, run_bench_point, BenchSnapshot};
 use mp2p_experiments::render_table;
-use mp2p_rpcc::{Strategy, World, WorldConfig};
+use mp2p_rpcc::Strategy;
 use mp2p_sim::SimDuration;
 
 struct Args {
     out_dir: PathBuf,
     smoke: bool,
+    large: bool,
     sim: SimDuration,
     warmup: SimDuration,
     seed: u64,
@@ -56,13 +61,31 @@ fn parse_args() -> Result<Args, String> {
             .map_err(|_| format!("{flag} expects a number, got {text:?}"))
     };
     let smoke = args.iter().any(|a| a == "--smoke");
+    let large = args.iter().any(|a| a == "--large");
+    if smoke && large {
+        return Err("--smoke and --large are mutually exclusive".into());
+    }
     let mut parsed = Args {
         out_dir: value_of("--out").map(PathBuf::from).unwrap_or_default(),
         smoke,
+        large,
         // Long enough for tens of thousands of events per point, short
-        // enough to stay interactive; --smoke halves it again.
-        sim: SimDuration::from_mins(if smoke { 2 } else { 10 }),
-        warmup: SimDuration::from_mins(if smoke { 1 } else { 2 }),
+        // enough to stay interactive; --smoke halves it again and
+        // --large trims further because its points are 10–100× bigger.
+        sim: SimDuration::from_mins(if smoke {
+            2
+        } else if large {
+            1
+        } else {
+            10
+        }),
+        warmup: SimDuration::from_secs(if smoke {
+            60
+        } else if large {
+            15
+        } else {
+            120
+        }),
         seed: 42,
         baseline: value_of("--baseline").map(PathBuf::from),
         tolerance: 0.15,
@@ -80,27 +103,6 @@ fn parse_args() -> Result<Args, String> {
         parsed.tolerance = parse("--tolerance", v)?;
     }
     Ok(parsed)
-}
-
-/// Runs one profiled matrix point and freezes its snapshot.
-fn run_point(
-    strategy: Strategy,
-    peers: usize,
-    sim: SimDuration,
-    warmup: SimDuration,
-    seed: u64,
-) -> BenchSnapshot {
-    let mut cfg = WorldConfig::paper_default(seed);
-    cfg.strategy = strategy;
-    cfg.n_peers = peers;
-    cfg.sim_time = sim;
-    cfg.warmup = warmup;
-    let name = format!("{}_{}", strategy_token(strategy), peers);
-    let mut world = World::new(cfg);
-    world.enable_profiling();
-    let report = world.run();
-    let perf = report.perf.expect("profiling was enabled");
-    BenchSnapshot::from_run(&name, strategy, peers, warmup.as_millis(), seed, &perf)
 }
 
 /// Writes `BENCH_<name>.json`, creating the directory if needed.
@@ -143,7 +145,7 @@ const TABLE_HEADER: [&str; 7] = [
 ];
 
 fn run_matrix(args: &Args) -> Result<(), String> {
-    let strategies: &[Strategy] = if args.smoke {
+    let strategies: &[Strategy] = if args.smoke || args.large {
         &[Strategy::Rpcc]
     } else {
         &[
@@ -153,11 +155,17 @@ fn run_matrix(args: &Args) -> Result<(), String> {
             Strategy::PushAdaptivePull,
         ]
     };
-    let sizes: &[usize] = if args.smoke { &[50] } else { &[25, 50] };
+    let sizes: &[usize] = if args.smoke {
+        &[50]
+    } else if args.large {
+        &[50, 500, 2_000, 5_000]
+    } else {
+        &[25, 50]
+    };
     let mut rows = Vec::new();
     for &strategy in strategies {
         for &peers in sizes {
-            let snap = run_point(strategy, peers, args.sim, args.warmup, args.seed);
+            let snap = run_bench_point(strategy, peers, args.sim, args.warmup, args.seed);
             let path = write_snapshot(&args.out_dir, &snap)
                 .map_err(|e| format!("cannot write snapshot: {e}"))?;
             println!("{} -> {}", snap.name, path.display());
@@ -183,7 +191,7 @@ fn run_baseline(args: &Args, path: &Path) -> Result<bool, String> {
         baseline.seed,
         path.display(),
     );
-    let measured = run_point(
+    let measured = run_bench_point(
         strategy,
         baseline.peers as usize,
         SimDuration::from_millis(baseline.sim_ms),

@@ -33,7 +33,8 @@ pub use analysis::{
 };
 pub use figures::{fig7a, fig7b, fig7c, fig8a, fig8b, fig8c, fig9, table1_rows, FigureData};
 pub use perf::{
-    compare, parse_strategy, strategy_token, BenchSnapshot, BucketShare, Comparison, BENCH_SCHEMA,
+    bench_config, bench_terrain, compare, parse_strategy, run_bench_point, strategy_token,
+    BenchSnapshot, BucketShare, Comparison, AREA_PER_PEER_M2, BENCH_SCHEMA,
 };
 pub use report::{render_series_table, render_table, write_csv};
 pub use sweep::{

@@ -13,12 +13,70 @@
 //! across runs on comparable hardware; the schema field exists so a
 //! future layout change refuses old files instead of misreading them.
 
-use mp2p_rpcc::Strategy;
-use mp2p_sim::{PerfReport, QueueStats};
+use mp2p_mobility::Terrain;
+use mp2p_rpcc::{Strategy, World, WorldConfig};
+use mp2p_sim::{PerfReport, QueueStats, SimDuration};
 use mp2p_trace::json::{self, Value};
 
 /// Version tag written into every snapshot. Bump on layout changes.
 pub const BENCH_SCHEMA: u64 = 1;
+
+/// Square metres of flatland per peer in the paper's Table 1 scenario:
+/// 1500 m × 1500 m shared by 50 peers. Large-n bench scenarios keep this
+/// density so hop counts and contention stay comparable as `n` grows.
+pub const AREA_PER_PEER_M2: f64 = 45_000.0;
+
+/// Terrain of a bench scenario. Up to the paper's 50 peers this is the
+/// Table 1 flatland unchanged (so the historical 25- and 50-peer matrix
+/// points keep their exact scenarios); beyond 50 peers the square is
+/// scaled to hold [`AREA_PER_PEER_M2`] constant — 2 000 peers get a
+/// 9.5 km side, 5 000 peers 15 km.
+pub fn bench_terrain(peers: usize) -> Terrain {
+    if peers <= 50 {
+        Terrain::paper_default()
+    } else {
+        let side = (peers as f64 * AREA_PER_PEER_M2).sqrt();
+        Terrain::new(side, side)
+    }
+}
+
+/// The full scenario of one bench matrix point. This is the *only* place
+/// bench scenarios are constructed: snapshot creation and `--baseline`
+/// replay both call it, so a snapshot's recorded knobs (strategy, peers,
+/// duration, warm-up, seed) always reproduce the same world — including
+/// the density-scaled terrain, which is derived from `peers` rather than
+/// stored.
+pub fn bench_config(
+    strategy: Strategy,
+    peers: usize,
+    sim: SimDuration,
+    warmup: SimDuration,
+    seed: u64,
+) -> WorldConfig {
+    let mut cfg = WorldConfig::paper_default(seed);
+    cfg.strategy = strategy;
+    cfg.n_peers = peers;
+    cfg.terrain = bench_terrain(peers);
+    cfg.sim_time = sim;
+    cfg.warmup = warmup;
+    cfg
+}
+
+/// Runs one profiled matrix point and freezes its snapshot.
+pub fn run_bench_point(
+    strategy: Strategy,
+    peers: usize,
+    sim: SimDuration,
+    warmup: SimDuration,
+    seed: u64,
+) -> BenchSnapshot {
+    let name = format!("{}_{}", strategy_token(strategy), peers);
+    let mut world = World::new(bench_config(strategy, peers, sim, warmup, seed));
+    world.enable_profiling();
+    let report = world.run();
+    let perf = report.perf.expect("profiling was enabled");
+    BenchSnapshot::from_run(&name, strategy, peers, warmup.as_millis(), seed, &perf)
+}
 
 /// CLI token of a strategy (`rpcc`, `push`, `pull`, `push-ap`) — also
 /// the snapshot's file-name stem, so it is lowercase and path-safe.
@@ -426,6 +484,33 @@ mod tests {
         other.strategy = "push".into();
         assert!(compare(&sample(), &other, 0.15).is_err());
         assert!(compare(&sample(), &sample(), 1.5).is_err());
+    }
+
+    #[test]
+    fn bench_terrain_keeps_density() {
+        // Paper scale: Table 1 terrain verbatim.
+        assert_eq!(bench_terrain(25), Terrain::paper_default());
+        assert_eq!(bench_terrain(50), Terrain::paper_default());
+        // Large n: the square grows to hold area/peer constant.
+        for peers in [500usize, 2_000, 5_000] {
+            let t = bench_terrain(peers);
+            assert_eq!(t.width(), t.height(), "scaled terrain stays square");
+            let per_peer = t.width() * t.height() / peers as f64;
+            assert!(
+                (per_peer - AREA_PER_PEER_M2).abs() < 1.0,
+                "density drifted: {per_peer} m²/peer at n={peers}"
+            );
+        }
+        // And the config builder wires the terrain through validation.
+        let cfg = bench_config(
+            Strategy::Rpcc,
+            500,
+            SimDuration::from_mins(1),
+            SimDuration::from_secs(15),
+            42,
+        );
+        cfg.validate();
+        assert_eq!(cfg.terrain, bench_terrain(500));
     }
 
     #[test]

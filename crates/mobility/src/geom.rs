@@ -139,6 +139,130 @@ impl Terrain {
     }
 }
 
+/// A uniform grid of square cells covering the bounding box of a point
+/// set — the binning structure behind the spatial-hash topology build.
+///
+/// With cell side equal to the radio range, any two points within range
+/// of each other land in the same cell or in one of its eight
+/// neighbours, so a range query only has to inspect a 3 × 3 block of
+/// cells instead of every point.
+///
+/// The grid is anchored at the point set's minimum corner (not at the
+/// terrain origin) so it works for any coordinate cloud, and every
+/// lookup clamps into bounds so floating-point edge cases can never
+/// index outside the grid.
+///
+/// # Example
+///
+/// ```
+/// use mp2p_mobility::{CellGrid, Point};
+///
+/// let pts = [Point::new(0.0, 0.0), Point::new(600.0, 250.0)];
+/// let grid = CellGrid::from_points(&pts, 250.0);
+/// assert_eq!((grid.cols(), grid.rows()), (3, 2));
+/// assert_eq!(grid.cell_coords(pts[0]), (0, 0));
+/// assert_eq!(grid.cell_coords(pts[1]), (2, 1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellGrid {
+    min_x: f64,
+    min_y: f64,
+    cell: f64,
+    cols: u32,
+    rows: u32,
+}
+
+impl CellGrid {
+    /// Builds the grid over `points` with square cells of side `cell`
+    /// metres. An empty point set yields a single-cell grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not finite and positive, or any coordinate is
+    /// not finite.
+    pub fn from_points(points: &[Point], cell: f64) -> Self {
+        assert!(
+            cell.is_finite() && cell > 0.0,
+            "cell side must be finite and positive, got {cell}"
+        );
+        let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+        let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for p in points {
+            assert!(
+                p.x.is_finite() && p.y.is_finite(),
+                "cannot bin non-finite point {p}"
+            );
+            min_x = min_x.min(p.x);
+            min_y = min_y.min(p.y);
+            max_x = max_x.max(p.x);
+            max_y = max_y.max(p.y);
+        }
+        if points.is_empty() {
+            (min_x, min_y, max_x, max_y) = (0.0, 0.0, 0.0, 0.0);
+        }
+        let span_cells = |min: f64, max: f64| -> u32 {
+            // +1: a span of exactly k cells still needs a bin for the
+            // point sitting on the far edge.
+            (((max - min) / cell).floor() as u32).saturating_add(1)
+        };
+        CellGrid {
+            min_x,
+            min_y,
+            cell,
+            cols: span_cells(min_x, max_x),
+            rows: span_cells(min_y, max_y),
+        }
+    }
+
+    /// Cell side in metres.
+    pub fn cell(&self) -> f64 {
+        self.cell
+    }
+
+    /// Number of cell columns (≥ 1).
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Number of cell rows (≥ 1).
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Total number of cells.
+    pub fn cell_count(&self) -> usize {
+        self.cols as usize * self.rows as usize
+    }
+
+    /// Column/row of the cell containing `p`, clamped into the grid.
+    pub fn cell_coords(&self, p: Point) -> (u32, u32) {
+        let bin = |v: f64, min: f64, n: u32| -> u32 {
+            let idx = ((v - min) / self.cell).floor();
+            if idx <= 0.0 {
+                0
+            } else {
+                (idx as u32).min(n - 1)
+            }
+        };
+        (
+            bin(p.x, self.min_x, self.cols),
+            bin(p.y, self.min_y, self.rows),
+        )
+    }
+
+    /// Row-major linear index of the cell containing `p`.
+    pub fn cell_index(&self, p: Point) -> usize {
+        let (cx, cy) = self.cell_coords(p);
+        cy as usize * self.cols as usize + cx as usize
+    }
+
+    /// Row-major linear index of cell `(cx, cy)`.
+    pub fn index_of(&self, cx: u32, cy: u32) -> usize {
+        debug_assert!(cx < self.cols && cy < self.rows);
+        cy as usize * self.cols as usize + cx as usize
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,6 +300,57 @@ mod tests {
     #[should_panic(expected = "finite and positive")]
     fn terrain_rejects_zero_dimension() {
         let _ = Terrain::new(0.0, 10.0);
+    }
+
+    #[test]
+    fn cell_grid_bins_and_clamps() {
+        let pts = [
+            Point::new(100.0, 100.0),
+            Point::new(350.0, 100.0),
+            Point::new(100.0, 851.0),
+        ];
+        let g = CellGrid::from_points(&pts, 250.0);
+        assert_eq!((g.cols(), g.rows()), (2, 4));
+        assert_eq!(g.cell_count(), 8);
+        assert_eq!(g.cell_coords(pts[0]), (0, 0));
+        assert_eq!(g.cell_coords(pts[1]), (1, 0));
+        assert_eq!(g.cell_coords(pts[2]), (0, 3));
+        // Far-edge and out-of-box points clamp into the grid.
+        assert_eq!(g.cell_coords(Point::new(350.0, 851.0)), (1, 3));
+        assert_eq!(g.cell_coords(Point::new(-10.0, 9_999.0)), (0, 3));
+        assert_eq!(g.index_of(1, 3), g.cell_index(Point::new(350.0, 851.0)));
+    }
+
+    #[test]
+    fn cell_grid_handles_degenerate_point_sets() {
+        let empty = CellGrid::from_points(&[], 250.0);
+        assert_eq!(empty.cell_count(), 1);
+        let single = CellGrid::from_points(&[Point::new(42.0, 7.0)], 1.0);
+        assert_eq!(single.cell_count(), 1);
+        assert_eq!(single.cell_index(Point::new(42.0, 7.0)), 0);
+    }
+
+    proptest! {
+        /// Every point of the source set lands inside the grid, and two
+        /// points within one cell side of each other are never more than
+        /// one cell apart on either axis (the 3×3 scan invariant).
+        #[test]
+        fn prop_cell_grid_neighbour_invariant(seed in any::<u64>(), n in 1usize..40) {
+            let mut rng = mp2p_sim::SimRng::from_seed(seed, 3);
+            let terrain = Terrain::new(2_000.0, 1_200.0);
+            let pts: Vec<Point> = (0..n).map(|_| terrain.random_point(&mut rng)).collect();
+            let g = CellGrid::from_points(&pts, 250.0);
+            for (i, &a) in pts.iter().enumerate() {
+                let (ax, ay) = g.cell_coords(a);
+                prop_assert!(ax < g.cols() && ay < g.rows());
+                for &b in &pts[i + 1..] {
+                    if a.distance(b) <= 250.0 {
+                        let (bx, by) = g.cell_coords(b);
+                        prop_assert!(ax.abs_diff(bx) <= 1 && ay.abs_diff(by) <= 1);
+                    }
+                }
+            }
+        }
     }
 
     proptest! {

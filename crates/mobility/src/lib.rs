@@ -17,7 +17,9 @@
 //! time-ordered event loop and keeps every model O(1) amortised per query.
 //!
 //! The [`SubnetGrid`] maps positions to coarse "subnets"; crossings feed
-//! the paper's peer moving rate `PMR` (Eq. 4.2.5).
+//! the paper's peer moving rate `PMR` (Eq. 4.2.5). The finer [`CellGrid`]
+//! bins arbitrary point clouds into radio-range-sized square cells — the
+//! spatial hash behind the O(n·k) topology snapshot build.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,7 +31,7 @@ mod subnet;
 mod walk;
 mod waypoint;
 
-pub use geom::{Point, Terrain};
+pub use geom::{CellGrid, Point, Terrain};
 pub use manhattan::ManhattanGrid;
 pub use model::{AnyMobility, MobilityModel, Stationary};
 pub use subnet::SubnetGrid;

@@ -4,8 +4,10 @@
 //! ran on. It models, bottom-up:
 //!
 //! * [`Topology`] — a unit-disc radio snapshot (`C_Range` = 250 m in
-//!   Table 1): adjacency, BFS shortest paths, `k`-hop neighbourhoods and
-//!   connected components over the current node positions.
+//!   Table 1): CSR adjacency, BFS shortest paths, `k`-hop neighbourhoods
+//!   and connected components over the current node positions. Snapshots
+//!   are built through a spatial hash in O(n·k) by [`TopologyBuilder`],
+//!   and queries run allocation-free against a [`TopologyScratch`].
 //! * [`LinkModel`] — per-hop MAC/PHY cost: transmission serialisation at a
 //!   configured bandwidth, propagation/processing latency, uniform
 //!   contention jitter, and optional Bernoulli frame loss.
@@ -36,4 +38,4 @@ pub use faults::{Axis, CrashWindow, FaultPlan, PartitionWindow};
 pub use frame::{FloodId, Frame, NetMeta, NetPayload, RouteControl};
 pub use link::{GeParams, GilbertElliott, LinkModel};
 pub use stack::{NetAction, NetConfig, NetEvent, NetStack, NetTimer};
-pub use topology::Topology;
+pub use topology::{Topology, TopologyBuilder, TopologyScratch};

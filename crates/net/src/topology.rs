@@ -1,8 +1,15 @@
 //! Unit-disc radio topology snapshots.
+//!
+//! Built for two regimes at once: the paper's 50-peer scenarios, where
+//! the snapshot must be *byte-identical* to the original O(n²) pairwise
+//! build so seeded runs reproduce exactly, and 1 000+-peer scale-ups,
+//! where construction is a spatial hash (O(n·k) for average degree `k`)
+//! and queries run allocation-free against a caller-owned
+//! [`TopologyScratch`].
 
 use std::collections::VecDeque;
 
-use mp2p_mobility::Point;
+use mp2p_mobility::{CellGrid, Point};
 use mp2p_sim::NodeId;
 
 /// A snapshot of the radio graph: two *connected* nodes are neighbours iff
@@ -11,9 +18,22 @@ use mp2p_sim::NodeId;
 /// Disconnected nodes (the paper's switched-off peers, Section 4.5) keep a
 /// position but have no edges.
 ///
-/// The snapshot pre-computes adjacency in O(n²) — the paper's scenarios
-/// have 50 peers, so a snapshot costs ~2.5k distance checks — and answers
-/// path queries with BFS on demand.
+/// # Layout and construction
+///
+/// Adjacency is stored in CSR form — one flat [`NodeId`] array plus an
+/// offset per node — with every per-node slice sorted ascending by id.
+/// That gives [`Topology::neighbors`] zero-indirection slice access,
+/// [`Topology::are_neighbors`] an O(log k) binary search, and the whole
+/// snapshot two allocations (both recycled across rebuilds by
+/// [`TopologyBuilder`]).
+///
+/// Construction bins nodes into a [`CellGrid`] with cell side equal to
+/// the radio range, so each node only checks candidates in its 3 × 3
+/// cell block. The sorted emission order is *exactly* what the reference
+/// O(n²) ascending-pair scan ([`Topology::with_link_filter_naive`])
+/// produces, so swapping builds never changes event order, RNG draws, or
+/// any downstream result — the determinism guarantee the golden-fixture
+/// tests pin down.
 ///
 /// # Example
 ///
@@ -31,7 +51,11 @@ use mp2p_sim::NodeId;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Topology {
-    neighbors: Vec<Vec<NodeId>>,
+    /// CSR offsets: node `i`'s neighbours are
+    /// `adjacency[offsets[i]..offsets[i + 1]]`. Always `n + 1` entries.
+    offsets: Vec<u32>,
+    /// Flat neighbour array; each node's slice is sorted ascending.
+    adjacency: Vec<NodeId>,
     connected: Vec<bool>,
     range: f64,
 }
@@ -53,11 +77,33 @@ impl Topology {
     /// scheduled partition keeps only edges whose endpoints lie on the
     /// same side of a cut, without touching the nodes themselves.
     ///
+    /// `keep` must be a pure function of `(i, j)`: the spatial-hash build
+    /// may evaluate it from both endpoints of a pair (at most twice),
+    /// unlike the reference build's exactly-once.
+    ///
     /// # Panics
     ///
     /// Panics if the two slices differ in length or `range` is not finite
     /// and positive.
     pub fn with_link_filter(
+        positions: &[Point],
+        connected: &[bool],
+        range: f64,
+        keep: impl Fn(usize, usize) -> bool,
+    ) -> Self {
+        TopologyBuilder::new().rebuild(None, positions, connected, range, keep)
+    }
+
+    /// The reference O(n²) build: the original ascending-(i, j) pairwise
+    /// scan. Retained as the behavioural oracle — equivalence proptests
+    /// and the old-vs-new benches compare the spatial-hash build against
+    /// it — not for production use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two slices differ in length or `range` is not finite
+    /// and positive.
+    pub fn with_link_filter_naive(
         positions: &[Point],
         connected: &[bool],
         range: f64,
@@ -88,8 +134,16 @@ impl Topology {
                 }
             }
         }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut adjacency = Vec::new();
+        for row in &neighbors {
+            offsets.push(adjacency.len() as u32);
+            adjacency.extend_from_slice(row);
+        }
+        offsets.push(adjacency.len() as u32);
         Topology {
-            neighbors,
+            offsets,
+            adjacency,
             connected: connected.to_vec(),
             range,
         }
@@ -97,12 +151,12 @@ impl Topology {
 
     /// Number of nodes in the snapshot.
     pub fn len(&self) -> usize {
-        self.neighbors.len()
+        self.offsets.len() - 1
     }
 
     /// True if the snapshot holds no nodes.
     pub fn is_empty(&self) -> bool {
-        self.neighbors.is_empty()
+        self.len() == 0
     }
 
     /// The radio range the snapshot was built with, in metres.
@@ -110,89 +164,159 @@ impl Topology {
         self.range
     }
 
+    /// Total directed edge count (each radio link counts twice).
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
     /// True if `node` is switched on.
     pub fn is_up(&self, node: NodeId) -> bool {
         self.connected[node.index()]
     }
 
-    /// The current one-hop neighbours of `node` (empty if down).
+    /// The current one-hop neighbours of `node`, ascending by id (empty
+    /// if down).
     pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
-        &self.neighbors[node.index()]
+        let i = node.index();
+        &self.adjacency[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 
-    /// True if `a` and `b` are both up and within range.
+    /// True if `a` and `b` are both up and within range. O(log k) binary
+    /// search over `a`'s sorted neighbour slice.
     pub fn are_neighbors(&self, a: NodeId, b: NodeId) -> bool {
-        self.neighbors[a.index()].contains(&b)
+        self.neighbors(a).binary_search(&b).is_ok()
     }
 
     /// Minimum hop count from `from` to `to`, if a multi-hop path exists.
+    ///
+    /// Convenience wrapper allocating a throwaway [`TopologyScratch`];
+    /// steady-state callers should hold one and use
+    /// [`Topology::hops_with`].
     pub fn hops(&self, from: NodeId, to: NodeId) -> Option<u32> {
-        self.bfs(from, Some(to)).1
+        self.hops_with(&mut TopologyScratch::new(), from, to)
     }
 
-    /// A minimum-hop path from `from` to `to`, inclusive of both endpoints.
+    /// [`Topology::hops`] against a reusable scratch: allocation-free
+    /// once the scratch has grown to this snapshot's node count.
+    pub fn hops_with(
+        &self,
+        scratch: &mut TopologyScratch,
+        from: NodeId,
+        to: NodeId,
+    ) -> Option<u32> {
+        self.bfs_with(scratch, from, Some(to))
+    }
+
+    /// A minimum-hop path from `from` to `to`, inclusive of both
+    /// endpoints. Convenience wrapper over
+    /// [`Topology::shortest_path_with`].
     pub fn shortest_path(&self, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
+        let mut out = Vec::new();
+        self.shortest_path_with(&mut TopologyScratch::new(), from, to, &mut out)
+            .then_some(out)
+    }
+
+    /// Writes a minimum-hop path from `from` to `to` (inclusive of both
+    /// endpoints) into `out`, clearing it first. Returns false — with
+    /// `out` left empty — when no path exists. Allocation-free once
+    /// `scratch` and `out` are warm.
+    pub fn shortest_path_with(
+        &self,
+        scratch: &mut TopologyScratch,
+        from: NodeId,
+        to: NodeId,
+        out: &mut Vec<NodeId>,
+    ) -> bool {
+        out.clear();
         if from == to {
-            return Some(vec![from]);
+            out.push(from);
+            return true;
         }
         if !self.is_up(from) || !self.is_up(to) {
-            return None;
+            return false;
         }
-        let (parents, found) = self.bfs(from, Some(to));
-        found?;
-        let mut path = vec![to];
+        if self.bfs_with(scratch, from, Some(to)).is_none() {
+            return false;
+        }
+        out.push(to);
         let mut cur = to;
         while cur != from {
-            cur = parents[cur.index()].expect("parent chain reaches the BFS root");
-            path.push(cur);
+            // Every stamped node except the root has its parent recorded.
+            cur = NodeId::new(scratch.parent[cur.index()]);
+            out.push(cur);
         }
-        path.reverse();
-        Some(path)
+        out.reverse();
+        true
     }
 
     /// All nodes strictly within `ttl` hops of `from` (excluding `from`),
-    /// i.e. the set a TTL-`ttl` flood can reach.
+    /// i.e. the set a TTL-`ttl` flood can reach. Convenience wrapper over
+    /// [`Topology::within_hops_with`].
     pub fn within_hops(&self, from: NodeId, ttl: u32) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.within_hops_with(&mut TopologyScratch::new(), from, ttl, &mut out);
+        out
+    }
+
+    /// Writes the TTL-`ttl` flood scope of `from` into `out` (clearing it
+    /// first), in BFS discovery order. Allocation-free once `scratch` and
+    /// `out` are warm.
+    pub fn within_hops_with(
+        &self,
+        scratch: &mut TopologyScratch,
+        from: NodeId,
+        ttl: u32,
+        out: &mut Vec<NodeId>,
+    ) {
+        out.clear();
         if ttl == 0 || !self.is_up(from) {
-            return Vec::new();
+            return;
         }
-        let mut dist = vec![u32::MAX; self.len()];
-        dist[from.index()] = 0;
-        let mut queue = VecDeque::from([from]);
-        let mut reached = Vec::new();
-        while let Some(u) = queue.pop_front() {
-            if dist[u.index()] == ttl {
+        scratch.begin(self.len());
+        scratch.visit_root(from);
+        while let Some(u) = scratch.queue.pop_front() {
+            let du = scratch.dist[u.index()];
+            if du == ttl {
                 continue;
             }
-            for &v in &self.neighbors[u.index()] {
-                if dist[v.index()] == u32::MAX {
-                    dist[v.index()] = dist[u.index()] + 1;
-                    reached.push(v);
-                    queue.push_back(v);
+            for &v in self.neighbors(u) {
+                if scratch.stamp[v.index()] != scratch.epoch {
+                    scratch.stamp[v.index()] = scratch.epoch;
+                    scratch.dist[v.index()] = du + 1;
+                    out.push(v);
+                    scratch.queue.push_back(v);
                 }
             }
         }
-        reached
     }
 
     /// Connected components among up nodes, each sorted by id; singleton
     /// components for isolated up nodes are included, down nodes are not.
     pub fn components(&self) -> Vec<Vec<NodeId>> {
-        let mut seen = vec![false; self.len()];
+        self.components_with(&mut TopologyScratch::new())
+    }
+
+    /// [`Topology::components`] against a reusable scratch. The returned
+    /// nested vectors are themselves fresh allocations — components is a
+    /// diagnostic query, not a hot-path one — but the BFS bookkeeping
+    /// reuses `scratch`.
+    pub fn components_with(&self, scratch: &mut TopologyScratch) -> Vec<Vec<NodeId>> {
+        scratch.begin(self.len());
         let mut out = Vec::new();
         for start in 0..self.len() {
-            if seen[start] || !self.connected[start] {
+            if scratch.stamp[start] == scratch.epoch || !self.connected[start] {
                 continue;
             }
-            let mut comp = vec![NodeId::new(start as u32)];
-            seen[start] = true;
-            let mut queue = VecDeque::from([NodeId::new(start as u32)]);
-            while let Some(u) = queue.pop_front() {
-                for &v in &self.neighbors[u.index()] {
-                    if !seen[v.index()] {
-                        seen[v.index()] = true;
+            let root = NodeId::new(start as u32);
+            let mut comp = vec![root];
+            scratch.stamp[start] = scratch.epoch;
+            scratch.queue.push_back(root);
+            while let Some(u) = scratch.queue.pop_front() {
+                for &v in self.neighbors(u) {
+                    if scratch.stamp[v.index()] != scratch.epoch {
+                        scratch.stamp[v.index()] = scratch.epoch;
                         comp.push(v);
-                        queue.push_back(v);
+                        scratch.queue.push_back(v);
                     }
                 }
             }
@@ -202,32 +326,250 @@ impl Topology {
         out
     }
 
-    /// BFS from `root`; returns the parent array and, if `target` is given
-    /// and reachable, its distance.
-    fn bfs(&self, root: NodeId, target: Option<NodeId>) -> (Vec<Option<NodeId>>, Option<u32>) {
-        let mut parents: Vec<Option<NodeId>> = vec![None; self.len()];
+    /// BFS from `root` recording distances and parents in `scratch`;
+    /// returns the target's distance if `target` is given and reachable.
+    fn bfs_with(
+        &self,
+        scratch: &mut TopologyScratch,
+        root: NodeId,
+        target: Option<NodeId>,
+    ) -> Option<u32> {
         if !self.is_up(root) {
-            return (parents, None);
+            return None;
         }
         if target == Some(root) {
-            return (parents, Some(0));
+            return Some(0);
         }
-        let mut dist = vec![u32::MAX; self.len()];
-        dist[root.index()] = 0;
-        let mut queue = VecDeque::from([root]);
-        while let Some(u) = queue.pop_front() {
-            for &v in &self.neighbors[u.index()] {
-                if dist[v.index()] == u32::MAX {
-                    dist[v.index()] = dist[u.index()] + 1;
-                    parents[v.index()] = Some(u);
+        scratch.begin(self.len());
+        scratch.visit_root(root);
+        while let Some(u) = scratch.queue.pop_front() {
+            let du = scratch.dist[u.index()];
+            for &v in self.neighbors(u) {
+                if scratch.stamp[v.index()] != scratch.epoch {
+                    scratch.stamp[v.index()] = scratch.epoch;
+                    scratch.dist[v.index()] = du + 1;
+                    scratch.parent[v.index()] = u.index() as u32;
                     if target == Some(v) {
-                        return (parents, Some(dist[v.index()]));
+                        return Some(du + 1);
                     }
-                    queue.push_back(v);
+                    scratch.queue.push_back(v);
                 }
             }
         }
-        (parents, None)
+        None
+    }
+}
+
+/// Reusable BFS bookkeeping for [`Topology`] queries: epoch-stamped
+/// visited marks, distances, parent links and the traversal queue.
+///
+/// A scratch grows to the largest node count it has served and is then
+/// allocation-free: "visited" is reset by bumping a generation counter
+/// (`epoch`), not by clearing arrays, so starting a query costs O(1).
+/// One scratch serves any number of topologies and queries, strictly one
+/// query at a time.
+#[derive(Debug, Default, Clone)]
+pub struct TopologyScratch {
+    /// Current query generation; `stamp[i] == epoch` means node `i` was
+    /// visited by the query in progress.
+    epoch: u32,
+    stamp: Vec<u32>,
+    dist: Vec<u32>,
+    /// Parent node index, valid only for stamped non-root nodes.
+    parent: Vec<u32>,
+    queue: VecDeque<NodeId>,
+}
+
+impl TopologyScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        TopologyScratch::default()
+    }
+
+    /// Starts a new query over `n` nodes: grows buffers if needed and
+    /// advances the epoch. On the (once per 2³²-query) epoch wrap the
+    /// stamps are hard-cleared so stale marks can never alias.
+    fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.dist.resize(n, 0);
+            self.parent.resize(n, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        self.queue.clear();
+    }
+
+    /// Marks `root` visited at distance 0 and enqueues it.
+    fn visit_root(&mut self, root: NodeId) {
+        self.stamp[root.index()] = self.epoch;
+        self.dist[root.index()] = 0;
+        self.queue.push_back(root);
+    }
+}
+
+/// Builds [`Topology`] snapshots with reusable scratch: the spatial-hash
+/// bins, the per-node sort buffer, and — via
+/// [`TopologyBuilder::rebuild`]'s `recycle` parameter — the CSR arrays of
+/// a retired snapshot. A steady-state rebuild (same node count, similar
+/// degree) performs no heap allocation.
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
+    /// Linear cell index per node (valid only for connected nodes).
+    cell_idx: Vec<u32>,
+    /// Cursor/boundary array over cells; after the fill phase, cell `c`
+    /// holds nodes `order[start(c)..cell_start[c]]` where `start(c)` is
+    /// `0` for the first cell and `cell_start[c - 1]` otherwise.
+    cell_start: Vec<u32>,
+    /// Connected node indices grouped by cell, ascending within a cell.
+    order: Vec<u32>,
+    /// One node's candidate neighbours, sorted before CSR emission.
+    row: Vec<NodeId>,
+}
+
+impl TopologyBuilder {
+    /// An empty builder; scratch grows on first build.
+    pub fn new() -> Self {
+        TopologyBuilder::default()
+    }
+
+    /// Builds a snapshot; equivalent to [`Topology::with_link_filter`]
+    /// but reusing this builder's scratch.
+    pub fn build(
+        &mut self,
+        positions: &[Point],
+        connected: &[bool],
+        range: f64,
+        keep: impl Fn(usize, usize) -> bool,
+    ) -> Topology {
+        self.rebuild(None, positions, connected, range, keep)
+    }
+
+    /// Builds a snapshot, cannibalising `recycle`'s CSR buffers when
+    /// given so steady-state refreshes allocate nothing. The produced
+    /// snapshot is identical to [`Topology::with_link_filter`]'s for the
+    /// same inputs (see that method for the `keep` purity contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two slices differ in length or `range` is not finite
+    /// and positive.
+    pub fn rebuild(
+        &mut self,
+        recycle: Option<Topology>,
+        positions: &[Point],
+        connected: &[bool],
+        range: f64,
+        keep: impl Fn(usize, usize) -> bool,
+    ) -> Topology {
+        assert_eq!(
+            positions.len(),
+            connected.len(),
+            "positions/connected length mismatch"
+        );
+        assert!(
+            range.is_finite() && range > 0.0,
+            "radio range must be positive"
+        );
+        let n = positions.len();
+        let (mut offsets, mut adjacency, mut conn) = match recycle {
+            Some(t) => {
+                let Topology {
+                    mut offsets,
+                    mut adjacency,
+                    mut connected,
+                    ..
+                } = t;
+                offsets.clear();
+                adjacency.clear();
+                connected.clear();
+                (offsets, adjacency, connected)
+            }
+            None => (Vec::with_capacity(n + 1), Vec::new(), Vec::new()),
+        };
+        conn.extend_from_slice(connected);
+
+        // Bin connected nodes into range-sized cells by counting sort,
+        // in ascending id order so each cell's list is already sorted.
+        let grid = CellGrid::from_points(positions, range);
+        let cells = grid.cell_count();
+        assert!(
+            u32::try_from(cells).is_ok(),
+            "cell grid too fine: {cells} cells"
+        );
+        self.cell_idx.clear();
+        self.cell_idx.resize(n, 0);
+        self.cell_start.clear();
+        self.cell_start.resize(cells + 1, 0);
+        for i in 0..n {
+            if !connected[i] {
+                continue;
+            }
+            let c = grid.cell_index(positions[i]);
+            self.cell_idx[i] = c as u32;
+            self.cell_start[c + 1] += 1;
+        }
+        for c in 0..cells {
+            self.cell_start[c + 1] += self.cell_start[c];
+        }
+        let total_up = self.cell_start[cells] as usize;
+        self.order.clear();
+        self.order.resize(total_up, 0);
+        for (i, &up) in connected.iter().enumerate() {
+            if !up {
+                continue;
+            }
+            let c = self.cell_idx[i] as usize;
+            self.order[self.cell_start[c] as usize] = i as u32;
+            self.cell_start[c] += 1;
+        }
+        // After the fill, cell_start[c] is the *end* of cell c (and the
+        // start of cell c + 1), which is exactly what cell_nodes reads.
+
+        for i in 0..n {
+            offsets.push(adjacency.len() as u32);
+            if !connected[i] {
+                continue;
+            }
+            let p = positions[i];
+            let (cx, cy) = grid.cell_coords(p);
+            self.row.clear();
+            for cell_y in cy.saturating_sub(1)..=(cy + 1).min(grid.rows() - 1) {
+                for cell_x in cx.saturating_sub(1)..=(cx + 1).min(grid.cols() - 1) {
+                    let c = grid.index_of(cell_x, cell_y);
+                    let lo = if c == 0 { 0 } else { self.cell_start[c - 1] } as usize;
+                    let hi = self.cell_start[c] as usize;
+                    for &j in &self.order[lo..hi] {
+                        let j = j as usize;
+                        if j == i {
+                            continue;
+                        }
+                        // Evaluate distance and filter in the ascending
+                        // orientation the reference build uses, so results
+                        // (and float edge cases) match it bit-for-bit.
+                        let (a, b) = if i < j { (i, j) } else { (j, i) };
+                        if positions[a].distance(positions[b]) <= range && keep(a, b) {
+                            self.row.push(NodeId::new(j as u32));
+                        }
+                    }
+                }
+            }
+            // Cells were scanned row-major, so the candidates arrive
+            // cell-sorted, not id-sorted; restore the reference build's
+            // ascending order.
+            self.row.sort_unstable();
+            adjacency.extend_from_slice(&self.row);
+        }
+        offsets.push(adjacency.len() as u32);
+        Topology {
+            offsets,
+            adjacency,
+            connected: conn,
+            range,
+        }
     }
 }
 
@@ -336,6 +678,101 @@ mod tests {
         assert_eq!(comps.len(), 3);
         let total: usize = comps.iter().map(Vec::len).sum();
         assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn neighbor_slices_are_sorted_ascending() {
+        let mut rng = mp2p_sim::SimRng::from_seed(9, 0);
+        let terrain = mp2p_mobility::Terrain::paper_default();
+        let positions: Vec<Point> = (0..80).map(|_| terrain.random_point(&mut rng)).collect();
+        let t = Topology::new(&positions, &[true; 80], 250.0);
+        for i in 0..80u32 {
+            let nb = t.neighbors(NodeId::new(i));
+            assert!(
+                nb.windows(2).all(|w| w[0] < w[1]),
+                "node {i}: neighbour slice not strictly ascending: {nb:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn grid_build_matches_naive_reference() {
+        let mut rng = mp2p_sim::SimRng::from_seed(11, 0);
+        let terrain = mp2p_mobility::Terrain::paper_default();
+        let positions: Vec<Point> = (0..100).map(|_| terrain.random_point(&mut rng)).collect();
+        let mut up = vec![true; 100];
+        up[3] = false;
+        up[77] = false;
+        let keep = |i: usize, j: usize| !(i + j).is_multiple_of(7);
+        let grid = Topology::with_link_filter(&positions, &up, 250.0, keep);
+        let naive = Topology::with_link_filter_naive(&positions, &up, 250.0, keep);
+        assert_eq!(grid.edge_count(), naive.edge_count());
+        for i in 0..100u32 {
+            assert_eq!(
+                grid.neighbors(NodeId::new(i)),
+                naive.neighbors(NodeId::new(i)),
+                "node {i}: grid and naive neighbour lists differ"
+            );
+        }
+    }
+
+    #[test]
+    fn builder_recycles_without_changing_results() {
+        let mut rng = mp2p_sim::SimRng::from_seed(12, 0);
+        let terrain = mp2p_mobility::Terrain::paper_default();
+        let mut builder = TopologyBuilder::new();
+        let mut prev: Option<Topology> = None;
+        for round in 0..5 {
+            let positions: Vec<Point> = (0..60).map(|_| terrain.random_point(&mut rng)).collect();
+            let up = vec![true; 60];
+            let fresh = Topology::new(&positions, &up, 250.0);
+            let rebuilt = builder.rebuild(prev.take(), &positions, &up, 250.0, |_, _| true);
+            for i in 0..60u32 {
+                assert_eq!(
+                    fresh.neighbors(NodeId::new(i)),
+                    rebuilt.neighbors(NodeId::new(i)),
+                    "round {round}, node {i}"
+                );
+            }
+            prev = Some(rebuilt);
+        }
+    }
+
+    #[test]
+    fn scratch_queries_match_allocating_queries() {
+        let mut rng = mp2p_sim::SimRng::from_seed(13, 0);
+        let terrain = mp2p_mobility::Terrain::new(1_000.0, 1_000.0);
+        let positions: Vec<Point> = (0..40).map(|_| terrain.random_point(&mut rng)).collect();
+        let t = Topology::new(&positions, &[true; 40], 250.0);
+        let mut scratch = TopologyScratch::new();
+        let mut buf = Vec::new();
+        for a in 0..40u32 {
+            let from = NodeId::new(a);
+            for b in 0..40u32 {
+                let to = NodeId::new(b);
+                assert_eq!(t.hops_with(&mut scratch, from, to), t.hops(from, to));
+                let found = t.shortest_path_with(&mut scratch, from, to, &mut buf);
+                assert_eq!(
+                    found.then(|| buf.clone()),
+                    t.shortest_path(from, to),
+                    "path {a}->{b}"
+                );
+            }
+            for ttl in 0..4u32 {
+                t.within_hops_with(&mut scratch, from, ttl, &mut buf);
+                assert_eq!(buf, t.within_hops(from, ttl), "scope {a} ttl {ttl}");
+            }
+        }
+        assert_eq!(t.components_with(&mut scratch), t.components());
+    }
+
+    #[test]
+    fn empty_topology_is_well_formed() {
+        let t = Topology::new(&[], &[], 250.0);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.edge_count(), 0);
+        assert!(t.components().is_empty());
     }
 
     proptest! {
