@@ -39,6 +39,7 @@ mod coefficients;
 mod config;
 mod level;
 mod msg;
+mod observatory;
 mod protocol;
 mod pull;
 mod push;
@@ -51,6 +52,7 @@ pub use coefficients::Coefficients;
 pub use config::ProtocolConfig;
 pub use level::{ConsistencyLevel, LevelMix};
 pub use msg::ProtoMsg;
+pub use observatory::{ConsistencyReport, ObservatoryConfig};
 pub use protocol::{Ctx, CtxOut, DegradationKind, Protocol, QueryId, Timer};
 pub use pull::SimplePull;
 pub use push::SimplePush;

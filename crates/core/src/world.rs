@@ -7,8 +7,8 @@
 
 use mp2p_cache::{CacheStore, DataItem, Version};
 use mp2p_metrics::{
-    ConsistencyAudit, EnergyModel, Gauge, LatencyStats, MessageClass, PeerEnergy, ServedQuery,
-    TrafficStats, VersionHistory,
+    age_bucket, ConsistencyAudit, EnergyModel, Gauge, LatencyStats, MessageClass, PeerEnergy,
+    ServedQuery, TrafficStats, VersionHistory, AGE_BUCKETS,
 };
 use mp2p_mobility::{
     AnyMobility, ManhattanGrid, MobilityModel, Point, RandomWalk, RandomWaypoint, Stationary,
@@ -19,11 +19,12 @@ use mp2p_net::{
     NetTimer, RouteControl, Topology, TopologyBuilder, TopologyScratch,
 };
 use mp2p_sim::{EventQueue, ItemId, NodeId, PerfReport, Profiler, SimDuration, SimRng, SimTime};
-use mp2p_trace::{LevelTag, NullSink, ServedBy, TraceEvent, TraceSink};
+use mp2p_trace::{BlameCause, LevelTag, NullSink, ServedBy, TraceEvent, TraceSink};
 
 use crate::config::ProtocolConfig;
 use crate::level::{ConsistencyLevel, LevelMix};
 use crate::msg::ProtoMsg;
+use crate::observatory::{BlameTracker, ConsistencyReport, ObservatoryConfig};
 use crate::protocol::{Ctx, CtxOut, DegradationKind, Protocol, QueryId, Timer};
 use crate::pull::SimplePull;
 use crate::push::SimplePush;
@@ -183,6 +184,12 @@ pub struct WorldConfig {
     /// a fault-free run is bit-identical to one built before the fault
     /// subsystem existed.
     pub faults: FaultPlan,
+    /// Consistency-observatory switches (divergence sampler + stale-serve
+    /// blame attribution). [`ObservatoryConfig::off`] — the default —
+    /// queues no events, draws no randomness and emits no trace records:
+    /// a default run is bit-identical to one from a pre-observatory
+    /// build.
+    pub observatory: ObservatoryConfig,
     /// Master random seed.
     pub seed: u64,
 }
@@ -225,6 +232,7 @@ impl WorldConfig {
             sample_period: SimDuration::from_secs(30),
             subnet_grid: (3, 3),
             faults: FaultPlan::none(),
+            observatory: ObservatoryConfig::off(),
             seed,
         }
     }
@@ -275,6 +283,7 @@ impl WorldConfig {
         );
         self.proto.validate();
         self.faults.validate(self.n_peers);
+        self.observatory.validate();
     }
 }
 
@@ -371,6 +380,10 @@ enum Event {
     },
     CoeffTick,
     Sample,
+    /// The consistency observatory's divergence-sampler tick. Queued only
+    /// when [`ObservatoryConfig::sample_period`] is set, so a default run
+    /// never sees this variant.
+    ConsistencyTick,
     /// A scheduled fault-plan action fires.
     Fault(FaultAction),
 }
@@ -481,6 +494,10 @@ pub struct RunReport {
     /// enabled via [`World::enable_profiling`]). Strictly observational:
     /// its presence never changes any other field.
     pub perf: Option<PerfReport>,
+    /// Consistency-observatory summary (`None` unless the observatory
+    /// was enabled via [`WorldConfig::observatory`]): blame counts per
+    /// cause, Δ-violation count, divergence samples taken.
+    pub consistency: Option<ConsistencyReport>,
     /// The measured window (sim_time − warmup).
     pub measured: SimDuration,
 }
@@ -636,6 +653,10 @@ impl RunReport {
         if let Some(perf) = &self.perf {
             let _ = write!(s, ",\"perf\":{}", perf.to_json());
         }
+        // And the consistency section only for observatory runs.
+        if let Some(consistency) = &self.consistency {
+            let _ = write!(s, ",\"consistency\":{}", consistency.to_json());
+        }
         s.push('}');
         s
     }
@@ -714,6 +735,12 @@ pub struct World {
     /// Fault injector (None unless the plan is non-empty).
     faults: Option<FaultRuntime>,
     fault_stats: FaultStats,
+    /// Stale-serve blame tracker (None unless
+    /// [`ObservatoryConfig::blame`] is on, so the default hot path pays
+    /// one `Option` discriminant check per hook).
+    blame: Option<BlameTracker>,
+    /// Divergence samples taken by the observatory ticker.
+    samples_taken: u64,
     /// Flight recorder. [`NullSink`] by default, so the hot path stays
     /// allocation-free unless a run opts in via [`World::set_tracer`].
     tracer: Box<dyn TraceSink>,
@@ -876,10 +903,16 @@ impl World {
             battery_gauge: Gauge::default(),
             faults,
             fault_stats: FaultStats::default(),
+            blame: None,
+            samples_taken: 0,
             tracer: Box::new(NullSink),
             profiler: Profiler::disabled(),
             frames_sent: 0,
         };
+        if world.cfg.observatory.blame {
+            // One item per peer (each node owns exactly one).
+            world.blame = Some(BlameTracker::new(n, n));
+        }
         world.bootstrap();
         world
     }
@@ -976,6 +1009,9 @@ impl World {
             .push(self.now + self.cfg.proto.phi, Event::CoeffTick);
         self.queue
             .push(self.now + self.cfg.sample_period, Event::Sample);
+        if let Some(period) = self.cfg.observatory.sample_period {
+            self.queue.push(self.now + period, Event::ConsistencyTick);
+        }
         // The fault schedule is fixed at bootstrap: every window of the
         // plan becomes a pair of queued actions.
         if self.faults.is_some() {
@@ -1088,6 +1124,14 @@ impl World {
                 p.journal_bytes = tracer.bytes_written();
                 p
             });
+        let consistency = self.cfg.observatory.enabled().then(|| ConsistencyReport {
+            blame: self
+                .blame
+                .as_ref()
+                .map_or([0; BlameCause::ALL.len()], |b| b.counts()),
+            delta_violations: self.blame.as_ref().map_or(0, |b| b.delta_violations()),
+            samples: self.samples_taken,
+        });
         let report = RunReport {
             strategy: self.cfg.strategy,
             level_mix: self.cfg.level_mix,
@@ -1110,6 +1154,7 @@ impl World {
             fault_plan: self.faults.is_some().then_some(self.cfg.faults.label),
             faults: self.fault_stats,
             perf,
+            consistency,
             measured: self.cfg.sim_time - self.cfg.warmup,
         };
         (report, tracer)
@@ -1133,6 +1178,7 @@ impl World {
                     item: id.owned_item(),
                     version: version.get(),
                 });
+                self.stamp_partition_victims(id, id.owned_item());
                 self.with_proto(
                     id,
                     |proto, ctx| dispatch!(proto, p => p.on_source_update(ctx)),
@@ -1218,6 +1264,12 @@ impl World {
                 self.queue
                     .push(self.now + self.cfg.sample_period, Event::Sample);
             }
+            Event::ConsistencyTick => {
+                self.sample_consistency();
+                if let Some(period) = self.cfg.observatory.sample_period {
+                    self.queue.push(self.now + period, Event::ConsistencyTick);
+                }
+            }
             Event::Fault(action) => self.handle_fault(action),
         }
     }
@@ -1279,6 +1331,15 @@ impl World {
         for write in dead_writes {
             self.close_write_failed(write);
         }
+        if let Some(blame) = self.blame.as_mut() {
+            // The crash is about to destroy every cached copy; whatever
+            // stale answer the node later gives for these items traces
+            // back to this wipe (unless a sharper cause supersedes it).
+            for (item, _) in self.nodes[id.index()].cache.iter() {
+                let version = self.histories[item.index()].current().get();
+                blame.stamp_crash(id, item, version);
+            }
+        }
         let tracing = self.tracer.enabled();
         let node = &mut self.nodes[id.index()];
         node.up = false;
@@ -1330,6 +1391,109 @@ impl World {
             self.route_gauge.sample(routes as f64);
             self.battery_gauge
                 .sample(battery_total / self.nodes.len() as f64);
+        }
+    }
+
+    /// One tick of the observatory's divergence sampler: snapshot the
+    /// global replica state and emit a `ConsistencySample` timeline
+    /// record. Aggregation is order-independent, so the cache stores'
+    /// hash-order iteration cannot perturb the result.
+    fn sample_consistency(&mut self) {
+        self.samples_taken += 1;
+        let mut fresh: u32 = 0;
+        let mut total: u32 = 0;
+        let mut ages = [0u32; AGE_BUCKETS];
+        let mut replicas = vec![0u32; self.nodes.len()];
+        for node in &self.nodes {
+            for (item, entry) in node.cache.iter() {
+                total += 1;
+                replicas[item.index()] += 1;
+                let hist = &self.histories[item.index()];
+                if entry.version >= hist.current() {
+                    fresh += 1;
+                } else {
+                    ages[age_bucket(hist.staleness(entry.version, self.now))] += 1;
+                }
+            }
+        }
+        let items_replicated = replicas.iter().filter(|&&n| n > 0).count() as u32;
+        let max_replicas = replicas.iter().copied().max().unwrap_or(0);
+        let relay_nodes = self
+            .nodes
+            .iter()
+            .filter(|n| n.proto.relay_item_count() > 0)
+            .count() as u32;
+        self.ensure_topology();
+        let (_, topo) = self.topo.as_ref().expect("just refreshed");
+        let partitions = topo.components_with(&mut self.topo_scratch).len() as u32;
+        self.trace(TraceEvent::ConsistencySample {
+            fresh_copies: fresh,
+            total_copies: total,
+            items_replicated,
+            max_replicas,
+            partitions,
+            relay_nodes,
+            ages,
+        });
+    }
+
+    /// Blame hook at a source update: stamp every cached copy whose
+    /// holder cannot currently be reached from the source — it is in a
+    /// different connectivity component, or down — as obstructed by
+    /// partition at the new version.
+    fn stamp_partition_victims(&mut self, source: NodeId, item: ItemId) {
+        if self.blame.is_none() {
+            return;
+        }
+        let version = self.histories[item.index()].current().get();
+        self.ensure_topology();
+        let (_, topo) = self.topo.as_ref().expect("just refreshed");
+        let components = topo.components_with(&mut self.topo_scratch);
+        let reachable: Vec<bool> = {
+            let mut reach = vec![false; self.nodes.len()];
+            if let Some(comp) = components.iter().find(|c| c.contains(&source)) {
+                for &n in comp {
+                    reach[n.index()] = true;
+                }
+            }
+            reach
+        };
+        let blame = self.blame.as_mut().expect("checked above");
+        for (i, node) in self.nodes.iter().enumerate() {
+            if !reachable[i] && node.cache.contains(item) {
+                blame.stamp_partitioned(NodeId::new(i as u32), item, version);
+            }
+        }
+    }
+
+    /// Blame hook for a lost frame: if it carried an update propagation
+    /// (invalidation / update / send-new), stamp the deprived copy. For a
+    /// unicast the victim is the frame's final destination; for a flood,
+    /// the receiver that failed to hear it.
+    fn note_frame_lost(&mut self, at: NodeId, frame: &Frame<ProtoMsg>) {
+        let Some(blame) = self.blame.as_mut() else {
+            return;
+        };
+        let Some((item, version)) = frame.app_payload().and_then(propagation_of) else {
+            return;
+        };
+        let victim = match frame {
+            Frame::Unicast { dest, .. } => *dest,
+            Frame::Flood { .. } => at,
+        };
+        blame.stamp_lost(victim, item, version);
+    }
+
+    /// Blame hook for an outgoing protocol message: remember the highest
+    /// version ever handed to the network per item, so a stale serve with
+    /// no specific obstruction flag can be split into race-in-flight
+    /// (propagation was sent but had not landed) versus update-never-sent
+    /// (the strategy simply had not pushed the version at all).
+    fn note_propagation(&mut self, msg: &ProtoMsg) {
+        if let Some(blame) = self.blame.as_mut() {
+            if let Some((item, version)) = propagation_of(msg) {
+                blame.note_propagated(item, version);
+            }
         }
     }
 
@@ -1407,10 +1571,15 @@ impl World {
         };
         match dropped_in_burst {
             None => {}
-            Some(false) => return, // channel loss
+            Some(false) => {
+                // Channel loss.
+                self.note_frame_lost(at, &frame);
+                return;
+            }
             Some(true) => {
                 self.fault_stats.burst_drops += 1;
                 self.trace(TraceEvent::BurstDrop { node: at });
+                self.note_frame_lost(at, &frame);
                 return;
             }
         }
@@ -1611,6 +1780,7 @@ impl World {
                             next_hop,
                             class: frame_class(&frame),
                         });
+                        self.note_frame_lost(next_hop, &frame);
                         // MAC-level delivery failure feedback (Section 4.5).
                         let follow_up = self.nodes[node.index()]
                             .stack
@@ -1657,6 +1827,11 @@ impl World {
                         dest,
                         class: payload.class(),
                     });
+                    if let Some(blame) = self.blame.as_mut() {
+                        if let Some((item, version)) = propagation_of(&payload) {
+                            blame.stamp_lost(dest, item, version);
+                        }
+                    }
                     match payload {
                         ProtoMsg::WriteRequest { item, .. } => {
                             // The writer's own retry timer decides when to
@@ -1696,17 +1871,21 @@ impl World {
         };
         for out in outputs {
             match out {
-                CtxOut::Send { to, msg } => match self.cfg.routing {
-                    RoutingMode::OnDemand => {
-                        let size = msg.size_bytes();
-                        let actions = self.nodes[id.index()]
-                            .stack
-                            .send_app(self.now, to, msg, size);
-                        self.apply_net_actions(id, actions);
+                CtxOut::Send { to, msg } => {
+                    self.note_propagation(&msg);
+                    match self.cfg.routing {
+                        RoutingMode::OnDemand => {
+                            let size = msg.size_bytes();
+                            let actions = self.nodes[id.index()]
+                                .stack
+                                .send_app(self.now, to, msg, size);
+                            self.apply_net_actions(id, actions);
+                        }
+                        RoutingMode::Oracle => self.oracle_send(id, to, msg),
                     }
-                    RoutingMode::Oracle => self.oracle_send(id, to, msg),
-                },
+                }
                 CtxOut::Flood { ttl, msg } => {
+                    self.note_propagation(&msg);
                     let size = msg.size_bytes();
                     let actions = self.nodes[id.index()]
                         .stack
@@ -1747,6 +1926,10 @@ impl World {
                 CtxOut::Degraded { item, query, kind } => match kind {
                     DegradationKind::RelayLeaseExpired => {
                         self.fault_stats.lease_expiries += 1;
+                        if let Some(blame) = self.blame.as_mut() {
+                            let version = self.histories[item.index()].current().get();
+                            blame.stamp_lease(id, item, version);
+                        }
                         self.trace(TraceEvent::RelayLeaseExpired { node: id, item });
                     }
                     DegradationKind::FallbackFlood => {
@@ -1885,6 +2068,7 @@ impl World {
             item,
             version: version.get(),
         });
+        self.stamp_partition_victims(node, item);
         self.with_proto(
             node,
             |proto, ctx| dispatch!(proto, p => p.on_source_update(ctx)),
@@ -1968,6 +2152,31 @@ impl World {
         };
         self.audit.record(served);
         self.audit_by_level[open.level.index()].record(served);
+        // Blame attribution: every measured stale serve — the exact set
+        // the audit counts — gets exactly one cause, so the per-cause
+        // counts sum to `stale_served` by construction.
+        if self.blame.is_some() && served.served < served.master {
+            let cause = self.blame.as_mut().expect("checked above").classify(
+                open.node,
+                open.item,
+                version.get(),
+            );
+            // Δ-consistency (Eq. 3.2.2) with Δ = TTP: a served value may
+            // be at most that long behind the master.
+            let violation = served.staleness > self.cfg.proto.ttp;
+            if violation {
+                self.blame.as_mut().expect("checked above").note_violation();
+            }
+            self.trace(TraceEvent::StaleServe {
+                node: open.node,
+                query: query.0,
+                item: open.item,
+                cause,
+                staleness_ms: served.staleness.as_millis(),
+                lag: served.master.get() - served.served.get(),
+                violation,
+            });
+        }
     }
 
     fn close_failed(&mut self, node: NodeId, query: QueryId) {
@@ -1998,6 +2207,20 @@ fn frame_class(frame: &Frame<ProtoMsg>) -> MessageClass {
     }
 }
 
+/// The item and version an update-propagation message carries, if the
+/// message is one. These three classes are the only ways a strategy
+/// moves version knowledge outward from a source or relay; everything
+/// else (polls, fetches, acks) is demand-driven and not "propagation"
+/// for blame purposes.
+fn propagation_of(msg: &ProtoMsg) -> Option<(ItemId, u64)> {
+    match *msg {
+        ProtoMsg::Invalidation { item, version }
+        | ProtoMsg::Update { item, version, .. }
+        | ProtoMsg::SendNew { item, version, .. } => Some((item, version.get())),
+        _ => None,
+    }
+}
+
 /// Span tag riding on one frame, if its payload is a tagged application
 /// message. Routing control never belongs to a query span.
 fn frame_span(frame: &Frame<ProtoMsg>) -> Option<u64> {
@@ -2025,6 +2248,7 @@ fn event_bucket(event: &Event) -> &'static str {
         Event::OracleDeliver { .. } => "event:oracle_deliver",
         Event::CoeffTick => "event:coeff_tick",
         Event::Sample => "event:sample",
+        Event::ConsistencyTick => "event:consistency",
         Event::Fault(_) => "event:fault",
     }
 }

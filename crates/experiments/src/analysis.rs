@@ -12,12 +12,12 @@
 use std::io::BufRead;
 use std::path::Path;
 
-use mp2p_metrics::{LatencyStats, Registry};
+use mp2p_metrics::{LatencyStats, Registry, AGE_BUCKETS, AGE_BUCKET_EDGES};
 use mp2p_sim::{SimDuration, SimTime};
 use mp2p_trace::bridge::{MetricsBridge, DEFAULT_WINDOW};
 use mp2p_trace::reader::{JournalHeader, JournalReader, ReadError};
 use mp2p_trace::span::{QuerySpan, SpanAssembler, SpanOutcome};
-use mp2p_trace::{json, LevelTag, ServedBy, SpanPhase};
+use mp2p_trace::{json, BlameCause, LevelTag, ServedBy, SpanPhase, TraceEvent};
 
 use crate::render_table;
 
@@ -35,6 +35,111 @@ pub struct TraceAnalysis {
     pub spans: Vec<QuerySpan>,
     /// Windowed time series folded from the same stream.
     pub registry: Registry,
+    /// Divergence timeline and blame partition rebuilt from the
+    /// observatory's schema-2 records (empty on a schema-1 journal or an
+    /// observatory-off run).
+    pub consistency: ConsistencyTimeline,
+}
+
+/// One divergence-sampler tick replayed out of the journal: the global
+/// replica state at `at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DivergenceSample {
+    /// Sim time of the snapshot.
+    pub at: SimTime,
+    /// Cached copies holding the current master version.
+    pub fresh_copies: u32,
+    /// Cached copies audited in total.
+    pub total_copies: u32,
+    /// Items with at least one cached copy.
+    pub items_replicated: u32,
+    /// Largest replica count of any single item.
+    pub max_replicas: u32,
+    /// Connected components among switched-on nodes.
+    pub partitions: u32,
+    /// Nodes holding at least one relay duty.
+    pub relay_nodes: u32,
+    /// Stale-copy ages over [`AGE_BUCKET_EDGES`] (last bucket overflow).
+    pub ages: [u32; AGE_BUCKETS],
+}
+
+impl DivergenceSample {
+    /// Fraction of cached copies that are fresh (1.0 when nothing is
+    /// cached — an empty cache serves nothing stale).
+    pub fn fresh_fraction(&self) -> f64 {
+        if self.total_copies == 0 {
+            1.0
+        } else {
+            f64::from(self.fresh_copies) / f64::from(self.total_copies)
+        }
+    }
+}
+
+/// The consistency observatory's journal-side view: every
+/// `ConsistencySample` tick in order plus the blame partition folded
+/// from the `StaleServe` records. Mirrors the world's end-of-run
+/// `ConsistencyReport` so the two independently-kept views can be
+/// cross-checked counter for counter.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConsistencyTimeline {
+    /// Divergence samples in journal order.
+    pub samples: Vec<DivergenceSample>,
+    /// Stale serves per cause, [`BlameCause::index`]-indexed.
+    pub blame: [u64; BlameCause::ALL.len()],
+    /// Stale serves whose staleness exceeded the run's Δ.
+    pub delta_violations: u64,
+    /// Largest staleness observed on any stale serve.
+    pub max_staleness: SimDuration,
+}
+
+impl ConsistencyTimeline {
+    /// True when the journal carried no observatory records at all.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty() && self.stale_serves() == 0
+    }
+
+    /// Total stale serves seen — the blame partition's row sum.
+    pub fn stale_serves(&self) -> u64 {
+        self.blame.iter().sum()
+    }
+
+    /// Folds one journal event into the timeline; ignores all kinds the
+    /// observatory does not emit.
+    pub fn record(&mut self, at: SimTime, event: &TraceEvent) {
+        match *event {
+            TraceEvent::ConsistencySample {
+                fresh_copies,
+                total_copies,
+                items_replicated,
+                max_replicas,
+                partitions,
+                relay_nodes,
+                ages,
+            } => self.samples.push(DivergenceSample {
+                at,
+                fresh_copies,
+                total_copies,
+                items_replicated,
+                max_replicas,
+                partitions,
+                relay_nodes,
+                ages,
+            }),
+            TraceEvent::StaleServe {
+                cause,
+                staleness_ms,
+                violation,
+                ..
+            } => {
+                self.blame[cause.index()] += 1;
+                self.delta_violations += u64::from(violation);
+                self.max_staleness = self
+                    .max_staleness
+                    .max(SimDuration::from_millis(staleness_ms));
+            }
+            _ => {}
+        }
+    }
 }
 
 /// Post-warm-up totals derived purely from reconstructed spans, shaped
@@ -111,6 +216,86 @@ impl ReportTotals {
     }
 }
 
+/// The report side of the consistency cross-check: the counters the
+/// world's own `ConsistencyReport` serialised into the report JSON,
+/// plus the audit's headline staleness numbers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConsistencyReportTotals {
+    /// Stale serves per cause from the report's blame object.
+    pub blame: [u64; BlameCause::ALL.len()],
+    /// Δ-consistency violations counted by the world.
+    pub delta_violations: u64,
+    /// Divergence samples the world's ticker took.
+    pub samples: u64,
+    /// The audit's `stale_served` (top-level report key).
+    pub stale_served: u64,
+    /// The audit's fresh-serve fraction (top-level report key).
+    pub fresh_fraction: f64,
+}
+
+impl ConsistencyReportTotals {
+    /// Extracts the consistency counters from a `RunReport::to_json`
+    /// document. `None` when the run had the observatory off (no
+    /// `consistency` object) or any expected key is missing.
+    pub fn from_report_json(text: &str) -> Option<Self> {
+        let v = json::parse(text)?;
+        let c = v.get("consistency")?;
+        let blame_obj = c.get("blame")?;
+        let mut blame = [0u64; BlameCause::ALL.len()];
+        for cause in BlameCause::ALL {
+            blame[cause.index()] = blame_obj.get(cause.label())?.as_u64()?;
+        }
+        Some(ConsistencyReportTotals {
+            blame,
+            delta_violations: c.get("delta_violations")?.as_u64()?,
+            samples: c.get("samples")?.as_u64()?,
+            stale_served: v.get("stale_served")?.as_u64()?,
+            fresh_fraction: v.get("fresh_fraction")?.as_f64()?,
+        })
+    }
+}
+
+/// Compares the journal-derived consistency timeline against the
+/// report's counters. One line per mismatch; empty means the flight
+/// recorder and the world agree exactly — including the tentpole
+/// invariant that the blame rows sum to `stale_served`.
+pub fn crosscheck_consistency(
+    timeline: &ConsistencyTimeline,
+    report: &ConsistencyReportTotals,
+) -> Vec<String> {
+    let mut mismatches = Vec::new();
+    let mut check = |what: &str, journal_side: u64, report_side: u64| {
+        if journal_side != report_side {
+            mismatches.push(format!(
+                "{what}: journal says {journal_side}, report says {report_side}"
+            ));
+        }
+    };
+    check(
+        "divergence samples",
+        timeline.samples.len() as u64,
+        report.samples,
+    );
+    check(
+        "delta violations",
+        timeline.delta_violations,
+        report.delta_violations,
+    );
+    for cause in BlameCause::ALL {
+        check(
+            &format!("blamed on {}", cause.label()),
+            timeline.blame[cause.index()],
+            report.blame[cause.index()],
+        );
+    }
+    check(
+        "stale serves (blame row sum)",
+        timeline.stale_serves(),
+        report.stale_served,
+    );
+    mismatches
+}
+
 /// Streams a journal into spans and windowed metrics.
 pub fn analyze_journal<R: BufRead>(input: R) -> Result<TraceAnalysis, ReadError> {
     let mut reader = JournalReader::new(input)?;
@@ -118,11 +303,13 @@ pub fn analyze_journal<R: BufRead>(input: R) -> Result<TraceAnalysis, ReadError>
     let warmup = SimDuration::from_millis(header.warmup_ms);
     let mut assembler = SpanAssembler::new();
     let mut bridge = MetricsBridge::new(DEFAULT_WINDOW, warmup);
+    let mut consistency = ConsistencyTimeline::default();
     let mut events = 0u64;
     for entry in reader.by_ref() {
         let (at, event) = entry?;
         assembler.record(at, &event);
         bridge.record(at, &event);
+        consistency.record(at, &event);
         events += 1;
     }
     Ok(TraceAnalysis {
@@ -131,6 +318,7 @@ pub fn analyze_journal<R: BufRead>(input: R) -> Result<TraceAnalysis, ReadError>
         orphan_tagged: assembler.orphan_tagged,
         spans: assembler.finish(),
         registry: bridge.into_registry(),
+        consistency,
     })
 }
 
@@ -394,6 +582,98 @@ pub fn render_analysis(analysis: &TraceAnalysis, top: usize) -> String {
     out
 }
 
+/// Human labels for the staleness-age histogram columns, derived from
+/// [`AGE_BUCKET_EDGES`] so a bucket change cannot desynchronise the
+/// rendering.
+fn age_bucket_labels() -> Vec<String> {
+    let secs: Vec<u64> = AGE_BUCKET_EDGES
+        .iter()
+        .map(|e| e.as_millis() / 1000)
+        .collect();
+    let mut labels = Vec::with_capacity(AGE_BUCKETS);
+    labels.push(format!("<{}s", secs[0]));
+    for w in secs.windows(2) {
+        labels.push(format!("{}-{}s", w[0], w[1]));
+    }
+    labels.push(format!(">={}s", secs[secs.len() - 1]));
+    labels
+}
+
+/// Renders the consistency observatory's view of one journal: the
+/// divergence timeline (one row per sampler tick), the per-cause blame
+/// table (rows sum exactly to the stale serves seen), and the Δ-violation
+/// headline.
+pub fn render_consistency(timeline: &ConsistencyTimeline) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(2048);
+    if timeline.is_empty() {
+        out.push_str(
+            "\nConsistency observatory: no records in this journal \
+             (run with --consistency to enable the sampler and blame tracker).\n",
+        );
+        return out;
+    }
+
+    out.push_str("\nDivergence timeline (one row per sampler tick):\n");
+    let age_labels = age_bucket_labels();
+    let mut header: Vec<&str> = vec![
+        "t",
+        "fresh frac",
+        "fresh/total",
+        "items",
+        "max reps",
+        "parts",
+        "relays",
+    ];
+    header.extend(age_labels.iter().map(String::as_str));
+    let mut rows = Vec::with_capacity(timeline.samples.len());
+    for s in &timeline.samples {
+        let mut row = vec![
+            format!("{:.0}s", s.at.saturating_since(SimTime::ZERO).as_secs_f64()),
+            format!("{:.4}", s.fresh_fraction()),
+            format!("{}/{}", s.fresh_copies, s.total_copies),
+            s.items_replicated.to_string(),
+            s.max_replicas.to_string(),
+            s.partitions.to_string(),
+            s.relay_nodes.to_string(),
+        ];
+        row.extend(s.ages.iter().map(u32::to_string));
+        rows.push(row);
+    }
+    out.push_str(&render_table(&header, &rows));
+
+    out.push_str("\nStale-serve blame (rows sum exactly to stale serves):\n");
+    let total = timeline.stale_serves();
+    let mut rows = Vec::new();
+    for cause in BlameCause::ALL {
+        let n = timeline.blame[cause.index()];
+        if n == 0 {
+            continue;
+        }
+        let share = if total == 0 {
+            0.0
+        } else {
+            n as f64 / total as f64
+        };
+        rows.push(vec![
+            cause.label().to_string(),
+            n.to_string(),
+            format!("{:.1}%", share * 100.0),
+        ]);
+    }
+    rows.push(vec!["total".to_string(), total.to_string(), String::new()]);
+    out.push_str(&render_table(&["cause", "stale serves", "share"], &rows));
+
+    let _ = writeln!(
+        out,
+        "\nΔ-consistency violations: {} (staleness above the protocol's Δ); \
+         max staleness served: {:.3}s",
+        timeline.delta_violations,
+        timeline.max_staleness.as_secs_f64(),
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -401,6 +681,16 @@ mod tests {
 
     fn journal(lines: &[&str]) -> String {
         let mut s = String::from("{\"schema\":1,\"kinds\":27,\"warmup_ms\":60000}\n");
+        for line in lines {
+            s.push_str(line);
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Schema-2 header: the observatory kinds are only legal here.
+    fn journal_v2(lines: &[&str]) -> String {
+        let mut s = String::from("{\"schema\":2,\"kinds\":29,\"warmup_ms\":60000}\n");
         for line in lines {
             s.push_str(line);
             s.push('\n');
@@ -497,5 +787,134 @@ mod tests {
         ] {
             assert!(report.contains(needle), "missing {needle:?} in:\n{report}");
         }
+    }
+
+    #[test]
+    fn consistency_timeline_folds_observatory_records() {
+        let text = journal_v2(&[
+            "{\"t\":30000,\"ev\":\"consistency\",\"fresh\":5,\"copies\":8,\"items\":4,\
+             \"max_replicas\":3,\"partitions\":2,\"relay_nodes\":6,\"ages\":[1,1,1,0,0,0]}",
+            "{\"t\":60000,\"ev\":\"consistency\",\"fresh\":8,\"copies\":8,\"items\":4,\
+             \"max_replicas\":3,\"partitions\":1,\"relay_nodes\":6,\"ages\":[0,0,0,0,0,0]}",
+            "{\"t\":61000,\"ev\":\"stale_serve\",\"node\":3,\"query\":9,\"item\":2,\
+             \"cause\":\"partitioned\",\"staleness_ms\":2500,\"lag\":1,\"violation\":false}",
+            "{\"t\":62000,\"ev\":\"stale_serve\",\"node\":4,\"query\":10,\"item\":2,\
+             \"cause\":\"invalidate_lost\",\"staleness_ms\":400000,\"lag\":2,\"violation\":true}",
+        ]);
+        let analysis = analyze_journal(BufReader::new(text.as_bytes())).unwrap();
+        let timeline = &analysis.consistency;
+        assert!(!timeline.is_empty());
+        assert_eq!(timeline.samples.len(), 2);
+        assert_eq!(timeline.samples[0].at, SimTime::from_millis(30000));
+        assert_eq!(timeline.samples[0].fresh_fraction(), 5.0 / 8.0);
+        assert_eq!(timeline.samples[1].fresh_fraction(), 1.0);
+        assert_eq!(timeline.stale_serves(), 2);
+        assert_eq!(timeline.blame[BlameCause::Partitioned.index()], 1);
+        assert_eq!(timeline.blame[BlameCause::InvalidateLost.index()], 1);
+        assert_eq!(timeline.delta_violations, 1);
+        assert_eq!(timeline.max_staleness, SimDuration::from_millis(400000));
+    }
+
+    #[test]
+    fn schema_one_journal_yields_an_empty_timeline() {
+        let text = journal(&[
+            "{\"t\":61000,\"ev\":\"query_issued\",\"node\":0,\"query\":1,\"item\":3,\"level\":\"SC\"}",
+        ]);
+        let analysis = analyze_journal(BufReader::new(text.as_bytes())).unwrap();
+        assert!(analysis.consistency.is_empty());
+        let rendered = render_consistency(&analysis.consistency);
+        assert!(rendered.contains("no records"), "{rendered}");
+    }
+
+    #[test]
+    fn consistency_report_totals_parse_from_report_json() {
+        let text = "{\"queries_issued\":10,\"stale_served\":6,\"fresh_fraction\":0.925,\
+                    \"max_staleness_secs\":12.5,\
+                    \"consistency\":{\"stale_attributed\":6,\"delta_violations\":2,\"samples\":16,\
+                    \"blame\":{\"partitioned\":3,\"invalidate_lost\":1,\"crash_wipe\":0,\
+                    \"lease_orphan\":0,\"race_in_flight\":1,\"update_never_sent\":1}}}";
+        let totals = ConsistencyReportTotals::from_report_json(text).unwrap();
+        assert_eq!(totals.blame, [3, 1, 0, 0, 1, 1]);
+        assert_eq!(totals.delta_violations, 2);
+        assert_eq!(totals.samples, 16);
+        assert_eq!(totals.stale_served, 6);
+        assert!((totals.fresh_fraction - 0.925).abs() < 1e-12);
+        // An observatory-off report has no consistency object at all.
+        assert!(ConsistencyReportTotals::from_report_json("{\"stale_served\":6}").is_none());
+    }
+
+    #[test]
+    fn consistency_crosscheck_flags_every_divergent_counter() {
+        let mut timeline = ConsistencyTimeline::default();
+        timeline.record(
+            SimTime::from_millis(30000),
+            &TraceEvent::ConsistencySample {
+                fresh_copies: 4,
+                total_copies: 4,
+                items_replicated: 2,
+                max_replicas: 2,
+                partitions: 1,
+                relay_nodes: 3,
+                ages: [0; AGE_BUCKETS],
+            },
+        );
+        timeline.record(
+            SimTime::from_millis(31000),
+            &TraceEvent::StaleServe {
+                node: mp2p_sim::NodeId::new(1),
+                query: 7,
+                item: mp2p_sim::ItemId::new(0),
+                cause: BlameCause::RaceInFlight,
+                staleness_ms: 100,
+                lag: 1,
+                violation: false,
+            },
+        );
+        let good = ConsistencyReportTotals {
+            blame: [0, 0, 0, 0, 1, 0],
+            delta_violations: 0,
+            samples: 1,
+            stale_served: 1,
+            fresh_fraction: 0.99,
+        };
+        assert!(crosscheck_consistency(&timeline, &good).is_empty());
+        let bad = ConsistencyReportTotals {
+            blame: [1, 0, 0, 0, 0, 0],
+            delta_violations: 1,
+            samples: 2,
+            stale_served: 3,
+            fresh_fraction: 0.99,
+        };
+        let mismatches = crosscheck_consistency(&timeline, &bad);
+        // samples, violations, two blame causes, and the row sum all differ.
+        assert_eq!(mismatches.len(), 5, "{mismatches:?}");
+    }
+
+    #[test]
+    fn render_consistency_shows_timeline_and_blame_partition() {
+        let text = journal_v2(&[
+            "{\"t\":30000,\"ev\":\"consistency\",\"fresh\":5,\"copies\":8,\"items\":4,\
+             \"max_replicas\":3,\"partitions\":2,\"relay_nodes\":6,\"ages\":[1,1,1,0,0,0]}",
+            "{\"t\":61000,\"ev\":\"stale_serve\",\"node\":3,\"query\":9,\"item\":2,\
+             \"cause\":\"crash_wipe\",\"staleness_ms\":2500,\"lag\":1,\"violation\":true}",
+        ]);
+        let analysis = analyze_journal(BufReader::new(text.as_bytes())).unwrap();
+        let rendered = render_consistency(&analysis.consistency);
+        for needle in [
+            "Divergence timeline",
+            "0.6250",
+            "5/8",
+            "Stale-serve blame",
+            "crash_wipe",
+            "violations: 1",
+        ] {
+            assert!(
+                rendered.contains(needle),
+                "missing {needle:?} in:\n{rendered}"
+            );
+        }
+        // Zero-count causes are elided; the total row still closes the sum.
+        assert!(!rendered.contains("update_never_sent"));
+        assert!(rendered.contains("total"));
     }
 }

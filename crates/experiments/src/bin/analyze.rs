@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! analyze --trace FILE.jsonl [--report FILE.json] [--top N]
+//!         [--consistency] [--baseline FILE.json] [--tolerance X]
 //! ```
 //!
 //! Reads a JSONL journal written by `run --trace`, reconstructs the
@@ -15,19 +16,40 @@
 //! divergence is printed and the process exits non-zero, making the
 //! check usable as a CI gate. Exit codes: 0 clean, 1 cross-check
 //! mismatch or truncated journal, 2 usage or I/O error.
+//!
+//! `--consistency` renders the observatory's view of the journal — the
+//! divergence timeline and the stale-serve blame partition — and, when
+//! `--report` is also given, cross-checks the journal-derived blame
+//! counts, sample count and Δ-violations against the report's
+//! `consistency` section (exit 1 on any mismatch).
+//!
+//! `--baseline` gates the report's `fresh_fraction` against a committed
+//! baseline report: the run fails (exit 1) when its fresh fraction drops
+//! more than `--tolerance` (default 0.02) below the baseline's. This is
+//! the consistency half of the CI regression gate.
 
-use mp2p_experiments::{analyze_file, crosscheck, render_analysis, ReportTotals};
+use mp2p_experiments::{
+    analyze_file, crosscheck, crosscheck_consistency, render_analysis, render_consistency,
+    ConsistencyReportTotals, ReportTotals,
+};
 
 struct Args {
     trace: std::path::PathBuf,
     report: Option<std::path::PathBuf>,
     top: usize,
+    consistency: bool,
+    baseline: Option<std::path::PathBuf>,
+    tolerance: f64,
 }
 
 fn parse_args() -> Result<Args, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        return Err("usage: analyze --trace FILE.jsonl [--report FILE.json] [--top N]".into());
+        return Err(
+            "usage: analyze --trace FILE.jsonl [--report FILE.json] [--top N] \
+             [--consistency] [--baseline FILE.json] [--tolerance X]"
+                .into(),
+        );
     }
     let value_of = |flag: &str| -> Option<&String> {
         args.iter()
@@ -44,7 +66,36 @@ fn parse_args() -> Result<Args, String> {
             .map_err(|_| format!("--top expects a number, got {text:?}"))?,
         None => 10,
     };
-    Ok(Args { trace, report, top })
+    let consistency = args.iter().any(|a| a == "--consistency");
+    let baseline = value_of("--baseline").map(std::path::PathBuf::from);
+    let tolerance = match value_of("--tolerance") {
+        Some(text) => text
+            .parse()
+            .map_err(|_| format!("--tolerance expects a number, got {text:?}"))?,
+        None => 0.02,
+    };
+    if baseline.is_some() && report.is_none() {
+        return Err("--baseline needs --report (the run to gate)".into());
+    }
+    Ok(Args {
+        trace,
+        report,
+        top,
+        consistency,
+        baseline,
+        tolerance,
+    })
+}
+
+/// Reads and parses one report JSON file, exiting on I/O errors.
+fn read_report(path: &std::path::Path) -> String {
+    match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("cannot read report {}: {err}", path.display());
+            std::process::exit(2);
+        }
+    }
 }
 
 fn main() {
@@ -63,19 +114,16 @@ fn main() {
         }
     };
     print!("{}", render_analysis(&analysis, args.top));
+    if args.consistency {
+        print!("{}", render_consistency(&analysis.consistency));
+    }
 
     let mut failed = false;
     if analysis.orphan_tagged > 0 {
         failed = true; // already reported inside render_analysis
     }
     if let Some(path) = &args.report {
-        let text = match std::fs::read_to_string(path) {
-            Ok(text) => text,
-            Err(err) => {
-                eprintln!("cannot read report {}: {err}", path.display());
-                std::process::exit(2);
-            }
-        };
+        let text = read_report(path);
         let report = match ReportTotals::from_report_json(&text) {
             Some(report) => report,
             None => {
@@ -94,6 +142,72 @@ fn main() {
             eprintln!("\nCross-check against {} FAILED:", path.display());
             for line in &mismatches {
                 eprintln!("  {line}");
+            }
+        }
+
+        if args.consistency {
+            match ConsistencyReportTotals::from_report_json(&text) {
+                Some(consistency) => {
+                    let mismatches = crosscheck_consistency(&analysis.consistency, &consistency);
+                    if mismatches.is_empty() {
+                        println!(
+                            "Consistency cross-check against {}: exact agreement \
+                             ({} stale serves attributed)",
+                            path.display(),
+                            consistency.stale_served,
+                        );
+                    } else {
+                        failed = true;
+                        eprintln!(
+                            "\nConsistency cross-check against {} FAILED:",
+                            path.display()
+                        );
+                        for line in &mismatches {
+                            eprintln!("  {line}");
+                        }
+                    }
+                }
+                None => {
+                    eprintln!(
+                        "report {} has no consistency section (run with --consistency?)",
+                        path.display()
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+
+        if let Some(baseline_path) = &args.baseline {
+            let baseline_text = read_report(baseline_path);
+            let fresh_of = |text: &str, path: &std::path::Path| -> f64 {
+                match mp2p_trace::json::parse(text)
+                    .and_then(|v| v.get("fresh_fraction").and_then(|f| f.as_f64()))
+                {
+                    Some(fresh) => fresh,
+                    None => {
+                        eprintln!("report {} lacks fresh_fraction", path.display());
+                        std::process::exit(2);
+                    }
+                }
+            };
+            let run_fresh = fresh_of(&text, path);
+            let baseline_fresh = fresh_of(&baseline_text, baseline_path);
+            let floor = baseline_fresh - args.tolerance;
+            if run_fresh < floor {
+                failed = true;
+                eprintln!(
+                    "\nConsistency regression: fresh_fraction {run_fresh:.4} fell below \
+                     the baseline floor {floor:.4} (baseline {baseline_fresh:.4} from {}, \
+                     tolerance {:.3})",
+                    baseline_path.display(),
+                    args.tolerance,
+                );
+            } else {
+                println!(
+                    "Fresh-fraction gate: {run_fresh:.4} >= floor {floor:.4} \
+                     (baseline {baseline_fresh:.4}, tolerance {:.3})",
+                    args.tolerance,
+                );
             }
         }
     }

@@ -1,6 +1,6 @@
 //! Side-by-side strategy comparison at the Table 1 default point:
 //! `compare [--full] [--seed N] [--range M] [--faults PRESET] [--hardened]
-//! [--trace PREFIX] [--json FILE]`.
+//! [--consistency] [--trace PREFIX] [--json FILE]`.
 //!
 //! Prints traffic (total and per message class), latency, staleness,
 //! failure rate, relay population and energy for Pull, Push and the four
@@ -10,11 +10,18 @@
 //! `--json FILE` writes every run's machine-readable report — the same
 //! `RunReport::to_json` objects the `run` binary emits — as
 //! `{"seed":N,"reports":[...]}`.
+//!
+//! `--consistency` switches the observatory on for every strategy run:
+//! the table gains a consistency scorecard (stale serves attributed,
+//! Δ-consistency violations and the dominant blame cause per strategy),
+//! each report in `--json` carries its `consistency` section, and
+//! `--trace` journals are written at schema 2.
 
 use mp2p_experiments::{render_table, RunOptions};
 use mp2p_metrics::MessageClass;
-use mp2p_rpcc::{RunReport, World, WorldConfig};
-use mp2p_trace::JsonlSink;
+use mp2p_rpcc::{ObservatoryConfig, RunReport, World, WorldConfig};
+use mp2p_sim::SimDuration;
+use mp2p_trace::{BlameCause, JsonlSink};
 
 /// `RPCC(SC)` → `RPCC-SC`: keep trace filenames shell-friendly.
 fn sanitize(name: &str) -> String {
@@ -69,6 +76,7 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned();
     let hardened = args.iter().any(|a| a == "--hardened");
+    let consistency = args.iter().any(|a| a == "--consistency");
     let opts = if full {
         RunOptions::full()
     } else {
@@ -96,6 +104,9 @@ fn main() {
             if hardened {
                 cfg.proto = cfg.proto.hardened();
             }
+            if consistency {
+                cfg.observatory = ObservatoryConfig::full(SimDuration::from_secs(30));
+            }
             if let Some(preset) = &fault_preset {
                 cfg.faults =
                     mp2p_net::FaultPlan::preset(preset, cfg.sim_time).unwrap_or_else(|| {
@@ -109,7 +120,14 @@ fn main() {
             let mut world = World::new(cfg);
             if let Some(prefix) = &trace_prefix {
                 let path = format!("{prefix}-{}.jsonl", sanitize(spec.name));
-                match JsonlSink::create(std::path::Path::new(&path)) {
+                // Observatory records are schema-2 kinds; a v1 journal
+                // would silently skip them.
+                let made = if consistency {
+                    JsonlSink::create_v2_with_warmup(std::path::Path::new(&path), opts.warmup)
+                } else {
+                    JsonlSink::create(std::path::Path::new(&path))
+                };
+                match made {
                     Ok(sink) => {
                         world.set_tracer(Box::new(sink));
                         eprintln!("tracing {} -> {path}", spec.name);
@@ -157,12 +175,36 @@ fn main() {
     });
     row("queries served", &|r| r.queries_served().to_string());
     row("failure rate", &|r| format!("{:.4}", r.failure_rate()));
-    row("stale answers", &|r| {
-        format!("{:.4}", 1.0 - r.audit.fresh_fraction())
+    row("fresh fraction", &|r| {
+        format!("{:.4}", r.audit.fresh_fraction())
     });
+    row("stale served", &|r| r.audit.stale_served().to_string());
     row("max staleness (s)", &|r| {
         format!("{:.1}", r.audit.max_staleness().as_secs_f64())
     });
+    if consistency {
+        // The consistency scorecard: what the observatory attributed.
+        row("stale attributed", &|r| {
+            r.consistency
+                .map_or_else(|| "-".into(), |c| c.blamed_total().to_string())
+        });
+        row("Δ violations", &|r| {
+            r.consistency
+                .map_or_else(|| "-".into(), |c| c.delta_violations.to_string())
+        });
+        row("dominant blame", &|r| {
+            r.consistency.map_or_else(
+                || "-".into(),
+                |c| {
+                    BlameCause::ALL
+                        .into_iter()
+                        .max_by_key(|cause| c.blame[cause.index()])
+                        .filter(|cause| c.blame[cause.index()] > 0)
+                        .map_or_else(|| "none".into(), |cause| cause.label().to_string())
+                },
+            )
+        });
+    }
     row("relay items (mean)", &|r| {
         format!("{:.1}", r.relay_gauge.mean())
     });

@@ -8,6 +8,7 @@
 //!     [--ttl HOPS] [--loss P] [--no-churn] [--oracle-routing]
 //!     [--adaptive] [--relay-cap N] [--single-item] [--seed N]
 //!     [--faults none|bursty|partition|crash|hostile] [--hardened]
+//!     [--consistency] [--sample-secs S]
 //!     [--trace FILE.jsonl] [--json FILE.json] [--profile]
 //! ```
 //!
@@ -33,12 +34,22 @@
 //! time table is printed after the run and the `--json` report gains a
 //! `perf` section. Profiling is strictly observational — the simulated
 //! results are bit-identical either way.
+//!
+//! `--consistency` switches the consistency observatory on: the
+//! divergence sampler ticks every `--sample-secs` (default 30) simulated
+//! seconds, every stale serve is blame-attributed, the `--json` report
+//! gains a `consistency` section, and a `--trace` journal is written at
+//! schema 2 so the `ConsistencySample`/`StaleServe` records fit. Without
+//! the flag the journal and report bytes are identical to a build without
+//! the observatory.
 
 use mp2p_experiments::render_table;
 use mp2p_metrics::MessageClass;
-use mp2p_rpcc::{LevelMix, RoutingMode, Strategy, WorkloadMode, World, WorldConfig};
+use mp2p_rpcc::{
+    LevelMix, ObservatoryConfig, RoutingMode, Strategy, WorkloadMode, World, WorldConfig,
+};
 use mp2p_sim::SimDuration;
-use mp2p_trace::{EventKind, JsonlSink, SummarySink, TeeSink};
+use mp2p_trace::{BlameCause, EventKind, JsonlSink, SummarySink, TeeSink};
 
 fn parse_args() -> Result<
     (
@@ -137,6 +148,15 @@ fn parse_args() -> Result<
     if args.iter().any(|a| a == "--hardened") {
         cfg.proto = cfg.proto.hardened();
     }
+    if args.iter().any(|a| a == "--consistency") {
+        let period = match value_of("--sample-secs") {
+            Some(v) => SimDuration::from_secs_f64(parse("--sample-secs", v)?),
+            None => SimDuration::from_secs(30),
+        };
+        cfg.observatory = ObservatoryConfig::full(period);
+    } else if value_of("--sample-secs").is_some() {
+        return Err("--sample-secs only makes sense together with --consistency".into());
+    }
     // Resolved after --sim so the preset windows scale to the actual run.
     if let Some(v) = value_of("--faults") {
         cfg.faults = mp2p_net::FaultPlan::preset(v, cfg.sim_time).ok_or_else(|| {
@@ -181,12 +201,20 @@ fn main() {
     );
     let writes_on = cfg.i_write.is_some();
     let warmup = cfg.warmup;
+    let observatory_on = cfg.observatory.enabled();
     let mut world = World::new(cfg);
     if profile {
         world.enable_profiling();
     }
     if let Some(path) = &trace_path {
-        let jsonl = match JsonlSink::create_with_warmup(path, warmup) {
+        // The observatory's records are schema-2 kinds; a plain v1 sink
+        // would silently skip them.
+        let made = if observatory_on {
+            JsonlSink::create_v2_with_warmup(path, warmup)
+        } else {
+            JsonlSink::create_with_warmup(path, warmup)
+        };
+        let jsonl = match made {
             Ok(sink) => sink,
             Err(err) => {
                 eprintln!("cannot create trace file {}: {err}", path.display());
@@ -243,8 +271,16 @@ fn main() {
         format!("{:.3}s", report.latency.percentile(0.95).as_secs_f64()),
     );
     row(
-        "stale answers",
-        format!("{:.2}%", (1.0 - report.audit.fresh_fraction()) * 100.0),
+        "fresh fraction",
+        format!("{:.4}", report.audit.fresh_fraction()),
+    );
+    row(
+        "stale served",
+        format!(
+            "{} ({:.2}%)",
+            report.audit.stale_served(),
+            (1.0 - report.audit.fresh_fraction()) * 100.0
+        ),
     );
     row(
         "max staleness",
@@ -307,6 +343,26 @@ fn main() {
         }
     }
     print!("{}", render_table(&["class", "transmissions"], &rows));
+
+    if let Some(consistency) = &report.consistency {
+        println!(
+            "\nConsistency observatory: {} divergence samples, {} stale serves attributed, \
+             {} Δ-violations",
+            consistency.samples,
+            consistency.blamed_total(),
+            consistency.delta_violations,
+        );
+        let mut rows = Vec::new();
+        for cause in BlameCause::ALL {
+            let n = consistency.blame[cause.index()];
+            if n > 0 {
+                rows.push(vec![cause.label().to_string(), n.to_string()]);
+            }
+        }
+        if !rows.is_empty() {
+            print!("{}", render_table(&["blame cause", "stale serves"], &rows));
+        }
+    }
 
     if let Some(perf) = &report.perf {
         println!(

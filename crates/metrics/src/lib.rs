@@ -38,5 +38,7 @@ pub use registry::{
     metric_name, valid_label_key, valid_metric_name, Registry, WindowedCounter, WindowedGauge,
     WindowedHistogram,
 };
-pub use staleness::{ConsistencyAudit, ServedQuery, VersionHistory};
+pub use staleness::{
+    age_bucket, ConsistencyAudit, ServedQuery, VersionHistory, AGE_BUCKETS, AGE_BUCKET_EDGES,
+};
 pub use traffic::{MessageClass, TrafficStats};

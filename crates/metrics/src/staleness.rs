@@ -69,6 +69,42 @@ impl VersionHistory {
     }
 }
 
+/// Upper edges (exclusive) of the staleness-age histogram buckets used by
+/// the consistency observatory's divergence sampler. An age falls in
+/// bucket `i` iff it is `< AGE_BUCKET_EDGES[i]` and not below any earlier
+/// edge; ages at or past the last edge land in the overflow bucket. An
+/// age *exactly on* an edge therefore belongs to the bucket above it.
+pub const AGE_BUCKET_EDGES: [SimDuration; 5] = [
+    SimDuration::from_secs(1),
+    SimDuration::from_secs(5),
+    SimDuration::from_secs(15),
+    SimDuration::from_secs(60),
+    SimDuration::from_secs(300),
+];
+
+/// Number of staleness-age histogram buckets (the edges plus overflow).
+pub const AGE_BUCKETS: usize = AGE_BUCKET_EDGES.len() + 1;
+
+/// The histogram bucket a staleness age falls into (see
+/// [`AGE_BUCKET_EDGES`] for the edge convention).
+///
+/// # Example
+///
+/// ```
+/// use mp2p_metrics::{age_bucket, AGE_BUCKETS};
+/// use mp2p_sim::SimDuration;
+///
+/// assert_eq!(age_bucket(SimDuration::ZERO), 0);
+/// assert_eq!(age_bucket(SimDuration::from_secs(1)), 1); // exact edge: above
+/// assert_eq!(age_bucket(SimDuration::from_secs(999)), AGE_BUCKETS - 1);
+/// ```
+pub fn age_bucket(age: SimDuration) -> usize {
+    AGE_BUCKET_EDGES
+        .iter()
+        .position(|&edge| age < edge)
+        .unwrap_or(AGE_BUCKET_EDGES.len())
+}
+
 /// One served query, as reported to the audit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServedQuery {

@@ -1,0 +1,147 @@
+//! Property tests for [`mp2p_metrics::VersionHistory`] and the
+//! observatory's staleness-age bucketing — the arithmetic every
+//! divergence sample and blame record rests on.
+
+use mp2p_cache::Version;
+use mp2p_metrics::{
+    age_bucket, ConsistencyAudit, ServedQuery, VersionHistory, AGE_BUCKETS, AGE_BUCKET_EDGES,
+};
+use mp2p_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// A history built from arbitrary non-decreasing update instants.
+fn history_from(gaps_ms: &[u64]) -> (VersionHistory, Vec<SimTime>) {
+    let mut h = VersionHistory::new();
+    let mut at = SimTime::ZERO;
+    let mut instants = vec![SimTime::ZERO]; // v0: creation
+    for &gap in gaps_ms {
+        at += SimDuration::from_millis(gap);
+        h.record_update(at);
+        instants.push(at);
+    }
+    (h, instants)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Staleness is monotone non-decreasing in serve time: waiting longer
+    /// to serve the same version can never make it *less* stale.
+    #[test]
+    fn staleness_is_monotone_in_serve_time(
+        gaps_ms in proptest::collection::vec(0u64..600_000, 1..20),
+        version in 0u64..20,
+        t1_ms in 0u64..10_000_000,
+        dt_ms in 0u64..10_000_000,
+    ) {
+        let (h, _) = history_from(&gaps_ms);
+        let version = Version::new(version.min(h.current().get()));
+        let t1 = SimTime::from_millis(t1_ms);
+        let t2 = SimTime::from_millis(t1_ms + dt_ms);
+        prop_assert!(h.staleness(version, t1) <= h.staleness(version, t2));
+    }
+
+    /// The current version is never stale, whatever the serve time; any
+    /// superseded version is stale exactly from its successor's install
+    /// instant onward.
+    #[test]
+    fn staleness_starts_at_the_superseding_instant(
+        gaps_ms in proptest::collection::vec(1u64..600_000, 1..20),
+        version in 0u64..20,
+        offset_ms in 0u64..1_000_000,
+    ) {
+        let (h, instants) = history_from(&gaps_ms);
+        let now = *instants.last().unwrap() + SimDuration::from_millis(offset_ms);
+        prop_assert_eq!(h.staleness(h.current(), now), SimDuration::ZERO);
+        let v = version.min(h.current().get().saturating_sub(1));
+        let superseded_at = instants[v as usize + 1];
+        prop_assert_eq!(
+            h.staleness(Version::new(v), now),
+            now.saturating_since(superseded_at),
+        );
+        // At (or before) the superseding instant itself: not yet stale.
+        prop_assert_eq!(
+            h.staleness(Version::new(v), superseded_at),
+            SimDuration::ZERO
+        );
+    }
+
+    /// Updates recorded at the same instant keep version order: each
+    /// version's install time is non-decreasing, `current` advances by
+    /// one per update, and every same-instant predecessor is already
+    /// zero-stale — staleness only accrues once sim time moves on.
+    #[test]
+    fn same_instant_updates_preserve_version_order(
+        at_ms in 0u64..1_000_000,
+        burst in 2usize..8,
+        later_ms in 1u64..600_000,
+    ) {
+        let mut h = VersionHistory::new();
+        let at = SimTime::from_millis(at_ms);
+        for i in 0..burst {
+            h.record_update(at);
+            prop_assert_eq!(h.current(), Version::new(i as u64 + 1));
+        }
+        for v in 1..=burst as u64 {
+            prop_assert_eq!(h.installed_at(Version::new(v)), Some(at));
+            // At the burst instant nothing has aged yet...
+            prop_assert_eq!(h.staleness(Version::new(v), at), SimDuration::ZERO);
+        }
+        // ...but later, every superseded burst version is equally stale,
+        // while the burst's last version stays fresh.
+        let later = at + SimDuration::from_millis(later_ms);
+        for v in 1..burst as u64 {
+            prop_assert_eq!(
+                h.staleness(Version::new(v), later),
+                SimDuration::from_millis(later_ms)
+            );
+        }
+        prop_assert_eq!(h.staleness(Version::new(burst as u64), later), SimDuration::ZERO);
+    }
+
+    /// Every age lands in exactly one bucket, bucketing is monotone, and
+    /// an age exactly on an edge belongs to the bucket *above* it.
+    #[test]
+    fn age_bucketing_is_total_monotone_and_edge_exact(
+        age_ms in 0u64..10_000_000,
+        bump_ms in 0u64..10_000_000,
+    ) {
+        let a = SimDuration::from_millis(age_ms);
+        let b = SimDuration::from_millis(age_ms + bump_ms);
+        prop_assert!(age_bucket(a) < AGE_BUCKETS);
+        prop_assert!(age_bucket(a) <= age_bucket(b));
+        for (i, &edge) in AGE_BUCKET_EDGES.iter().enumerate() {
+            // Exactly on the edge: the upper bucket. One ms below: below.
+            prop_assert_eq!(age_bucket(edge), i + 1);
+            prop_assert_eq!(age_bucket(edge - SimDuration::from_millis(1)), i);
+        }
+    }
+
+    /// The audit's stale/fresh split agrees with the history: a serve is
+    /// stale iff the served version is behind the master, independent of
+    /// the time-staleness magnitude.
+    #[test]
+    fn audit_stale_count_matches_version_lag(
+        gaps_ms in proptest::collection::vec(1u64..600_000, 1..15),
+        serves in proptest::collection::vec((0u64..15, 0u64..1_000_000), 1..30),
+    ) {
+        let (h, instants) = history_from(&gaps_ms);
+        let end = *instants.last().unwrap();
+        let mut audit = ConsistencyAudit::default();
+        let mut expected_stale = 0u64;
+        for &(v, offset) in &serves {
+            let served = Version::new(v.min(h.current().get()));
+            let now = end + SimDuration::from_millis(offset);
+            audit.record(ServedQuery {
+                served,
+                master: h.current(),
+                staleness: h.staleness(served, now),
+            });
+            if served < h.current() {
+                expected_stale += 1;
+            }
+        }
+        prop_assert_eq!(audit.served(), serves.len() as u64);
+        prop_assert_eq!(audit.stale_served(), expected_stale);
+    }
+}

@@ -100,6 +100,31 @@ impl MetricsBridge {
             TraceEvent::PartitionHeal { .. } => self.fault(at, "partition_heal"),
             TraceEvent::RelayLeaseExpired { .. } => self.fault(at, "relay_lease_expired"),
             TraceEvent::FallbackFlood { .. } => self.fault(at, "fallback_flood"),
+            TraceEvent::ConsistencySample {
+                fresh_copies,
+                total_copies,
+                partitions,
+                relay_nodes,
+                ..
+            } => {
+                self.registry
+                    .gauge_set("consistency_fresh_copies", at, i64::from(fresh_copies));
+                self.registry
+                    .gauge_set("consistency_total_copies", at, i64::from(total_copies));
+                self.registry
+                    .gauge_set("consistency_partitions", at, i64::from(partitions));
+                self.registry
+                    .gauge_set("consistency_relay_nodes", at, i64::from(relay_nodes));
+            }
+            TraceEvent::StaleServe {
+                cause, violation, ..
+            } => {
+                let name = format!("stale_served_total{{cause=\"{}\"}}", cause.label());
+                self.registry.counter_add(&name, at, 1);
+                if violation {
+                    self.registry.counter_add("delta_violations_total", at, 1);
+                }
+            }
             _ => {}
         }
     }

@@ -6,7 +6,7 @@
 //! milestones, and node churn. Events are plain `Copy` data so the
 //! recording hot path never allocates.
 
-use mp2p_metrics::MessageClass;
+use mp2p_metrics::{MessageClass, AGE_BUCKETS};
 use mp2p_sim::{ItemId, NodeId, SimTime};
 
 use crate::json;
@@ -94,6 +94,76 @@ impl RelayTransitionKind {
     /// Inverse of [`RelayTransitionKind::label`] (journal parsing).
     pub fn from_label(label: &str) -> Option<RelayTransitionKind> {
         Self::ALL.into_iter().find(|k| k.label() == label)
+    }
+}
+
+/// The proximate cause the consistency observatory assigns to one stale
+/// serve: why did this cache answer with a superseded version?
+///
+/// The variants are ordered by attribution priority — when several
+/// hazards touched the same copy, the blame tracker charges the first
+/// one listed here whose evidence post-dates the served version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlameCause {
+    /// At some update the holder was unreachable from the source
+    /// (different connected component, or switched off/crashed).
+    Partitioned,
+    /// A frame carrying an invalidation/update/resync payload for this
+    /// copy was lost on the channel (burst loss, MAC drop, no route).
+    InvalidateLost,
+    /// The holder's volatile state was wiped by an injected crash; the
+    /// re-populated copy lost its propagation provenance.
+    CrashWipe,
+    /// The holder's relay lease expired without source contact, so it
+    /// was no longer on any update push path.
+    LeaseOrphan,
+    /// A newer version was transmitted but had not yet been applied at
+    /// this holder when it answered (propagation in flight).
+    RaceInFlight,
+    /// No propagation of the newer version was ever transmitted — the
+    /// running strategy simply does not push to this holder (e.g. the
+    /// pull baseline between TTR polls).
+    UpdateNeverSent,
+}
+
+impl BlameCause {
+    /// All causes, in attribution-priority order.
+    pub const ALL: [BlameCause; 6] = [
+        BlameCause::Partitioned,
+        BlameCause::InvalidateLost,
+        BlameCause::CrashWipe,
+        BlameCause::LeaseOrphan,
+        BlameCause::RaceInFlight,
+        BlameCause::UpdateNeverSent,
+    ];
+
+    /// Position of this cause in [`BlameCause::ALL`] (stable array index).
+    pub fn index(self) -> usize {
+        match self {
+            BlameCause::Partitioned => 0,
+            BlameCause::InvalidateLost => 1,
+            BlameCause::CrashWipe => 2,
+            BlameCause::LeaseOrphan => 3,
+            BlameCause::RaceInFlight => 4,
+            BlameCause::UpdateNeverSent => 5,
+        }
+    }
+
+    /// Short snake_case label used in JSONL output and blame tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            BlameCause::Partitioned => "partitioned",
+            BlameCause::InvalidateLost => "invalidate_lost",
+            BlameCause::CrashWipe => "crash_wipe",
+            BlameCause::LeaseOrphan => "lease_orphan",
+            BlameCause::RaceInFlight => "race_in_flight",
+            BlameCause::UpdateNeverSent => "update_never_sent",
+        }
+    }
+
+    /// Inverse of [`BlameCause::label`] (journal parsing).
+    pub fn from_label(label: &str) -> Option<BlameCause> {
+        Self::ALL.into_iter().find(|c| c.label() == label)
     }
 }
 
@@ -448,6 +518,47 @@ pub enum TraceEvent {
         /// The item being polled.
         item: ItemId,
     },
+    /// One tick of the consistency observatory's divergence sampler: a
+    /// global snapshot of how far the cached copies have drifted from
+    /// their masters. Journal schema ≥ 2 only.
+    ConsistencySample {
+        /// Cached copies holding the current master version.
+        fresh_copies: u32,
+        /// Cached copies audited in total.
+        total_copies: u32,
+        /// Items with at least one cached copy.
+        items_replicated: u32,
+        /// Largest replica count of any single item.
+        max_replicas: u32,
+        /// Connected components among switched-on nodes (1 = fully
+        /// reachable; more = the terrain is partitioned).
+        partitions: u32,
+        /// Nodes currently holding at least one relay duty.
+        relay_nodes: u32,
+        /// Histogram of stale-copy ages over
+        /// [`mp2p_metrics::AGE_BUCKET_EDGES`] (last bucket = overflow).
+        ages: [u32; AGE_BUCKETS],
+    },
+    /// A measured query was answered with a superseded version, with the
+    /// proximate cause the blame tracker attributed. Journal schema ≥ 2
+    /// only.
+    StaleServe {
+        /// The peer that got the stale answer.
+        node: NodeId,
+        /// The query number from [`TraceEvent::QueryIssued`].
+        query: u64,
+        /// The stale item.
+        item: ItemId,
+        /// Why the copy was stale.
+        cause: BlameCause,
+        /// How long the served version had been superseded, in ms.
+        staleness_ms: u64,
+        /// Versions behind the master.
+        lag: u64,
+        /// True if the staleness exceeded the run's Δ (the TTP), i.e.
+        /// this serve violated Δ-consistency (Eq. 3.2.2).
+        violation: bool,
+    },
 }
 
 /// Discriminant of a [`TraceEvent`], for counting and table rendering.
@@ -507,11 +618,16 @@ pub enum EventKind {
     FallbackFlood,
     /// See [`TraceEvent::QueryPhase`].
     QueryPhase,
+    /// See [`TraceEvent::ConsistencySample`].
+    ConsistencySample,
+    /// See [`TraceEvent::StaleServe`].
+    StaleServe,
 }
 
 impl EventKind {
-    /// All kinds, for iteration and table rendering.
-    pub const ALL: [EventKind; 27] = [
+    /// All kinds, for iteration and table rendering. Schema-2 kinds are
+    /// appended at the end so schema-1 indices stay stable.
+    pub const ALL: [EventKind; 29] = [
         EventKind::MsgSend,
         EventKind::MsgDeliver,
         EventKind::MacDrop,
@@ -539,6 +655,8 @@ impl EventKind {
         EventKind::RelayLeaseExpired,
         EventKind::FallbackFlood,
         EventKind::QueryPhase,
+        EventKind::ConsistencySample,
+        EventKind::StaleServe,
     ];
 
     /// Position of this kind in [`EventKind::ALL`] (stable array index
@@ -580,12 +698,24 @@ impl EventKind {
             EventKind::RelayLeaseExpired => "relay_lease_expired",
             EventKind::FallbackFlood => "fallback_flood",
             EventKind::QueryPhase => "query_phase",
+            EventKind::ConsistencySample => "consistency",
+            EventKind::StaleServe => "stale_serve",
         }
     }
 
     /// Inverse of [`EventKind::label`] (journal parsing).
     pub fn from_label(label: &str) -> Option<EventKind> {
         Self::ALL.into_iter().find(|k| k.label() == label)
+    }
+
+    /// The lowest journal schema whose vocabulary includes this kind.
+    /// A [`crate::JsonlSink`] writing an older schema skips the event;
+    /// a [`crate::JournalReader`] of an older journal rejects its line.
+    pub fn min_schema(self) -> u64 {
+        match self {
+            EventKind::ConsistencySample | EventKind::StaleServe => 2,
+            _ => 1,
+        }
     }
 }
 
@@ -620,6 +750,8 @@ impl TraceEvent {
             TraceEvent::RelayLeaseExpired { .. } => EventKind::RelayLeaseExpired,
             TraceEvent::FallbackFlood { .. } => EventKind::FallbackFlood,
             TraceEvent::QueryPhase { .. } => EventKind::QueryPhase,
+            TraceEvent::ConsistencySample { .. } => EventKind::ConsistencySample,
+            TraceEvent::StaleServe { .. } => EventKind::StaleServe,
         }
     }
 
@@ -813,6 +945,47 @@ impl TraceEvent {
                 field_str(out, "phase", phase.label());
                 field_num(out, "attempt", u64::from(attempt));
             }
+            TraceEvent::ConsistencySample {
+                fresh_copies,
+                total_copies,
+                items_replicated,
+                max_replicas,
+                partitions,
+                relay_nodes,
+                ages,
+            } => {
+                field_num(out, "fresh", u64::from(fresh_copies));
+                field_num(out, "copies", u64::from(total_copies));
+                field_num(out, "items", u64::from(items_replicated));
+                field_num(out, "max_replicas", u64::from(max_replicas));
+                field_num(out, "partitions", u64::from(partitions));
+                field_num(out, "relay_nodes", u64::from(relay_nodes));
+                out.push_str(",\"ages\":[");
+                for (i, count) in ages.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{count}");
+                }
+                out.push(']');
+            }
+            TraceEvent::StaleServe {
+                node,
+                query,
+                item,
+                cause,
+                staleness_ms,
+                lag,
+                violation,
+            } => {
+                field_num(out, "node", node.index() as u64);
+                field_num(out, "query", query);
+                field_num(out, "item", item.index() as u64);
+                field_str(out, "cause", cause.label());
+                field_num(out, "staleness_ms", staleness_ms);
+                field_num(out, "lag", lag);
+                let _ = write!(out, ",\"violation\":{violation}");
+            }
         }
         out.push('}');
     }
@@ -950,6 +1123,33 @@ pub(crate) mod tests {
                 phase: SpanPhase::Grace,
                 attempt: 0,
             },
+            TraceEvent::ConsistencySample {
+                fresh_copies: 12,
+                total_copies: 20,
+                items_replicated: 7,
+                max_replicas: 5,
+                partitions: 2,
+                relay_nodes: 4,
+                ages: [3, 2, 1, 1, 0, 1],
+            },
+            TraceEvent::StaleServe {
+                node: n,
+                query: 7,
+                item,
+                cause: BlameCause::InvalidateLost,
+                staleness_ms: 1_500,
+                lag: 2,
+                violation: false,
+            },
+            TraceEvent::StaleServe {
+                node: m,
+                query: 11,
+                item,
+                cause: BlameCause::Partitioned,
+                staleness_ms: 250_000,
+                lag: 4,
+                violation: true,
+            },
         ]
     }
 
@@ -1026,6 +1226,7 @@ pub(crate) mod tests {
             SpanPhase::ALL.map(SpanPhase::label).to_vec(),
             LevelTag::ALL.map(LevelTag::label).to_vec(),
             ServedBy::ALL.map(ServedBy::label).to_vec(),
+            BlameCause::ALL.map(BlameCause::label).to_vec(),
             RelayTransitionKind::ALL
                 .map(RelayTransitionKind::label)
                 .to_vec(),
@@ -1038,6 +1239,19 @@ pub(crate) mod tests {
         for (i, phase) in SpanPhase::ALL.into_iter().enumerate() {
             assert_eq!(phase.index(), i);
             assert_eq!(SpanPhase::from_label(phase.label()), Some(phase));
+        }
+        for (i, cause) in BlameCause::ALL.into_iter().enumerate() {
+            assert_eq!(cause.index(), i);
+            assert_eq!(BlameCause::from_label(cause.label()), Some(cause));
+        }
+    }
+
+    #[test]
+    fn only_observatory_kinds_require_schema_two() {
+        for kind in EventKind::ALL {
+            let expected = matches!(kind, EventKind::ConsistencySample | EventKind::StaleServe);
+            assert_eq!(kind.min_schema() == 2, expected, "{kind:?}");
+            assert!(kind.min_schema() >= 1);
         }
     }
 }

@@ -62,5 +62,10 @@ pub mod span;
 
 pub mod bridge;
 
-pub use event::{EventKind, LevelTag, RelayTransitionKind, ServedBy, SpanPhase, TraceEvent};
-pub use sink::{JsonlSink, NullSink, RingSink, SummarySink, TeeSink, TraceSink, JOURNAL_SCHEMA};
+pub use event::{
+    BlameCause, EventKind, LevelTag, RelayTransitionKind, ServedBy, SpanPhase, TraceEvent,
+};
+pub use sink::{
+    JsonlSink, NullSink, RingSink, SummarySink, TeeSink, TraceSink, JOURNAL_KINDS_V1,
+    JOURNAL_SCHEMA, JOURNAL_SCHEMA_V1,
+};

@@ -1,12 +1,17 @@
 //! Offline journal reading: parse a JSONL trace back into typed events.
 //!
 //! A journal written by [`crate::JsonlSink`] starts with one versioned
-//! header object (`{"schema":1,...}`) followed by one event object per
-//! line. [`JournalReader`] streams it line-by-line — it never buffers
-//! the whole file — checking the schema up front and turning each line
-//! back into a `(SimTime, TraceEvent)` pair via the label inverses
-//! (`EventKind::from_label` and friends). Serialise-then-parse is the
-//! identity on every event variant (see the roundtrip test).
+//! header object (`{"schema":1,...}` or `{"schema":2,...}`) followed by
+//! one event object per line. [`JournalReader`] streams it line-by-line —
+//! it never buffers the whole file — checking the schema up front and
+//! turning each line back into a `(SimTime, TraceEvent)` pair via the
+//! label inverses (`EventKind::from_label` and friends). Parsing is
+//! version-gated: the reader accepts every schema up to
+//! [`JOURNAL_SCHEMA`], and a line whose kind post-dates the journal's
+//! declared schema (e.g. a `consistency` record in a schema-1 journal)
+//! is a [`ReadError::BadLine`], not a silently-adopted event.
+//! Serialise-then-parse is the identity on every event variant (see the
+//! roundtrip test).
 
 use std::fmt;
 use std::io::{self, BufRead};
@@ -14,14 +19,16 @@ use std::io::{self, BufRead};
 use mp2p_metrics::MessageClass;
 use mp2p_sim::{ItemId, NodeId, SimTime};
 
-use crate::event::{EventKind, LevelTag, RelayTransitionKind, ServedBy, SpanPhase, TraceEvent};
+use crate::event::{
+    BlameCause, EventKind, LevelTag, RelayTransitionKind, ServedBy, SpanPhase, TraceEvent,
+};
 use crate::json::{self, Value};
 use crate::sink::JOURNAL_SCHEMA;
 
 /// The journal's leading metadata record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct JournalHeader {
-    /// Schema version (must equal [`JOURNAL_SCHEMA`]).
+    /// Schema version (between 1 and [`JOURNAL_SCHEMA`] inclusive).
     pub schema: u64,
     /// How many event kinds the writer knew about.
     pub kinds: u64,
@@ -59,7 +66,7 @@ impl fmt::Display for ReadError {
             }
             ReadError::SchemaMismatch { found } => write!(
                 f,
-                "journal schema {found} unsupported (reader speaks {JOURNAL_SCHEMA})"
+                "journal schema {found} unsupported (reader speaks 1..={JOURNAL_SCHEMA})"
             ),
             ReadError::BadLine { line_no, text } => {
                 write!(f, "unparseable journal line {line_no}: {text}")
@@ -115,7 +122,7 @@ impl<R: BufRead> JournalReader<R> {
         // A non-UTF-8 first line cannot be the header object.
         let text = std::str::from_utf8(&buf).map_err(|_| ReadError::MissingHeader)?;
         let header = parse_header(text.trim_end()).ok_or(ReadError::MissingHeader)?;
-        if header.schema != JOURNAL_SCHEMA {
+        if header.schema == 0 || header.schema > JOURNAL_SCHEMA {
             return Err(ReadError::SchemaMismatch {
                 found: header.schema,
             });
@@ -164,10 +171,12 @@ impl<R: BufRead> Iterator for JournalReader<R> {
             if text.is_empty() {
                 continue; // tolerate a trailing blank line
             }
-            return Some(parse_event(text).ok_or_else(|| ReadError::BadLine {
-                line_no: self.line_no,
-                text: text.chars().take(160).collect(),
-            }));
+            return Some(
+                parse_event_versioned(text, self.header.schema).ok_or_else(|| ReadError::BadLine {
+                    line_no: self.line_no,
+                    text: text.chars().take(160).collect(),
+                }),
+            );
         }
     }
 }
@@ -183,12 +192,24 @@ fn parse_header(line: &str) -> Option<JournalHeader> {
     })
 }
 
-/// Parses one event line back into the pair `write_json` flattened.
-/// Returns `None` on any structural or vocabulary mismatch.
+/// Parses one event line back into the pair `write_json` flattened,
+/// accepting the full current vocabulary. Returns `None` on any
+/// structural or vocabulary mismatch.
 pub fn parse_event(line: &str) -> Option<(SimTime, TraceEvent)> {
+    parse_event_versioned(line, JOURNAL_SCHEMA)
+}
+
+/// Version-gated [`parse_event`]: a kind introduced after `schema` (see
+/// [`EventKind::min_schema`]) does not parse, so a schema-1 journal
+/// carrying schema-2 records is rejected line-accurately instead of
+/// silently adopted.
+pub fn parse_event_versioned(line: &str, schema: u64) -> Option<(SimTime, TraceEvent)> {
     let v = json::parse(line)?;
     let at = SimTime::from_millis(v.get("t")?.as_u64()?);
     let kind = EventKind::from_label(v.get("ev")?.as_str()?)?;
+    if kind.min_schema() > schema {
+        return None;
+    }
 
     let num = |key: &str| v.get(key).and_then(Value::as_u64);
     let node_field = |key: &str| num(key).map(|n| NodeId::new(n as u32));
@@ -338,6 +359,36 @@ pub fn parse_event(line: &str) -> Option<(SimTime, TraceEvent)> {
             query: num("query")?,
             item: item_field("item")?,
         },
+        EventKind::ConsistencySample => {
+            let Value::Arr(raw) = v.get("ages")? else {
+                return None;
+            };
+            if raw.len() != mp2p_metrics::AGE_BUCKETS {
+                return None;
+            }
+            let mut ages = [0u32; mp2p_metrics::AGE_BUCKETS];
+            for (slot, value) in ages.iter_mut().zip(raw) {
+                *slot = value.as_u64()? as u32;
+            }
+            TraceEvent::ConsistencySample {
+                fresh_copies: num("fresh")? as u32,
+                total_copies: num("copies")? as u32,
+                items_replicated: num("items")? as u32,
+                max_replicas: num("max_replicas")? as u32,
+                partitions: num("partitions")? as u32,
+                relay_nodes: num("relay_nodes")? as u32,
+                ages,
+            }
+        }
+        EventKind::StaleServe => TraceEvent::StaleServe {
+            node: node_field("node")?,
+            query: num("query")?,
+            item: item_field("item")?,
+            cause: BlameCause::from_label(v.get("cause")?.as_str()?)?,
+            staleness_ms: num("staleness_ms")?,
+            lag: num("lag")?,
+            violation: v.get("violation")?.as_bool()?,
+        },
     };
     Some((at, event))
 }
@@ -373,7 +424,7 @@ mod tests {
         ));
         {
             let mut sink =
-                JsonlSink::create_with_warmup(&path, SimDuration::from_secs(60)).unwrap();
+                JsonlSink::create_v2_with_warmup(&path, SimDuration::from_secs(60)).unwrap();
             for (i, event) in crate::event::tests::samples().into_iter().enumerate() {
                 sink.record(SimTime::from_millis(i as u64 * 10), &event);
             }
@@ -410,6 +461,61 @@ mod tests {
         let future = "{\"schema\":99}\n";
         let r = JournalReader::new(BufReader::new(future.as_bytes()));
         assert!(matches!(r, Err(ReadError::SchemaMismatch { found: 99 })));
+
+        let zero = "{\"schema\":0}\n";
+        let r = JournalReader::new(BufReader::new(zero.as_bytes()));
+        assert!(matches!(r, Err(ReadError::SchemaMismatch { found: 0 })));
+    }
+
+    #[test]
+    fn both_supported_schemas_are_accepted() {
+        for schema in 1..=JOURNAL_SCHEMA {
+            let journal =
+                format!("{{\"schema\":{schema}}}\n{{\"t\":5,\"ev\":\"node_up\",\"node\":1}}\n");
+            let mut reader = JournalReader::new(BufReader::new(journal.as_bytes())).unwrap();
+            assert_eq!(reader.header().schema, schema);
+            let (at, event) = reader.next().unwrap().unwrap();
+            assert_eq!(at.as_millis(), 5);
+            assert_eq!(event.kind(), EventKind::NodeUp);
+        }
+    }
+
+    #[test]
+    fn observatory_kinds_are_version_gated() {
+        // Serialise one schema-2 record.
+        let mut line = String::new();
+        TraceEvent::StaleServe {
+            node: NodeId::new(3),
+            query: 12,
+            item: ItemId::new(1),
+            cause: BlameCause::LeaseOrphan,
+            staleness_ms: 900,
+            lag: 1,
+            violation: false,
+        }
+        .write_json(SimTime::from_millis(7), &mut line);
+
+        // In a schema-2 journal it parses back exactly.
+        let v2 = format!("{{\"schema\":2}}\n{line}\n");
+        let mut reader = JournalReader::new(BufReader::new(v2.as_bytes())).unwrap();
+        let (_, event) = reader.next().unwrap().unwrap();
+        assert_eq!(event.kind(), EventKind::StaleServe);
+
+        // In a schema-1 journal the same line is a BadLine, not an event.
+        let v1 = format!("{{\"schema\":1}}\n{line}\n");
+        let mut reader = JournalReader::new(BufReader::new(v1.as_bytes())).unwrap();
+        match reader.next().unwrap() {
+            Err(ReadError::BadLine { line_no, .. }) => assert_eq!(line_no, 2),
+            other => panic!("expected BadLine, got {other:?}"),
+        }
+
+        // The free-function gate agrees.
+        assert!(parse_event_versioned(&line, 2).is_some());
+        assert!(parse_event_versioned(&line, 1).is_none());
+        assert!(
+            parse_event(&line).is_some(),
+            "default speaks the newest schema"
+        );
     }
 
     #[test]

@@ -157,13 +157,26 @@ impl TraceSink for RingSink {
     }
 }
 
-/// The journal schema version written in the header line and checked by
-/// the offline reader. Bump when the event vocabulary changes shape
-/// incompatibly (adding optional fields or new kinds does not count).
-pub const JOURNAL_SCHEMA: u64 = 1;
+/// The newest journal schema version this build can write and read.
+/// Schema 2 added the consistency-observatory kinds
+/// ([`EventKind::ConsistencySample`], [`EventKind::StaleServe`]).
+pub const JOURNAL_SCHEMA: u64 = 2;
+
+/// The original journal schema: the 27-kind vocabulary of PR 3. Sinks
+/// built with the plain constructors still write it, so runs that never
+/// enable the observatory produce byte-identical journals to older
+/// builds and stay readable by older tools.
+pub const JOURNAL_SCHEMA_V1: u64 = 1;
+
+/// The (frozen) number of event kinds in the schema-1 vocabulary,
+/// stamped into v1 headers regardless of how many kinds this build knows.
+pub const JOURNAL_KINDS_V1: usize = 27;
 
 /// Streams events as JSON Lines to a writer: one versioned header object
-/// (`{"schema":1,...}`) followed by one object per event.
+/// (`{"schema":1,...}` or `{"schema":2,...}`) followed by one object per
+/// event. The plain constructors write schema 1 and silently skip any
+/// schema-2-only event (see [`EventKind::min_schema`]); the `_v2`
+/// constructors write the current schema and accept everything.
 ///
 /// Serialisation is hand-rolled via [`crate::json`] — the build
 /// environment has no crates.io access, so there is no serde. On an I/O
@@ -171,8 +184,10 @@ pub const JOURNAL_SCHEMA: u64 = 1;
 /// panicking mid-simulation; check [`JsonlSink::io_error`] after the run.
 pub struct JsonlSink {
     out: BufWriter<Box<dyn Write>>,
+    schema: u64,
     line: String,
     records: u64,
+    skipped: u64,
     bytes: u64,
     io_error: Option<io::Error>,
 }
@@ -193,13 +208,28 @@ impl JsonlSink {
         JsonlSink::new_with_warmup(writer, SimDuration::ZERO)
     }
 
-    /// Wraps an arbitrary writer and stamps `warmup` into the header so
-    /// offline consumers can reproduce the run's censoring rules.
+    /// Wraps an arbitrary writer and stamps `warmup` into a **schema 1**
+    /// header so offline consumers can reproduce the run's censoring
+    /// rules. Schema-2-only events are skipped; use
+    /// [`JsonlSink::new_v2_with_warmup`] for observatory runs.
     pub fn new_with_warmup(writer: Box<dyn Write>, warmup: SimDuration) -> Self {
+        JsonlSink::with_schema(writer, warmup, JOURNAL_SCHEMA_V1)
+    }
+
+    /// Wraps an arbitrary writer with the current (schema 2) header,
+    /// accepting the full event vocabulary including the consistency
+    /// observatory's kinds.
+    pub fn new_v2_with_warmup(writer: Box<dyn Write>, warmup: SimDuration) -> Self {
+        JsonlSink::with_schema(writer, warmup, JOURNAL_SCHEMA)
+    }
+
+    fn with_schema(writer: Box<dyn Write>, warmup: SimDuration, schema: u64) -> Self {
         let mut sink = JsonlSink {
             out: BufWriter::new(writer),
+            schema,
             line: String::with_capacity(160),
             records: 0,
+            skipped: 0,
             bytes: 0,
             io_error: None,
         };
@@ -207,25 +237,39 @@ impl JsonlSink {
         sink
     }
 
-    /// Creates (truncating) `path` and streams to it.
+    /// Creates (truncating) `path` and streams to it (schema 1 header).
     pub fn create(path: &Path) -> io::Result<Self> {
         JsonlSink::create_with_warmup(path, SimDuration::ZERO)
     }
 
-    /// Creates (truncating) `path`, stamping `warmup` into the header.
+    /// Creates (truncating) `path`, stamping `warmup` into a schema 1
+    /// header (see [`JsonlSink::new_with_warmup`] for the skip rule).
     pub fn create_with_warmup(path: &Path, warmup: SimDuration) -> io::Result<Self> {
         let file = std::fs::File::create(path)?;
         Ok(JsonlSink::new_with_warmup(Box::new(file), warmup))
     }
 
+    /// Creates (truncating) `path` with the current (schema 2) header.
+    pub fn create_v2_with_warmup(path: &Path, warmup: SimDuration) -> io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlSink::new_v2_with_warmup(Box::new(file), warmup))
+    }
+
     /// Writes the versioned header line. The header is metadata, not an
-    /// event: it does not count toward [`JsonlSink::records`].
+    /// event: it does not count toward [`JsonlSink::records`]. A v1
+    /// header stamps the frozen v1 kind count so it stays byte-identical
+    /// to what pre-observatory builds wrote.
     fn write_header(&mut self, warmup: SimDuration) {
+        let kinds = if self.schema == JOURNAL_SCHEMA_V1 {
+            JOURNAL_KINDS_V1
+        } else {
+            EventKind::ALL.len()
+        };
         self.line.clear();
         self.line.push_str("{\"schema\":");
-        self.line.push_str(&JOURNAL_SCHEMA.to_string());
+        self.line.push_str(&self.schema.to_string());
         self.line.push_str(",\"kinds\":");
-        self.line.push_str(&EventKind::ALL.len().to_string());
+        self.line.push_str(&kinds.to_string());
         self.line.push_str(",\"warmup_ms\":");
         self.line.push_str(&warmup.as_millis().to_string());
         self.line.push_str("}\n");
@@ -235,9 +279,19 @@ impl JsonlSink {
         }
     }
 
+    /// The schema version this sink's header declares.
+    pub fn schema(&self) -> u64 {
+        self.schema
+    }
+
     /// Event lines successfully written so far (header excluded).
     pub fn records(&self) -> u64 {
         self.records
+    }
+
+    /// Events dropped because their kind post-dates this sink's schema.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
     }
 
     /// The first I/O error hit, if any (writing stops after it).
@@ -254,6 +308,10 @@ impl JsonlSink {
 impl TraceSink for JsonlSink {
     fn record(&mut self, at: SimTime, event: &TraceEvent) {
         if self.io_error.is_some() {
+            return;
+        }
+        if event.kind().min_schema() > self.schema {
+            self.skipped += 1;
             return;
         }
         self.line.clear();
@@ -482,7 +540,7 @@ mod tests {
     #[test]
     fn jsonl_writes_one_valid_line_per_event() {
         let buf: Vec<u8> = Vec::new();
-        let mut sink = JsonlSink::new(Box::new(buf));
+        let mut sink = JsonlSink::new_v2_with_warmup(Box::new(buf), SimDuration::ZERO);
         for (i, event) in crate::event::tests::samples().into_iter().enumerate() {
             sink.record(SimTime::from_millis(i as u64), &event);
         }
@@ -490,9 +548,50 @@ mod tests {
         sink.flush();
         assert!(sink.io_error().is_none());
         assert_eq!(n, crate::event::tests::samples().len() as u64);
+        assert_eq!(sink.skipped(), 0, "a v2 sink accepts the full vocabulary");
         // The writer is boxed away; serialisation itself is validated in
         // the event module, and the end-to-end file path is covered by
         // the world-level tests.
+    }
+
+    #[test]
+    fn v1_sink_keeps_legacy_header_and_skips_observatory_kinds() {
+        let path = std::env::temp_dir().join(format!(
+            "mp2p-trace-sink-v1-test-{}.jsonl",
+            std::process::id()
+        ));
+        let v2_only: u64 = crate::event::tests::samples()
+            .iter()
+            .filter(|e| e.kind().min_schema() > JOURNAL_SCHEMA_V1)
+            .count() as u64;
+        assert!(v2_only > 0, "samples must cover schema-2 kinds");
+        {
+            let mut sink = JsonlSink::create(&path).expect("create temp jsonl");
+            assert_eq!(sink.schema(), JOURNAL_SCHEMA_V1);
+            for (i, event) in crate::event::tests::samples().into_iter().enumerate() {
+                sink.record(SimTime::from_millis(i as u64), &event);
+            }
+            sink.flush();
+            assert!(sink.io_error().is_none());
+            assert_eq!(sink.skipped(), v2_only);
+        }
+        let contents = std::fs::read_to_string(&path).expect("read back");
+        std::fs::remove_file(&path).ok();
+        let lines: Vec<&str> = contents.lines().collect();
+        // The header is byte-identical to what pre-observatory builds
+        // wrote: schema 1 with the frozen 27-kind count.
+        assert_eq!(lines[0], "{\"schema\":1,\"kinds\":27,\"warmup_ms\":0}");
+        assert_eq!(
+            lines.len() as u64,
+            crate::event::tests::samples().len() as u64 - v2_only + 1
+        );
+        for line in &lines[1..] {
+            assert!(
+                !line.contains("\"ev\":\"consistency\"")
+                    && !line.contains("\"ev\":\"stale_serve\""),
+                "v1 journal must not carry schema-2 kinds: {line}"
+            );
+        }
     }
 
     #[test]
@@ -569,7 +668,8 @@ mod tests {
         let path =
             std::env::temp_dir().join(format!("mp2p-trace-sink-test-{}.jsonl", std::process::id()));
         {
-            let mut sink = JsonlSink::create(&path).expect("create temp jsonl");
+            let mut sink =
+                JsonlSink::create_v2_with_warmup(&path, SimDuration::ZERO).expect("create jsonl");
             for (i, event) in crate::event::tests::samples().into_iter().enumerate() {
                 sink.record(SimTime::from_millis(i as u64 * 10), &event);
             }
@@ -581,7 +681,7 @@ mod tests {
         // Header line + one line per event.
         assert_eq!(lines.len(), crate::event::tests::samples().len() + 1);
         assert!(
-            lines[0].starts_with("{\"schema\":1,"),
+            lines[0].starts_with("{\"schema\":2,"),
             "bad header: {}",
             lines[0]
         );
