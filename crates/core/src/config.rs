@@ -2,6 +2,8 @@
 
 use mp2p_sim::{SimDuration, SimRng};
 
+use crate::recovery::RecoveryConfig;
+
 /// All protocol-level tunables, defaulting to Table 1 of the paper.
 ///
 /// Parameters the paper leaves open are documented as such and set to the
@@ -98,6 +100,11 @@ pub struct ProtocolConfig {
     /// query fails (graceful degradation instead of hard failure).
     /// `false` reproduces the paper.
     pub fallback_flood: bool,
+    /// **Recovery layer (self-healing):** rejoin resync, acknowledged
+    /// invalidation/update delivery with bounded retransmit, and
+    /// relay-lease handover. Fully off by default — recovery-off runs
+    /// stay byte-identical to pre-recovery output.
+    pub recovery: RecoveryConfig,
 }
 
 impl Default for ProtocolConfig {
@@ -130,6 +137,7 @@ impl Default for ProtocolConfig {
             retry_jitter: 0.0,
             relay_orphan_grace: None,
             fallback_flood: false,
+            recovery: RecoveryConfig::off(),
         }
     }
 }
@@ -234,6 +242,7 @@ impl ProtocolConfig {
                 "an orphan grace of zero would demote relays on every sweep"
             );
         }
+        self.recovery.validate();
     }
 }
 

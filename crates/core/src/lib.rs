@@ -44,6 +44,7 @@ mod protocol;
 mod pull;
 mod push;
 mod push_adaptive;
+mod recovery;
 mod rpcc;
 mod world;
 
@@ -57,6 +58,10 @@ pub use protocol::{Ctx, CtxOut, DegradationKind, Protocol, QueryId, Timer};
 pub use pull::SimplePull;
 pub use push::SimplePush;
 pub use push_adaptive::PushAdaptivePull;
+pub use recovery::{
+    RecoveryAction, RecoveryConfig, RetransmitQueue, RetxEntry, SeqTracker, VersionDigest,
+    DIGEST_CAP,
+};
 pub use rpcc::{RelayRole, Rpcc};
 pub use world::{
     FaultStats, MobilityKind, RoutingMode, RunReport, Strategy, WorkloadMode, World, WorldConfig,

@@ -4,6 +4,8 @@ use mp2p_cache::Version;
 use mp2p_metrics::MessageClass;
 use mp2p_sim::ItemId;
 
+use crate::recovery::VersionDigest;
+
 /// Fixed per-message header overhead in bytes (ids, versions, MAC/IP
 /// framing).
 pub(crate) const HEADER_BYTES: u32 = 40;
@@ -22,6 +24,11 @@ pub enum ProtoMsg {
         item: ItemId,
         /// Current master version.
         version: Version,
+        /// Recovery-layer sequence number for receiver-side duplicate
+        /// suppression. Rides in the fixed 40-byte header (it replaces
+        /// framing slack), so it never changes [`ProtoMsg::size_bytes`];
+        /// `None` when acked delivery is off.
+        seq: Option<u64>,
     },
     /// `UPDATE(ID_d, OP_d, RP_d, CT_d, VER_d)` — source pushes fresh
     /// content to a relay peer.
@@ -32,6 +39,10 @@ pub enum ProtoMsg {
         version: Version,
         /// Content payload size.
         content_bytes: u32,
+        /// Recovery-layer sequence number; the receiver ACKs it and the
+        /// sender retransmits until acknowledged (see
+        /// [`ProtoMsg::Invalidation::seq`] for wire-size rules).
+        seq: Option<u64>,
     },
     /// `GET_NEW(ID_d, OP_d, RP_d)` — relay asks the source for content it
     /// missed while disconnected.
@@ -136,6 +147,35 @@ pub enum ProtoMsg {
         /// Version assigned by the source.
         version: Version,
     },
+    /// **Recovery:** a rejoining node floods its `item → version`
+    /// digest so neighbors can point out stale copies before the node
+    /// serves them.
+    ResyncDigest {
+        /// The advertised cache snapshot chunk.
+        digest: VersionDigest,
+    },
+    /// **Recovery:** unicast reply to a [`ProtoMsg::ResyncDigest`],
+    /// carrying only the entries the replier knows newer versions for.
+    ResyncAck {
+        /// The newer-known versions.
+        digest: VersionDigest,
+    },
+    /// **Recovery:** receiver acknowledgement of a sequence-stamped
+    /// [`ProtoMsg::Update`]; settles the sender's retransmit entry.
+    DeliveryAck {
+        /// The acknowledged item.
+        item: ItemId,
+        /// The acknowledged sequence number.
+        seq: u64,
+    },
+    /// **Recovery:** an orphan-expiring relay grants its relay duty for
+    /// `item` to an elected cached neighbor.
+    Handover {
+        /// The item whose relay duty is handed over.
+        item: ItemId,
+        /// The last version the expiring relay confirmed.
+        version: Version,
+    },
 }
 
 impl ProtoMsg {
@@ -155,7 +195,12 @@ impl ProtoMsg {
             | ProtoMsg::Fetch { item, .. }
             | ProtoMsg::FetchReply { item, .. }
             | ProtoMsg::WriteRequest { item, .. }
-            | ProtoMsg::WriteAck { item, .. } => item,
+            | ProtoMsg::WriteAck { item, .. }
+            | ProtoMsg::DeliveryAck { item, .. }
+            | ProtoMsg::Handover { item, .. } => item,
+            ProtoMsg::ResyncDigest { digest } | ProtoMsg::ResyncAck { digest } => {
+                digest.first_item()
+            }
         }
     }
 
@@ -167,6 +212,9 @@ impl ProtoMsg {
             | ProtoMsg::PollAckB { content_bytes, .. }
             | ProtoMsg::FetchReply { content_bytes, .. }
             | ProtoMsg::WriteRequest { content_bytes, .. } => content_bytes,
+            ProtoMsg::ResyncDigest { digest } | ProtoMsg::ResyncAck { digest } => {
+                digest.wire_bytes()
+            }
             _ => 0,
         };
         HEADER_BYTES + content
@@ -203,6 +251,10 @@ impl ProtoMsg {
             ProtoMsg::FetchReply { .. } => MessageClass::FetchReply,
             ProtoMsg::WriteRequest { .. } => MessageClass::WriteRequest,
             ProtoMsg::WriteAck { .. } => MessageClass::WriteAck,
+            ProtoMsg::ResyncDigest { .. } => MessageClass::ResyncDigest,
+            ProtoMsg::ResyncAck { .. } => MessageClass::ResyncAck,
+            ProtoMsg::DeliveryAck { .. } => MessageClass::DeliveryAck,
+            ProtoMsg::Handover { .. } => MessageClass::Handover,
         }
     }
 }
@@ -248,10 +300,70 @@ mod tests {
             ProtoMsg::Invalidation {
                 item: ItemId::new(0),
                 version: Version::new(1),
+                seq: None,
             }
             .span(),
             None
         );
+    }
+
+    #[test]
+    fn seq_stamp_never_changes_the_wire_size() {
+        // The recovery sequence number rides in the fixed header; a
+        // stamped frame must cost exactly the same bytes as a bare one.
+        let bare = ProtoMsg::Update {
+            item: ItemId::new(0),
+            version: Version::new(2),
+            content_bytes: 1_024,
+            seq: None,
+        };
+        let stamped = ProtoMsg::Update {
+            item: ItemId::new(0),
+            version: Version::new(2),
+            content_bytes: 1_024,
+            seq: Some(7),
+        };
+        assert_eq!(bare.size_bytes(), stamped.size_bytes());
+        let inv = ProtoMsg::Invalidation {
+            item: ItemId::new(0),
+            version: Version::new(2),
+            seq: Some(7),
+        };
+        assert_eq!(inv.size_bytes(), HEADER_BYTES);
+    }
+
+    #[test]
+    fn recovery_messages_have_classes_items_and_sizes() {
+        use crate::recovery::VersionDigest;
+        let digest = VersionDigest::new(&[
+            (ItemId::new(5), Version::new(3)),
+            (ItemId::new(9), Version::new(1)),
+        ]);
+        let msgs = [
+            ProtoMsg::ResyncDigest { digest },
+            ProtoMsg::ResyncAck { digest },
+            ProtoMsg::DeliveryAck {
+                item: ItemId::new(5),
+                seq: 12,
+            },
+            ProtoMsg::Handover {
+                item: ItemId::new(5),
+                version: Version::new(3),
+            },
+        ];
+        let mut classes: Vec<_> = msgs.iter().map(|m| m.class()).collect();
+        classes.dedup();
+        assert_eq!(classes.len(), msgs.len());
+        for m in &msgs {
+            assert_eq!(m.item(), ItemId::new(5), "first digest entry stands in");
+            assert_eq!(m.span(), None);
+        }
+        assert_eq!(
+            msgs[0].size_bytes(),
+            HEADER_BYTES + digest.wire_bytes(),
+            "digest frames pay per entry"
+        );
+        assert_eq!(msgs[2].size_bytes(), HEADER_BYTES);
     }
 
     #[test]
@@ -260,6 +372,7 @@ mod tests {
             ProtoMsg::Invalidation {
                 item: ItemId::new(3),
                 version: Version::new(1),
+                seq: None,
             },
             ProtoMsg::GetNew {
                 item: ItemId::new(3),

@@ -7,6 +7,7 @@ use mp2p_trace::{RelayTransitionKind, ServedBy, SpanPhase};
 use crate::config::ProtocolConfig;
 use crate::level::ConsistencyLevel;
 use crate::msg::ProtoMsg;
+use crate::recovery::RecoveryAction;
 
 /// Identifier of one query request (globally unique within a run).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -44,6 +45,9 @@ pub enum Timer {
     },
     /// Periodic cleanup of held POLLs at a relay peer.
     RelayHoldSweep,
+    /// Periodic sweep of the recovery layer's retransmit queue (only
+    /// armed when acked delivery is on).
+    RetxSweep,
 }
 
 /// A graceful-degradation decision a hardened protocol took instead of
@@ -117,6 +121,14 @@ pub enum CtxOut {
         /// Which degradation path was taken.
         kind: DegradationKind,
     },
+    /// Report a recovery-layer decision (resync, retransmit, ack,
+    /// handover) to the driver: fault counters, trace events, and — for
+    /// handover requests — the neighbor election only the driver's
+    /// shared topology view can run.
+    Recovery {
+        /// What the recovery layer did or requests.
+        action: RecoveryAction,
+    },
     /// Report that an open query entered a new causal phase (span
     /// tracing). Carries no simulation effect.
     QueryPhase {
@@ -158,6 +170,12 @@ pub struct Ctx<'a> {
     pub energy_fraction: f64,
     /// True if this node is currently connected (switched on).
     pub connected: bool,
+    /// The recovery layer's dedicated random stream (backoff jitter for
+    /// retransmissions). Kept separate from [`Ctx::rng`] so switching
+    /// recovery on never reorders the draws of existing machinery; the
+    /// driver attaches it after construction, unit fixtures may leave
+    /// it `None` (see [`Ctx::recovery_delay`]).
+    pub recovery_rng: Option<&'a mut SimRng>,
     /// Buffered outputs, drained by the driver.
     out: Vec<CtxOut>,
 }
@@ -184,6 +202,7 @@ impl<'a> Ctx<'a> {
             cfg,
             energy_fraction,
             connected,
+            recovery_rng: None,
             out: Vec::new(),
         }
     }
@@ -225,6 +244,26 @@ impl<'a> Ctx<'a> {
     /// Reports a graceful-degradation decision for tracing/accounting.
     pub fn degraded(&mut self, item: ItemId, query: Option<QueryId>, kind: DegradationKind) {
         self.out.push(CtxOut::Degraded { item, query, kind });
+    }
+
+    /// Reports a recovery-layer decision to the driver.
+    pub fn recovery(&mut self, action: RecoveryAction) {
+        self.out.push(CtxOut::Recovery { action });
+    }
+
+    /// The backed-off, jittered delay before the `attempt`-th
+    /// retransmission, drawn from the **recovery** stream so acked
+    /// delivery never reorders existing protocol draws. Fixtures
+    /// without an attached stream get a deterministic private one.
+    pub fn recovery_delay(&mut self, base: SimDuration, attempt: u8) -> SimDuration {
+        let cfg = self.cfg;
+        match self.recovery_rng.as_deref_mut() {
+            Some(rng) => cfg.retry_delay(base, attempt, rng),
+            None => {
+                let mut scratch = SimRng::from_seed(0, 0);
+                cfg.retry_delay(base, attempt, &mut scratch)
+            }
+        }
     }
 
     /// Reports that `query` entered a new causal phase (span tracing).
@@ -295,6 +334,12 @@ pub trait Protocol {
     /// True if this node is currently a relay-peer candidate (gauge).
     fn is_candidate(&self) -> bool {
         false
+    }
+
+    /// High-water mark of this node's recovery retransmit queue (0 for
+    /// protocols without acked delivery).
+    fn retx_high_water(&self) -> usize {
+        0
     }
 }
 

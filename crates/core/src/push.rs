@@ -13,6 +13,7 @@
 
 use std::collections::HashMap;
 
+use mp2p_cache::Version;
 use mp2p_sim::{ItemId, NodeId, SimDuration};
 use mp2p_trace::{ServedBy, SpanPhase};
 
@@ -20,6 +21,7 @@ use crate::config::ProtocolConfig;
 use crate::level::ConsistencyLevel;
 use crate::msg::ProtoMsg;
 use crate::protocol::{Ctx, Protocol, QueryId, Timer};
+use crate::recovery::{RecoveryAction, VersionDigest};
 
 #[derive(Debug, Clone, Copy)]
 struct PendingFetch {
@@ -106,6 +108,29 @@ impl SimplePush {
             ctx.answer(q, entry.version, ServedBy::Source);
         }
     }
+
+    /// Rejoin resync (recovery layer): same digest exchange as RPCC —
+    /// flood what we hold, drop whatever neighbours prove stale.
+    fn start_resync(&mut self, ctx: &mut Ctx<'_>) {
+        let mut entries: Vec<(ItemId, Version)> =
+            ctx.cache.iter().map(|(id, e)| (id, e.version)).collect();
+        if self.publishes {
+            entries.push((ctx.own_item.id(), ctx.own_item.version()));
+        }
+        if entries.is_empty() {
+            return;
+        }
+        // HashMap iteration order is process-random: sort for determinism.
+        entries.sort_unstable_by_key(|&(id, _)| id);
+        let items = entries.len() as u32;
+        for digest in VersionDigest::chunk(&entries) {
+            ctx.flood(
+                ctx.cfg.recovery.resync_ttl,
+                ProtoMsg::ResyncDigest { digest },
+            );
+        }
+        ctx.recovery(RecoveryAction::ResyncStart { items });
+    }
 }
 
 impl Protocol for SimplePush {
@@ -146,7 +171,7 @@ impl Protocol for SimplePush {
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: ProtoMsg) {
         match msg {
-            ProtoMsg::Invalidation { item, version } => {
+            ProtoMsg::Invalidation { item, version, .. } => {
                 let Some(entry) = ctx.cache.peek(item).copied() else {
                     return;
                 };
@@ -186,6 +211,48 @@ impl Protocol for SimplePush {
                 self.fetch_in_flight.insert(item, false);
                 self.answer_all_for(ctx, item, ServedBy::Source);
             }
+            ProtoMsg::ResyncDigest { digest } if ctx.cfg.recovery.resync => {
+                // Answer with the subset we know a strictly newer
+                // version of (own master or cached copy).
+                let mut newer: Vec<(ItemId, Version)> = Vec::new();
+                for &(item, version) in digest.entries() {
+                    let mut known = if self.publishes && item == ctx.own_item.id() {
+                        ctx.own_item.version()
+                    } else {
+                        Version::INITIAL
+                    };
+                    if let Some(e) = ctx.cache.peek(item) {
+                        if e.version > known {
+                            known = e.version;
+                        }
+                    }
+                    if known > version {
+                        newer.push((item, known));
+                    }
+                }
+                for chunk in VersionDigest::chunk(&newer) {
+                    ctx.send(from, ProtoMsg::ResyncAck { digest: chunk });
+                }
+            }
+            ProtoMsg::ResyncAck { digest } if ctx.cfg.recovery.resync => {
+                let mut stale = 0u32;
+                for &(item, version) in digest.entries() {
+                    if item == ctx.own_item.id() {
+                        continue; // nothing outranks the master copy
+                    }
+                    let Some(e) = ctx.cache.peek(item) else {
+                        continue;
+                    };
+                    if e.version < version {
+                        stale += 1;
+                        // Drop the stale copy; waiting queries recover
+                        // through the PushWait fallback fetch.
+                        ctx.cache.remove(item);
+                        self.fetch_in_flight.insert(item, false);
+                    }
+                }
+                ctx.recovery(RecoveryAction::ResyncDone { stale });
+            }
             _ => {} // push uses no other message types
         }
     }
@@ -198,7 +265,11 @@ impl Protocol for SimplePush {
                     let version = ctx.own_item.version();
                     ctx.flood(
                         ctx.cfg.broadcast_ttl,
-                        ProtoMsg::Invalidation { item, version },
+                        ProtoMsg::Invalidation {
+                            item,
+                            version,
+                            seq: None,
+                        },
                     );
                 }
                 ctx.set_timer(ctx.cfg.ttn, Timer::Ttn);
@@ -232,7 +303,7 @@ impl Protocol for SimplePush {
                 self.fetch_in_flight.insert(pending.item, false);
                 self.start_fetch(ctx, Some(query), pending.item, attempt + 1);
             }
-            Timer::RelayHoldSweep | Timer::PollGrace { .. } => {}
+            Timer::RelayHoldSweep | Timer::PollGrace { .. } | Timer::RetxSweep => {}
         }
     }
 
@@ -254,7 +325,11 @@ impl Protocol for SimplePush {
         }
     }
 
-    fn on_status_change(&mut self, _ctx: &mut Ctx<'_>, _up: bool) {}
+    fn on_status_change(&mut self, ctx: &mut Ctx<'_>, up: bool) {
+        if up && ctx.cfg.recovery.resync && ctx.connected {
+            self.start_resync(ctx);
+        }
+    }
 
     fn on_coefficient_tick(&mut self, _ctx: &mut Ctx<'_>, _moved: bool) {}
 }
@@ -326,6 +401,7 @@ mod tests {
                 ProtoMsg::Invalidation {
                     item: ItemId::new(1),
                     version: Version::INITIAL,
+                    seq: None,
                 },
             )
         });
@@ -350,6 +426,7 @@ mod tests {
                 ProtoMsg::Invalidation {
                     item: ItemId::new(1),
                     version: Version::new(2),
+                    seq: None,
                 },
             )
         });
@@ -443,6 +520,7 @@ mod tests {
                 ProtoMsg::Invalidation {
                     item: ItemId::new(1),
                     version: Version::new(1),
+                    seq: None,
                 },
             )
         });
@@ -457,5 +535,31 @@ mod tests {
             "content moves on demand, not per report"
         );
         assert!(fx.cache.peek(ItemId::new(1)).unwrap().stale);
+    }
+
+    #[test]
+    fn rejoin_resync_floods_digest_and_drops_stale_copies() {
+        let mut fx = Fixture::new();
+        fx.cfg.recovery = crate::RecoveryConfig::on();
+        fx.proto = SimplePush::new(&fx.cfg, true);
+        let out = fx.run(|p, ctx| p.on_status_change(ctx, true));
+        assert!(out.iter().any(|o| matches!(
+            o,
+            CtxOut::Flood {
+                msg: ProtoMsg::ResyncDigest { .. },
+                ..
+            }
+        )));
+        // A neighbour proves the cached D1 stale: the copy is dropped.
+        let digest = VersionDigest::new(&[(ItemId::new(1), Version::new(4))]);
+        let out =
+            fx.run(|p, ctx| p.on_message(ctx, NodeId::new(7), ProtoMsg::ResyncAck { digest }));
+        assert!(!fx.cache.contains(ItemId::new(1)));
+        assert!(out.iter().any(|o| matches!(
+            o,
+            CtxOut::Recovery {
+                action: RecoveryAction::ResyncDone { stale: 1 }
+            }
+        )));
     }
 }

@@ -138,7 +138,7 @@ impl Protocol for PushAdaptivePull {
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: ProtoMsg) {
         match msg {
-            ProtoMsg::Invalidation { item, version } => {
+            ProtoMsg::Invalidation { item, version, .. } => {
                 self.last_report.insert(item, ctx.now);
                 if let Some(entry) = ctx.cache.peek(item).copied() {
                     if entry.version < version {
@@ -182,7 +182,11 @@ impl Protocol for PushAdaptivePull {
                     let version = ctx.own_item.version();
                     ctx.flood(
                         ctx.cfg.broadcast_ttl,
-                        ProtoMsg::Invalidation { item, version },
+                        ProtoMsg::Invalidation {
+                            item,
+                            version,
+                            seq: None,
+                        },
                     );
                 }
                 ctx.set_timer(ctx.cfg.ttn, Timer::Ttn);
@@ -321,6 +325,7 @@ mod tests {
                 ProtoMsg::Invalidation {
                     item: ItemId::new(1),
                     version: Version::new(2),
+                    seq: None,
                 },
             )
         });

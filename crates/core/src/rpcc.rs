@@ -24,6 +24,7 @@ use crate::config::ProtocolConfig;
 use crate::level::ConsistencyLevel;
 use crate::msg::ProtoMsg;
 use crate::protocol::{Ctx, DegradationKind, Protocol, QueryId, Timer};
+use crate::recovery::{RecoveryAction, RetransmitQueue, SeqTracker, VersionDigest};
 
 /// The node-level position in the Fig. 5 state machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,6 +108,18 @@ pub struct Rpcc {
     /// Adaptive push/pull frequency machinery (extension, future work
     /// §6 item 1); `None` reproduces the paper.
     tuner: Option<AdaptiveTuner>,
+    /// Recovery: bounded retransmit queue for acknowledged UPDATE
+    /// delivery (source role). Also the sequence allocator for
+    /// INVALIDATION floods, so every stamped frame is totally ordered
+    /// per source.
+    retx: RetransmitQueue,
+    /// Recovery: highest UPDATE seq seen per (peer, item) — makes
+    /// delivery idempotent under frame duplication and retransmits.
+    seen_upd: SeqTracker,
+    /// Recovery: highest INVALIDATION seq seen per (peer, item).
+    /// Tracked separately from UPDATEs: the two ride different paths
+    /// (unicast vs flood) and may arrive out of allocation order.
+    seen_inv: SeqTracker,
 }
 
 impl Rpcc {
@@ -131,6 +144,9 @@ impl Rpcc {
             applied: HashMap::new(),
             apply_attempts: HashMap::new(),
             tuner: cfg.adaptive.then(|| AdaptiveTuner::new(cfg.adaptive_span)),
+            retx: RetransmitQueue::new(cfg.recovery.retx_cap),
+            seen_upd: SeqTracker::new(),
+            seen_inv: SeqTracker::new(),
         }
     }
 
@@ -337,22 +353,37 @@ impl Rpcc {
         if self.publishes && ctx.connected {
             let item = ctx.own_item.id();
             let version = ctx.own_item.version();
+            let acked = ctx.cfg.recovery.acked_delivery;
             if self.updated_since_inv {
-                for &rp in &self.relay_table {
+                let peers: Vec<NodeId> = self.relay_table.iter().copied().collect();
+                for rp in peers {
+                    let seq = acked.then(|| {
+                        self.retx.enqueue(
+                            rp,
+                            item,
+                            version,
+                            ctx.now + ctx.cfg.recovery.retx_timeout,
+                        )
+                    });
                     ctx.send(
                         rp,
                         ProtoMsg::Update {
                             item,
                             version,
                             content_bytes: ctx.own_item.size_bytes(),
+                            seq,
                         },
                     );
                 }
                 self.updated_since_inv = false;
             }
+            // INVALIDATION floods are stamped but never retransmitted:
+            // the seq buys receiver-side dedup under frame duplication,
+            // and the next TTN tick is the natural retry.
+            let seq = acked.then(|| self.retx.alloc_seq());
             ctx.flood(
                 ctx.cfg.invalidation_ttl,
-                ProtoMsg::Invalidation { item, version },
+                ProtoMsg::Invalidation { item, version, seq },
             );
         }
         // Adaptive push (extension): report on the item's own update
@@ -628,9 +659,190 @@ impl Rpcc {
             self.relay.remove(&item);
             ctx.send(item.source_host(), ProtoMsg::Cancel { item });
             ctx.transition(item, RelayTransitionKind::Demoted);
-            ctx.degraded(item, None, DegradationKind::RelayLeaseExpired);
+            if ctx.cfg.recovery.handover {
+                // Recovery: instead of letting the coverage hole stand,
+                // ask the driver to elect a reachable cached neighbour
+                // and hand the relay role over (DESIGN.md §12). The
+                // degradation only lands if no successor exists.
+                let version = ctx
+                    .cache
+                    .peek(item)
+                    .map(|e| e.version)
+                    .unwrap_or(Version::INITIAL);
+                ctx.recovery(RecoveryAction::HandoverRequest { item, version });
+            } else {
+                ctx.degraded(item, None, DegradationKind::RelayLeaseExpired);
+            }
             // The copy stays cached as ordinary (possibly stale) data;
             // it gets no fresh TTP lease because nothing validated it.
+        }
+    }
+
+    /// The freshest version this node can vouch for: its own master
+    /// copy, the cached copy, or the latest advertisement it heard.
+    fn best_known_version(&self, ctx: &Ctx<'_>, item: ItemId) -> Version {
+        let mut best = if self.publishes && item == ctx.own_item.id() {
+            ctx.own_item.version()
+        } else {
+            Version::INITIAL
+        };
+        if let Some(e) = ctx.cache.peek(item) {
+            if e.version > best {
+                best = e.version;
+            }
+        }
+        if let Some(&v) = self.last_seen_ver.get(&item) {
+            if v > best {
+                best = v;
+            }
+        }
+        best
+    }
+
+    /// Rejoin resync (recovery layer): flood a compact version digest of
+    /// everything held so nearby peers can flag stale copies *before*
+    /// they get served to local queries.
+    fn start_resync(&mut self, ctx: &mut Ctx<'_>) {
+        let mut entries: Vec<(ItemId, Version)> =
+            ctx.cache.iter().map(|(id, e)| (id, e.version)).collect();
+        if self.publishes {
+            entries.push((ctx.own_item.id(), ctx.own_item.version()));
+        }
+        if entries.is_empty() {
+            return;
+        }
+        // HashMap iteration order is process-random: sort for determinism.
+        entries.sort_unstable_by_key(|&(id, _)| id);
+        let items = entries.len() as u32;
+        for digest in VersionDigest::chunk(&entries) {
+            ctx.flood(
+                ctx.cfg.recovery.resync_ttl,
+                ProtoMsg::ResyncDigest { digest },
+            );
+        }
+        ctx.recovery(RecoveryAction::ResyncStart { items });
+    }
+
+    /// Neighbour side of a rejoin resync: answer with the subset of the
+    /// digest this node knows a strictly newer version of.
+    fn on_resync_digest(&mut self, ctx: &mut Ctx<'_>, from: NodeId, digest: VersionDigest) {
+        if !ctx.cfg.recovery.resync {
+            return;
+        }
+        let mut newer: Vec<(ItemId, Version)> = Vec::new();
+        for &(item, version) in digest.entries() {
+            self.note_master_version(item, version);
+            let known = self.best_known_version(ctx, item);
+            if known > version {
+                newer.push((item, known));
+            }
+        }
+        for chunk in VersionDigest::chunk(&newer) {
+            ctx.send(from, ProtoMsg::ResyncAck { digest: chunk });
+        }
+    }
+
+    /// Rejoiner side of a resync answer: refresh or drop every copy a
+    /// neighbour proved stale, so it is never served after the rejoin.
+    fn on_resync_ack(&mut self, ctx: &mut Ctx<'_>, digest: VersionDigest) {
+        if !ctx.cfg.recovery.resync {
+            return;
+        }
+        let mut stale = 0u32;
+        for &(item, version) in digest.entries() {
+            if item == ctx.own_item.id() {
+                continue; // nothing outranks the master copy
+            }
+            self.note_master_version(item, version);
+            let local = match ctx.cache.peek(item) {
+                Some(e) => e.version,
+                None => continue,
+            };
+            if local >= version {
+                continue;
+            }
+            stale += 1;
+            if let Some(st) = self.relay.get_mut(&item) {
+                // Relay copies refresh through the protocol's own resync
+                // channel instead of being dropped.
+                st.ttr_expiry = ctx.now;
+                if !st.awaiting_get_new {
+                    st.awaiting_get_new = true;
+                    ctx.send(item.source_host(), ProtoMsg::GetNew { item });
+                    ctx.transition(item, RelayTransitionKind::ResyncStarted);
+                }
+            } else {
+                // A plain stale copy is dropped rather than served; the
+                // next query re-fetches fresh data on the miss path.
+                ctx.cache.remove(item);
+                self.ttp_expiry.remove(&item);
+                self.known_relay.remove(&item);
+            }
+        }
+        ctx.recovery(RecoveryAction::ResyncDone { stale });
+    }
+
+    /// An expiring relay handed its role to this node (driver-elected).
+    /// Adopt the item with a fresh lease, resyncing first if the local
+    /// copy lags the version the old relay vouched for.
+    fn on_handover(&mut self, ctx: &mut Ctx<'_>, item: ItemId, version: Version) {
+        if !ctx.cfg.recovery.handover || !ctx.connected {
+            return;
+        }
+        if self.relay.contains_key(&item) || !ctx.cache.contains(item) {
+            return;
+        }
+        self.note_master_version(item, version);
+        let local = ctx
+            .cache
+            .peek(item)
+            .map(|e| e.version)
+            .unwrap_or(Version::INITIAL);
+        let mut st = RelayState {
+            ttr_expiry: ctx.now + Self::relay_lease(ctx.cfg),
+            held_polls: Vec::new(),
+            awaiting_get_new: false,
+        };
+        if local < version {
+            st.ttr_expiry = ctx.now; // stale until SEND_NEW arrives
+            st.awaiting_get_new = true;
+            ctx.send(item.source_host(), ProtoMsg::GetNew { item });
+            ctx.transition(item, RelayTransitionKind::ResyncStarted);
+        }
+        self.relay.insert(item, st);
+        ctx.transition(item, RelayTransitionKind::Promoted);
+        // Tell the source, so its relay table points at the successor.
+        ctx.send(item.source_host(), ProtoMsg::Apply { item });
+    }
+
+    /// Source-side retransmit sweep: re-push unacknowledged UPDATEs with
+    /// deterministic-jitter backoff, giving up after `retx_attempts`.
+    fn retx_sweep(&mut self, ctx: &mut Ctx<'_>) {
+        for entry in self.retx.due_entries(ctx.now) {
+            if entry.attempt >= ctx.cfg.recovery.retx_attempts {
+                self.retx.drop_seq(entry.seq);
+                continue;
+            }
+            let attempt = entry.attempt + 1;
+            let delay = ctx.recovery_delay(ctx.cfg.recovery.retx_timeout, attempt);
+            self.retx.bump(entry.seq, ctx.now + delay);
+            if ctx.connected {
+                ctx.send(
+                    entry.dest,
+                    ProtoMsg::Update {
+                        item: entry.item,
+                        version: entry.version,
+                        content_bytes: ctx.own_item.size_bytes(),
+                        seq: Some(entry.seq),
+                    },
+                );
+                ctx.recovery(RecoveryAction::Retransmit {
+                    dest: entry.dest,
+                    item: entry.item,
+                    seq: entry.seq,
+                    attempt,
+                });
+            }
         }
     }
 }
@@ -657,6 +869,9 @@ impl Protocol for Rpcc {
             ctx.set_timer(offset, Timer::Ttn);
         }
         ctx.set_timer(ctx.cfg.relay_poll_hold, Timer::RelayHoldSweep);
+        if ctx.cfg.recovery.acked_delivery && self.publishes {
+            ctx.set_timer(ctx.cfg.recovery.retx_timeout, Timer::RetxSweep);
+        }
     }
 
     fn on_query(
@@ -711,18 +926,38 @@ impl Protocol for Rpcc {
             | ProtoMsg::ApplyAck { .. }
             | ProtoMsg::PollAckA { .. }
             | ProtoMsg::PollAckB { .. }
-            | ProtoMsg::FetchReply { .. } = msg
+            | ProtoMsg::FetchReply { .. }
+            | ProtoMsg::Handover { .. } = msg
             {
                 return;
             }
         }
         match msg {
-            ProtoMsg::Invalidation { item, version } => self.on_invalidation(ctx, item, version),
+            ProtoMsg::Invalidation { item, version, seq } => {
+                if let Some(seq) = seq {
+                    if !self.seen_inv.is_new(from, item, seq) {
+                        return; // duplicated frame: idempotent drop
+                    }
+                }
+                self.on_invalidation(ctx, item, version)
+            }
             ProtoMsg::Update {
                 item,
                 version,
                 content_bytes,
-            } => self.on_update(ctx, from, item, version, content_bytes),
+                seq,
+            } => {
+                if let Some(seq) = seq {
+                    // Ack first — even for duplicates — so a lost
+                    // DELIVERY_ACK cannot strand the source's
+                    // retransmit entry until it exhausts its attempts.
+                    ctx.send(from, ProtoMsg::DeliveryAck { item, seq });
+                    if !self.seen_upd.is_new(from, item, seq) {
+                        return;
+                    }
+                }
+                self.on_update(ctx, from, item, version, content_bytes)
+            }
             ProtoMsg::GetNew { item } => {
                 if self.publishes && item == ctx.own_item.id() {
                     self.coeffs.note_access();
@@ -819,6 +1054,18 @@ impl Protocol for Rpcc {
                 self.renew_ttp(ctx, item);
                 self.answer_pending_for(ctx, item, ServedBy::Source);
             }
+            ProtoMsg::ResyncDigest { digest } => self.on_resync_digest(ctx, from, digest),
+            ProtoMsg::ResyncAck { digest } => self.on_resync_ack(ctx, digest),
+            ProtoMsg::DeliveryAck { item: _, seq } => {
+                if let Some(entry) = self.retx.ack(from, seq) {
+                    ctx.recovery(RecoveryAction::AckReceived {
+                        peer: from,
+                        item: entry.item,
+                        seq,
+                    });
+                }
+            }
+            ProtoMsg::Handover { item, version } => self.on_handover(ctx, item, version),
             // Replica writes are handled by the simulation driver before
             // they reach the protocol layer.
             ProtoMsg::WriteRequest { .. } | ProtoMsg::WriteAck { .. } => {}
@@ -883,6 +1130,13 @@ impl Protocol for Rpcc {
                 self.expire_orphaned_relays(ctx);
                 ctx.set_timer(hold, Timer::RelayHoldSweep);
             }
+            Timer::RetxSweep => {
+                self.retx_sweep(ctx);
+                // Re-arms itself like TTN, so it survives nothing — a
+                // crash wipes it with the rest of the protocol state and
+                // on_init re-arms it on the rebuilt instance.
+                ctx.set_timer(ctx.cfg.recovery.retx_timeout, Timer::RetxSweep);
+            }
             Timer::PushWait { .. } => {}
         }
     }
@@ -894,6 +1148,8 @@ impl Protocol for Rpcc {
             // unreachable ⇒ remove the peer").
             ProtoMsg::ApplyAck { .. } | ProtoMsg::Update { .. } | ProtoMsg::SendNew { .. } => {
                 self.relay_table.remove(&dest);
+                // Pending retransmits to an unreachable peer are moot.
+                self.retx.drop_dest(dest);
             }
             ProtoMsg::GetNew { item } => {
                 if let Some(st) = self.relay.get_mut(&item) {
@@ -926,8 +1182,11 @@ impl Protocol for Rpcc {
         }
     }
 
-    fn on_status_change(&mut self, _ctx: &mut Ctx<'_>, _up: bool) {
+    fn on_status_change(&mut self, ctx: &mut Ctx<'_>, up: bool) {
         self.coeffs.note_switch();
+        if up && ctx.cfg.recovery.resync && ctx.connected {
+            self.start_resync(ctx);
+        }
     }
 
     fn on_coefficient_tick(&mut self, ctx: &mut Ctx<'_>, moved: bool) {
@@ -952,6 +1211,10 @@ impl Protocol for Rpcc {
 
     fn is_candidate(&self) -> bool {
         self.candidate
+    }
+
+    fn retx_high_water(&self) -> usize {
+        self.retx.high_water()
     }
 }
 
@@ -1309,6 +1572,7 @@ mod tests {
                 ProtoMsg::Invalidation {
                     item: ItemId::new(1),
                     version: Version::INITIAL,
+                    seq: None,
                 },
             )
         });
@@ -1424,6 +1688,7 @@ mod tests {
                 ProtoMsg::Invalidation {
                     item: ItemId::new(1),
                     version: Version::INITIAL,
+                    seq: None,
                 },
             )
         });
@@ -1454,6 +1719,7 @@ mod tests {
                 ProtoMsg::Invalidation {
                     item: ItemId::new(1),
                     version: Version::new(2),
+                    seq: None,
                 },
             )
         });
@@ -1500,6 +1766,7 @@ mod tests {
                     item: ItemId::new(1),
                     version: Version::new(5),
                     content_bytes: 1_024,
+                    seq: None,
                 },
             )
         });
@@ -1524,6 +1791,7 @@ mod tests {
                     item: ItemId::new(1),
                     version: Version::new(1),
                     content_bytes: 1_024,
+                    seq: None,
                 },
             )
         });
@@ -1831,6 +2099,7 @@ mod tests {
                     ProtoMsg::Invalidation {
                         item: ItemId::new(1),
                         version: Version::INITIAL,
+                        seq: None,
                     },
                 )
             });
@@ -1958,5 +2227,280 @@ mod tests {
             )
         });
         assert_eq!(timer_delay(&out), fx.cfg.poll_timeout.mul_f64(4.0));
+    }
+
+    #[test]
+    fn recovery_off_changes_nothing_on_the_wire() {
+        let mut fx = Fixture::new(0);
+        let out = fx.run(|p, ctx| p.on_status_change(ctx, true));
+        assert!(out.is_empty(), "rejoin is silent with recovery off");
+        let out = fx.run(|p, ctx| p.on_timer(ctx, Timer::Ttn));
+        assert!(
+            out.iter().all(|o| !matches!(
+                o,
+                crate::CtxOut::Flood {
+                    msg: ProtoMsg::Invalidation { seq: Some(_), .. },
+                    ..
+                }
+            )),
+            "invalidations stay unstamped with recovery off"
+        );
+    }
+
+    #[test]
+    fn rejoin_resync_floods_a_sorted_digest() {
+        let mut fx = Fixture::new(0);
+        fx.cfg.recovery = crate::RecoveryConfig::on();
+        fx.proto = Rpcc::new(&fx.cfg, true);
+        let out = fx.run(|p, ctx| p.on_status_change(ctx, true));
+        let resync_ttl = fx.cfg.recovery.resync_ttl;
+        let digest = out
+            .iter()
+            .find_map(|o| match o {
+                crate::CtxOut::Flood {
+                    ttl,
+                    msg: ProtoMsg::ResyncDigest { digest },
+                } => {
+                    assert_eq!(*ttl, resync_ttl);
+                    Some(*digest)
+                }
+                _ => None,
+            })
+            .expect("rejoin floods a version digest");
+        // Cached D1 plus the own item D0, in ascending item order.
+        assert_eq!(
+            digest.entries(),
+            &[
+                (ItemId::new(0), Version::INITIAL),
+                (ItemId::new(1), Version::INITIAL),
+            ]
+        );
+        assert!(out.iter().any(|o| matches!(
+            o,
+            crate::CtxOut::Recovery {
+                action: RecoveryAction::ResyncStart { items: 2 }
+            }
+        )));
+    }
+
+    #[test]
+    fn resync_digest_is_answered_with_newer_versions_only() {
+        let mut fx = Fixture::new(0);
+        fx.cfg.recovery = crate::RecoveryConfig::on();
+        fx.proto = Rpcc::new(&fx.cfg, true);
+        fx.own.update(); // master D0 now at v1
+                         // The rejoiner claims D0@v0 (older than our master) and D1@v0
+                         // (same as our cached copy).
+        let digest = VersionDigest::new(&[
+            (ItemId::new(0), Version::INITIAL),
+            (ItemId::new(1), Version::INITIAL),
+        ]);
+        let out =
+            fx.run(|p, ctx| p.on_message(ctx, NodeId::new(7), ProtoMsg::ResyncDigest { digest }));
+        let sends = sends_of(&out);
+        assert_eq!(sends.len(), 1);
+        let (to, ProtoMsg::ResyncAck { digest }) = sends[0] else {
+            panic!("expected a ResyncAck, got {:?}", sends[0]);
+        };
+        assert_eq!(to, NodeId::new(7));
+        assert_eq!(digest.entries(), &[(ItemId::new(0), Version::new(1))]);
+    }
+
+    #[test]
+    fn resync_ack_drops_stale_plain_copies() {
+        let mut fx = Fixture::new(0);
+        fx.cfg.recovery = crate::RecoveryConfig::on();
+        fx.proto = Rpcc::new(&fx.cfg, true);
+        let digest = VersionDigest::new(&[(ItemId::new(1), Version::new(3))]);
+        let out =
+            fx.run(|p, ctx| p.on_message(ctx, NodeId::new(7), ProtoMsg::ResyncAck { digest }));
+        assert!(
+            !fx.cache.contains(ItemId::new(1)),
+            "a proven-stale plain copy must not survive the rejoin"
+        );
+        assert!(out.iter().any(|o| matches!(
+            o,
+            crate::CtxOut::Recovery {
+                action: RecoveryAction::ResyncDone { stale: 1 }
+            }
+        )));
+    }
+
+    #[test]
+    fn seqd_update_acks_always_but_processes_once() {
+        let mut fx = Fixture::new(0);
+        fx.cfg.recovery = crate::RecoveryConfig::on();
+        fx.proto = Rpcc::new(&fx.cfg, true);
+        let update = ProtoMsg::Update {
+            item: ItemId::new(1),
+            version: Version::new(2),
+            content_bytes: 1_024,
+            seq: Some(9),
+        };
+        let out = fx.run(|p, ctx| p.on_message(ctx, NodeId::new(1), update));
+        let sends = sends_of(&out);
+        assert!(sends
+            .iter()
+            .any(|(to, m)| *to == NodeId::new(1)
+                && matches!(m, ProtoMsg::DeliveryAck { seq: 9, .. })));
+        assert!(
+            sends
+                .iter()
+                .any(|(_, m)| matches!(m, ProtoMsg::Cancel { .. })),
+            "first delivery is processed normally (plain peer cancels)"
+        );
+        // The duplicated frame is acked again but not re-processed.
+        let out = fx.run(|p, ctx| p.on_message(ctx, NodeId::new(1), update));
+        let sends = sends_of(&out);
+        assert!(sends
+            .iter()
+            .any(|(_, m)| matches!(m, ProtoMsg::DeliveryAck { seq: 9, .. })));
+        assert!(
+            !sends
+                .iter()
+                .any(|(_, m)| matches!(m, ProtoMsg::Cancel { .. })),
+            "a duplicate must be idempotent"
+        );
+    }
+
+    /// Installs relay peer 4, updates the master and runs one TTN tick;
+    /// returns the seq the pushed UPDATE was stamped with.
+    fn push_one_acked_update(fx: &mut Fixture) -> u64 {
+        let _ = fx.run(|p, ctx| {
+            p.on_message(
+                ctx,
+                NodeId::new(4),
+                ProtoMsg::Apply {
+                    item: ItemId::new(0),
+                },
+            )
+        });
+        fx.own.update();
+        let _ = fx.run(|p, ctx| p.on_source_update(ctx));
+        let out = fx.run(|p, ctx| p.on_timer(ctx, Timer::Ttn));
+        sends_of(&out)
+            .iter()
+            .find_map(|(_, m)| match m {
+                ProtoMsg::Update { seq, .. } => *seq,
+                _ => None,
+            })
+            .expect("acked delivery stamps pushed updates")
+    }
+
+    #[test]
+    fn unacked_update_retransmits_then_gives_up() {
+        let mut fx = Fixture::new(0);
+        fx.cfg.recovery = crate::RecoveryConfig::on();
+        fx.proto = Rpcc::new(&fx.cfg, true);
+        let _seq = push_one_acked_update(&mut fx);
+        // No ack: each sweep past the deadline retransmits once...
+        for attempt in 1..=fx.cfg.recovery.retx_attempts {
+            fx.now += fx.cfg.recovery.retx_timeout + SimDuration::from_secs(1);
+            let out = fx.run(|p, ctx| p.on_timer(ctx, Timer::RetxSweep));
+            assert!(
+                out.iter().any(|o| matches!(
+                    o,
+                    crate::CtxOut::Recovery {
+                        action: RecoveryAction::Retransmit { attempt: a, .. }
+                    } if *a == attempt
+                )),
+                "sweep {attempt} must retransmit"
+            );
+        }
+        // ...until the attempts run out and the entry is abandoned.
+        fx.now += fx.cfg.recovery.retx_timeout + SimDuration::from_secs(1);
+        let out = fx.run(|p, ctx| p.on_timer(ctx, Timer::RetxSweep));
+        assert!(
+            !out.iter()
+                .any(|o| matches!(o, crate::CtxOut::Recovery { .. })),
+            "an exhausted entry must not retransmit forever"
+        );
+        assert_eq!(fx.proto.retx_high_water(), 1);
+    }
+
+    #[test]
+    fn delivery_ack_clears_the_retransmit_entry() {
+        let mut fx = Fixture::new(0);
+        fx.cfg.recovery = crate::RecoveryConfig::on();
+        fx.proto = Rpcc::new(&fx.cfg, true);
+        let seq = push_one_acked_update(&mut fx);
+        let out = fx.run(|p, ctx| {
+            p.on_message(
+                ctx,
+                NodeId::new(4),
+                ProtoMsg::DeliveryAck {
+                    item: ItemId::new(0),
+                    seq,
+                },
+            )
+        });
+        assert!(out.iter().any(|o| matches!(
+            o,
+            crate::CtxOut::Recovery {
+                action: RecoveryAction::AckReceived { .. }
+            }
+        )));
+        // The sweep has nothing left to resend.
+        fx.now += fx.cfg.recovery.retx_timeout + fx.cfg.recovery.retx_timeout;
+        let out = fx.run(|p, ctx| p.on_timer(ctx, Timer::RetxSweep));
+        assert!(
+            !out.iter().any(|o| matches!(
+                o,
+                crate::CtxOut::Send { .. } | crate::CtxOut::Recovery { .. }
+            )),
+            "an acked entry must not be retransmitted"
+        );
+    }
+
+    #[test]
+    fn lease_expiry_requests_handover_instead_of_degrading() {
+        let mut fx = Fixture::new(0);
+        fx.cfg = fx.cfg.hardened();
+        fx.cfg.recovery = crate::RecoveryConfig::on();
+        fx.proto = Rpcc::new(&fx.cfg, true);
+        make_relay(&mut fx);
+        let grace = fx.cfg.relay_orphan_grace.expect("hardened sets a grace");
+        fx.now += Rpcc::relay_lease(&fx.cfg) + grace + SimDuration::from_secs(1);
+        let out = fx.run(|p, ctx| p.on_timer(ctx, Timer::RelayHoldSweep));
+        assert!(!fx.proto.is_relay_for(ItemId::new(1)));
+        assert!(
+            !out.iter()
+                .any(|o| matches!(o, crate::CtxOut::Degraded { .. })),
+            "with handover on, expiry defers degradation to the driver"
+        );
+        assert!(out.iter().any(|o| matches!(
+            o,
+            crate::CtxOut::Recovery {
+                action: RecoveryAction::HandoverRequest { item, .. }
+            } if *item == ItemId::new(1)
+        )));
+    }
+
+    #[test]
+    fn handover_recipient_adopts_the_relay_role() {
+        let mut fx = Fixture::new(0);
+        fx.cfg.recovery = crate::RecoveryConfig::on();
+        fx.proto = Rpcc::new(&fx.cfg, true);
+        let out = fx.run(|p, ctx| {
+            p.on_message(
+                ctx,
+                NodeId::new(9),
+                ProtoMsg::Handover {
+                    item: ItemId::new(1),
+                    version: Version::INITIAL,
+                },
+            )
+        });
+        assert!(fx.proto.is_relay_for(ItemId::new(1)));
+        assert!(
+            sends_of(&out)
+                .iter()
+                .any(|(to, m)| *to == NodeId::new(1) && matches!(m, ProtoMsg::Apply { .. })),
+            "the successor must introduce itself to the source"
+        );
+        // A strong query is now answered locally from the adopted lease.
+        let out =
+            fx.run(|p, ctx| p.on_query(ctx, QueryId(30), ItemId::new(1), ConsistencyLevel::Strong));
+        assert_eq!(answers_of(&out), vec![(QueryId(30), Version::INITIAL)]);
     }
 }

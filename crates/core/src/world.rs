@@ -29,6 +29,7 @@ use crate::protocol::{Ctx, CtxOut, DegradationKind, Protocol, QueryId, Timer};
 use crate::pull::SimplePull;
 use crate::push::SimplePush;
 use crate::push_adaptive::PushAdaptivePull;
+use crate::recovery::RecoveryAction;
 use crate::rpcc::Rpcc;
 
 /// Which consistency strategy a run uses.
@@ -330,6 +331,10 @@ impl AnyProtocol {
     fn is_candidate(&self) -> bool {
         dispatch!(self, p => p.is_candidate())
     }
+
+    fn retx_high_water(&self) -> usize {
+        dispatch!(self, p => p.retx_high_water())
+    }
 }
 
 #[derive(Debug)]
@@ -344,6 +349,10 @@ struct NodeState {
     publishes: bool,
     battery: PeerEnergy,
     rng: SimRng,
+    /// Dedicated recovery-layer randomness (stream `0xA00 + i`): seeded
+    /// unconditionally so turning recovery on or off never shifts any
+    /// other stream's draw sequence.
+    recovery_rng: SimRng,
     last_cell: (u32, u32),
 }
 
@@ -442,6 +451,16 @@ pub struct FaultStats {
     pub lease_expiries: u64,
     /// Fallback floods issued after routed POLL retries were exhausted.
     pub fallback_floods: u64,
+    /// Rejoin resyncs started (recovery layer).
+    pub resyncs: u64,
+    /// UPDATE retransmissions issued by the acked-delivery sweep.
+    pub retransmits: u64,
+    /// DELIVERY_ACKs that cleared a pending retransmit entry.
+    pub delivery_acks: u64,
+    /// Relay-lease handovers completed (a successor was elected).
+    pub handovers: u64,
+    /// High-water mark of any node's retransmit queue over the run.
+    pub retx_queue_peak: u64,
 }
 
 /// Aggregated results of one run.
@@ -490,6 +509,10 @@ pub struct RunReport {
     pub fault_plan: Option<&'static str>,
     /// Injected-fault and degradation counters.
     pub faults: FaultStats,
+    /// Whether any recovery-layer feature was on. Gates the recovery
+    /// keys in [`RunReport::to_json`], so a recovery-off report stays
+    /// byte-identical to one from a pre-recovery build.
+    pub recovery_enabled: bool,
     /// Wall-clock profile of the run (`None` unless profiling was
     /// enabled via [`World::enable_profiling`]). Strictly observational:
     /// its presence never changes any other field.
@@ -648,6 +671,20 @@ impl RunReport {
                 self.faults.fallback_floods,
             );
         }
+        // Recovery keys appear only when the layer was on, so a
+        // recovery-off report stays byte-identical to a pre-recovery
+        // build's.
+        if self.recovery_enabled {
+            let _ = write!(
+                s,
+                ",\"resyncs\":{},\"retransmits\":{},\"delivery_acks\":{},\"handovers\":{},\"retx_queue_peak\":{}",
+                self.faults.resyncs,
+                self.faults.retransmits,
+                self.faults.delivery_acks,
+                self.faults.handovers,
+                self.faults.retx_queue_peak,
+            );
+        }
         // Likewise the perf section exists only for profiled runs, so an
         // unprofiled report is byte-identical to a pre-profiler build's.
         if let Some(perf) = &self.perf {
@@ -790,6 +827,7 @@ impl World {
                 publishes,
                 battery: PeerEnergy::new(cfg.battery_mj),
                 rng: SimRng::from_seed(master, 0x200 + i),
+                recovery_rng: SimRng::from_seed(master, 0xA00 + i),
                 last_cell: (0, 0),
             });
         }
@@ -1113,6 +1151,18 @@ impl World {
             }
         }
         let energy_used_mj = self.nodes.iter().map(|n| n.battery.used_mj()).sum();
+        // The queue high-water survives in the live protocol state (it
+        // never resets), so sampling once at the end is exact — except
+        // across crash wipes, where the pre-crash peak is lost with the
+        // rest of the volatile state; the reported peak is then the max
+        // over the surviving instances.
+        let retx_peak = self
+            .nodes
+            .iter()
+            .map(|n| n.proto.retx_high_water() as u64)
+            .max()
+            .unwrap_or(0);
+        self.fault_stats.retx_queue_peak = self.fault_stats.retx_queue_peak.max(retx_peak);
         let mut tracer = std::mem::replace(&mut self.tracer, Box::new(NullSink));
         tracer.flush();
         let perf = self
@@ -1153,6 +1203,7 @@ impl World {
             energy_used_mj,
             fault_plan: self.faults.is_some().then_some(self.cfg.faults.label),
             faults: self.fault_stats,
+            recovery_enabled: self.cfg.proto.recovery.enabled(),
             perf,
             consistency,
             measured: self.cfg.sim_time - self.cfg.warmup,
@@ -1341,6 +1392,11 @@ impl World {
             }
         }
         let tracing = self.tracer.enabled();
+        // The wipe below discards the retransmit queue with the rest of
+        // the volatile state, so fold its high-water mark into the run
+        // peak before it is lost.
+        let retx_peak = self.nodes[id.index()].proto.retx_high_water() as u64;
+        self.fault_stats.retx_queue_peak = self.fault_stats.retx_queue_peak.max(retx_peak);
         let node = &mut self.nodes[id.index()];
         node.up = false;
         node.cache = CacheStore::new(self.cfg.c_num.max(1));
@@ -1866,6 +1922,7 @@ impl World {
                 energy,
                 node.up,
             );
+            ctx.recovery_rng = Some(&mut node.recovery_rng);
             f(&mut node.proto, &mut ctx);
             ctx.take_outputs()
         };
@@ -1941,6 +1998,84 @@ impl World {
                         });
                     }
                 },
+                CtxOut::Recovery { action } => match action {
+                    RecoveryAction::ResyncStart { items } => {
+                        self.fault_stats.resyncs += 1;
+                        self.trace(TraceEvent::ResyncStart { node: id, items });
+                    }
+                    RecoveryAction::ResyncDone { stale } => {
+                        self.trace(TraceEvent::ResyncDone { node: id, stale });
+                    }
+                    RecoveryAction::Retransmit {
+                        dest,
+                        item,
+                        seq,
+                        attempt,
+                    } => {
+                        self.fault_stats.retransmits += 1;
+                        self.trace(TraceEvent::RecoveryRetransmit {
+                            node: id,
+                            dest,
+                            item,
+                            seq,
+                            attempt,
+                        });
+                    }
+                    RecoveryAction::AckReceived { peer, item, seq } => {
+                        self.fault_stats.delivery_acks += 1;
+                        self.trace(TraceEvent::RecoveryAck {
+                            node: id,
+                            peer,
+                            item,
+                            seq,
+                        });
+                    }
+                    RecoveryAction::HandoverRequest { item, version } => {
+                        self.handle_handover_request(id, item, version);
+                    }
+                },
+            }
+        }
+    }
+
+    /// Resolves a relay-lease handover request: elect the lowest-id up
+    /// neighbour that caches the item (and is not its source host) and
+    /// hand it the expiring role; with no eligible successor the expiry
+    /// degrades exactly as it would with handover off.
+    fn handle_handover_request(&mut self, from: NodeId, item: ItemId, version: Version) {
+        self.ensure_topology();
+        let winner = {
+            let topo = &self.topo.as_ref().expect("just refreshed").1;
+            // CSR neighbour lists are ascending, so the first hit is the
+            // deterministic lowest-id successor.
+            topo.neighbors(from).iter().copied().find(|&n| {
+                let node = &self.nodes[n.index()];
+                node.up && item.source_host() != n && node.cache.contains(item)
+            })
+        };
+        match winner {
+            Some(to) => {
+                self.fault_stats.handovers += 1;
+                self.trace(TraceEvent::RelayHandover { from, to, item });
+                let msg = ProtoMsg::Handover { item, version };
+                match self.cfg.routing {
+                    RoutingMode::OnDemand => {
+                        let size = msg.size_bytes();
+                        let actions = self.nodes[from.index()]
+                            .stack
+                            .send_app(self.now, to, msg, size);
+                        self.apply_net_actions(from, actions);
+                    }
+                    RoutingMode::Oracle => self.oracle_send(from, to, msg),
+                }
+            }
+            None => {
+                self.fault_stats.lease_expiries += 1;
+                if let Some(blame) = self.blame.as_mut() {
+                    let v = self.histories[item.index()].current().get();
+                    blame.stamp_lease(from, item, v);
+                }
+                self.trace(TraceEvent::RelayLeaseExpired { node: from, item });
             }
         }
     }
@@ -2214,7 +2349,7 @@ fn frame_class(frame: &Frame<ProtoMsg>) -> MessageClass {
 /// for blame purposes.
 fn propagation_of(msg: &ProtoMsg) -> Option<(ItemId, u64)> {
     match *msg {
-        ProtoMsg::Invalidation { item, version }
+        ProtoMsg::Invalidation { item, version, .. }
         | ProtoMsg::Update { item, version, .. }
         | ProtoMsg::SendNew { item, version, .. } => Some((item, version.get())),
         _ => None,
@@ -2271,6 +2406,10 @@ fn msg_bucket(class: MessageClass) -> &'static str {
         MessageClass::WriteRequest => "msg:WRITE_REQ",
         MessageClass::WriteAck => "msg:WRITE_ACK",
         MessageClass::RouteControl => "msg:ROUTE_CTRL",
+        MessageClass::ResyncDigest => "msg:RESYNC_DIGEST",
+        MessageClass::ResyncAck => "msg:RESYNC_ACK",
+        MessageClass::DeliveryAck => "msg:DELIVERY_ACK",
+        MessageClass::Handover => "msg:HANDOVER",
     }
 }
 

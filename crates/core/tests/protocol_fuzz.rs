@@ -106,11 +106,13 @@ fn to_proto_msg(msg: &Msg) -> ProtoMsg {
         Msg::Invalidation { item: i, version } => ProtoMsg::Invalidation {
             item: item(i),
             version: ver(*version),
+            seq: None,
         },
         Msg::Update { item: i, version } => ProtoMsg::Update {
             item: item(i),
             version: ver(*version),
             content_bytes: 64,
+            seq: None,
         },
         Msg::GetNew { item: i } => ProtoMsg::GetNew { item: item(i) },
         Msg::SendNew { item: i, version } => ProtoMsg::SendNew {
@@ -250,8 +252,10 @@ fn drive<P: Protocol>(mut proto: P, steps: &[Step], adaptive: bool) {
                 }
                 CtxOut::SetTimer { .. } => {}
                 // Pure flight-recorder metadata, no simulation effect.
-                CtxOut::Transition { .. } | CtxOut::Degraded { .. } | CtxOut::QueryPhase { .. } => {
-                }
+                CtxOut::Transition { .. }
+                | CtxOut::Degraded { .. }
+                | CtxOut::QueryPhase { .. }
+                | CtxOut::Recovery { .. } => {}
             }
         }
     }

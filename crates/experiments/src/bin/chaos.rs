@@ -5,7 +5,8 @@
 //! ```
 //!
 //! Every cell runs Rpcc/Push/Pull under one of the fault presets
-//! (`bursty`, `partition`, `crash`, `hostile`) with the hardened protocol
+//! (`bursty`, `partition`, `crash`, `crash-heavy`, `hostile`) with the
+//! hardened protocol
 //! knobs on, **twice with the same seed**, and asserts:
 //!
 //! 1. **No panics** — the run completes under every fault plan.

@@ -1,6 +1,6 @@
 //! Side-by-side strategy comparison at the Table 1 default point:
 //! `compare [--full] [--seed N] [--range M] [--faults PRESET] [--hardened]
-//! [--consistency] [--trace PREFIX] [--json FILE]`.
+//! [--recovery] [--consistency] [--trace PREFIX] [--json FILE]`.
 //!
 //! Prints traffic (total and per message class), latency, staleness,
 //! failure rate, relay population and energy for Pull, Push and the four
@@ -16,10 +16,17 @@
 //! Δ-consistency violations and the dominant blame cause per strategy),
 //! each report in `--json` carries its `consistency` section, and
 //! `--trace` journals are written at schema 2.
+//!
+//! `--recovery` switches the self-healing recovery layer on for every
+//! strategy run (rejoin resync, acknowledged updates with bounded
+//! retransmit, relay-lease handover); the table gains the recovery
+//! counters and `--trace` journals are written at schema 3. Run the same
+//! comparison with and without the flag to measure what recovery buys
+//! under a fault preset.
 
 use mp2p_experiments::{render_table, RunOptions};
 use mp2p_metrics::MessageClass;
-use mp2p_rpcc::{ObservatoryConfig, RunReport, World, WorldConfig};
+use mp2p_rpcc::{ObservatoryConfig, RecoveryConfig, RunReport, World, WorldConfig};
 use mp2p_sim::SimDuration;
 use mp2p_trace::{BlameCause, JsonlSink};
 
@@ -76,6 +83,7 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned();
     let hardened = args.iter().any(|a| a == "--hardened");
+    let recovery = args.iter().any(|a| a == "--recovery");
     let consistency = args.iter().any(|a| a == "--consistency");
     let opts = if full {
         RunOptions::full()
@@ -104,6 +112,9 @@ fn main() {
             if hardened {
                 cfg.proto = cfg.proto.hardened();
             }
+            if recovery {
+                cfg.proto.recovery = RecoveryConfig::on();
+            }
             if consistency {
                 cfg.observatory = ObservatoryConfig::full(SimDuration::from_secs(30));
             }
@@ -120,9 +131,12 @@ fn main() {
             let mut world = World::new(cfg);
             if let Some(prefix) = &trace_prefix {
                 let path = format!("{prefix}-{}.jsonl", sanitize(spec.name));
-                // Observatory records are schema-2 kinds; a v1 journal
-                // would silently skip them.
-                let made = if consistency {
+                // Recovery records are schema-3 kinds and observatory
+                // records schema-2; an older journal would silently skip
+                // them.
+                let made = if recovery {
+                    JsonlSink::create_v3_with_warmup(std::path::Path::new(&path), opts.warmup)
+                } else if consistency {
                     JsonlSink::create_v2_with_warmup(std::path::Path::new(&path), opts.warmup)
                 } else {
                     JsonlSink::create(std::path::Path::new(&path))
@@ -224,6 +238,13 @@ fn main() {
             r.faults.lease_expiries.to_string()
         });
         row("fallback floods", &|r| r.faults.fallback_floods.to_string());
+    }
+    if reports.iter().any(|r| r.recovery_enabled) {
+        row("rejoin resyncs", &|r| r.faults.resyncs.to_string());
+        row("retransmits", &|r| r.faults.retransmits.to_string());
+        row("delivery acks", &|r| r.faults.delivery_acks.to_string());
+        row("lease handovers", &|r| r.faults.handovers.to_string());
+        row("retx queue peak", &|r| r.faults.retx_queue_peak.to_string());
     }
     for class in MessageClass::ALL {
         let any = reports.iter().any(|r| r.traffic.by_class(class) > 0);

@@ -7,8 +7,8 @@
 //!     [--update-secs S] [--query-secs S] [--write-secs S]
 //!     [--ttl HOPS] [--loss P] [--no-churn] [--oracle-routing]
 //!     [--adaptive] [--relay-cap N] [--single-item] [--seed N]
-//!     [--faults none|bursty|partition|crash|hostile] [--hardened]
-//!     [--consistency] [--sample-secs S]
+//!     [--faults none|bursty|partition|crash|crash-heavy|hostile] [--hardened]
+//!     [--recovery] [--consistency] [--sample-secs S]
 //!     [--trace FILE.jsonl] [--json FILE.json] [--profile]
 //! ```
 //!
@@ -35,6 +35,14 @@
 //! `perf` section. Profiling is strictly observational — the simulated
 //! results are bit-identical either way.
 //!
+//! `--recovery` switches the self-healing recovery layer on: rejoining
+//! nodes flood a version digest and drop stale copies before serving,
+//! source updates are acknowledged and retransmitted from a bounded
+//! queue, and an expiring relay lease is handed to a cached neighbour
+//! instead of orphaning the item. The `--json` report gains the recovery
+//! counters and a `--trace` journal is written at schema 3 so the
+//! recovery records fit.
+//!
 //! `--consistency` switches the consistency observatory on: the
 //! divergence sampler ticks every `--sample-secs` (default 30) simulated
 //! seconds, every stale serve is blame-attributed, the `--json` report
@@ -46,7 +54,8 @@
 use mp2p_experiments::render_table;
 use mp2p_metrics::MessageClass;
 use mp2p_rpcc::{
-    LevelMix, ObservatoryConfig, RoutingMode, Strategy, WorkloadMode, World, WorldConfig,
+    LevelMix, ObservatoryConfig, RecoveryConfig, RoutingMode, Strategy, WorkloadMode, World,
+    WorldConfig,
 };
 use mp2p_sim::SimDuration;
 use mp2p_trace::{BlameCause, EventKind, JsonlSink, SummarySink, TeeSink};
@@ -148,6 +157,9 @@ fn parse_args() -> Result<
     if args.iter().any(|a| a == "--hardened") {
         cfg.proto = cfg.proto.hardened();
     }
+    if args.iter().any(|a| a == "--recovery") {
+        cfg.proto.recovery = RecoveryConfig::on();
+    }
     if args.iter().any(|a| a == "--consistency") {
         let period = match value_of("--sample-secs") {
             Some(v) => SimDuration::from_secs_f64(parse("--sample-secs", v)?),
@@ -202,14 +214,18 @@ fn main() {
     let writes_on = cfg.i_write.is_some();
     let warmup = cfg.warmup;
     let observatory_on = cfg.observatory.enabled();
+    let recovery_on = cfg.proto.recovery.enabled();
     let mut world = World::new(cfg);
     if profile {
         world.enable_profiling();
     }
     if let Some(path) = &trace_path {
-        // The observatory's records are schema-2 kinds; a plain v1 sink
-        // would silently skip them.
-        let made = if observatory_on {
+        // The recovery layer's records are schema-3 kinds and the
+        // observatory's are schema-2; an older sink would silently skip
+        // them.
+        let made = if recovery_on {
+            JsonlSink::create_v3_with_warmup(path, warmup)
+        } else if observatory_on {
             JsonlSink::create_v2_with_warmup(path, warmup)
         } else {
             JsonlSink::create_with_warmup(path, warmup)
@@ -331,6 +347,13 @@ fn main() {
             report.faults.lease_expiries.to_string(),
         );
         row("fallback floods", report.faults.fallback_floods.to_string());
+    }
+    if report.recovery_enabled {
+        row("rejoin resyncs", report.faults.resyncs.to_string());
+        row("retransmits", report.faults.retransmits.to_string());
+        row("delivery acks", report.faults.delivery_acks.to_string());
+        row("lease handovers", report.faults.handovers.to_string());
+        row("retx queue peak", report.faults.retx_queue_peak.to_string());
     }
     print!("{}", render_table(&["metric", "value"], &rows));
 

@@ -27,7 +27,7 @@ fn traced_run_spans_match_the_report_exactly() {
     ));
     let mut world = World::new(cfg);
     world.set_tracer(Box::new(
-        JsonlSink::create_v2_with_warmup(&path, warmup).expect("temp journal"),
+        JsonlSink::create_v3_with_warmup(&path, warmup).expect("temp journal"),
     ));
     let (report, tracer) = world.run_traced();
     let jsonl = tracer

@@ -40,11 +40,19 @@ pub enum MessageClass {
     WriteAck,
     /// RREQ/RREP/RERR routing overhead.
     RouteControl,
+    /// Rejoin-resync version digest flooded by a recovering node.
+    ResyncDigest,
+    /// Unicast reply to a resync digest carrying newer-known versions.
+    ResyncAck,
+    /// Receiver acknowledgement of a sequence-stamped update.
+    DeliveryAck,
+    /// Relay-lease handover grant to an elected neighbor.
+    Handover,
 }
 
 impl MessageClass {
     /// All classes, for iteration and table rendering.
-    pub const ALL: [MessageClass; 15] = [
+    pub const ALL: [MessageClass; 19] = [
         MessageClass::Invalidation,
         MessageClass::Update,
         MessageClass::Poll,
@@ -60,6 +68,10 @@ impl MessageClass {
         MessageClass::WriteRequest,
         MessageClass::WriteAck,
         MessageClass::RouteControl,
+        MessageClass::ResyncDigest,
+        MessageClass::ResyncAck,
+        MessageClass::DeliveryAck,
+        MessageClass::Handover,
     ];
 
     /// Position of this class in [`MessageClass::ALL`] (dense array key).
@@ -88,6 +100,10 @@ impl MessageClass {
             MessageClass::WriteRequest => "WRITE_REQ",
             MessageClass::WriteAck => "WRITE_ACK",
             MessageClass::RouteControl => "ROUTE_CTRL",
+            MessageClass::ResyncDigest => "RESYNC_DIGEST",
+            MessageClass::ResyncAck => "RESYNC_ACK",
+            MessageClass::DeliveryAck => "DELIVERY_ACK",
+            MessageClass::Handover => "HANDOVER",
         }
     }
 
@@ -177,7 +193,7 @@ mod tests {
         }
         let sum: u64 = MessageClass::ALL.iter().map(|&c| t.by_class(c)).sum();
         assert_eq!(sum, t.transmissions());
-        assert_eq!(t.transmissions(), (1..=15).sum::<u64>());
+        assert_eq!(t.transmissions(), (1..=19).sum::<u64>());
         assert_eq!(t.bytes(), 10 * t.transmissions());
     }
 

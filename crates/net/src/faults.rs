@@ -11,14 +11,15 @@
 //! allocations, and a bit-identical event schedule to a build without
 //! the fault layer at all.
 //!
-//! Four named presets cover the regimes the related work stresses:
+//! Five named presets cover the regimes the related work stresses:
 //!
-//! | preset      | injects                                              |
-//! |-------------|------------------------------------------------------|
-//! | `bursty`    | Gilbert–Elliott burst loss + frame duplication        |
-//! | `partition` | one long spatial bisection of the terrain             |
-//! | `crash`     | node crashes (volatile state wiped) with recovery     |
-//! | `hostile`   | all of the above at once                              |
+//! | preset        | injects                                              |
+//! |---------------|------------------------------------------------------|
+//! | `bursty`      | Gilbert–Elliott burst loss + frame duplication        |
+//! | `partition`   | one long spatial bisection of the terrain             |
+//! | `crash`       | node crashes (volatile state wiped) with recovery     |
+//! | `crash-heavy` | short-MTBF staggered crash churn + frame duplication  |
+//! | `hostile`     | all of the above at once                              |
 //!
 //! Fault windows are stored as absolute sim times; the preset
 //! constructors place them at fixed fractions of the run so the same
@@ -95,7 +96,8 @@ pub struct FaultPlan {
 
 impl FaultPlan {
     /// The names [`FaultPlan::preset`] accepts.
-    pub const PRESETS: [&'static str; 4] = ["bursty", "partition", "crash", "hostile"];
+    pub const PRESETS: [&'static str; 5] =
+        ["bursty", "partition", "crash", "crash-heavy", "hostile"];
 
     /// No faults: the hot path stays bit-identical to a build without
     /// the fault layer.
@@ -166,6 +168,32 @@ impl FaultPlan {
         }
     }
 
+    /// Crash churn: six staggered crashes marching across the middle of
+    /// the run, each down for only 5% of it — a short mean time between
+    /// failures that keeps rejoin resync and retransmit queues under
+    /// constant pressure — plus light frame duplication to stress
+    /// delivery dedup. Every victim recovers in-run.
+    pub fn crash_heavy(sim_time: SimDuration) -> Self {
+        let window = |f: f64| CrashWindow {
+            at: at_fraction(sim_time, f),
+            recover: at_fraction(sim_time, f + 0.05),
+            node: None,
+        };
+        FaultPlan {
+            label: "crash-heavy",
+            duplicate_prob: 0.05,
+            crashes: vec![
+                window(0.15),
+                window(0.25),
+                window(0.35),
+                window(0.45),
+                window(0.55),
+                window(0.65),
+            ],
+            ..FaultPlan::default()
+        }
+    }
+
     /// Everything at once: burst loss, duplication, a bisection and two
     /// crashes — the soak regime of the chaos harness.
     pub fn hostile(sim_time: SimDuration) -> Self {
@@ -200,6 +228,7 @@ impl FaultPlan {
             "bursty" => Some(FaultPlan::bursty(sim_time)),
             "partition" => Some(FaultPlan::partition(sim_time)),
             "crash" => Some(FaultPlan::crash(sim_time)),
+            "crash-heavy" => Some(FaultPlan::crash_heavy(sim_time)),
             "hostile" => Some(FaultPlan::hostile(sim_time)),
             _ => None,
         }

@@ -559,6 +559,58 @@ pub enum TraceEvent {
         /// this serve violated Δ-consistency (Eq. 3.2.2).
         violation: bool,
     },
+    /// A rejoining node flooded its version digest to its neighbors
+    /// (recovery layer). Journal schema ≥ 3 only.
+    ResyncStart {
+        /// The rejoining node.
+        node: NodeId,
+        /// Digest entries advertised across all frames.
+        items: u32,
+    },
+    /// A rejoining node finished processing one resync reply. Journal
+    /// schema ≥ 3 only.
+    ResyncDone {
+        /// The rejoining node.
+        node: NodeId,
+        /// Stale copies dropped or queued for refresh by this reply.
+        stale: u32,
+    },
+    /// The recovery layer retransmitted an unacknowledged update.
+    /// Journal schema ≥ 3 only.
+    RecoveryRetransmit {
+        /// The retransmitting sender (source host).
+        node: NodeId,
+        /// The relay peer being retried.
+        dest: NodeId,
+        /// The updated item.
+        item: ItemId,
+        /// The frame's sequence number.
+        seq: u64,
+        /// 1-based retransmission attempt.
+        attempt: u8,
+    },
+    /// A delivery ACK settled a pending retransmission. Journal
+    /// schema ≥ 3 only.
+    RecoveryAck {
+        /// The sender whose retransmit entry was settled.
+        node: NodeId,
+        /// The acknowledging relay peer.
+        peer: NodeId,
+        /// The acknowledged item.
+        item: ItemId,
+        /// The acknowledged sequence number.
+        seq: u64,
+    },
+    /// An orphan-expiring relay handed its duty to an elected cached
+    /// neighbor instead of self-CANCELing. Journal schema ≥ 3 only.
+    RelayHandover {
+        /// The expiring relay that gave up the duty.
+        from: NodeId,
+        /// The elected neighbor that takes it over.
+        to: NodeId,
+        /// The item whose relay duty moved.
+        item: ItemId,
+    },
 }
 
 /// Discriminant of a [`TraceEvent`], for counting and table rendering.
@@ -622,12 +674,23 @@ pub enum EventKind {
     ConsistencySample,
     /// See [`TraceEvent::StaleServe`].
     StaleServe,
+    /// See [`TraceEvent::ResyncStart`].
+    ResyncStart,
+    /// See [`TraceEvent::ResyncDone`].
+    ResyncDone,
+    /// See [`TraceEvent::RecoveryRetransmit`].
+    RecoveryRetransmit,
+    /// See [`TraceEvent::RecoveryAck`].
+    RecoveryAck,
+    /// See [`TraceEvent::RelayHandover`].
+    RelayHandover,
 }
 
 impl EventKind {
-    /// All kinds, for iteration and table rendering. Schema-2 kinds are
-    /// appended at the end so schema-1 indices stay stable.
-    pub const ALL: [EventKind; 29] = [
+    /// All kinds, for iteration and table rendering. Schema-2 and
+    /// schema-3 kinds are appended at the end so older indices stay
+    /// stable.
+    pub const ALL: [EventKind; 34] = [
         EventKind::MsgSend,
         EventKind::MsgDeliver,
         EventKind::MacDrop,
@@ -657,6 +720,11 @@ impl EventKind {
         EventKind::QueryPhase,
         EventKind::ConsistencySample,
         EventKind::StaleServe,
+        EventKind::ResyncStart,
+        EventKind::ResyncDone,
+        EventKind::RecoveryRetransmit,
+        EventKind::RecoveryAck,
+        EventKind::RelayHandover,
     ];
 
     /// Position of this kind in [`EventKind::ALL`] (stable array index
@@ -700,6 +768,11 @@ impl EventKind {
             EventKind::QueryPhase => "query_phase",
             EventKind::ConsistencySample => "consistency",
             EventKind::StaleServe => "stale_serve",
+            EventKind::ResyncStart => "resync_start",
+            EventKind::ResyncDone => "resync_done",
+            EventKind::RecoveryRetransmit => "retransmit",
+            EventKind::RecoveryAck => "recovery_ack",
+            EventKind::RelayHandover => "relay_handover",
         }
     }
 
@@ -714,6 +787,11 @@ impl EventKind {
     pub fn min_schema(self) -> u64 {
         match self {
             EventKind::ConsistencySample | EventKind::StaleServe => 2,
+            EventKind::ResyncStart
+            | EventKind::ResyncDone
+            | EventKind::RecoveryRetransmit
+            | EventKind::RecoveryAck
+            | EventKind::RelayHandover => 3,
             _ => 1,
         }
     }
@@ -752,6 +830,11 @@ impl TraceEvent {
             TraceEvent::QueryPhase { .. } => EventKind::QueryPhase,
             TraceEvent::ConsistencySample { .. } => EventKind::ConsistencySample,
             TraceEvent::StaleServe { .. } => EventKind::StaleServe,
+            TraceEvent::ResyncStart { .. } => EventKind::ResyncStart,
+            TraceEvent::ResyncDone { .. } => EventKind::ResyncDone,
+            TraceEvent::RecoveryRetransmit { .. } => EventKind::RecoveryRetransmit,
+            TraceEvent::RecoveryAck { .. } => EventKind::RecoveryAck,
+            TraceEvent::RelayHandover { .. } => EventKind::RelayHandover,
         }
     }
 
@@ -986,6 +1069,43 @@ impl TraceEvent {
                 field_num(out, "lag", lag);
                 let _ = write!(out, ",\"violation\":{violation}");
             }
+            TraceEvent::ResyncStart { node, items } => {
+                field_num(out, "node", node.index() as u64);
+                field_num(out, "items", u64::from(items));
+            }
+            TraceEvent::ResyncDone { node, stale } => {
+                field_num(out, "node", node.index() as u64);
+                field_num(out, "stale", u64::from(stale));
+            }
+            TraceEvent::RecoveryRetransmit {
+                node,
+                dest,
+                item,
+                seq,
+                attempt,
+            } => {
+                field_num(out, "node", node.index() as u64);
+                field_num(out, "dest", dest.index() as u64);
+                field_num(out, "item", item.index() as u64);
+                field_num(out, "seq", seq);
+                field_num(out, "attempt", u64::from(attempt));
+            }
+            TraceEvent::RecoveryAck {
+                node,
+                peer,
+                item,
+                seq,
+            } => {
+                field_num(out, "node", node.index() as u64);
+                field_num(out, "peer", peer.index() as u64);
+                field_num(out, "item", item.index() as u64);
+                field_num(out, "seq", seq);
+            }
+            TraceEvent::RelayHandover { from, to, item } => {
+                field_num(out, "from", from.index() as u64);
+                field_num(out, "to", to.index() as u64);
+                field_num(out, "item", item.index() as u64);
+            }
         }
         out.push('}');
     }
@@ -1150,6 +1270,26 @@ pub(crate) mod tests {
                 lag: 4,
                 violation: true,
             },
+            TraceEvent::ResyncStart { node: n, items: 6 },
+            TraceEvent::ResyncDone { node: n, stale: 2 },
+            TraceEvent::RecoveryRetransmit {
+                node: n,
+                dest: m,
+                item,
+                seq: 17,
+                attempt: 1,
+            },
+            TraceEvent::RecoveryAck {
+                node: n,
+                peer: m,
+                item,
+                seq: 17,
+            },
+            TraceEvent::RelayHandover {
+                from: n,
+                to: m,
+                item,
+            },
         ]
     }
 
@@ -1247,11 +1387,18 @@ pub(crate) mod tests {
     }
 
     #[test]
-    fn only_observatory_kinds_require_schema_two() {
+    fn schema_tiers_match_the_kind_vocabulary() {
         for kind in EventKind::ALL {
-            let expected = matches!(kind, EventKind::ConsistencySample | EventKind::StaleServe);
-            assert_eq!(kind.min_schema() == 2, expected, "{kind:?}");
-            assert!(kind.min_schema() >= 1);
+            let expected = match kind {
+                EventKind::ConsistencySample | EventKind::StaleServe => 2,
+                EventKind::ResyncStart
+                | EventKind::ResyncDone
+                | EventKind::RecoveryRetransmit
+                | EventKind::RecoveryAck
+                | EventKind::RelayHandover => 3,
+                _ => 1,
+            };
+            assert_eq!(kind.min_schema(), expected, "{kind:?}");
         }
     }
 }

@@ -389,6 +389,32 @@ pub fn parse_event_versioned(line: &str, schema: u64) -> Option<(SimTime, TraceE
             lag: num("lag")?,
             violation: v.get("violation")?.as_bool()?,
         },
+        EventKind::ResyncStart => TraceEvent::ResyncStart {
+            node: node_field("node")?,
+            items: num("items")? as u32,
+        },
+        EventKind::ResyncDone => TraceEvent::ResyncDone {
+            node: node_field("node")?,
+            stale: num("stale")? as u32,
+        },
+        EventKind::RecoveryRetransmit => TraceEvent::RecoveryRetransmit {
+            node: node_field("node")?,
+            dest: node_field("dest")?,
+            item: item_field("item")?,
+            seq: num("seq")?,
+            attempt: num("attempt")? as u8,
+        },
+        EventKind::RecoveryAck => TraceEvent::RecoveryAck {
+            node: node_field("node")?,
+            peer: node_field("peer")?,
+            item: item_field("item")?,
+            seq: num("seq")?,
+        },
+        EventKind::RelayHandover => TraceEvent::RelayHandover {
+            from: node_field("from")?,
+            to: node_field("to")?,
+            item: item_field("item")?,
+        },
     };
     Some((at, event))
 }
@@ -424,7 +450,7 @@ mod tests {
         ));
         {
             let mut sink =
-                JsonlSink::create_v2_with_warmup(&path, SimDuration::from_secs(60)).unwrap();
+                JsonlSink::create_v3_with_warmup(&path, SimDuration::from_secs(60)).unwrap();
             for (i, event) in crate::event::tests::samples().into_iter().enumerate() {
                 sink.record(SimTime::from_millis(i as u64 * 10), &event);
             }

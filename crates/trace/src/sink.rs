@@ -158,9 +158,10 @@ impl TraceSink for RingSink {
 }
 
 /// The newest journal schema version this build can write and read.
-/// Schema 2 added the consistency-observatory kinds
-/// ([`EventKind::ConsistencySample`], [`EventKind::StaleServe`]).
-pub const JOURNAL_SCHEMA: u64 = 2;
+/// Schema 3 added the recovery-layer kinds ([`EventKind::ResyncStart`],
+/// [`EventKind::ResyncDone`], [`EventKind::RecoveryRetransmit`],
+/// [`EventKind::RecoveryAck`], [`EventKind::RelayHandover`]).
+pub const JOURNAL_SCHEMA: u64 = 3;
 
 /// The original journal schema: the 27-kind vocabulary of PR 3. Sinks
 /// built with the plain constructors still write it, so runs that never
@@ -172,11 +173,22 @@ pub const JOURNAL_SCHEMA_V1: u64 = 1;
 /// stamped into v1 headers regardless of how many kinds this build knows.
 pub const JOURNAL_KINDS_V1: usize = 27;
 
+/// The consistency-observatory schema of PR 6, now frozen: the 29-kind
+/// vocabulary ending at [`EventKind::StaleServe`]. The `_v2`
+/// constructors keep writing it so observatory runs without the
+/// recovery layer stay byte-identical to what pre-recovery builds wrote.
+pub const JOURNAL_SCHEMA_V2: u64 = 2;
+
+/// The (frozen) number of event kinds in the schema-2 vocabulary.
+pub const JOURNAL_KINDS_V2: usize = 29;
+
 /// Streams events as JSON Lines to a writer: one versioned header object
-/// (`{"schema":1,...}` or `{"schema":2,...}`) followed by one object per
-/// event. The plain constructors write schema 1 and silently skip any
-/// schema-2-only event (see [`EventKind::min_schema`]); the `_v2`
-/// constructors write the current schema and accept everything.
+/// (`{"schema":1,...}`, `{"schema":2,...}` or `{"schema":3,...}`)
+/// followed by one object per event. The plain constructors write
+/// schema 1 and silently skip any newer-schema event (see
+/// [`EventKind::min_schema`]); the `_v2` constructors write the frozen
+/// observatory schema (skipping recovery kinds); the `_v3` constructors
+/// write the current schema and accept everything.
 ///
 /// Serialisation is hand-rolled via [`crate::json`] — the build
 /// environment has no crates.io access, so there is no serde. On an I/O
@@ -216,10 +228,18 @@ impl JsonlSink {
         JsonlSink::with_schema(writer, warmup, JOURNAL_SCHEMA_V1)
     }
 
-    /// Wraps an arbitrary writer with the current (schema 2) header,
-    /// accepting the full event vocabulary including the consistency
-    /// observatory's kinds.
+    /// Wraps an arbitrary writer with the frozen schema 2 header: the
+    /// consistency observatory's vocabulary, but not the recovery
+    /// layer's (those events are skipped). Use
+    /// [`JsonlSink::new_v3_with_warmup`] for recovery runs.
     pub fn new_v2_with_warmup(writer: Box<dyn Write>, warmup: SimDuration) -> Self {
+        JsonlSink::with_schema(writer, warmup, JOURNAL_SCHEMA_V2)
+    }
+
+    /// Wraps an arbitrary writer with the current (schema 3) header,
+    /// accepting the full event vocabulary including the recovery
+    /// layer's kinds.
+    pub fn new_v3_with_warmup(writer: Box<dyn Write>, warmup: SimDuration) -> Self {
         JsonlSink::with_schema(writer, warmup, JOURNAL_SCHEMA)
     }
 
@@ -249,21 +269,28 @@ impl JsonlSink {
         Ok(JsonlSink::new_with_warmup(Box::new(file), warmup))
     }
 
-    /// Creates (truncating) `path` with the current (schema 2) header.
+    /// Creates (truncating) `path` with the frozen schema 2 header (see
+    /// [`JsonlSink::new_v2_with_warmup`] for the skip rule).
     pub fn create_v2_with_warmup(path: &Path, warmup: SimDuration) -> io::Result<Self> {
         let file = std::fs::File::create(path)?;
         Ok(JsonlSink::new_v2_with_warmup(Box::new(file), warmup))
     }
 
+    /// Creates (truncating) `path` with the current (schema 3) header.
+    pub fn create_v3_with_warmup(path: &Path, warmup: SimDuration) -> io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlSink::new_v3_with_warmup(Box::new(file), warmup))
+    }
+
     /// Writes the versioned header line. The header is metadata, not an
-    /// event: it does not count toward [`JsonlSink::records`]. A v1
-    /// header stamps the frozen v1 kind count so it stays byte-identical
-    /// to what pre-observatory builds wrote.
+    /// event: it does not count toward [`JsonlSink::records`]. Frozen
+    /// schemas stamp their frozen kind counts so their headers stay
+    /// byte-identical to what older builds wrote.
     fn write_header(&mut self, warmup: SimDuration) {
-        let kinds = if self.schema == JOURNAL_SCHEMA_V1 {
-            JOURNAL_KINDS_V1
-        } else {
-            EventKind::ALL.len()
+        let kinds = match self.schema {
+            JOURNAL_SCHEMA_V1 => JOURNAL_KINDS_V1,
+            JOURNAL_SCHEMA_V2 => JOURNAL_KINDS_V2,
+            _ => EventKind::ALL.len(),
         };
         self.line.clear();
         self.line.push_str("{\"schema\":");
@@ -540,7 +567,7 @@ mod tests {
     #[test]
     fn jsonl_writes_one_valid_line_per_event() {
         let buf: Vec<u8> = Vec::new();
-        let mut sink = JsonlSink::new_v2_with_warmup(Box::new(buf), SimDuration::ZERO);
+        let mut sink = JsonlSink::new_v3_with_warmup(Box::new(buf), SimDuration::ZERO);
         for (i, event) in crate::event::tests::samples().into_iter().enumerate() {
             sink.record(SimTime::from_millis(i as u64), &event);
         }
@@ -548,10 +575,32 @@ mod tests {
         sink.flush();
         assert!(sink.io_error().is_none());
         assert_eq!(n, crate::event::tests::samples().len() as u64);
-        assert_eq!(sink.skipped(), 0, "a v2 sink accepts the full vocabulary");
+        assert_eq!(sink.skipped(), 0, "a v3 sink accepts the full vocabulary");
         // The writer is boxed away; serialisation itself is validated in
         // the event module, and the end-to-end file path is covered by
         // the world-level tests.
+    }
+
+    #[test]
+    fn v2_sink_keeps_frozen_header_and_skips_recovery_kinds() {
+        let buf: Vec<u8> = Vec::new();
+        let mut sink = JsonlSink::new_v2_with_warmup(Box::new(buf), SimDuration::ZERO);
+        assert_eq!(sink.schema(), JOURNAL_SCHEMA_V2);
+        let v3_only: u64 = crate::event::tests::samples()
+            .iter()
+            .filter(|e| e.kind().min_schema() > JOURNAL_SCHEMA_V2)
+            .count() as u64;
+        assert!(v3_only > 0, "samples must cover schema-3 kinds");
+        for (i, event) in crate::event::tests::samples().into_iter().enumerate() {
+            sink.record(SimTime::from_millis(i as u64), &event);
+        }
+        sink.flush();
+        assert!(sink.io_error().is_none());
+        assert_eq!(sink.skipped(), v3_only);
+        assert_eq!(
+            sink.records(),
+            crate::event::tests::samples().len() as u64 - v3_only
+        );
     }
 
     #[test]
@@ -669,7 +718,7 @@ mod tests {
             std::env::temp_dir().join(format!("mp2p-trace-sink-test-{}.jsonl", std::process::id()));
         {
             let mut sink =
-                JsonlSink::create_v2_with_warmup(&path, SimDuration::ZERO).expect("create jsonl");
+                JsonlSink::create_v3_with_warmup(&path, SimDuration::ZERO).expect("create jsonl");
             for (i, event) in crate::event::tests::samples().into_iter().enumerate() {
                 sink.record(SimTime::from_millis(i as u64 * 10), &event);
             }
@@ -681,7 +730,7 @@ mod tests {
         // Header line + one line per event.
         assert_eq!(lines.len(), crate::event::tests::samples().len() + 1);
         assert!(
-            lines[0].starts_with("{\"schema\":2,"),
+            lines[0].starts_with("{\"schema\":3,"),
             "bad header: {}",
             lines[0]
         );
