@@ -41,6 +41,7 @@ mod level;
 mod msg;
 mod observatory;
 mod protocol;
+mod provenance;
 mod pull;
 mod push;
 mod push_adaptive;
@@ -55,6 +56,7 @@ pub use level::{ConsistencyLevel, LevelMix};
 pub use msg::ProtoMsg;
 pub use observatory::{ConsistencyReport, ObservatoryConfig};
 pub use protocol::{Ctx, CtxOut, DegradationKind, Protocol, QueryId, Timer};
+pub use provenance::ProvenanceConfig;
 pub use pull::SimplePull;
 pub use push::SimplePush;
 pub use push_adaptive::PushAdaptivePull;

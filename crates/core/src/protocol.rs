@@ -129,6 +129,17 @@ pub enum CtxOut {
         /// What the recovery layer did or requests.
         action: RecoveryAction,
     },
+    /// Report that a cached copy of `item` was installed or refreshed to
+    /// `version` from a just-delivered message. The driver pairs it with
+    /// the carrying frame's identity to emit a provenance
+    /// [`mp2p_trace::TraceEvent::CopyLineage`] record. Carries no
+    /// simulation effect.
+    CopyInstalled {
+        /// The item whose cached copy changed.
+        item: ItemId,
+        /// The installed version.
+        version: Version,
+    },
     /// Report that an open query entered a new causal phase (span
     /// tracing). Carries no simulation effect.
     QueryPhase {
@@ -264,6 +275,14 @@ impl<'a> Ctx<'a> {
                 cfg.retry_delay(base, attempt, &mut scratch)
             }
         }
+    }
+
+    /// Reports that a cached copy was installed or refreshed from a
+    /// delivered message (provenance lineage). Unconditional at every
+    /// install site: it draws no randomness and the driver discards it
+    /// unless provenance tracing is on.
+    pub fn note_copy(&mut self, item: ItemId, version: Version) {
+        self.out.push(CtxOut::CopyInstalled { item, version });
     }
 
     /// Reports that `query` entered a new causal phase (span tracing).

@@ -132,6 +132,7 @@ impl Protocol for SimplePull {
                 if !ctx.cache.refresh(item, version, ctx.now) {
                     ctx.cache.insert(item, version, content_bytes, ctx.now);
                 }
+                ctx.note_copy(item, version);
                 self.answer_pending_for(ctx, item, version);
             }
             _ => {} // pull uses no other message types

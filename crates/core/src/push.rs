@@ -208,6 +208,7 @@ impl Protocol for SimplePush {
                 if !ctx.cache.refresh(item, version, ctx.now) {
                     ctx.cache.insert(item, version, content_bytes, ctx.now);
                 }
+                ctx.note_copy(item, version);
                 self.fetch_in_flight.insert(item, false);
                 self.answer_all_for(ctx, item, ServedBy::Source);
             }

@@ -166,6 +166,7 @@ impl Protocol for PushAdaptivePull {
                 if !ctx.cache.refresh(item, version, ctx.now) {
                     ctx.cache.insert(item, version, content_bytes, ctx.now);
                 }
+                ctx.note_copy(item, version);
                 // A fetched answer is as good as a report.
                 self.last_report.insert(item, ctx.now);
                 self.answer_pending_for(ctx, item);

@@ -852,6 +852,7 @@ fn refresh_or_insert(ctx: &mut Ctx<'_>, item: ItemId, version: Version, content:
     if !ctx.cache.refresh(item, version, ctx.now) {
         ctx.cache.insert(item, version, content, ctx.now);
     }
+    ctx.note_copy(item, version);
 }
 
 impl Protocol for Rpcc {
@@ -1743,8 +1744,11 @@ mod tests {
             crate::CtxOut::Transition {
                 kind: RelayTransitionKind::ResyncCompleted,
                 ..
-            }
+            } | crate::CtxOut::CopyInstalled { .. }
         )));
+        assert!(out
+            .iter()
+            .any(|o| matches!(o, crate::CtxOut::Transition { .. })));
         assert_eq!(
             fx.cache.peek(ItemId::new(1)).unwrap().version,
             Version::new(2)
@@ -1800,8 +1804,11 @@ mod tests {
             crate::CtxOut::Transition {
                 kind: RelayTransitionKind::Promoted,
                 ..
-            }
+            } | crate::CtxOut::CopyInstalled { .. }
         )));
+        assert!(out
+            .iter()
+            .any(|o| matches!(o, crate::CtxOut::Transition { .. })));
         assert!(
             fx.proto.is_relay_for(ItemId::new(1)),
             "Fig 6(d) 28-31: missed APPLY_ACK"

@@ -19,13 +19,14 @@ use mp2p_net::{
     NetTimer, RouteControl, Topology, TopologyBuilder, TopologyScratch,
 };
 use mp2p_sim::{EventQueue, ItemId, NodeId, PerfReport, Profiler, SimDuration, SimRng, SimTime};
-use mp2p_trace::{BlameCause, LevelTag, NullSink, ServedBy, TraceEvent, TraceSink};
+use mp2p_trace::{BlameCause, FrameFateKind, LevelTag, NullSink, ServedBy, TraceEvent, TraceSink};
 
 use crate::config::ProtocolConfig;
 use crate::level::{ConsistencyLevel, LevelMix};
 use crate::msg::ProtoMsg;
 use crate::observatory::{BlameTracker, ConsistencyReport, ObservatoryConfig};
 use crate::protocol::{Ctx, CtxOut, DegradationKind, Protocol, QueryId, Timer};
+use crate::provenance::ProvenanceConfig;
 use crate::pull::SimplePull;
 use crate::push::SimplePush;
 use crate::push_adaptive::PushAdaptivePull;
@@ -191,6 +192,11 @@ pub struct WorldConfig {
     /// a default run is bit-identical to one from a pre-observatory
     /// build.
     pub observatory: ObservatoryConfig,
+    /// Frame-level provenance switches (causal lineage tracing).
+    /// [`ProvenanceConfig::off`] — the default — emits no schema-4
+    /// records and draws no randomness: a default run is bit-identical
+    /// to one from a pre-provenance build.
+    pub provenance: ProvenanceConfig,
     /// Master random seed.
     pub seed: u64,
 }
@@ -234,6 +240,7 @@ impl WorldConfig {
             subnet_grid: (3, 3),
             faults: FaultPlan::none(),
             observatory: ObservatoryConfig::off(),
+            provenance: ProvenanceConfig::off(),
             seed,
         }
     }
@@ -285,6 +292,7 @@ impl WorldConfig {
         self.proto.validate();
         self.faults.validate(self.n_peers);
         self.observatory.validate();
+        self.provenance.validate();
     }
 }
 
@@ -788,6 +796,12 @@ pub struct World {
     /// over the whole run, warm-up included. A plain counter — always
     /// maintained, reported only through the perf section.
     frames_sent: u64,
+    /// Delivery context for provenance lineage: the carrying frame's
+    /// `(origin, seq, hops)` while a just-delivered message is being
+    /// dispatched to a protocol handler; `None` outside delivery (timer
+    /// handlers, loopback and oracle deliveries install copies without a
+    /// carrying frame).
+    rx_frame: Option<(NodeId, u64, u8)>,
 }
 
 impl World {
@@ -946,6 +960,7 @@ impl World {
             tracer: Box::new(NullSink),
             profiler: Profiler::disabled(),
             frames_sent: 0,
+            rx_frame: None,
         };
         if world.cfg.observatory.blame {
             // One item per peer (each node owns exactly one).
@@ -991,16 +1006,31 @@ impl World {
             return;
         }
         for ev in self.nodes[node.index()].stack.take_events() {
+            // The stack's dup/hop-budget/no-route diagnostics are frame
+            // deaths; with provenance on each also closes its frame's
+            // life cycle as a schema-4 fate record.
+            let fate = match ev {
+                NetEvent::FloodDupDrop { origin, seq } => {
+                    Some((origin, seq, FrameFateKind::DupDrop))
+                }
+                NetEvent::HopBudgetDrop { origin, seq, .. } => {
+                    Some((origin, seq, FrameFateKind::HopBudgetDrop))
+                }
+                NetEvent::NoRouteDrop { origin, seq, .. } => {
+                    Some((origin, seq, FrameFateKind::NoRouteDrop))
+                }
+                _ => None,
+            };
             let event = match ev {
-                NetEvent::FloodDupDrop { origin } => TraceEvent::FloodDupDrop { node, origin },
+                NetEvent::FloodDupDrop { origin, .. } => TraceEvent::FloodDupDrop { node, origin },
                 NetEvent::FloodTtlExhausted { origin } => {
                     TraceEvent::FloodTtlExhausted { node, origin }
                 }
                 NetEvent::RreqDupDrop { origin } => TraceEvent::RreqDupDrop { node, origin },
-                NetEvent::HopBudgetDrop { origin, dest } => {
+                NetEvent::HopBudgetDrop { origin, dest, .. } => {
                     TraceEvent::HopBudgetDrop { node, origin, dest }
                 }
-                NetEvent::NoRouteDrop { origin, dest } => {
+                NetEvent::NoRouteDrop { origin, dest, .. } => {
                     TraceEvent::NoRouteDrop { node, origin, dest }
                 }
                 NetEvent::DiscoveryStart { dest, attempt } => TraceEvent::DiscoveryStart {
@@ -1015,6 +1045,23 @@ impl World {
                 },
             };
             self.tracer.record(self.now, &event);
+            if self.cfg.provenance.frames {
+                if let Some((origin, seq, kind)) = fate {
+                    self.note_frame_fate(node, origin, seq, kind);
+                }
+            }
+        }
+    }
+
+    /// Journals one frame's terminal fate at `node` (provenance only).
+    fn note_frame_fate(&mut self, node: NodeId, origin: NodeId, seq: u64, fate: FrameFateKind) {
+        if self.cfg.provenance.frames {
+            self.trace(TraceEvent::FrameFate {
+                node,
+                origin,
+                frame: seq,
+                fate,
+            });
         }
     }
 
@@ -1602,6 +1649,8 @@ impl World {
 
     fn handle_rx(&mut self, at: NodeId, from: NodeId, frame: Frame<ProtoMsg>) {
         if !self.nodes[at.index()].up {
+            let (origin, seq) = frame.provenance();
+            self.note_frame_fate(at, origin, seq, FrameFateKind::DownDrop);
             return; // switched-off nodes hear nothing
         }
         // Channel loss. A Gilbert–Elliott chain (when the fault plan
@@ -1630,12 +1679,16 @@ impl World {
             Some(false) => {
                 // Channel loss.
                 self.note_frame_lost(at, &frame);
+                let (origin, seq) = frame.provenance();
+                self.note_frame_fate(at, origin, seq, FrameFateKind::ChannelDrop);
                 return;
             }
             Some(true) => {
                 self.fault_stats.burst_drops += 1;
                 self.trace(TraceEvent::BurstDrop { node: at });
                 self.note_frame_lost(at, &frame);
+                let (origin, seq) = frame.provenance();
+                self.note_frame_fate(at, origin, seq, FrameFateKind::BurstDrop);
                 return;
             }
         }
@@ -1741,6 +1794,35 @@ impl World {
             dest,
             span: frame_span(frame),
         });
+        if self.cfg.provenance.frames {
+            let (origin, seq) = frame.provenance();
+            if frame.hops() == 0 {
+                // The origin's own transmission: the frame is born here.
+                let (item, version) = frame
+                    .app_payload()
+                    .and_then(propagation_of)
+                    .map_or((None, 0), |(item, version)| (Some(item), version));
+                let final_dest = match frame {
+                    Frame::Unicast { dest, .. } => Some(*dest),
+                    Frame::Flood { .. } => None,
+                };
+                self.trace(TraceEvent::FrameBorn {
+                    node,
+                    frame: seq,
+                    class,
+                    dest: final_dest,
+                    item,
+                    version,
+                });
+            } else {
+                self.trace(TraceEvent::FrameHop {
+                    node,
+                    origin,
+                    frame: seq,
+                    hops: frame.hops(),
+                });
+            }
+        }
     }
 
     fn apply_net_actions(&mut self, node: NodeId, actions: Vec<NetAction<ProtoMsg>>) {
@@ -1837,6 +1919,8 @@ impl World {
                             class: frame_class(&frame),
                         });
                         self.note_frame_lost(next_hop, &frame);
+                        let (origin, seq) = frame.provenance();
+                        self.note_frame_fate(next_hop, origin, seq, FrameFateKind::MacDrop);
                         // MAC-level delivery failure feedback (Section 4.5).
                         let follow_up = self.nodes[node.index()]
                             .stack
@@ -1845,6 +1929,9 @@ impl World {
                     }
                 }
                 NetAction::Deliver { payload, meta } => {
+                    if let Some(seq) = meta.frame {
+                        self.note_frame_fate(node, meta.origin, seq, FrameFateKind::Delivered);
+                    }
                     self.trace(TraceEvent::MsgDeliver {
                         node,
                         origin: meta.origin,
@@ -1855,6 +1942,9 @@ impl World {
                     });
                     let bucket = msg_bucket(payload.class());
                     let scope = self.profiler.start();
+                    // Expose the carrying frame to the handler's outputs so
+                    // a copy install inside can be paired with its lineage.
+                    self.rx_frame = meta.frame.map(|seq| (meta.origin, seq, meta.hops));
                     match payload {
                         // Replica writes are driver-level machinery: apply at
                         // the source, acknowledge to the writer; the running
@@ -1871,6 +1961,7 @@ impl World {
                         });
                         }
                     }
+                    self.rx_frame = None;
                     self.profiler.stop(bucket, scope);
                 }
                 NetAction::SetTimer { after, timer } => {
@@ -1926,6 +2017,10 @@ impl World {
             f(&mut node.proto, &mut ctx);
             ctx.take_outputs()
         };
+        // Snapshot the delivery context: nested dispatches (loopback
+        // sends recurse through apply_net_actions) reset `self.rx_frame`,
+        // but every output of *this* handler belongs to this delivery.
+        let rx_frame = self.rx_frame;
         for out in outputs {
             match out {
                 CtxOut::Send { to, msg } => {
@@ -1979,6 +2074,22 @@ impl World {
                         phase,
                         attempt,
                     });
+                }
+                CtxOut::CopyInstalled { item, version } => {
+                    // Lineage exists only for copies that arrived on a
+                    // frame; timer-driven or loopback installs have none.
+                    if self.cfg.provenance.lineage {
+                        if let Some((origin, seq, hops)) = rx_frame {
+                            self.trace(TraceEvent::CopyLineage {
+                                node: id,
+                                item,
+                                version: version.get(),
+                                origin,
+                                frame: seq,
+                                hops,
+                            });
+                        }
+                    }
                 }
                 CtxOut::Degraded { item, query, kind } => match kind {
                     DegradationKind::RelayLeaseExpired => {

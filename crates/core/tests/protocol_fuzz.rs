@@ -255,6 +255,7 @@ fn drive<P: Protocol>(mut proto: P, steps: &[Step], adaptive: bool) {
                 CtxOut::Transition { .. }
                 | CtxOut::Degraded { .. }
                 | CtxOut::QueryPhase { .. }
+                | CtxOut::CopyInstalled { .. }
                 | CtxOut::Recovery { .. } => {}
             }
         }

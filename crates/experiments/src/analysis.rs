@@ -9,15 +9,16 @@
 //! counter for counter. A mismatch means the flight recorder and the
 //! world disagree about what happened, which is a bug by definition.
 
+use std::collections::BTreeMap;
 use std::io::BufRead;
 use std::path::Path;
 
-use mp2p_metrics::{LatencyStats, Registry, AGE_BUCKETS, AGE_BUCKET_EDGES};
-use mp2p_sim::{SimDuration, SimTime};
+use mp2p_metrics::{LatencyStats, MessageClass, Registry, AGE_BUCKETS, AGE_BUCKET_EDGES};
+use mp2p_sim::{ItemId, NodeId, SimDuration, SimTime};
 use mp2p_trace::bridge::{MetricsBridge, DEFAULT_WINDOW};
 use mp2p_trace::reader::{JournalHeader, JournalReader, ReadError};
 use mp2p_trace::span::{QuerySpan, SpanAssembler, SpanOutcome};
-use mp2p_trace::{json, BlameCause, LevelTag, ServedBy, SpanPhase, TraceEvent};
+use mp2p_trace::{json, BlameCause, FrameFateKind, LevelTag, ServedBy, SpanPhase, TraceEvent};
 
 use crate::render_table;
 
@@ -39,6 +40,10 @@ pub struct TraceAnalysis {
     /// observatory's schema-2 records (empty on a schema-1 journal or an
     /// observatory-off run).
     pub consistency: ConsistencyTimeline,
+    /// Causal provenance graph rebuilt from the schema-4 frame/lineage
+    /// records plus the obstruction and recovery evidence of earlier
+    /// schemas. Frame-level fields stay empty on a provenance-off run.
+    pub provenance: ProvenanceGraph,
 }
 
 /// One divergence-sampler tick replayed out of the journal: the global
@@ -296,6 +301,835 @@ pub fn crosscheck_consistency(
     mismatches
 }
 
+/// One frame's birth record: where it entered the network and what it
+/// carried. Keyed by the frame's deterministic `(origin, seq)` identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameBirth {
+    /// When the origin first transmitted the frame.
+    pub at: SimTime,
+    /// What the frame carried on the air.
+    pub class: MessageClass,
+    /// Final unicast destination; `None` for a flood.
+    pub dest: Option<NodeId>,
+    /// The propagated item, if this was a propagation frame.
+    pub item: Option<ItemId>,
+    /// The propagated master version (only meaningful with `item`).
+    pub version: u64,
+}
+
+/// One terminal a frame reached at one node (a frame can have several:
+/// every flood copy meets its own fate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameFateRecord {
+    /// When the fate occurred.
+    pub at: SimTime,
+    /// The node where the frame ended.
+    pub node: NodeId,
+    /// What happened.
+    pub fate: FrameFateKind,
+}
+
+/// One cached copy's installation record: which frame carried it in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineageRecord {
+    /// When the copy was installed or refreshed.
+    pub at: SimTime,
+    /// The installed version.
+    pub version: u64,
+    /// The carrying frame's originating node.
+    pub origin: NodeId,
+    /// The carrying frame's origin-local sequence number.
+    pub frame: u64,
+    /// Hops the carrying frame travelled.
+    pub hops: u8,
+}
+
+/// One stale serve lifted out of the journal, ready to be explained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaleServeRecord {
+    /// When the stale answer was served.
+    pub at: SimTime,
+    /// The peer that answered stale.
+    pub node: NodeId,
+    /// The query that got the stale answer.
+    pub query: u64,
+    /// The stale item.
+    pub item: ItemId,
+    /// The blame tracker's proximate cause.
+    pub cause: BlameCause,
+    /// How long the served version had been superseded, in ms.
+    pub staleness_ms: u64,
+    /// Versions behind the master.
+    pub lag: u64,
+    /// True if the staleness exceeded the run's Δ.
+    pub violation: bool,
+}
+
+/// Per-node health counters folded from the provenance records.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeHealth {
+    /// Frames this node originated (`FrameBorn`).
+    pub born: u64,
+    /// Frames this node re-transmitted for others (`FrameHop`) — its
+    /// relay load.
+    pub forwards: u64,
+    /// Frames delivered at this node.
+    pub delivered: u64,
+    /// Flood copies suppressed here as duplicates.
+    pub dups: u64,
+    /// Frames lost at this node (every loss fate).
+    pub lost: u64,
+    /// Stale answers this node served.
+    pub stale_serves: u64,
+    /// Total staleness this node served, in ms (its contribution to the
+    /// run's inconsistency).
+    pub staleness_ms: u64,
+}
+
+impl NodeHealth {
+    /// All frame terminals observed at this node.
+    pub fn fates(&self) -> u64 {
+        self.delivered + self.dups + self.lost
+    }
+
+    /// Fraction of frame terminals at this node that were losses.
+    pub fn drop_rate(&self) -> f64 {
+        if self.fates() == 0 {
+            0.0
+        } else {
+            self.lost as f64 / self.fates() as f64
+        }
+    }
+}
+
+/// The offline causal graph: every provenance record of one journal,
+/// indexed for the `--explain` walk. Frames are keyed by their
+/// deterministic `(origin, seq)` identity; obstruction (partitions,
+/// crashes, lease expiries, undeliverables) and recovery (resyncs,
+/// retransmits, handovers) evidence is kept alongside so a stale serve
+/// can be walked back to the hazard that caused it and forward to the
+/// action that repaired it.
+#[derive(Debug, Clone, Default)]
+pub struct ProvenanceGraph {
+    frames: BTreeMap<(NodeId, u64), FrameBirth>,
+    fates: BTreeMap<(NodeId, u64), Vec<FrameFateRecord>>,
+    lineages: BTreeMap<(NodeId, ItemId), Vec<LineageRecord>>,
+    updates: BTreeMap<ItemId, Vec<(SimTime, NodeId, u64)>>,
+    /// Stale serves in journal order (the incidents to explain).
+    pub stale_serves: Vec<StaleServeRecord>,
+    partition_starts: Vec<SimTime>,
+    partition_heals: Vec<SimTime>,
+    status_flips: BTreeMap<NodeId, Vec<(SimTime, bool)>>,
+    crashes: BTreeMap<NodeId, Vec<SimTime>>,
+    lease_expiries: BTreeMap<(NodeId, ItemId), Vec<SimTime>>,
+    undeliverables: Vec<(SimTime, NodeId, NodeId, MessageClass)>,
+    resyncs: BTreeMap<NodeId, Vec<(SimTime, u32)>>,
+    retransmits: Vec<(SimTime, NodeId, NodeId, ItemId, u8)>,
+    handovers: Vec<(SimTime, NodeId, NodeId, ItemId)>,
+    health: BTreeMap<NodeId, NodeHealth>,
+    links: BTreeMap<(NodeId, NodeId), u64>,
+}
+
+impl ProvenanceGraph {
+    /// True when the journal carried frame-level provenance records
+    /// (i.e. the run had `--provenance` on and the sink spoke schema 4).
+    pub fn has_frames(&self) -> bool {
+        !self.frames.is_empty()
+    }
+
+    /// The birth record of one frame, if its `FrameBorn` was journaled.
+    pub fn frame(&self, origin: NodeId, seq: u64) -> Option<&FrameBirth> {
+        self.frames.get(&(origin, seq))
+    }
+
+    /// Per-node health counters, node-ordered.
+    pub fn node_health(&self) -> &BTreeMap<NodeId, NodeHealth> {
+        &self.health
+    }
+
+    /// Per-link MAC-drop counts (`transmitter → next hop`), link-ordered.
+    pub fn link_drops(&self) -> &BTreeMap<(NodeId, NodeId), u64> {
+        &self.links
+    }
+
+    /// Folds one journal event into the graph; ignores kinds that carry
+    /// no causal evidence.
+    pub fn record(&mut self, at: SimTime, event: &TraceEvent) {
+        match *event {
+            TraceEvent::FrameBorn {
+                node,
+                frame,
+                class,
+                dest,
+                item,
+                version,
+            } => {
+                self.frames.insert(
+                    (node, frame),
+                    FrameBirth {
+                        at,
+                        class,
+                        dest,
+                        item,
+                        version,
+                    },
+                );
+                self.health.entry(node).or_default().born += 1;
+            }
+            TraceEvent::FrameHop { node, .. } => {
+                self.health.entry(node).or_default().forwards += 1;
+            }
+            TraceEvent::FrameFate {
+                node,
+                origin,
+                frame,
+                fate,
+            } => {
+                self.fates
+                    .entry((origin, frame))
+                    .or_default()
+                    .push(FrameFateRecord { at, node, fate });
+                let h = self.health.entry(node).or_default();
+                match fate {
+                    FrameFateKind::Delivered => h.delivered += 1,
+                    FrameFateKind::DupDrop => h.dups += 1,
+                    _ => h.lost += 1,
+                }
+            }
+            TraceEvent::CopyLineage {
+                node,
+                item,
+                version,
+                origin,
+                frame,
+                hops,
+            } => {
+                self.lineages
+                    .entry((node, item))
+                    .or_default()
+                    .push(LineageRecord {
+                        at,
+                        version,
+                        origin,
+                        frame,
+                        hops,
+                    });
+            }
+            TraceEvent::SourceUpdate {
+                node,
+                item,
+                version,
+            } => {
+                self.updates
+                    .entry(item)
+                    .or_default()
+                    .push((at, node, version));
+            }
+            TraceEvent::StaleServe {
+                node,
+                query,
+                item,
+                cause,
+                staleness_ms,
+                lag,
+                violation,
+            } => {
+                self.stale_serves.push(StaleServeRecord {
+                    at,
+                    node,
+                    query,
+                    item,
+                    cause,
+                    staleness_ms,
+                    lag,
+                    violation,
+                });
+                let h = self.health.entry(node).or_default();
+                h.stale_serves += 1;
+                h.staleness_ms += staleness_ms;
+            }
+            TraceEvent::PartitionStart { .. } => self.partition_starts.push(at),
+            TraceEvent::PartitionHeal { .. } => self.partition_heals.push(at),
+            TraceEvent::NodeDown { node } => {
+                self.status_flips.entry(node).or_default().push((at, false));
+            }
+            TraceEvent::NodeUp { node } => {
+                self.status_flips.entry(node).or_default().push((at, true));
+            }
+            TraceEvent::NodeCrash { node } => {
+                self.crashes.entry(node).or_default().push(at);
+                self.status_flips.entry(node).or_default().push((at, false));
+            }
+            TraceEvent::NodeRecover { node } => {
+                self.status_flips.entry(node).or_default().push((at, true));
+            }
+            TraceEvent::RelayLeaseExpired { node, item } => {
+                self.lease_expiries
+                    .entry((node, item))
+                    .or_default()
+                    .push(at);
+            }
+            TraceEvent::Undeliverable { node, dest, class } => {
+                self.undeliverables.push((at, node, dest, class));
+            }
+            TraceEvent::ResyncDone { node, stale } => {
+                self.resyncs.entry(node).or_default().push((at, stale));
+            }
+            TraceEvent::RecoveryRetransmit {
+                node,
+                dest,
+                item,
+                attempt,
+                ..
+            } => {
+                self.retransmits.push((at, node, dest, item, attempt));
+            }
+            TraceEvent::RelayHandover { from, to, item } => {
+                self.handovers.push((at, from, to, item));
+            }
+            TraceEvent::MacDrop { node, next_hop, .. } => {
+                *self.links.entry((node, next_hop)).or_default() += 1;
+            }
+            _ => {}
+        }
+    }
+
+    /// True when `node` was switched off (or crashed, not yet recovered)
+    /// at `at`, judged by its last status flip.
+    fn is_down(&self, node: NodeId, at: SimTime) -> bool {
+        self.status_flips
+            .get(&node)
+            .and_then(|flips| flips.iter().rev().find(|(t, _)| *t <= at))
+            .is_some_and(|&(_, up)| !up)
+    }
+
+    /// When the terrain was bisected at `at`, the cut's opening time.
+    fn partition_active(&self, at: SimTime) -> Option<SimTime> {
+        let opened = self.partition_starts.iter().filter(|t| **t <= at).count();
+        let healed = self.partition_heals.iter().filter(|t| **t <= at).count();
+        if opened > healed {
+            self.partition_starts.iter().rfind(|t| **t <= at).copied()
+        } else {
+            None
+        }
+    }
+
+    /// The version the stale holder actually served: the master version
+    /// at serve time minus the reported lag.
+    fn served_version(&self, s: &StaleServeRecord) -> u64 {
+        self.updates
+            .get(&s.item)
+            .and_then(|ups| ups.iter().rev().find(|(t, _, _)| *t <= s.at))
+            .map_or(0, |&(_, _, v)| v.saturating_sub(s.lag))
+    }
+
+    /// The earliest source update that superseded the served version, if
+    /// the journal saw one.
+    fn missed_update(&self, s: &StaleServeRecord, served_v: u64) -> Option<(SimTime, NodeId, u64)> {
+        self.updates
+            .get(&s.item)
+            .and_then(|ups| ups.iter().find(|&&(t, _, v)| v > served_v && t <= s.at))
+            .copied()
+    }
+
+    /// Propagation frames carrying a version of `item` newer than
+    /// `served_v`, born at or before `until`, key-ordered.
+    fn superseding_frames(
+        &self,
+        item: ItemId,
+        served_v: u64,
+        until: SimTime,
+    ) -> impl Iterator<Item = (&(NodeId, u64), &FrameBirth)> {
+        self.frames.iter().filter(move |(_, birth)| {
+            birth.item == Some(item) && birth.version > served_v && birth.at <= until
+        })
+    }
+
+    /// Builds the full causal chain for one stale serve: the missed
+    /// update, the stale copy's lineage, the cause-specific hazard
+    /// evidence, and the recovery action that eventually repaired it.
+    /// Always returns at least four lines — when a specific evidence
+    /// record is missing the line says so instead of disappearing.
+    fn chain_for(&self, s: &StaleServeRecord) -> Vec<String> {
+        let served_v = self.served_version(s);
+        let mut chain = Vec::with_capacity(4);
+
+        // 1. The update the holder missed.
+        match self.missed_update(s, served_v) {
+            Some((t, src, v)) => chain.push(format!(
+                "source {src} updated {} to v{v} at t={:.1}s, superseding the served v{served_v}",
+                s.item,
+                t.saturating_since(SimTime::ZERO).as_secs_f64(),
+            )),
+            None => chain.push(format!(
+                "no superseding source update for {} appears in the journal \
+                 (served v{served_v}, {} versions behind)",
+                s.item, s.lag,
+            )),
+        }
+
+        // 2. How the stale copy got where it was served.
+        match self
+            .lineages
+            .get(&(s.node, s.item))
+            .and_then(|l| l.iter().rev().find(|r| r.at <= s.at))
+        {
+            Some(lin) => chain.push(format!(
+                "the served copy (v{}) reached {} via frame {}#{} after {} hop(s) at t={:.1}s",
+                lin.version,
+                s.node,
+                lin.origin,
+                lin.frame,
+                lin.hops,
+                lin.at.saturating_since(SimTime::ZERO).as_secs_f64(),
+            )),
+            None => chain.push(format!(
+                "the served copy's installation at {} left no lineage record \
+                 (run without --provenance, or the copy predates the journal)",
+                s.node,
+            )),
+        }
+
+        // 3. Cause-specific hazard evidence.
+        chain.push(self.cause_evidence(s, served_v));
+
+        // 4. The repair, if one happened before the run ended.
+        chain.push(self.repair_evidence(s, served_v));
+        chain
+    }
+
+    /// One line of evidence for the blame tracker's proximate cause.
+    fn cause_evidence(&self, s: &StaleServeRecord, served_v: u64) -> String {
+        let secs = |t: SimTime| t.saturating_since(SimTime::ZERO).as_secs_f64();
+        let update_at = self.missed_update(s, served_v).map(|(t, _, _)| t);
+        match s.cause {
+            BlameCause::Partitioned => {
+                let probe = update_at.unwrap_or(s.at);
+                if let Some(opened) = self.partition_active(probe) {
+                    format!(
+                        "the terrain was bisected (cut opened at t={:.1}s) while v{} propagated, \
+                         putting {} out of the source's component",
+                        secs(opened),
+                        served_v + 1,
+                        s.node,
+                    )
+                } else if self.is_down(s.node, probe) {
+                    format!(
+                        "{} was switched off or crashed while v{} propagated, so no push \
+                         could reach it",
+                        s.node,
+                        served_v + 1,
+                    )
+                } else {
+                    format!(
+                        "{} was unreachable from the source when v{} propagated",
+                        s.node,
+                        served_v + 1,
+                    )
+                }
+            }
+            BlameCause::InvalidateLost => {
+                let from = update_at.unwrap_or(SimTime::ZERO);
+                let lost = self
+                    .superseding_frames(s.item, served_v, s.at)
+                    .filter(|(_, b)| b.at >= from)
+                    .filter_map(|(key, birth)| {
+                        self.fates
+                            .get(key)
+                            .and_then(|fates| fates.iter().find(|f| f.fate.is_loss()))
+                            .map(|f| (*key, *birth, *f))
+                    })
+                    .min_by_key(|(_, _, f)| f.at);
+                if let Some(((origin, seq), birth, fate)) = lost {
+                    format!(
+                        "frame {origin}#{seq} ({}) carrying v{} died at {} (fate: {}) at \
+                         t={:.1}s — the propagation never reached {}",
+                        birth.class.label(),
+                        birth.version,
+                        fate.node,
+                        fate.fate.label(),
+                        secs(fate.at),
+                        s.node,
+                    )
+                } else if let Some(&(t, _, dest, class)) = self
+                    .undeliverables
+                    .iter()
+                    .rev()
+                    .find(|&&(t, _, dest, _)| dest == s.node && t <= s.at)
+                {
+                    format!(
+                        "the network gave up on a {} toward {dest} (undeliverable at t={:.1}s) — \
+                         the propagation never left its sender",
+                        class.label(),
+                        secs(t),
+                    )
+                } else {
+                    format!(
+                        "a propagation frame carrying v>{served_v} toward {} was lost on the \
+                         channel (no frame-level record: run with --provenance to name it)",
+                        s.node,
+                    )
+                }
+            }
+            BlameCause::CrashWipe => match self
+                .crashes
+                .get(&s.node)
+                .and_then(|c| c.iter().rev().find(|t| **t <= s.at))
+            {
+                Some(t) => format!(
+                    "{} crashed at t={:.1}s, wiping its cache; the re-populated copy lost \
+                     its propagation provenance",
+                    s.node,
+                    secs(*t),
+                ),
+                None => format!("{}'s volatile state was wiped by a crash", s.node),
+            },
+            BlameCause::LeaseOrphan => match self
+                .lease_expiries
+                .get(&(s.node, s.item))
+                .and_then(|l| l.iter().rev().find(|t| **t <= s.at))
+            {
+                Some(t) => format!(
+                    "{}'s relay lease on {} expired without source contact at t={:.1}s, \
+                     dropping it off every update push path",
+                    s.node,
+                    s.item,
+                    secs(*t),
+                ),
+                None => format!(
+                    "{}'s relay lease on {} expired, orphaning the copy",
+                    s.node, s.item,
+                ),
+            },
+            BlameCause::RaceInFlight => {
+                let late = self
+                    .superseding_frames(s.item, served_v, s.at)
+                    .filter_map(|(key, birth)| {
+                        self.fates
+                            .get(key)
+                            .and_then(|fates| {
+                                fates.iter().find(|f| {
+                                    f.node == s.node
+                                        && f.fate == FrameFateKind::Delivered
+                                        && f.at >= s.at
+                                })
+                            })
+                            .map(|f| (*key, *birth, f.at))
+                    })
+                    .min_by_key(|&(_, _, at)| at);
+                match late {
+                    Some(((origin, seq), birth, delivered_at)) => format!(
+                        "frame {origin}#{seq} carrying v{} was in flight: born t={:.1}s, \
+                         delivered to {} only at t={:.1}s — after the serve",
+                        birth.version,
+                        secs(birth.at),
+                        s.node,
+                        secs(delivered_at),
+                    ),
+                    None => format!(
+                        "v{} had been transmitted but was not yet applied at {} when it \
+                         answered",
+                        served_v + 1,
+                        s.node,
+                    ),
+                }
+            }
+            BlameCause::UpdateNeverSent => format!(
+                "no propagation frame carrying v>{served_v} was ever sent toward {} — the \
+                 running strategy does not push to this holder",
+                s.node,
+            ),
+        }
+    }
+
+    /// One line naming the recovery action that repaired the stale copy,
+    /// or saying that none did.
+    fn repair_evidence(&self, s: &StaleServeRecord, served_v: u64) -> String {
+        let secs = |t: SimTime| t.saturating_since(SimTime::ZERO).as_secs_f64();
+        // Earliest post-serve event that put the holder right again.
+        let refresh = self
+            .lineages
+            .get(&(s.node, s.item))
+            .and_then(|l| l.iter().find(|r| r.at > s.at && r.version > served_v))
+            .map(|r| {
+                (
+                    r.at,
+                    format!(
+                        "repaired: a fresh copy (v{}) reached {} via frame {}#{} at t={:.1}s",
+                        r.version,
+                        s.node,
+                        r.origin,
+                        r.frame,
+                        secs(r.at),
+                    ),
+                )
+            });
+        let resync = self
+            .resyncs
+            .get(&s.node)
+            .and_then(|r| r.iter().find(|(t, _)| *t > s.at))
+            .map(|&(t, stale)| {
+                (
+                    t,
+                    format!(
+                        "repaired: a rejoin resync at {} settled {stale} stale cop(ies) at \
+                         t={:.1}s",
+                        s.node,
+                        secs(t),
+                    ),
+                )
+            });
+        let retransmit = self
+            .retransmits
+            .iter()
+            .find(|&&(t, _, dest, item, _)| t > s.at && dest == s.node && item == s.item)
+            .map(|&(t, src, _, _, attempt)| {
+                (
+                    t,
+                    format!(
+                        "repaired: {src} retransmitted the unacked update (attempt {attempt}) \
+                         to {} at t={:.1}s",
+                        s.node,
+                        secs(t),
+                    ),
+                )
+            });
+        let handover = self
+            .handovers
+            .iter()
+            .find(|&&(t, from, to, item)| {
+                t > s.at && item == s.item && (from == s.node || to == s.node)
+            })
+            .map(|&(t, from, to, _)| {
+                (
+                    t,
+                    format!(
+                        "repaired: the relay duty for {} was handed from {from} to {to} at \
+                         t={:.1}s",
+                        s.item,
+                        secs(t),
+                    ),
+                )
+            });
+        [refresh, resync, retransmit, handover]
+            .into_iter()
+            .flatten()
+            .min_by_key(|(t, _)| *t)
+            .map(|(_, line)| line)
+            .unwrap_or_else(|| "never repaired before the run ended".to_string())
+    }
+}
+
+/// One explained stale serve: the journal record plus the causal chain
+/// the provenance graph walked for it.
+#[derive(Debug, Clone)]
+pub struct Incident {
+    /// When the stale answer was served.
+    pub at: SimTime,
+    /// The peer that answered stale.
+    pub node: NodeId,
+    /// The query that got the stale answer.
+    pub query: u64,
+    /// The stale item.
+    pub item: ItemId,
+    /// The blame tracker's proximate cause (the chain's terminal).
+    pub cause: BlameCause,
+    /// How long the served version had been superseded.
+    pub staleness: SimDuration,
+    /// Versions behind the master.
+    pub lag: u64,
+    /// True if the staleness exceeded the run's Δ.
+    pub violation: bool,
+    /// The causal chain, one human-readable step per line.
+    pub chain: Vec<String>,
+}
+
+/// Walks every stale serve in the journal back through the provenance
+/// graph, producing one explained [`Incident`] per serve, journal-ordered.
+pub fn explain_stale_serves(analysis: &TraceAnalysis) -> Vec<Incident> {
+    let graph = &analysis.provenance;
+    graph
+        .stale_serves
+        .iter()
+        .map(|s| Incident {
+            at: s.at,
+            node: s.node,
+            query: s.query,
+            item: s.item,
+            cause: s.cause,
+            staleness: SimDuration::from_millis(s.staleness_ms),
+            lag: s.lag,
+            violation: s.violation,
+            chain: graph.chain_for(s),
+        })
+        .collect()
+}
+
+/// Cross-checks the explainer's output against the report's consistency
+/// counters: every stale serve must carry a causal chain, and the
+/// multiset of chain terminal causes must equal the report's blame
+/// partition exactly. One line per mismatch; empty means exact agreement.
+pub fn crosscheck_explain(incidents: &[Incident], report: &ConsistencyReportTotals) -> Vec<String> {
+    let mut mismatches = Vec::new();
+    let mut causes = [0u64; BlameCause::ALL.len()];
+    for incident in incidents {
+        causes[incident.cause.index()] += 1;
+        if incident.chain.is_empty() {
+            mismatches.push(format!(
+                "incident for query {} has no causal chain",
+                incident.query
+            ));
+        }
+    }
+    for cause in BlameCause::ALL {
+        let (explained, reported) = (causes[cause.index()], report.blame[cause.index()]);
+        if explained != reported {
+            mismatches.push(format!(
+                "chains ending in {}: explainer says {explained}, report says {reported}",
+                cause.label()
+            ));
+        }
+    }
+    if incidents.len() as u64 != report.stale_served {
+        mismatches.push(format!(
+            "incidents explained: explainer says {}, report says {} stale serves",
+            incidents.len(),
+            report.stale_served
+        ));
+    }
+    mismatches
+}
+
+/// Renders the causal chains, one block per incident. With `query`,
+/// only that query's incident is shown (or a note that it was never
+/// served stale).
+pub fn render_explain(incidents: &[Incident], query: Option<u64>) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(2048);
+    let selected: Vec<&Incident> = incidents
+        .iter()
+        .filter(|i| query.is_none_or(|q| i.query == q))
+        .collect();
+    match query {
+        Some(q) if selected.is_empty() => {
+            let _ = writeln!(
+                out,
+                "\nQuery {q} was not served stale in this journal (nothing to explain)."
+            );
+            return out;
+        }
+        Some(q) => {
+            let _ = writeln!(out, "\nCausal chain for query {q}:");
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "\nCausal chains: {} stale-serve incident(s) explained:",
+                selected.len()
+            );
+        }
+    }
+    for incident in selected {
+        let _ = writeln!(
+            out,
+            "\n#{} t={:.1}s node {} item {} — cause: {} (lag {}, {:.3}s stale{})",
+            incident.query,
+            incident.at.saturating_since(SimTime::ZERO).as_secs_f64(),
+            incident.node,
+            incident.item,
+            incident.cause.label(),
+            incident.lag,
+            incident.staleness.as_secs_f64(),
+            if incident.violation {
+                ", Δ-violation"
+            } else {
+                ""
+            },
+        );
+        for (i, step) in incident.chain.iter().enumerate() {
+            let _ = writeln!(out, "  {}. {step}", i + 1);
+        }
+    }
+    out
+}
+
+/// Renders the per-node and per-link health scoreboard: frame drop
+/// rates, relay load, and the staleness-contribution ranking, all from
+/// the same provenance graph the explainer walks.
+pub fn render_health(analysis: &TraceAnalysis) -> String {
+    use std::fmt::Write as _;
+    let graph = &analysis.provenance;
+    let mut out = String::with_capacity(2048);
+    out.push_str("\nPer-node health scoreboard");
+    if !graph.has_frames() {
+        out.push_str(
+            " (no frame provenance in this journal — run with --provenance \
+             for the frame columns)",
+        );
+    }
+    out.push_str(":\n");
+
+    let mut nodes: Vec<(&NodeId, &NodeHealth)> = graph
+        .node_health()
+        .iter()
+        .filter(|(_, h)| h.fates() + h.born + h.forwards + h.stale_serves > 0)
+        .collect();
+    // Staleness contribution first, then frame losses, then node id.
+    nodes.sort_by(|(a, ha), (b, hb)| {
+        hb.staleness_ms
+            .cmp(&ha.staleness_ms)
+            .then(hb.lost.cmp(&ha.lost))
+            .then(a.cmp(b))
+    });
+    let mut rows = Vec::with_capacity(nodes.len());
+    for (node, h) in nodes {
+        rows.push(vec![
+            node.to_string(),
+            h.born.to_string(),
+            h.forwards.to_string(),
+            h.delivered.to_string(),
+            h.dups.to_string(),
+            h.lost.to_string(),
+            format!("{:.3}", h.drop_rate()),
+            h.stale_serves.to_string(),
+            format!("{:.1}", h.staleness_ms as f64 / 1_000.0),
+        ]);
+    }
+    out.push_str(&render_table(
+        &[
+            "node",
+            "born",
+            "relayed",
+            "delivered",
+            "dups",
+            "lost",
+            "drop rate",
+            "stale",
+            "stale s",
+        ],
+        &rows,
+    ));
+
+    let mut links: Vec<(&(NodeId, NodeId), &u64)> = graph.link_drops().iter().collect();
+    links.sort_by(|(ka, na), (kb, nb)| nb.cmp(na).then(ka.cmp(kb)));
+    if !links.is_empty() {
+        out.push_str("\nLossiest links (MAC drops, transmitter -> next hop):\n");
+        let mut rows = Vec::new();
+        for (&(from, to), n) in links.into_iter().take(10) {
+            rows.push(vec![format!("{from} -> {to}"), n.to_string()]);
+        }
+        out.push_str(&render_table(&["link", "drops"], &rows));
+    }
+    let _ = writeln!(
+        out,
+        "\nTotals: {} frames born, {} stale serves across {} node(s).",
+        graph.frames.len(),
+        graph.stale_serves.len(),
+        graph.node_health().len(),
+    );
+    out
+}
+
 /// Streams a journal into spans and windowed metrics.
 pub fn analyze_journal<R: BufRead>(input: R) -> Result<TraceAnalysis, ReadError> {
     let mut reader = JournalReader::new(input)?;
@@ -304,12 +1138,14 @@ pub fn analyze_journal<R: BufRead>(input: R) -> Result<TraceAnalysis, ReadError>
     let mut assembler = SpanAssembler::new();
     let mut bridge = MetricsBridge::new(DEFAULT_WINDOW, warmup);
     let mut consistency = ConsistencyTimeline::default();
+    let mut provenance = ProvenanceGraph::default();
     let mut events = 0u64;
     for entry in reader.by_ref() {
         let (at, event) = entry?;
         assembler.record(at, &event);
         bridge.record(at, &event);
         consistency.record(at, &event);
+        provenance.record(at, &event);
         events += 1;
     }
     Ok(TraceAnalysis {
@@ -319,6 +1155,7 @@ pub fn analyze_journal<R: BufRead>(input: R) -> Result<TraceAnalysis, ReadError>
         spans: assembler.finish(),
         registry: bridge.into_registry(),
         consistency,
+        provenance,
     })
 }
 
@@ -916,5 +1753,152 @@ mod tests {
         // Zero-count causes are elided; the total row still closes the sum.
         assert!(!rendered.contains("update_never_sent"));
         assert!(rendered.contains("total"));
+    }
+
+    /// Schema-4 header: the provenance kinds are only legal here.
+    fn journal_v4(lines: &[&str]) -> String {
+        let mut s = String::from("{\"schema\":4,\"kinds\":38,\"warmup_ms\":60000}\n");
+        for line in lines {
+            s.push_str(line);
+            s.push('\n');
+        }
+        s
+    }
+
+    /// A hand-built provenance incident: v1 reaches node 1, v2's
+    /// invalidation frame dies in a burst, node 1 serves stale, and a
+    /// later frame repairs the copy.
+    fn synthetic_provenance_journal() -> String {
+        journal_v4(&[
+            "{\"t\":61000,\"ev\":\"source_update\",\"node\":2,\"item\":5,\"version\":1}",
+            "{\"t\":61100,\"ev\":\"frame_born\",\"node\":2,\"frame\":0,\
+             \"class\":\"INVALIDATION\",\"dest\":null,\"item\":5,\"version\":1}",
+            "{\"t\":61150,\"ev\":\"frame_hop\",\"node\":3,\"origin\":2,\"frame\":0,\"hops\":1}",
+            "{\"t\":61200,\"ev\":\"frame_fate\",\"node\":1,\"origin\":2,\"frame\":0,\
+             \"fate\":\"delivered\"}",
+            "{\"t\":61200,\"ev\":\"copy_lineage\",\"node\":1,\"item\":5,\"version\":1,\
+             \"origin\":2,\"frame\":0,\"hops\":2}",
+            "{\"t\":70000,\"ev\":\"source_update\",\"node\":2,\"item\":5,\"version\":2}",
+            "{\"t\":70100,\"ev\":\"frame_born\",\"node\":2,\"frame\":1,\
+             \"class\":\"INVALIDATION\",\"dest\":null,\"item\":5,\"version\":2}",
+            "{\"t\":70200,\"ev\":\"frame_fate\",\"node\":3,\"origin\":2,\"frame\":1,\
+             \"fate\":\"burst\"}",
+            "{\"t\":71000,\"ev\":\"stale_serve\",\"node\":1,\"query\":9,\"item\":5,\
+             \"cause\":\"invalidate_lost\",\"staleness_ms\":1000,\"lag\":1,\"violation\":false}",
+            "{\"t\":72000,\"ev\":\"frame_born\",\"node\":2,\"frame\":2,\
+             \"class\":\"UPDATE\",\"dest\":1,\"item\":5,\"version\":2}",
+            "{\"t\":72300,\"ev\":\"frame_fate\",\"node\":1,\"origin\":2,\"frame\":2,\
+             \"fate\":\"delivered\"}",
+            "{\"t\":72300,\"ev\":\"copy_lineage\",\"node\":1,\"item\":5,\"version\":2,\
+             \"origin\":2,\"frame\":2,\"hops\":1}",
+        ])
+    }
+
+    #[test]
+    fn explain_walks_a_synthetic_incident_end_to_end() {
+        let text = synthetic_provenance_journal();
+        let analysis = analyze_journal(BufReader::new(text.as_bytes())).unwrap();
+        assert!(analysis.provenance.has_frames());
+        let incidents = explain_stale_serves(&analysis);
+        assert_eq!(incidents.len(), 1);
+        let incident = &incidents[0];
+        assert_eq!(incident.query, 9);
+        assert_eq!(incident.cause, BlameCause::InvalidateLost);
+        assert_eq!(incident.chain.len(), 4, "{:#?}", incident.chain);
+        // 1. The missed update names the superseding version.
+        assert!(incident.chain[0].contains("v2"), "{}", incident.chain[0]);
+        assert!(incident.chain[0].contains("M2"), "{}", incident.chain[0]);
+        // 2. The lineage names the carrying frame of the stale copy.
+        assert!(incident.chain[1].contains("M2#0"), "{}", incident.chain[1]);
+        assert!(incident.chain[1].contains("v1"), "{}", incident.chain[1]);
+        // 3. The hazard names the lost frame and its fate.
+        assert!(incident.chain[2].contains("M2#1"), "{}", incident.chain[2]);
+        assert!(incident.chain[2].contains("burst"), "{}", incident.chain[2]);
+        // 4. The repair names the frame that brought v2 in after the serve.
+        assert!(
+            incident.chain[3].contains("repaired"),
+            "{}",
+            incident.chain[3]
+        );
+        assert!(incident.chain[3].contains("M2#2"), "{}", incident.chain[3]);
+
+        // The rendering carries the whole chain; the single-query filter
+        // selects it and misses return a note instead.
+        let rendered = render_explain(&incidents, Some(9));
+        assert!(rendered.contains("invalidate_lost"));
+        assert!(rendered.contains("M2#1"));
+        assert!(render_explain(&incidents, Some(10)).contains("not served stale"));
+    }
+
+    #[test]
+    fn explain_falls_back_when_provenance_is_absent() {
+        // The same stale serve in a schema-2 journal (no frame records):
+        // every chain step must still be present, saying what is missing.
+        let text = journal_v2(&[
+            "{\"t\":70000,\"ev\":\"source_update\",\"node\":2,\"item\":5,\"version\":2}",
+            "{\"t\":71000,\"ev\":\"stale_serve\",\"node\":1,\"query\":9,\"item\":5,\
+             \"cause\":\"invalidate_lost\",\"staleness_ms\":1000,\"lag\":1,\"violation\":false}",
+        ]);
+        let analysis = analyze_journal(BufReader::new(text.as_bytes())).unwrap();
+        assert!(!analysis.provenance.has_frames());
+        let incidents = explain_stale_serves(&analysis);
+        assert_eq!(incidents.len(), 1);
+        assert_eq!(incidents[0].chain.len(), 4);
+        assert!(incidents[0].chain[1].contains("no lineage record"));
+        assert!(incidents[0].chain[2].contains("--provenance"));
+        assert!(incidents[0].chain[3].contains("never repaired"));
+        // The health board carries the no-frames caveat.
+        assert!(render_health(&analysis).contains("no frame provenance"));
+    }
+
+    #[test]
+    fn crosscheck_explain_flags_every_divergence() {
+        let text = synthetic_provenance_journal();
+        let analysis = analyze_journal(BufReader::new(text.as_bytes())).unwrap();
+        let incidents = explain_stale_serves(&analysis);
+        let mut report = ConsistencyReportTotals {
+            blame: [0; BlameCause::ALL.len()],
+            delta_violations: 0,
+            samples: 0,
+            stale_served: 1,
+            fresh_fraction: 0.99,
+        };
+        report.blame[BlameCause::InvalidateLost.index()] = 1;
+        assert!(crosscheck_explain(&incidents, &report).is_empty());
+
+        // Shifting one count to another cause trips both cause rows.
+        report.blame[BlameCause::InvalidateLost.index()] = 0;
+        report.blame[BlameCause::Partitioned.index()] = 1;
+        let mismatches = crosscheck_explain(&incidents, &report);
+        assert_eq!(mismatches.len(), 2, "{mismatches:?}");
+
+        // Losing an incident trips the cause row and the total.
+        report.blame[BlameCause::InvalidateLost.index()] = 1;
+        report.blame[BlameCause::Partitioned.index()] = 0;
+        let mismatches = crosscheck_explain(&[], &report);
+        assert_eq!(mismatches.len(), 2, "{mismatches:?}");
+    }
+
+    #[test]
+    fn health_board_ranks_by_staleness_contribution() {
+        let text = synthetic_provenance_journal();
+        let analysis = analyze_journal(BufReader::new(text.as_bytes())).unwrap();
+        let health = analysis.provenance.node_health();
+        let n1 = health.get(&NodeId::new(1)).expect("node 1 active");
+        assert_eq!(n1.stale_serves, 1);
+        assert_eq!(n1.staleness_ms, 1000);
+        assert_eq!(n1.delivered, 2);
+        assert_eq!(n1.lost, 0);
+        let n2 = health.get(&NodeId::new(2)).expect("node 2 active");
+        assert_eq!(n2.born, 3);
+        let n3 = health.get(&NodeId::new(3)).expect("node 3 active");
+        assert_eq!(n3.forwards, 1);
+        assert_eq!(n3.lost, 1);
+        assert!((n3.drop_rate() - 1.0).abs() < 1e-9);
+        let rendered = render_health(&analysis);
+        // Node 1 (1000 ms contribution) ranks above node 3 (one loss).
+        let pos_m1 = rendered.find("| M1 ").expect("M1 row");
+        let pos_m3 = rendered.find("| M3 ").expect("M3 row");
+        assert!(pos_m1 < pos_m3, "{rendered}");
     }
 }

@@ -3,6 +3,7 @@
 //! ```text
 //! analyze --trace FILE.jsonl [--report FILE.json] [--top N]
 //!         [--consistency] [--baseline FILE.json] [--tolerance X]
+//!         [--explain QUERY | --explain --stale-serves] [--health]
 //! ```
 //!
 //! Reads a JSONL journal written by `run --trace`, reconstructs the
@@ -27,10 +28,25 @@
 //! baseline report: the run fails (exit 1) when its fresh fraction drops
 //! more than `--tolerance` (default 0.02) below the baseline's. This is
 //! the consistency half of the CI regression gate.
+//!
+//! `--explain` is the causal root-cause explainer: it walks the
+//! provenance graph (frame births, hops, fates, copy lineage — journal
+//! schema 4, written by `run --provenance`) and prints one causal chain
+//! per stale serve, from the missed source update through the dropped or
+//! delayed frame to the recovery action that repaired the copy.
+//! `--explain QUERY` explains one query; `--explain --stale-serves`
+//! explains every stale serve in the journal. With `--report`, the
+//! explainer's terminal causes are cross-checked against the report's
+//! blame partition — any divergence exits 1.
+//!
+//! `--health` prints the per-node / per-link health scoreboard derived
+//! from the same graph: frame drop rates, relay load, and each node's
+//! staleness contribution.
 
 use mp2p_experiments::{
-    analyze_file, crosscheck, crosscheck_consistency, render_analysis, render_consistency,
-    ConsistencyReportTotals, ReportTotals,
+    analyze_file, crosscheck, crosscheck_consistency, crosscheck_explain, explain_stale_serves,
+    render_analysis, render_consistency, render_explain, render_health, ConsistencyReportTotals,
+    ReportTotals,
 };
 
 struct Args {
@@ -40,6 +56,10 @@ struct Args {
     consistency: bool,
     baseline: Option<std::path::PathBuf>,
     tolerance: f64,
+    explain: bool,
+    explain_query: Option<u64>,
+    stale_serves: bool,
+    health: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -47,7 +67,8 @@ fn parse_args() -> Result<Args, String> {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         return Err(
             "usage: analyze --trace FILE.jsonl [--report FILE.json] [--top N] \
-             [--consistency] [--baseline FILE.json] [--tolerance X]"
+             [--consistency] [--baseline FILE.json] [--tolerance X] \
+             [--explain QUERY | --explain --stale-serves] [--health]"
                 .into(),
         );
     }
@@ -77,6 +98,21 @@ fn parse_args() -> Result<Args, String> {
     if baseline.is_some() && report.is_none() {
         return Err("--baseline needs --report (the run to gate)".into());
     }
+    let explain = args.iter().any(|a| a == "--explain");
+    let stale_serves = args.iter().any(|a| a == "--stale-serves");
+    // `--explain 17` selects one query; `--explain --stale-serves` (or a
+    // bare `--explain`) walks every incident.
+    let explain_query = match value_of("--explain") {
+        Some(text) if !text.starts_with("--") => Some(
+            text.parse()
+                .map_err(|_| format!("--explain expects a query id, got {text:?}"))?,
+        ),
+        _ => None,
+    };
+    if stale_serves && !explain {
+        return Err("--stale-serves is a mode of --explain (see --help)".into());
+    }
+    let health = args.iter().any(|a| a == "--health");
     Ok(Args {
         trace,
         report,
@@ -84,6 +120,10 @@ fn parse_args() -> Result<Args, String> {
         consistency,
         baseline,
         tolerance,
+        explain,
+        explain_query,
+        stale_serves,
+        health,
     })
 }
 
@@ -116,6 +156,13 @@ fn main() {
     print!("{}", render_analysis(&analysis, args.top));
     if args.consistency {
         print!("{}", render_consistency(&analysis.consistency));
+    }
+    let incidents = args.explain.then(|| explain_stale_serves(&analysis));
+    if let Some(incidents) = &incidents {
+        print!("{}", render_explain(incidents, args.explain_query));
+    }
+    if args.health {
+        print!("{}", render_health(&analysis));
     }
 
     let mut failed = false;
@@ -170,6 +217,36 @@ fn main() {
                 None => {
                     eprintln!(
                         "report {} has no consistency section (run with --consistency?)",
+                        path.display()
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+
+        if let Some(incidents) = incidents.as_ref().filter(|_| args.stale_serves) {
+            match ConsistencyReportTotals::from_report_json(&text) {
+                Some(consistency) => {
+                    let mismatches = crosscheck_explain(incidents, &consistency);
+                    if mismatches.is_empty() {
+                        println!(
+                            "Explain cross-check against {}: exact agreement \
+                             ({} causal chains, terminal causes match the blame partition)",
+                            path.display(),
+                            incidents.len(),
+                        );
+                    } else {
+                        failed = true;
+                        eprintln!("\nExplain cross-check against {} FAILED:", path.display());
+                        for line in &mismatches {
+                            eprintln!("  {line}");
+                        }
+                    }
+                }
+                None => {
+                    eprintln!(
+                        "report {} has no consistency section to cross-check the \
+                         explainer against (run with --consistency?)",
                         path.display()
                     );
                     std::process::exit(2);

@@ -1,6 +1,7 @@
 //! Side-by-side strategy comparison at the Table 1 default point:
 //! `compare [--full] [--seed N] [--range M] [--faults PRESET] [--hardened]
-//! [--recovery] [--consistency] [--trace PREFIX] [--json FILE]`.
+//! [--recovery] [--consistency] [--provenance] [--trace PREFIX]
+//! [--json FILE]`.
 //!
 //! Prints traffic (total and per message class), latency, staleness,
 //! failure rate, relay population and energy for Pull, Push and the four
@@ -23,10 +24,17 @@
 //! counters and `--trace` journals are written at schema 3. Run the same
 //! comparison with and without the flag to measure what recovery buys
 //! under a fault preset.
+//!
+//! `--provenance` switches the causal provenance engine on for every
+//! strategy run: frame births, hops, fates and copy lineage are
+//! journaled, and `--trace` journals are written at schema 4 so
+//! `analyze --explain` can walk them.
 
 use mp2p_experiments::{render_table, RunOptions};
 use mp2p_metrics::MessageClass;
-use mp2p_rpcc::{ObservatoryConfig, RecoveryConfig, RunReport, World, WorldConfig};
+use mp2p_rpcc::{
+    ObservatoryConfig, ProvenanceConfig, RecoveryConfig, RunReport, World, WorldConfig,
+};
 use mp2p_sim::SimDuration;
 use mp2p_trace::{BlameCause, JsonlSink};
 
@@ -85,6 +93,7 @@ fn main() {
     let hardened = args.iter().any(|a| a == "--hardened");
     let recovery = args.iter().any(|a| a == "--recovery");
     let consistency = args.iter().any(|a| a == "--consistency");
+    let provenance = args.iter().any(|a| a == "--provenance");
     let opts = if full {
         RunOptions::full()
     } else {
@@ -118,6 +127,9 @@ fn main() {
             if consistency {
                 cfg.observatory = ObservatoryConfig::full(SimDuration::from_secs(30));
             }
+            if provenance {
+                cfg.provenance = ProvenanceConfig::full();
+            }
             if let Some(preset) = &fault_preset {
                 cfg.faults =
                     mp2p_net::FaultPlan::preset(preset, cfg.sim_time).unwrap_or_else(|| {
@@ -131,10 +143,12 @@ fn main() {
             let mut world = World::new(cfg);
             if let Some(prefix) = &trace_prefix {
                 let path = format!("{prefix}-{}.jsonl", sanitize(spec.name));
-                // Recovery records are schema-3 kinds and observatory
-                // records schema-2; an older journal would silently skip
-                // them.
-                let made = if recovery {
+                // Provenance records are schema-4 kinds, recovery records
+                // schema-3 and observatory records schema-2; an older
+                // journal would silently skip them.
+                let made = if provenance {
+                    JsonlSink::create_v4_with_warmup(std::path::Path::new(&path), opts.warmup)
+                } else if recovery {
                     JsonlSink::create_v3_with_warmup(std::path::Path::new(&path), opts.warmup)
                 } else if consistency {
                     JsonlSink::create_v2_with_warmup(std::path::Path::new(&path), opts.warmup)

@@ -8,8 +8,9 @@
 //!     [--ttl HOPS] [--loss P] [--no-churn] [--oracle-routing]
 //!     [--adaptive] [--relay-cap N] [--single-item] [--seed N]
 //!     [--faults none|bursty|partition|crash|crash-heavy|hostile] [--hardened]
-//!     [--recovery] [--consistency] [--sample-secs S]
-//!     [--trace FILE.jsonl] [--json FILE.json] [--profile]
+//!     [--recovery] [--consistency] [--sample-secs S] [--provenance]
+//!     [--trace FILE.jsonl] [--json FILE.json] [--metrics-out FILE.json]
+//!     [--profile]
 //! ```
 //!
 //! Example: the paper's default RPCC point with lossy links and writes:
@@ -50,25 +51,43 @@
 //! schema 2 so the `ConsistencySample`/`StaleServe` records fit. Without
 //! the flag the journal and report bytes are identical to a build without
 //! the observatory.
+//!
+//! `--provenance` switches the causal provenance engine on: every
+//! transmitted frame gets a deterministic `(origin, seq)` identity, and
+//! its birth, every re-transmission hop, and its terminal fate (delivered,
+//! duplicate-suppressed, or dropped with the injecting fault's cause) are
+//! journaled, along with a lineage record for every cached copy naming
+//! the frame that carried it in. The `--trace` journal is written at
+//! schema 4 so the frame records fit; feed it to
+//! `analyze --explain --stale-serves` to walk every stale serve back to
+//! its root cause. Off by default — without the flag the journal bytes
+//! are identical to a build without the engine.
+//!
+//! `--metrics-out` dumps the final windowed metrics-registry snapshot
+//! after the run: the given path gets the JSON form and a sibling
+//! `<path>.prom` gets the Prometheus text exposition, both derived from
+//! the same trace stream the analyzer replays.
 
 use mp2p_experiments::render_table;
 use mp2p_metrics::MessageClass;
 use mp2p_rpcc::{
-    LevelMix, ObservatoryConfig, RecoveryConfig, RoutingMode, Strategy, WorkloadMode, World,
-    WorldConfig,
+    LevelMix, ObservatoryConfig, ProvenanceConfig, RecoveryConfig, RoutingMode, Strategy,
+    WorkloadMode, World, WorldConfig,
 };
 use mp2p_sim::SimDuration;
-use mp2p_trace::{BlameCause, EventKind, JsonlSink, SummarySink, TeeSink};
+use mp2p_trace::bridge::{RegistrySink, DEFAULT_WINDOW};
+use mp2p_trace::{BlameCause, EventKind, JsonlSink, SummarySink, TeeSink, TraceSink};
 
-fn parse_args() -> Result<
-    (
-        WorldConfig,
-        Option<std::path::PathBuf>,
-        Option<std::path::PathBuf>,
-        bool,
-    ),
-    String,
-> {
+/// Parsed command line: the world to run plus the output destinations.
+struct RunArgs {
+    cfg: WorldConfig,
+    trace: Option<std::path::PathBuf>,
+    json: Option<std::path::PathBuf>,
+    metrics_out: Option<std::path::PathBuf>,
+    profile: bool,
+}
+
+fn parse_args() -> Result<RunArgs, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = WorldConfig::paper_default(42);
     cfg.sim_time = SimDuration::from_mins(45);
@@ -169,6 +188,9 @@ fn parse_args() -> Result<
     } else if value_of("--sample-secs").is_some() {
         return Err("--sample-secs only makes sense together with --consistency".into());
     }
+    if args.iter().any(|a| a == "--provenance") {
+        cfg.provenance = ProvenanceConfig::full();
+    }
     // Resolved after --sim so the preset windows scale to the actual run.
     if let Some(v) = value_of("--faults") {
         cfg.faults = mp2p_net::FaultPlan::preset(v, cfg.sim_time).ok_or_else(|| {
@@ -188,14 +210,27 @@ fn parse_args() -> Result<
         eprintln!("note: clamping cache size to {clamped} (only {clamped} foreign items exist)");
         cfg.c_num = clamped;
     }
-    let trace_path = value_of("--trace").map(std::path::PathBuf::from);
-    let json_path = value_of("--json").map(std::path::PathBuf::from);
+    let trace = value_of("--trace").map(std::path::PathBuf::from);
+    let json = value_of("--json").map(std::path::PathBuf::from);
+    let metrics_out = value_of("--metrics-out").map(std::path::PathBuf::from);
     let profile = args.iter().any(|a| a == "--profile");
-    Ok((cfg, trace_path, json_path, profile))
+    Ok(RunArgs {
+        cfg,
+        trace,
+        json,
+        metrics_out,
+        profile,
+    })
 }
 
 fn main() {
-    let (cfg, trace_path, json_path, profile) = match parse_args() {
+    let RunArgs {
+        cfg,
+        trace: trace_path,
+        json: json_path,
+        metrics_out,
+        profile,
+    } = match parse_args() {
         Ok(parsed) => parsed,
         Err(msg) => {
             eprintln!("{msg}");
@@ -215,15 +250,24 @@ fn main() {
     let warmup = cfg.warmup;
     let observatory_on = cfg.observatory.enabled();
     let recovery_on = cfg.proto.recovery.enabled();
+    let provenance_on = cfg.provenance.enabled();
     let mut world = World::new(cfg);
     if profile {
         world.enable_profiling();
     }
+    // Every requested consumer rides one tee; the indices remember where
+    // each sink landed so the post-run reporting can find it again.
+    let mut sinks: Vec<Box<dyn TraceSink>> = Vec::new();
+    let mut jsonl_idx = None;
+    let mut summary_idx = None;
+    let mut registry_idx = None;
     if let Some(path) = &trace_path {
-        // The recovery layer's records are schema-3 kinds and the
-        // observatory's are schema-2; an older sink would silently skip
-        // them.
-        let made = if recovery_on {
+        // The provenance engine's records are schema-4 kinds, the
+        // recovery layer's schema-3 and the observatory's schema-2; an
+        // older sink would silently skip them.
+        let made = if provenance_on {
+            JsonlSink::create_v4_with_warmup(path, warmup)
+        } else if recovery_on {
             JsonlSink::create_v3_with_warmup(path, warmup)
         } else if observatory_on {
             JsonlSink::create_v2_with_warmup(path, warmup)
@@ -237,10 +281,17 @@ fn main() {
                 std::process::exit(2);
             }
         };
-        world.set_tracer(Box::new(TeeSink::new(vec![
-            Box::new(jsonl),
-            Box::new(SummarySink::new(warmup)),
-        ])));
+        jsonl_idx = Some(sinks.len());
+        sinks.push(Box::new(jsonl));
+        summary_idx = Some(sinks.len());
+        sinks.push(Box::new(SummarySink::new(warmup)));
+    }
+    if metrics_out.is_some() {
+        registry_idx = Some(sinks.len());
+        sinks.push(Box::new(RegistrySink::new(DEFAULT_WINDOW, warmup)));
+    }
+    if !sinks.is_empty() {
+        world.set_tracer(Box::new(TeeSink::new(sinks)));
     }
     let (report, tracer) = world.run_traced();
 
@@ -418,19 +469,21 @@ fn main() {
         );
     }
 
-    if let Some(path) = &trace_path {
-        let tee = tracer
+    let tee = (trace_path.is_some() || metrics_out.is_some()).then(|| {
+        tracer
             .as_any()
             .downcast_ref::<TeeSink>()
-            .expect("the tee sink installed above");
-        let jsonl = tee.sinks()[0]
+            .expect("the tee sink installed above")
+    });
+    if let (Some(path), Some(tee)) = (&trace_path, tee) {
+        let jsonl = tee.sinks()[jsonl_idx.expect("trace requested")]
             .as_any()
             .downcast_ref::<JsonlSink>()
-            .expect("jsonl is the tee's first sink");
-        let summary = tee.sinks()[1]
+            .expect("jsonl sink at its recorded tee index");
+        let summary = tee.sinks()[summary_idx.expect("trace requested")]
             .as_any()
             .downcast_ref::<SummarySink>()
-            .expect("summary is the tee's second sink");
+            .expect("summary sink at its recorded tee index");
         if let Some(err) = jsonl.io_error() {
             eprintln!("warning: trace file truncated by I/O error: {err}");
         }
@@ -447,6 +500,25 @@ fn main() {
             "\nFlight recorder: {} events -> {}",
             jsonl.records(),
             path.display()
+        );
+    }
+    if let (Some(path), Some(tee)) = (&metrics_out, tee) {
+        let registry = tee.sinks()[registry_idx.expect("metrics requested")]
+            .as_any()
+            .downcast_ref::<RegistrySink>()
+            .expect("registry sink at its recorded tee index")
+            .registry();
+        let prom_path = std::path::PathBuf::from(format!("{}.prom", path.display()));
+        let written = std::fs::write(path, registry.to_json())
+            .and_then(|()| std::fs::write(&prom_path, registry.render_prometheus()));
+        if let Err(err) = written {
+            eprintln!("cannot write metrics snapshot {}: {err}", path.display());
+            std::process::exit(2);
+        }
+        println!(
+            "Metrics snapshot -> {} (JSON) and {} (Prometheus text)",
+            path.display(),
+            prom_path.display()
         );
     }
 }

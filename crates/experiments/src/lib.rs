@@ -28,9 +28,10 @@ mod report;
 mod sweep;
 
 pub use analysis::{
-    analyze_file, analyze_journal, crosscheck, crosscheck_consistency, render_analysis,
-    render_consistency, ConsistencyReportTotals, ConsistencyTimeline, DivergenceSample,
-    ReportTotals, SpanTotals, TraceAnalysis,
+    analyze_file, analyze_journal, crosscheck, crosscheck_consistency, crosscheck_explain,
+    explain_stale_serves, render_analysis, render_consistency, render_explain, render_health,
+    ConsistencyReportTotals, ConsistencyTimeline, DivergenceSample, FrameBirth, Incident,
+    NodeHealth, ProvenanceGraph, ReportTotals, SpanTotals, TraceAnalysis,
 };
 pub use figures::{fig7a, fig7b, fig7c, fig8a, fig8b, fig8c, fig9, table1_rows, FigureData};
 pub use perf::{

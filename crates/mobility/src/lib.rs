@@ -1,7 +1,7 @@
 //! Mobility models for the MANET substrate.
 //!
 //! The RPCC paper evaluates on GloMoSim with the **random waypoint**
-//! movement pattern [Joh96] over a 1500 m × 1500 m flatland (Table 1).
+//! movement pattern \[Joh96\] over a 1500 m × 1500 m flatland (Table 1).
 //! This crate implements that model plus three more used in robustness
 //! tests and extensions:
 //!

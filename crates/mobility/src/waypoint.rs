@@ -1,4 +1,4 @@
-//! The random waypoint model [Joh96], the paper's movement pattern.
+//! The random waypoint model \[Joh96\], the paper's movement pattern.
 
 use mp2p_sim::{SimDuration, SimRng, SimTime};
 
@@ -11,7 +11,7 @@ use crate::model::MobilityModel;
 /// `[0, max_pause]`.
 ///
 /// This is the movement pattern the paper's evaluation uses (Section 5,
-/// citing [Joh96]). Speeds and pause are configurable because the paper
+/// citing \[Joh96\]). Speeds and pause are configurable because the paper
 /// does not state them; defaults in the experiments crate follow
 /// GloMoSim-era convention (1–19 m/s, 10 s pause).
 ///

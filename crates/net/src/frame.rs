@@ -71,6 +71,11 @@ pub enum Frame<M> {
     Unicast {
         /// The node that created the frame.
         origin: NodeId,
+        /// The origin's frame sequence number (provenance identity; drawn
+        /// from the same per-node counter as flood sequence numbers and
+        /// never serialised on the wire, so it adds no bytes to the
+        /// size model).
+        seq: u64,
         /// Final destination.
         dest: NodeId,
         /// Hops travelled so far.
@@ -94,6 +99,17 @@ impl<M> Frame<M> {
     pub fn hops(&self) -> u8 {
         match self {
             Frame::Flood { hops, .. } | Frame::Unicast { hops, .. } => *hops,
+        }
+    }
+
+    /// Provenance identity `(origin, seq)`: the node that created the
+    /// frame plus its origin-local monotonic sequence number. Floods and
+    /// unicasts draw from the same per-origin counter, so the pair is
+    /// unique across both frame shapes.
+    pub fn provenance(&self) -> (NodeId, u64) {
+        match self {
+            Frame::Flood { id, .. } => (id.origin, id.seq),
+            Frame::Unicast { origin, seq, .. } => (*origin, *seq),
         }
     }
 
@@ -137,6 +153,10 @@ pub struct NetMeta {
     pub hops: u8,
     /// True if the message arrived via a flood (vs. routed unicast).
     pub via_flood: bool,
+    /// The carrying frame's origin-local sequence number, when the
+    /// message actually crossed the channel (`None` for loopback
+    /// self-delivery, which never becomes a frame).
+    pub frame: Option<u64>,
 }
 
 #[cfg(test)]
@@ -159,9 +179,11 @@ mod tests {
         assert_eq!(f.hops(), 1);
         assert_eq!(f.app_payload(), Some(&7));
         assert!(!f.is_control());
+        assert_eq!(f.provenance(), (NodeId::new(1), 9));
 
         let c: Frame<u8> = Frame::Unicast {
             origin: NodeId::new(0),
+            seq: 4,
             dest: NodeId::new(2),
             hops: 0,
             payload: NetPayload::Control(RouteControl::Rerr {
@@ -171,5 +193,6 @@ mod tests {
         };
         assert!(c.is_control());
         assert_eq!(c.app_payload(), None);
+        assert_eq!(c.provenance(), (NodeId::new(0), 4));
     }
 }

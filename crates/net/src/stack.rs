@@ -111,6 +111,8 @@ pub enum NetEvent {
     FloodDupDrop {
         /// The flood's originator.
         origin: NodeId,
+        /// The flood's origin-local frame sequence number.
+        seq: u64,
     },
     /// A flood frame arrived with an exhausted TTL and was not
     /// re-broadcast (propagation stopped here).
@@ -127,6 +129,8 @@ pub enum NetEvent {
     HopBudgetDrop {
         /// The frame's originator.
         origin: NodeId,
+        /// The frame's origin-local sequence number.
+        seq: u64,
         /// The frame's intended destination.
         dest: NodeId,
     },
@@ -134,6 +138,8 @@ pub enum NetEvent {
     NoRouteDrop {
         /// The frame's originator.
         origin: NodeId,
+        /// The frame's origin-local sequence number.
+        seq: u64,
         /// The frame's intended destination.
         dest: NodeId,
     },
@@ -269,9 +275,8 @@ impl<M: Clone> NetStack<M> {
         }
         let id = FloodId {
             origin: self.node,
-            seq: self.flood_seq,
+            seq: self.next_seq(),
         };
-        self.flood_seq += 1;
         self.remember_flood(id);
         vec![NetAction::Broadcast(Frame::Flood {
             id,
@@ -299,14 +304,17 @@ impl<M: Clone> NetStack<M> {
                     origin: self.node,
                     hops: 0,
                     via_flood: false,
+                    frame: None,
                 },
             }];
         }
         if let Some(next_hop) = self.fresh_route(dest, now) {
+            let seq = self.next_seq();
             return vec![NetAction::Send {
                 next_hop,
                 frame: Frame::Unicast {
                     origin: self.node,
+                    seq,
                     dest,
                     hops: 0,
                     payload: NetPayload::App(payload),
@@ -329,11 +337,12 @@ impl<M: Clone> NetStack<M> {
             } => self.on_flood(now, from, id, ttl, hops, payload, size),
             Frame::Unicast {
                 origin,
+                seq,
                 dest,
                 hops,
                 payload,
                 size,
-            } => self.on_unicast(now, from, origin, dest, hops, payload, size),
+            } => self.on_unicast(now, from, origin, seq, dest, hops, payload, size),
         }
     }
 
@@ -407,18 +416,22 @@ impl<M: Clone> NetStack<M> {
                     // still know a way back; otherwise the loss surfaces at
                     // the origin's own application timeout.
                     match self.fresh_route(origin, now) {
-                        Some(hop) => vec![NetAction::Send {
-                            next_hop: hop,
-                            frame: Frame::Unicast {
-                                origin: self.node,
-                                dest: origin,
-                                hops: 0,
-                                payload: NetPayload::Control(RouteControl::Rerr {
-                                    broken_dest: dest,
-                                }),
-                                size: self.cfg.control_size,
-                            },
-                        }],
+                        Some(hop) => {
+                            let seq = self.next_seq();
+                            vec![NetAction::Send {
+                                next_hop: hop,
+                                frame: Frame::Unicast {
+                                    origin: self.node,
+                                    seq,
+                                    dest: origin,
+                                    hops: 0,
+                                    payload: NetPayload::Control(RouteControl::Rerr {
+                                        broken_dest: dest,
+                                    }),
+                                    size: self.cfg.control_size,
+                                },
+                            }]
+                        }
                         None => Vec::new(),
                     }
                 }
@@ -441,7 +454,10 @@ impl<M: Clone> NetStack<M> {
         size: u32,
     ) -> Vec<NetAction<M>> {
         if self.seen_floods.contains(&id) {
-            self.note(NetEvent::FloodDupDrop { origin: id.origin });
+            self.note(NetEvent::FloodDupDrop {
+                origin: id.origin,
+                seq: id.seq,
+            });
             return Vec::new();
         }
         self.remember_flood(id);
@@ -456,6 +472,7 @@ impl<M: Clone> NetStack<M> {
                         origin: id.origin,
                         hops: hops + 1,
                         via_flood: true,
+                        frame: Some(id.seq),
                     },
                 });
             }
@@ -500,6 +517,7 @@ impl<M: Clone> NetStack<M> {
         now: SimTime,
         from: NodeId,
         origin: NodeId,
+        seq: u64,
         dest: NodeId,
         hops: u8,
         payload: NetPayload<M>,
@@ -514,6 +532,7 @@ impl<M: Clone> NetStack<M> {
                         origin,
                         hops: hops + 1,
                         via_flood: false,
+                        frame: Some(seq),
                     },
                 }],
                 NetPayload::Control(RouteControl::Rrep { .. }) => {
@@ -531,7 +550,7 @@ impl<M: Clone> NetStack<M> {
         // Forwarding role.
         if hops >= self.cfg.max_unicast_hops {
             // Hop budget exhausted: almost certainly a forwarding loop.
-            self.note(NetEvent::HopBudgetDrop { origin, dest });
+            self.note(NetEvent::HopBudgetDrop { origin, seq, dest });
             return if matches!(payload, NetPayload::App(_)) {
                 self.routes.remove(&dest);
                 self.send_control_towards(now, origin, RouteControl::Rerr { broken_dest: dest })
@@ -547,6 +566,7 @@ impl<M: Clone> NetStack<M> {
                 next_hop,
                 frame: Frame::Unicast {
                     origin,
+                    seq,
                     dest,
                     hops: hops + 1,
                     payload,
@@ -555,7 +575,7 @@ impl<M: Clone> NetStack<M> {
             }],
             None => {
                 // No route at an intermediate hop: report back to the origin.
-                self.note(NetEvent::NoRouteDrop { origin, dest });
+                self.note(NetEvent::NoRouteDrop { origin, seq, dest });
                 if matches!(payload, NetPayload::App(_)) {
                     self.send_control_towards(now, origin, RouteControl::Rerr { broken_dest: dest })
                 } else {
@@ -573,18 +593,32 @@ impl<M: Clone> NetStack<M> {
         ctl: RouteControl,
     ) -> Vec<NetAction<M>> {
         match self.fresh_route(dest, now) {
-            Some(next_hop) => vec![NetAction::Send {
-                next_hop,
-                frame: Frame::Unicast {
-                    origin: self.node,
-                    dest,
-                    hops: 0,
-                    payload: NetPayload::Control(ctl),
-                    size: self.cfg.control_size,
-                },
-            }],
+            Some(next_hop) => {
+                let seq = self.next_seq();
+                vec![NetAction::Send {
+                    next_hop,
+                    frame: Frame::Unicast {
+                        origin: self.node,
+                        seq,
+                        dest,
+                        hops: 0,
+                        payload: NetPayload::Control(ctl),
+                        size: self.cfg.control_size,
+                    },
+                }]
+            }
             None => Vec::new(),
         }
+    }
+
+    /// Draws the next origin-local frame sequence number. Floods and
+    /// unicasts share one counter, so `(origin, seq)` identifies a frame
+    /// regardless of shape; flood seq values simply skip the numbers
+    /// consumed by unicast sends (dedup only needs uniqueness).
+    fn next_seq(&mut self) -> u64 {
+        let seq = self.flood_seq;
+        self.flood_seq += 1;
+        seq
     }
 
     fn enqueue_and_discover(
@@ -633,9 +667,8 @@ impl<M: Clone> NetStack<M> {
     fn rreq_flood(&mut self, target: NodeId, ttl: u8) -> NetAction<M> {
         let id = FloodId {
             origin: self.node,
-            seq: self.flood_seq,
+            seq: self.next_seq(),
         };
-        self.flood_seq += 1;
         self.remember_flood(id);
         let req_id = self.rreq_seq;
         self.rreq_seq += 1;
@@ -660,16 +693,20 @@ impl<M: Clone> NetStack<M> {
         let mut actions = Vec::new();
         for (payload, size) in pending.packets {
             match self.fresh_route(dest, now) {
-                Some(next_hop) => actions.push(NetAction::Send {
-                    next_hop,
-                    frame: Frame::Unicast {
-                        origin: self.node,
-                        dest,
-                        hops: 0,
-                        payload: NetPayload::App(payload),
-                        size,
-                    },
-                }),
+                Some(next_hop) => {
+                    let seq = self.next_seq();
+                    actions.push(NetAction::Send {
+                        next_hop,
+                        frame: Frame::Unicast {
+                            origin: self.node,
+                            seq,
+                            dest,
+                            hops: 0,
+                            payload: NetPayload::App(payload),
+                            size,
+                        },
+                    })
+                }
                 None => actions.push(NetAction::Undeliverable { dest, payload }),
             }
         }
@@ -771,7 +808,8 @@ mod tests {
                     origin: NodeId::new(0)
                 },
                 NetEvent::FloodDupDrop {
-                    origin: NodeId::new(0)
+                    origin: NodeId::new(0),
+                    seq: 0,
                 },
             ]
         );

@@ -30,6 +30,7 @@ fn split_horizon_refuses_to_bounce_a_frame_back() {
     // is 3 from transmitter 0.
     let teach = Frame::Unicast {
         origin: n(3),
+        seq: 0,
         dest: n(1),
         hops: 2,
         payload: NetPayload::App(0u8),
@@ -39,6 +40,7 @@ fn split_horizon_refuses_to_bounce_a_frame_back() {
     // Now 0 hands us a frame for 3: the only route points straight back.
     let data = Frame::Unicast {
         origin: n(0),
+        seq: 0,
         dest: n(3),
         hops: 1,
         payload: NetPayload::App(7u8),
@@ -64,6 +66,7 @@ fn hop_budget_kills_runaway_frames() {
     // Teach a forward route to 3 via 2.
     let teach = Frame::Unicast {
         origin: n(3),
+        seq: 0,
         dest: n(0),
         hops: 1,
         payload: NetPayload::App(0u8),
@@ -72,6 +75,7 @@ fn hop_budget_kills_runaway_frames() {
     let _ = stack.on_frame(SimTime::ZERO, n(2), teach);
     let tired = Frame::Unicast {
         origin: n(0),
+        seq: 1,
         dest: n(3),
         hops: cfg.max_unicast_hops,
         payload: NetPayload::App(9u8),
@@ -100,6 +104,7 @@ fn send_failure_purges_routes_and_rediscovers() {
     // Learn a route to 3 via 1 (frame from origin 3 arrives via 1).
     let teach = Frame::Unicast {
         origin: n(3),
+        seq: 0,
         dest: n(0),
         hops: 2,
         payload: NetPayload::App(0u8),

@@ -1,7 +1,7 @@
 //! Deterministic discrete-event simulation kernel.
 //!
 //! This crate is the substrate every other crate in the workspace builds on.
-//! It replaces the role GloMoSim [Zen98] played in the original RPCC paper
+//! It replaces the role GloMoSim \[Zen98\] played in the original RPCC paper
 //! ("Consistency of Cooperative Caching in Mobile Peer-to-Peer Systems over
 //! MANET", ICDCS 2005): a clock, an event queue with stable ordering, and
 //! reproducible random-number streams.

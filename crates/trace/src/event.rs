@@ -167,6 +167,84 @@ impl BlameCause {
     }
 }
 
+/// What ultimately happened to one transmitted frame at one node: the
+/// terminal of a [`TraceEvent::FrameFate`] provenance record. Delivery
+/// and duplicate suppression are normal life-cycle ends; the drop
+/// variants carry the PR 2 fault cause so the causal explainer can name
+/// the exact hazard that killed an update on its way to a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameFateKind {
+    /// The frame's application payload reached a protocol instance.
+    Delivered,
+    /// A flood copy was suppressed as an already-seen duplicate.
+    DupDrop,
+    /// The link-loss channel dropped the frame (independent loss draw).
+    ChannelDrop,
+    /// The Gilbert–Elliott channel dropped the frame in its burst state.
+    BurstDrop,
+    /// The unicast next hop had moved out of range (MAC-level loss).
+    MacDrop,
+    /// The receiving node was switched off or crashed.
+    DownDrop,
+    /// A forwarding node had no route for the in-flight frame.
+    NoRouteDrop,
+    /// The frame exceeded the unicast hop budget.
+    HopBudgetDrop,
+}
+
+impl FrameFateKind {
+    /// All fates, for iteration and per-fate counters.
+    pub const ALL: [FrameFateKind; 8] = [
+        FrameFateKind::Delivered,
+        FrameFateKind::DupDrop,
+        FrameFateKind::ChannelDrop,
+        FrameFateKind::BurstDrop,
+        FrameFateKind::MacDrop,
+        FrameFateKind::DownDrop,
+        FrameFateKind::NoRouteDrop,
+        FrameFateKind::HopBudgetDrop,
+    ];
+
+    /// Position of this fate in [`FrameFateKind::ALL`] (stable index).
+    pub fn index(self) -> usize {
+        match self {
+            FrameFateKind::Delivered => 0,
+            FrameFateKind::DupDrop => 1,
+            FrameFateKind::ChannelDrop => 2,
+            FrameFateKind::BurstDrop => 3,
+            FrameFateKind::MacDrop => 4,
+            FrameFateKind::DownDrop => 5,
+            FrameFateKind::NoRouteDrop => 6,
+            FrameFateKind::HopBudgetDrop => 7,
+        }
+    }
+
+    /// True for every fate that lost the frame (everything except
+    /// delivery and duplicate suppression, which are normal ends).
+    pub fn is_loss(self) -> bool {
+        !matches!(self, FrameFateKind::Delivered | FrameFateKind::DupDrop)
+    }
+
+    /// Short snake_case label used in JSONL output and fate tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            FrameFateKind::Delivered => "delivered",
+            FrameFateKind::DupDrop => "dup",
+            FrameFateKind::ChannelDrop => "channel",
+            FrameFateKind::BurstDrop => "burst",
+            FrameFateKind::MacDrop => "mac",
+            FrameFateKind::DownDrop => "down",
+            FrameFateKind::NoRouteDrop => "no_route",
+            FrameFateKind::HopBudgetDrop => "hop_budget",
+        }
+    }
+
+    /// Inverse of [`FrameFateKind::label`] (journal parsing).
+    pub fn from_label(label: &str) -> Option<FrameFateKind> {
+        Self::ALL.into_iter().find(|f| f.label() == label)
+    }
+}
+
 /// The consistency level a query was issued under (Section 4: weak,
 /// delta, strong). Mirrors the core crate's `ConsistencyLevel` without
 /// making the trace crate depend on it.
@@ -611,6 +689,67 @@ pub enum TraceEvent {
         /// The item whose relay duty moved.
         item: ItemId,
     },
+    /// A frame entered the network: its first transmission at the origin
+    /// node. `(node, frame)` is the frame's deterministic identity (the
+    /// per-node monotonic counter) for every later hop and fate record.
+    /// Journal schema ≥ 4 only.
+    FrameBorn {
+        /// The originating node (also the frame-id namespace).
+        node: NodeId,
+        /// The origin-local monotonic frame sequence number.
+        frame: u64,
+        /// What the frame carries.
+        class: MessageClass,
+        /// Final unicast destination; `None` for a flood.
+        dest: Option<NodeId>,
+        /// The item whose update/invalidation the frame propagates, if
+        /// it is a propagation frame.
+        item: Option<ItemId>,
+        /// The propagated master version (only with `item`).
+        version: u64,
+    },
+    /// A frame was re-transmitted by an intermediate node (flood
+    /// re-broadcast or routed unicast forward). Journal schema ≥ 4 only.
+    FrameHop {
+        /// The forwarding node.
+        node: NodeId,
+        /// The frame's originating node.
+        origin: NodeId,
+        /// The origin-local frame sequence number.
+        frame: u64,
+        /// Hops travelled so far (this transmission included).
+        hops: u8,
+    },
+    /// A frame's life ended at one node: delivered, suppressed as a
+    /// duplicate, or dropped with the injecting fault's cause. Journal
+    /// schema ≥ 4 only.
+    FrameFate {
+        /// The node where the fate occurred.
+        node: NodeId,
+        /// The frame's originating node.
+        origin: NodeId,
+        /// The origin-local frame sequence number.
+        frame: u64,
+        /// What happened.
+        fate: FrameFateKind,
+    },
+    /// A cached copy was installed or refreshed from a delivered
+    /// message: the copy's lineage record, naming the carrying frame and
+    /// its hop path. Journal schema ≥ 4 only.
+    CopyLineage {
+        /// The node whose cache changed.
+        node: NodeId,
+        /// The installed item.
+        item: ItemId,
+        /// The installed version (the origin update sequence).
+        version: u64,
+        /// The carrying frame's originating node.
+        origin: NodeId,
+        /// The carrying frame's origin-local sequence number.
+        frame: u64,
+        /// Hops the carrying frame travelled to arrive here.
+        hops: u8,
+    },
 }
 
 /// Discriminant of a [`TraceEvent`], for counting and table rendering.
@@ -684,13 +823,21 @@ pub enum EventKind {
     RecoveryAck,
     /// See [`TraceEvent::RelayHandover`].
     RelayHandover,
+    /// See [`TraceEvent::FrameBorn`].
+    FrameBorn,
+    /// See [`TraceEvent::FrameHop`].
+    FrameHop,
+    /// See [`TraceEvent::FrameFate`].
+    FrameFate,
+    /// See [`TraceEvent::CopyLineage`].
+    CopyLineage,
 }
 
 impl EventKind {
-    /// All kinds, for iteration and table rendering. Schema-2 and
-    /// schema-3 kinds are appended at the end so older indices stay
+    /// All kinds, for iteration and table rendering. Schema-2, schema-3
+    /// and schema-4 kinds are appended at the end so older indices stay
     /// stable.
-    pub const ALL: [EventKind; 34] = [
+    pub const ALL: [EventKind; 38] = [
         EventKind::MsgSend,
         EventKind::MsgDeliver,
         EventKind::MacDrop,
@@ -725,6 +872,10 @@ impl EventKind {
         EventKind::RecoveryRetransmit,
         EventKind::RecoveryAck,
         EventKind::RelayHandover,
+        EventKind::FrameBorn,
+        EventKind::FrameHop,
+        EventKind::FrameFate,
+        EventKind::CopyLineage,
     ];
 
     /// Position of this kind in [`EventKind::ALL`] (stable array index
@@ -773,6 +924,10 @@ impl EventKind {
             EventKind::RecoveryRetransmit => "retransmit",
             EventKind::RecoveryAck => "recovery_ack",
             EventKind::RelayHandover => "relay_handover",
+            EventKind::FrameBorn => "frame_born",
+            EventKind::FrameHop => "frame_hop",
+            EventKind::FrameFate => "frame_fate",
+            EventKind::CopyLineage => "copy_lineage",
         }
     }
 
@@ -783,7 +938,8 @@ impl EventKind {
 
     /// The lowest journal schema whose vocabulary includes this kind.
     /// A [`crate::JsonlSink`] writing an older schema skips the event;
-    /// a [`crate::JournalReader`] of an older journal rejects its line.
+    /// a [`crate::reader::JournalReader`] of an older journal rejects
+    /// its line.
     pub fn min_schema(self) -> u64 {
         match self {
             EventKind::ConsistencySample | EventKind::StaleServe => 2,
@@ -792,6 +948,10 @@ impl EventKind {
             | EventKind::RecoveryRetransmit
             | EventKind::RecoveryAck
             | EventKind::RelayHandover => 3,
+            EventKind::FrameBorn
+            | EventKind::FrameHop
+            | EventKind::FrameFate
+            | EventKind::CopyLineage => 4,
             _ => 1,
         }
     }
@@ -835,6 +995,10 @@ impl TraceEvent {
             TraceEvent::RecoveryRetransmit { .. } => EventKind::RecoveryRetransmit,
             TraceEvent::RecoveryAck { .. } => EventKind::RecoveryAck,
             TraceEvent::RelayHandover { .. } => EventKind::RelayHandover,
+            TraceEvent::FrameBorn { .. } => EventKind::FrameBorn,
+            TraceEvent::FrameHop { .. } => EventKind::FrameHop,
+            TraceEvent::FrameFate { .. } => EventKind::FrameFate,
+            TraceEvent::CopyLineage { .. } => EventKind::CopyLineage,
         }
     }
 
@@ -1106,6 +1270,63 @@ impl TraceEvent {
                 field_num(out, "to", to.index() as u64);
                 field_num(out, "item", item.index() as u64);
             }
+            TraceEvent::FrameBorn {
+                node,
+                frame,
+                class,
+                dest,
+                item,
+                version,
+            } => {
+                field_num(out, "node", node.index() as u64);
+                field_num(out, "frame", frame);
+                field_str(out, "class", class.label());
+                match dest {
+                    Some(d) => field_num(out, "dest", d.index() as u64),
+                    None => out.push_str(",\"dest\":null"),
+                }
+                if let Some(item) = item {
+                    field_num(out, "item", item.index() as u64);
+                    field_num(out, "version", version);
+                }
+            }
+            TraceEvent::FrameHop {
+                node,
+                origin,
+                frame,
+                hops,
+            } => {
+                field_num(out, "node", node.index() as u64);
+                field_num(out, "origin", origin.index() as u64);
+                field_num(out, "frame", frame);
+                field_num(out, "hops", u64::from(hops));
+            }
+            TraceEvent::FrameFate {
+                node,
+                origin,
+                frame,
+                fate,
+            } => {
+                field_num(out, "node", node.index() as u64);
+                field_num(out, "origin", origin.index() as u64);
+                field_num(out, "frame", frame);
+                field_str(out, "fate", fate.label());
+            }
+            TraceEvent::CopyLineage {
+                node,
+                item,
+                version,
+                origin,
+                frame,
+                hops,
+            } => {
+                field_num(out, "node", node.index() as u64);
+                field_num(out, "item", item.index() as u64);
+                field_num(out, "version", version);
+                field_num(out, "origin", origin.index() as u64);
+                field_num(out, "frame", frame);
+                field_num(out, "hops", u64::from(hops));
+            }
         }
         out.push('}');
     }
@@ -1290,6 +1511,48 @@ pub(crate) mod tests {
                 to: m,
                 item,
             },
+            TraceEvent::FrameBorn {
+                node: n,
+                frame: 12,
+                class: MessageClass::Update,
+                dest: Some(m),
+                item: Some(item),
+                version: 4,
+            },
+            TraceEvent::FrameBorn {
+                node: n,
+                frame: 13,
+                class: MessageClass::Invalidation,
+                dest: None,
+                item: None,
+                version: 0,
+            },
+            TraceEvent::FrameHop {
+                node: m,
+                origin: n,
+                frame: 12,
+                hops: 2,
+            },
+            TraceEvent::FrameFate {
+                node: m,
+                origin: n,
+                frame: 12,
+                fate: FrameFateKind::Delivered,
+            },
+            TraceEvent::FrameFate {
+                node: m,
+                origin: n,
+                frame: 13,
+                fate: FrameFateKind::BurstDrop,
+            },
+            TraceEvent::CopyLineage {
+                node: m,
+                item,
+                version: 4,
+                origin: n,
+                frame: 12,
+                hops: 2,
+            },
         ]
     }
 
@@ -1367,6 +1630,7 @@ pub(crate) mod tests {
             LevelTag::ALL.map(LevelTag::label).to_vec(),
             ServedBy::ALL.map(ServedBy::label).to_vec(),
             BlameCause::ALL.map(BlameCause::label).to_vec(),
+            FrameFateKind::ALL.map(FrameFateKind::label).to_vec(),
             RelayTransitionKind::ALL
                 .map(RelayTransitionKind::label)
                 .to_vec(),
@@ -1384,6 +1648,10 @@ pub(crate) mod tests {
             assert_eq!(cause.index(), i);
             assert_eq!(BlameCause::from_label(cause.label()), Some(cause));
         }
+        for (i, fate) in FrameFateKind::ALL.into_iter().enumerate() {
+            assert_eq!(fate.index(), i);
+            assert_eq!(FrameFateKind::from_label(fate.label()), Some(fate));
+        }
     }
 
     #[test]
@@ -1396,6 +1664,10 @@ pub(crate) mod tests {
                 | EventKind::RecoveryRetransmit
                 | EventKind::RecoveryAck
                 | EventKind::RelayHandover => 3,
+                EventKind::FrameBorn
+                | EventKind::FrameHop
+                | EventKind::FrameFate
+                | EventKind::CopyLineage => 4,
                 _ => 1,
             };
             assert_eq!(kind.min_schema(), expected, "{kind:?}");

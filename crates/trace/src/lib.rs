@@ -63,9 +63,11 @@ pub mod span;
 pub mod bridge;
 
 pub use event::{
-    BlameCause, EventKind, LevelTag, RelayTransitionKind, ServedBy, SpanPhase, TraceEvent,
+    BlameCause, EventKind, FrameFateKind, LevelTag, RelayTransitionKind, ServedBy, SpanPhase,
+    TraceEvent,
 };
 pub use sink::{
     JsonlSink, NullSink, RingSink, SummarySink, TeeSink, TraceSink, JOURNAL_KINDS_V1,
-    JOURNAL_SCHEMA, JOURNAL_SCHEMA_V1,
+    JOURNAL_KINDS_V2, JOURNAL_KINDS_V3, JOURNAL_SCHEMA, JOURNAL_SCHEMA_V1, JOURNAL_SCHEMA_V2,
+    JOURNAL_SCHEMA_V3,
 };

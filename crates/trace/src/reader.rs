@@ -20,7 +20,8 @@ use mp2p_metrics::MessageClass;
 use mp2p_sim::{ItemId, NodeId, SimTime};
 
 use crate::event::{
-    BlameCause, EventKind, LevelTag, RelayTransitionKind, ServedBy, SpanPhase, TraceEvent,
+    BlameCause, EventKind, FrameFateKind, LevelTag, RelayTransitionKind, ServedBy, SpanPhase,
+    TraceEvent,
 };
 use crate::json::{self, Value};
 use crate::sink::JOURNAL_SCHEMA;
@@ -415,6 +416,44 @@ pub fn parse_event_versioned(line: &str, schema: u64) -> Option<(SimTime, TraceE
             to: node_field("to")?,
             item: item_field("item")?,
         },
+        EventKind::FrameBorn => {
+            // `item`/`version` are written only for propagation frames.
+            let item = match v.get("item") {
+                Some(i) => Some(ItemId::new(i.as_u64()? as u32)),
+                None => None,
+            };
+            TraceEvent::FrameBorn {
+                node: node_field("node")?,
+                frame: num("frame")?,
+                class: class_field()?,
+                dest: match v.get("dest")? {
+                    Value::Null => None,
+                    d => Some(NodeId::new(d.as_u64()? as u32)),
+                },
+                version: if item.is_some() { num("version")? } else { 0 },
+                item,
+            }
+        }
+        EventKind::FrameHop => TraceEvent::FrameHop {
+            node: node_field("node")?,
+            origin: node_field("origin")?,
+            frame: num("frame")?,
+            hops: num("hops")? as u8,
+        },
+        EventKind::FrameFate => TraceEvent::FrameFate {
+            node: node_field("node")?,
+            origin: node_field("origin")?,
+            frame: num("frame")?,
+            fate: FrameFateKind::from_label(v.get("fate")?.as_str()?)?,
+        },
+        EventKind::CopyLineage => TraceEvent::CopyLineage {
+            node: node_field("node")?,
+            item: item_field("item")?,
+            version: num("version")?,
+            origin: node_field("origin")?,
+            frame: num("frame")?,
+            hops: num("hops")? as u8,
+        },
     };
     Some((at, event))
 }
@@ -450,7 +489,7 @@ mod tests {
         ));
         {
             let mut sink =
-                JsonlSink::create_v3_with_warmup(&path, SimDuration::from_secs(60)).unwrap();
+                JsonlSink::create_v4_with_warmup(&path, SimDuration::from_secs(60)).unwrap();
             for (i, event) in crate::event::tests::samples().into_iter().enumerate() {
                 sink.record(SimTime::from_millis(i as u64 * 10), &event);
             }

@@ -158,10 +158,10 @@ impl TraceSink for RingSink {
 }
 
 /// The newest journal schema version this build can write and read.
-/// Schema 3 added the recovery-layer kinds ([`EventKind::ResyncStart`],
-/// [`EventKind::ResyncDone`], [`EventKind::RecoveryRetransmit`],
-/// [`EventKind::RecoveryAck`], [`EventKind::RelayHandover`]).
-pub const JOURNAL_SCHEMA: u64 = 3;
+/// Schema 4 added the causal-provenance kinds
+/// ([`EventKind::FrameBorn`], [`EventKind::FrameHop`],
+/// [`EventKind::FrameFate`], [`EventKind::CopyLineage`]).
+pub const JOURNAL_SCHEMA: u64 = 4;
 
 /// The original journal schema: the 27-kind vocabulary of PR 3. Sinks
 /// built with the plain constructors still write it, so runs that never
@@ -182,13 +182,23 @@ pub const JOURNAL_SCHEMA_V2: u64 = 2;
 /// The (frozen) number of event kinds in the schema-2 vocabulary.
 pub const JOURNAL_KINDS_V2: usize = 29;
 
+/// The recovery-layer schema of PR 7, now frozen: the 34-kind
+/// vocabulary ending at [`EventKind::RelayHandover`]. The `_v3`
+/// constructors keep writing it so recovery runs without provenance stay
+/// byte-identical to what pre-provenance builds wrote.
+pub const JOURNAL_SCHEMA_V3: u64 = 3;
+
+/// The (frozen) number of event kinds in the schema-3 vocabulary.
+pub const JOURNAL_KINDS_V3: usize = 34;
+
 /// Streams events as JSON Lines to a writer: one versioned header object
-/// (`{"schema":1,...}`, `{"schema":2,...}` or `{"schema":3,...}`)
-/// followed by one object per event. The plain constructors write
-/// schema 1 and silently skip any newer-schema event (see
-/// [`EventKind::min_schema`]); the `_v2` constructors write the frozen
-/// observatory schema (skipping recovery kinds); the `_v3` constructors
-/// write the current schema and accept everything.
+/// (`{"schema":1,...}` through `{"schema":4,...}`) followed by one
+/// object per event. The plain constructors write schema 1 and silently
+/// skip any newer-schema event (see [`EventKind::min_schema`]); the
+/// `_v2` constructors write the frozen observatory schema (skipping
+/// recovery and provenance kinds); the `_v3` constructors write the
+/// frozen recovery schema (skipping provenance kinds); the `_v4`
+/// constructors write the current schema and accept everything.
 ///
 /// Serialisation is hand-rolled via [`crate::json`] — the build
 /// environment has no crates.io access, so there is no serde. On an I/O
@@ -236,10 +246,18 @@ impl JsonlSink {
         JsonlSink::with_schema(writer, warmup, JOURNAL_SCHEMA_V2)
     }
 
-    /// Wraps an arbitrary writer with the current (schema 3) header,
-    /// accepting the full event vocabulary including the recovery
-    /// layer's kinds.
+    /// Wraps an arbitrary writer with the frozen schema 3 header: the
+    /// recovery layer's vocabulary, but not the provenance engine's
+    /// (those events are skipped). Use
+    /// [`JsonlSink::new_v4_with_warmup`] for provenance runs.
     pub fn new_v3_with_warmup(writer: Box<dyn Write>, warmup: SimDuration) -> Self {
+        JsonlSink::with_schema(writer, warmup, JOURNAL_SCHEMA_V3)
+    }
+
+    /// Wraps an arbitrary writer with the current (schema 4) header,
+    /// accepting the full event vocabulary including the causal
+    /// provenance kinds.
+    pub fn new_v4_with_warmup(writer: Box<dyn Write>, warmup: SimDuration) -> Self {
         JsonlSink::with_schema(writer, warmup, JOURNAL_SCHEMA)
     }
 
@@ -276,10 +294,17 @@ impl JsonlSink {
         Ok(JsonlSink::new_v2_with_warmup(Box::new(file), warmup))
     }
 
-    /// Creates (truncating) `path` with the current (schema 3) header.
+    /// Creates (truncating) `path` with the frozen schema 3 header (see
+    /// [`JsonlSink::new_v3_with_warmup`] for the skip rule).
     pub fn create_v3_with_warmup(path: &Path, warmup: SimDuration) -> io::Result<Self> {
         let file = std::fs::File::create(path)?;
         Ok(JsonlSink::new_v3_with_warmup(Box::new(file), warmup))
+    }
+
+    /// Creates (truncating) `path` with the current (schema 4) header.
+    pub fn create_v4_with_warmup(path: &Path, warmup: SimDuration) -> io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlSink::new_v4_with_warmup(Box::new(file), warmup))
     }
 
     /// Writes the versioned header line. The header is metadata, not an
@@ -290,6 +315,7 @@ impl JsonlSink {
         let kinds = match self.schema {
             JOURNAL_SCHEMA_V1 => JOURNAL_KINDS_V1,
             JOURNAL_SCHEMA_V2 => JOURNAL_KINDS_V2,
+            JOURNAL_SCHEMA_V3 => JOURNAL_KINDS_V3,
             _ => EventKind::ALL.len(),
         };
         self.line.clear();
@@ -567,7 +593,7 @@ mod tests {
     #[test]
     fn jsonl_writes_one_valid_line_per_event() {
         let buf: Vec<u8> = Vec::new();
-        let mut sink = JsonlSink::new_v3_with_warmup(Box::new(buf), SimDuration::ZERO);
+        let mut sink = JsonlSink::new_v4_with_warmup(Box::new(buf), SimDuration::ZERO);
         for (i, event) in crate::event::tests::samples().into_iter().enumerate() {
             sink.record(SimTime::from_millis(i as u64), &event);
         }
@@ -575,7 +601,7 @@ mod tests {
         sink.flush();
         assert!(sink.io_error().is_none());
         assert_eq!(n, crate::event::tests::samples().len() as u64);
-        assert_eq!(sink.skipped(), 0, "a v3 sink accepts the full vocabulary");
+        assert_eq!(sink.skipped(), 0, "a v4 sink accepts the full vocabulary");
         // The writer is boxed away; serialisation itself is validated in
         // the event module, and the end-to-end file path is covered by
         // the world-level tests.
@@ -600,6 +626,28 @@ mod tests {
         assert_eq!(
             sink.records(),
             crate::event::tests::samples().len() as u64 - v3_only
+        );
+    }
+
+    #[test]
+    fn v3_sink_keeps_frozen_header_and_skips_provenance_kinds() {
+        let buf: Vec<u8> = Vec::new();
+        let mut sink = JsonlSink::new_v3_with_warmup(Box::new(buf), SimDuration::ZERO);
+        assert_eq!(sink.schema(), JOURNAL_SCHEMA_V3);
+        let v4_only: u64 = crate::event::tests::samples()
+            .iter()
+            .filter(|e| e.kind().min_schema() > JOURNAL_SCHEMA_V3)
+            .count() as u64;
+        assert!(v4_only > 0, "samples must cover schema-4 kinds");
+        for (i, event) in crate::event::tests::samples().into_iter().enumerate() {
+            sink.record(SimTime::from_millis(i as u64), &event);
+        }
+        sink.flush();
+        assert!(sink.io_error().is_none());
+        assert_eq!(sink.skipped(), v4_only);
+        assert_eq!(
+            sink.records(),
+            crate::event::tests::samples().len() as u64 - v4_only
         );
     }
 
@@ -718,7 +766,7 @@ mod tests {
             std::env::temp_dir().join(format!("mp2p-trace-sink-test-{}.jsonl", std::process::id()));
         {
             let mut sink =
-                JsonlSink::create_v3_with_warmup(&path, SimDuration::ZERO).expect("create jsonl");
+                JsonlSink::create_v4_with_warmup(&path, SimDuration::ZERO).expect("create jsonl");
             for (i, event) in crate::event::tests::samples().into_iter().enumerate() {
                 sink.record(SimTime::from_millis(i as u64 * 10), &event);
             }
@@ -730,7 +778,7 @@ mod tests {
         // Header line + one line per event.
         assert_eq!(lines.len(), crate::event::tests::samples().len() + 1);
         assert!(
-            lines[0].starts_with("{\"schema\":3,"),
+            lines[0].starts_with("{\"schema\":4,"),
             "bad header: {}",
             lines[0]
         );

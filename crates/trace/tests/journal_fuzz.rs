@@ -38,6 +38,70 @@ fn valid_line() -> impl Strategy<Value = String> {
     ]
 }
 
+/// One well-formed recovery-layer event line (schema-3 kinds).
+fn valid_v3_line() -> impl Strategy<Value = String> {
+    let t = 0u64..500_000;
+    let node = 0u64..64;
+    prop_oneof![
+        (t.clone(), node.clone(), 0u32..200).prop_map(|(t, n, i)| format!(
+            "{{\"t\":{t},\"ev\":\"resync_start\",\"node\":{n},\"items\":{i}}}"
+        )),
+        (t.clone(), node.clone(), 0u32..50).prop_map(|(t, n, s)| format!(
+            "{{\"t\":{t},\"ev\":\"resync_done\",\"node\":{n},\"stale\":{s}}}"
+        )),
+        (t.clone(), node.clone(), 0u64..64, 1u64..999, 1u8..5).prop_map(|(t, n, d, s, a)| format!(
+            "{{\"t\":{t},\"ev\":\"retransmit\",\"node\":{n},\"dest\":{d},\
+                 \"item\":{n},\"seq\":{s},\"attempt\":{a}}}"
+        )),
+        (t.clone(), node.clone(), 0u64..64, 1u64..999).prop_map(|(t, n, p, s)| format!(
+            "{{\"t\":{t},\"ev\":\"recovery_ack\",\"node\":{n},\"peer\":{p},\"item\":{n},\
+             \"seq\":{s}}}"
+        )),
+        (t, node.clone(), node).prop_map(|(t, f, o)| format!(
+            "{{\"t\":{t},\"ev\":\"relay_handover\",\"from\":{f},\"to\":{o},\"item\":{f}}}"
+        )),
+    ]
+}
+
+/// One well-formed provenance event line (schema-4 kinds), fate labels
+/// drawn from the real [`mp2p_trace::FrameFateKind`] set.
+fn valid_v4_line() -> impl Strategy<Value = String> {
+    let t = 0u64..500_000;
+    let node = 0u64..64;
+    let fate = (0usize..mp2p_trace::FrameFateKind::ALL.len())
+        .prop_map(|i| mp2p_trace::FrameFateKind::ALL[i].label());
+    prop_oneof![
+        // A propagation frame (carries item + version)...
+        (t.clone(), node.clone(), 0u64..9999, 1u64..99).prop_map(|(t, n, f, v)| format!(
+            "{{\"t\":{t},\"ev\":\"frame_born\",\"node\":{n},\"frame\":{f},\
+             \"class\":\"INVALIDATION\",\"dest\":null,\"item\":{n},\"version\":{v}}}"
+        )),
+        // ...and a plain one (no item fields, unicast dest).
+        (t.clone(), node.clone(), 0u64..9999, 0u64..64).prop_map(|(t, n, f, d)| format!(
+            "{{\"t\":{t},\"ev\":\"frame_born\",\"node\":{n},\"frame\":{f},\
+             \"class\":\"POLL\",\"dest\":{d}}}"
+        )),
+        (t.clone(), node.clone(), 0u64..64, 0u64..9999, 1u8..10).prop_map(
+            |(t, n, o, f, h)| format!(
+                "{{\"t\":{t},\"ev\":\"frame_hop\",\"node\":{n},\"origin\":{o},\
+                 \"frame\":{f},\"hops\":{h}}}"
+            )
+        ),
+        (t.clone(), node.clone(), 0u64..64, 0u64..9999, fate).prop_map(
+            |(t, n, o, f, fate)| format!(
+                "{{\"t\":{t},\"ev\":\"frame_fate\",\"node\":{n},\"origin\":{o},\
+                 \"frame\":{f},\"fate\":\"{fate}\"}}"
+            )
+        ),
+        (t, node.clone(), 1u64..99, node, 0u64..9999, 0u8..10).prop_map(
+            |(t, n, v, o, f, h)| format!(
+                "{{\"t\":{t},\"ev\":\"copy_lineage\",\"node\":{n},\"item\":{n},\
+                 \"version\":{v},\"origin\":{o},\"frame\":{f},\"hops\":{h}}}"
+            )
+        ),
+    ]
+}
+
 /// Assembles header + event lines into journal bytes.
 fn journal(schema: u64, lines: &[String]) -> Vec<u8> {
     let mut bytes = header(schema).into_bytes();
@@ -70,6 +134,69 @@ proptest! {
             prop_assert!(item.is_ok(), "unexpected error: {:?}", item.as_ref().err());
         }
         prop_assert_eq!(reader.lines_read(), lines.len() + 1);
+    }
+
+    /// A schema-3 journal mixing legacy and recovery-layer kinds streams
+    /// back every line.
+    #[test]
+    fn valid_v3_journals_parse_completely(
+        lines in proptest::collection::vec(
+            prop_oneof![valid_line(), valid_v3_line()], 0..40,
+        ),
+    ) {
+        let bytes = journal(3, &lines);
+        let mut reader = JournalReader::new(BufReader::new(bytes.as_slice())).unwrap();
+        let items = drain(&mut reader);
+        prop_assert_eq!(items.len(), lines.len());
+        for item in &items {
+            prop_assert!(item.is_ok(), "unexpected error: {:?}", item.as_ref().err());
+        }
+    }
+
+    /// A schema-4 journal mixing all four schema tiers streams back
+    /// every line.
+    #[test]
+    fn valid_v4_journals_parse_completely(
+        lines in proptest::collection::vec(
+            prop_oneof![valid_line(), valid_v3_line(), valid_v4_line()], 0..40,
+        ),
+    ) {
+        let bytes = journal(4, &lines);
+        let mut reader = JournalReader::new(BufReader::new(bytes.as_slice())).unwrap();
+        let items = drain(&mut reader);
+        prop_assert_eq!(items.len(), lines.len());
+        for item in &items {
+            prop_assert!(item.is_ok(), "unexpected error: {:?}", item.as_ref().err());
+        }
+    }
+
+    /// Newer-schema kinds inside an old journal are line errors, not
+    /// panics and not silent successes: a schema-1 header promises no
+    /// recovery or provenance records, so each such line must surface
+    /// as a `BadLine` while the legacy lines around it still parse.
+    #[test]
+    fn newer_kinds_in_an_old_journal_are_bad_lines(
+        old in proptest::collection::vec(valid_line(), 0..10),
+        newer in prop_oneof![valid_v3_line(), valid_v4_line()],
+    ) {
+        let mut lines = old.clone();
+        lines.push(newer);
+        let bytes = journal(1, &lines);
+        let mut reader = JournalReader::new(BufReader::new(bytes.as_slice())).unwrap();
+        let items = drain(&mut reader);
+        prop_assert_eq!(items.len(), lines.len());
+        for (i, item) in items.iter().enumerate() {
+            if i == old.len() {
+                match item {
+                    Err(ReadError::BadLine { line_no, .. }) => {
+                        prop_assert_eq!(*line_no, old.len() + 2);
+                    }
+                    other => prop_assert!(false, "expected BadLine, got {other:?}"),
+                }
+            } else {
+                prop_assert!(item.is_ok(), "legacy line {i} failed: {:?}", item.as_ref().err());
+            }
+        }
     }
 
     /// Truncating a valid journal at any byte offset never panics, and a

@@ -160,7 +160,7 @@ fn jsonl_journal_is_parseable_and_complete() {
     let warmup = cfg.warmup;
     let mut world = World::new(cfg);
     world.set_tracer(Box::new(TeeSink::new(vec![
-        Box::new(JsonlSink::create_v3_with_warmup(&path, warmup).expect("temp file")),
+        Box::new(JsonlSink::create_v4_with_warmup(&path, warmup).expect("temp file")),
         Box::new(SummarySink::new(warmup)),
     ])));
     let (_report, tracer) = world.run_traced();

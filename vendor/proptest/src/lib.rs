@@ -379,7 +379,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Length bounds for [`vec`]; `hi` is exclusive.
+    /// Length bounds for [`vec()`]; `hi` is exclusive.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,
