@@ -26,7 +26,7 @@
 //!
 //! Exit status is non-zero the moment any invariant fails.
 
-use mp2p_experiments::render_table;
+use mp2p_experiments::{cli, render_table};
 use mp2p_net::FaultPlan;
 use mp2p_rpcc::{RunReport, Strategy, World, WorldConfig};
 use mp2p_sim::SimDuration;
@@ -109,19 +109,19 @@ fn heal_convergence_check(seed: u64, violations: &mut Vec<String>) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
+    let fail = |msg: String| -> ! {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    };
+    let args = cli::Args::from_env();
+    let smoke = args.flag("--smoke");
     let seed = args
-        .iter()
-        .position(|a| a == "--seed")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(42u64);
-    let sim_mins: f64 = args
-        .iter()
-        .position(|a| a == "--sim")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
+        .u64_of("--seed")
+        .unwrap_or_else(|e| fail(e))
+        .unwrap_or(42);
+    let sim_mins = args
+        .f64_of("--sim")
+        .unwrap_or_else(|e| fail(e))
         .unwrap_or(if smoke { 2.0 } else { 10.0 });
     let sim = SimDuration::from_secs_f64(sim_mins * 60.0);
 

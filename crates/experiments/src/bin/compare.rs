@@ -1,7 +1,7 @@
 //! Side-by-side strategy comparison at the Table 1 default point:
-//! `compare [--full] [--seed N] [--range M] [--faults PRESET] [--hardened]
-//! [--recovery] [--consistency] [--provenance] [--trace PREFIX]
-//! [--json FILE]`.
+//! `compare [--full] [--seed N] [--range M] [--mobility MODEL[:P...]]
+//! [--faults PRESET] [--hardened] [--recovery] [--consistency]
+//! [--provenance] [--trace PREFIX] [--json FILE]`.
 //!
 //! Prints traffic (total and per message class), latency, staleness,
 //! failure rate, relay population and energy for Pull, Push and the four
@@ -30,10 +30,11 @@
 //! journaled, and `--trace` journals are written at schema 4 so
 //! `analyze --explain` can walk them.
 
-use mp2p_experiments::{render_table, RunOptions};
+use mp2p_experiments::{cli, render_table, RunOptions};
 use mp2p_metrics::MessageClass;
 use mp2p_rpcc::{
-    ObservatoryConfig, ProvenanceConfig, RecoveryConfig, RunReport, World, WorldConfig,
+    MobilityKind, ObservatoryConfig, ProvenanceConfig, RecoveryConfig, RunReport, World,
+    WorldConfig,
 };
 use mp2p_sim::SimDuration;
 use mp2p_trace::{BlameCause, JsonlSink};
@@ -56,44 +57,32 @@ fn sanitize(name: &str) -> String {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let full = args.iter().any(|a| a == "--full");
+    let fail = |msg: String| -> ! {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    };
+    let args = cli::Args::from_env();
+    let full = args.flag("--full");
     let seed = args
-        .iter()
-        .position(|a| a == "--seed")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(42u64);
-    let range: Option<f64> = args
-        .iter()
-        .position(|a| a == "--range")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok());
-    let single = args.iter().any(|a| a == "--single");
-    let ttl: Option<u8> = args
-        .iter()
-        .position(|a| a == "--ttl")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok());
-    let trace_prefix: Option<String> = args
-        .iter()
-        .position(|a| a == "--trace")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
-    let fault_preset: Option<String> = args
-        .iter()
-        .position(|a| a == "--faults")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
-    let json_path: Option<String> = args
-        .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
-    let hardened = args.iter().any(|a| a == "--hardened");
-    let recovery = args.iter().any(|a| a == "--recovery");
-    let consistency = args.iter().any(|a| a == "--consistency");
-    let provenance = args.iter().any(|a| a == "--provenance");
+        .u64_of("--seed")
+        .unwrap_or_else(|e| fail(e))
+        .unwrap_or(42);
+    let range = args.f64_of("--range").unwrap_or_else(|e| fail(e));
+    let mobility: Option<MobilityKind> = args
+        .value_of("--mobility")
+        .map(|v| cli::parse_mobility(v).unwrap_or_else(|e| fail(e)));
+    let single = args.flag("--single");
+    let ttl = args
+        .u64_of("--ttl")
+        .unwrap_or_else(|e| fail(e))
+        .map(|t| t as u8);
+    let trace_prefix: Option<String> = args.value_of("--trace").map(str::to_owned);
+    let fault_preset: Option<String> = args.value_of("--faults").map(str::to_owned);
+    let json_path: Option<String> = args.value_of("--json").map(str::to_owned);
+    let hardened = args.flag("--hardened");
+    let recovery = args.flag("--recovery");
+    let consistency = args.flag("--consistency");
+    let provenance = args.flag("--provenance");
     let opts = if full {
         RunOptions::full()
     } else {
@@ -111,6 +100,9 @@ fn main() {
             cfg.level_mix = spec.mix;
             if let Some(r) = range {
                 cfg.range = r;
+            }
+            if let Some(kind) = mobility {
+                cfg.mobility = kind;
             }
             if single {
                 cfg.workload = mp2p_rpcc::WorkloadMode::SingleItem;
@@ -131,14 +123,7 @@ fn main() {
                 cfg.provenance = ProvenanceConfig::full();
             }
             if let Some(preset) = &fault_preset {
-                cfg.faults =
-                    mp2p_net::FaultPlan::preset(preset, cfg.sim_time).unwrap_or_else(|| {
-                        eprintln!(
-                            "unknown fault plan {preset:?} (none|{})",
-                            mp2p_net::FaultPlan::PRESETS.join("|")
-                        );
-                        std::process::exit(2);
-                    });
+                cfg.faults = cli::parse_faults(preset, cfg.sim_time).unwrap_or_else(|e| fail(e));
             }
             let mut world = World::new(cfg);
             if let Some(prefix) = &trace_prefix {

@@ -3,6 +3,7 @@
 //! ```text
 //! run [--strategy rpcc|push|pull|push-ap] [--mix sc|dc|wc|hy]
 //!     [--peers N] [--cache N] [--terrain METRES] [--range METRES]
+//!     [--mobility waypoint[:MIN:MAX:PAUSE]|walk[:MIN:MAX:EPOCH]|manhattan[:BLOCK:SPEED]|stationary]
 //!     [--sim MINUTES] [--warmup MINUTES]
 //!     [--update-secs S] [--query-secs S] [--write-secs S]
 //!     [--ttl HOPS] [--loss P] [--no-churn] [--oracle-routing]
@@ -30,6 +31,12 @@
 //! `--faults` installs one of the chaos presets (scaled to the simulated
 //! duration); `--hardened` switches on the protocol-hardening knobs
 //! (retry backoff + jitter, relay orphan lease, fallback flood).
+//!
+//! `--mobility` selects the movement model (default: the paper's random
+//! waypoint). `manhattan` moves nodes along a street grid — the model
+//! shipped with the seed but reachable from a binary only since the
+//! scenario-matrix PR. Colon parameters override the per-model defaults,
+//! e.g. `--mobility manhattan:100:12` for 100 m blocks at 12 m/s.
 //!
 //! `--profile` switches the wall-clock profiler on: a per-bucket wall
 //! time table is printed after the run and the `--json` report gains a
@@ -68,11 +75,11 @@
 //! `<path>.prom` gets the Prometheus text exposition, both derived from
 //! the same trace stream the analyzer replays.
 
-use mp2p_experiments::render_table;
+use mp2p_experiments::{cli, render_table};
 use mp2p_metrics::MessageClass;
 use mp2p_rpcc::{
-    LevelMix, ObservatoryConfig, ProvenanceConfig, RecoveryConfig, RoutingMode, Strategy,
-    WorkloadMode, World, WorldConfig,
+    ObservatoryConfig, ProvenanceConfig, RecoveryConfig, RoutingMode, WorkloadMode, World,
+    WorldConfig,
 };
 use mp2p_sim::SimDuration;
 use mp2p_trace::bridge::{RegistrySink, DEFAULT_WINDOW};
@@ -88,119 +95,94 @@ struct RunArgs {
 }
 
 fn parse_args() -> Result<RunArgs, String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args = cli::Args::from_env();
     let mut cfg = WorldConfig::paper_default(42);
     cfg.sim_time = SimDuration::from_mins(45);
     cfg.warmup = SimDuration::from_mins(10);
 
-    let value_of = |flag: &str| -> Option<&String> {
-        args.iter()
-            .position(|a| a == flag)
-            .and_then(|i| args.get(i + 1))
-    };
-    let parse = |flag: &str, text: &String| -> Result<f64, String> {
-        text.parse()
-            .map_err(|_| format!("{flag} expects a number, got {text:?}"))
-    };
-
-    if let Some(v) = value_of("--strategy") {
-        cfg.strategy = match v.as_str() {
-            "rpcc" => Strategy::Rpcc,
-            "push" => Strategy::Push,
-            "pull" => Strategy::Pull,
-            "push-ap" => Strategy::PushAdaptivePull,
-            other => return Err(format!("unknown strategy {other:?}")),
-        };
+    if let Some(v) = args.value_of("--strategy") {
+        cfg.strategy = cli::parse_strategy(v)?;
     }
-    if let Some(v) = value_of("--mix") {
-        cfg.level_mix = match v.as_str() {
-            "sc" => LevelMix::strong_only(),
-            "dc" => LevelMix::delta_only(),
-            "wc" => LevelMix::weak_only(),
-            "hy" => LevelMix::hybrid(),
-            other => return Err(format!("unknown mix {other:?} (sc|dc|wc|hy)")),
-        };
+    if let Some(v) = args.value_of("--mix") {
+        cfg.level_mix = cli::parse_mix(v)?;
     }
-    if let Some(v) = value_of("--peers") {
-        cfg.n_peers = parse("--peers", v)? as usize;
+    if let Some(v) = args.usize_of("--peers")? {
+        cfg.n_peers = v;
     }
-    if let Some(v) = value_of("--cache") {
-        cfg.c_num = parse("--cache", v)? as usize;
+    if let Some(v) = args.usize_of("--cache")? {
+        cfg.c_num = v;
     }
-    if let Some(v) = value_of("--terrain") {
-        let side = parse("--terrain", v)?;
+    if let Some(side) = args.f64_of("--terrain")? {
         cfg.terrain = mp2p_mobility::Terrain::new(side, side);
     }
-    if let Some(v) = value_of("--range") {
-        cfg.range = parse("--range", v)?;
+    if let Some(v) = args.f64_of("--range")? {
+        cfg.range = v;
     }
-    if let Some(v) = value_of("--sim") {
-        cfg.sim_time = SimDuration::from_secs_f64(parse("--sim", v)? * 60.0);
+    if let Some(v) = args.value_of("--mobility") {
+        cfg.mobility = cli::parse_mobility(v)?;
     }
-    if let Some(v) = value_of("--warmup") {
-        cfg.warmup = SimDuration::from_secs_f64(parse("--warmup", v)? * 60.0);
+    if let Some(v) = args.f64_of("--sim")? {
+        cfg.sim_time = SimDuration::from_secs_f64(v * 60.0);
     }
-    if let Some(v) = value_of("--update-secs") {
-        cfg.i_update = SimDuration::from_secs_f64(parse("--update-secs", v)?);
+    if let Some(v) = args.f64_of("--warmup")? {
+        cfg.warmup = SimDuration::from_secs_f64(v * 60.0);
     }
-    if let Some(v) = value_of("--query-secs") {
-        cfg.i_query = SimDuration::from_secs_f64(parse("--query-secs", v)?);
+    if let Some(v) = args.f64_of("--update-secs")? {
+        cfg.i_update = SimDuration::from_secs_f64(v);
     }
-    if let Some(v) = value_of("--write-secs") {
-        cfg.i_write = Some(SimDuration::from_secs_f64(parse("--write-secs", v)?));
+    if let Some(v) = args.f64_of("--query-secs")? {
+        cfg.i_query = SimDuration::from_secs_f64(v);
     }
-    if let Some(v) = value_of("--ttl") {
-        cfg.proto.invalidation_ttl = parse("--ttl", v)? as u8;
+    if let Some(v) = args.f64_of("--write-secs")? {
+        cfg.i_write = Some(SimDuration::from_secs_f64(v));
     }
-    if let Some(v) = value_of("--loss") {
-        cfg.link.loss_prob = parse("--loss", v)?;
+    if let Some(v) = args.u64_of("--ttl")? {
+        cfg.proto.invalidation_ttl = v as u8;
     }
-    if let Some(v) = value_of("--relay-cap") {
-        cfg.proto.max_relays_per_item = Some(parse("--relay-cap", v)? as usize);
+    if let Some(v) = args.f64_of("--loss")? {
+        cfg.link.loss_prob = v;
     }
-    if let Some(v) = value_of("--seed") {
-        cfg.seed = parse("--seed", v)? as u64;
+    if let Some(v) = args.usize_of("--relay-cap")? {
+        cfg.proto.max_relays_per_item = Some(v);
     }
-    if args.iter().any(|a| a == "--no-churn") {
+    if let Some(v) = args.u64_of("--seed")? {
+        cfg.seed = v;
+    }
+    if args.flag("--no-churn") {
         cfg.i_switch = None;
     }
-    if args.iter().any(|a| a == "--oracle-routing") {
+    if args.flag("--oracle-routing") {
         cfg.routing = RoutingMode::Oracle;
     }
-    if args.iter().any(|a| a == "--adaptive") {
+    if args.flag("--adaptive") {
         cfg.proto.adaptive = true;
     }
-    if args.iter().any(|a| a == "--single-item") {
+    if args.flag("--single-item") {
         cfg.workload = WorkloadMode::SingleItem;
     }
-    if args.iter().any(|a| a == "--hardened") {
+    if args.flag("--hardened") {
         cfg.proto = cfg.proto.hardened();
     }
-    if args.iter().any(|a| a == "--recovery") {
+    if args.flag("--recovery") {
         cfg.proto.recovery = RecoveryConfig::on();
     }
-    if args.iter().any(|a| a == "--consistency") {
-        let period = match value_of("--sample-secs") {
-            Some(v) => SimDuration::from_secs_f64(parse("--sample-secs", v)?),
+    if args.flag("--consistency") {
+        let period = match args.f64_of("--sample-secs")? {
+            Some(v) => SimDuration::from_secs_f64(v),
             None => SimDuration::from_secs(30),
         };
         cfg.observatory = ObservatoryConfig::full(period);
-    } else if value_of("--sample-secs").is_some() {
+    } else if args.value_of("--sample-secs").is_some() {
         return Err("--sample-secs only makes sense together with --consistency".into());
     }
-    if args.iter().any(|a| a == "--provenance") {
+    if args.flag("--provenance") {
         cfg.provenance = ProvenanceConfig::full();
     }
     // Resolved after --sim so the preset windows scale to the actual run.
-    if let Some(v) = value_of("--faults") {
-        cfg.faults = mp2p_net::FaultPlan::preset(v, cfg.sim_time).ok_or_else(|| {
-            format!(
-                "unknown fault plan {v:?} (none|{})",
-                mp2p_net::FaultPlan::PRESETS.join("|")
-            )
-        })?;
+    if let Some(v) = args.value_of("--faults") {
+        cfg.faults = cli::parse_faults(v, cfg.sim_time)?;
     }
-    if args.iter().any(|a| a == "--help" || a == "-h") {
+    if args.flag("--help") || args.flag("-h") {
         return Err("see the module docs at the top of run.rs for the flag list".into());
     }
     // A small peer count with the default C_Num would fail validation;
@@ -210,10 +192,10 @@ fn parse_args() -> Result<RunArgs, String> {
         eprintln!("note: clamping cache size to {clamped} (only {clamped} foreign items exist)");
         cfg.c_num = clamped;
     }
-    let trace = value_of("--trace").map(std::path::PathBuf::from);
-    let json = value_of("--json").map(std::path::PathBuf::from);
-    let metrics_out = value_of("--metrics-out").map(std::path::PathBuf::from);
-    let profile = args.iter().any(|a| a == "--profile");
+    let trace = args.value_of("--trace").map(std::path::PathBuf::from);
+    let json = args.value_of("--json").map(std::path::PathBuf::from);
+    let metrics_out = args.value_of("--metrics-out").map(std::path::PathBuf::from);
+    let profile = args.flag("--profile");
     Ok(RunArgs {
         cfg,
         trace,

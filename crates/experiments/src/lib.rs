@@ -22,9 +22,12 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod cli;
 mod figures;
+pub mod matrix;
 pub mod perf;
 mod report;
+pub mod scenario;
 mod sweep;
 
 pub use analysis::{
@@ -34,11 +37,17 @@ pub use analysis::{
     NodeHealth, ProvenanceGraph, ReportTotals, SpanTotals, TraceAnalysis,
 };
 pub use figures::{fig7a, fig7b, fig7c, fig8a, fig8b, fig8c, fig9, table1_rows, FigureData};
+pub use matrix::{
+    compare_matrix, gate_violations, run_cell, run_matrix, CellRegression, GateAxis, MatrixCell,
+    MatrixReport, MATRIX_SCHEMA,
+};
 pub use perf::{
     bench_config, bench_terrain, compare, parse_strategy, run_bench_point, strategy_token,
     BenchSnapshot, BucketShare, Comparison, AREA_PER_PEER_M2, BENCH_SCHEMA,
 };
 pub use report::{render_series_table, render_table, write_csv};
+pub use scenario::{GateFloors, MobilitySpec, Scenario, ScenarioError, SCENARIO_SCHEMA};
 pub use sweep::{
-    extended_strategies, paper_strategies, sweep, MeasuredPoint, RunOptions, Series, StrategySpec,
+    extended_strategies, paper_strategies, run_parallel, sweep, MeasuredPoint, RunOptions, Series,
+    StrategySpec,
 };

@@ -1,0 +1,644 @@
+//! `MATRIX_*.json` cell snapshots, the fleet scorecard, and the
+//! multi-axis regression comparator behind the `matrix` binary.
+//!
+//! The matrix runner sweeps scenario × strategy × seed (each triple is
+//! one **cell**), freezes every cell into a schema-versioned
+//! [`MatrixCell`], and folds the cells into a [`MatrixReport`] — the
+//! fleet scorecard. Where PR 4's `perf` gate watches a single axis
+//! (events/sec), [`compare_matrix`] gates **three** per cell:
+//!
+//! * **throughput** — events/sec below `baseline × (1 − wall_tolerance)`
+//!   regresses. Wall-clock, hence its own (loose) tolerance; skipped for
+//!   unprofiled cells.
+//! * **fresh fraction** — below `baseline × (1 − tolerance)` regresses.
+//!   Deterministic, so CI gates it tightly.
+//! * **p95 latency** — above `baseline × (1 + tolerance)` regresses.
+//!   Simulated time, also deterministic.
+//!
+//! Mismatched cell identities (peer count, simulated duration, warm-up,
+//! or a baseline cell the measurement never ran) are an *error*, not a
+//! verdict — numbers from different scenarios must never be compared.
+//! Absolute per-scenario floors (`[gates]` in the scenario file) are
+//! checked by [`gate_violations`], independent of any baseline.
+
+use mp2p_rpcc::{RunReport, Strategy, World};
+use mp2p_trace::json::{self, Value};
+use mp2p_trace::BlameCause;
+
+use crate::perf::{parse_strategy, strategy_token};
+use crate::scenario::Scenario;
+use crate::sweep::run_parallel;
+
+/// Version tag written into every cell and report. Bump on layout
+/// changes so old files are refused instead of misread.
+pub const MATRIX_SCHEMA: u64 = 1;
+
+/// One frozen matrix cell: the identity of the run plus its measured
+/// consistency / latency / traffic / throughput figures.
+///
+/// Everything except the three wall-clock fields (`events`,
+/// `wall_secs`, `events_per_sec`) is simulation-deterministic: the same
+/// cell identity reproduces the same numbers bit for bit on any
+/// machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixCell {
+    /// Scenario name the cell belongs to.
+    pub scenario: String,
+    /// Strategy token (`rpcc`, `push`, `pull`, `push-ap`).
+    pub strategy: String,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Peer count (identity: must match for comparison).
+    pub peers: u64,
+    /// Simulated duration in milliseconds (identity).
+    pub sim_ms: u64,
+    /// Warm-up offset in milliseconds (identity).
+    pub warmup_ms: u64,
+    /// Transmissions per simulated minute.
+    pub traffic_per_min: f64,
+    /// MAC-level transmissions (post-warmup).
+    pub transmissions: u64,
+    /// Bytes on the air (post-warmup).
+    pub bytes: u64,
+    /// Queries served post-warmup.
+    pub queries_served: u64,
+    /// Fraction of queries abandoned.
+    pub failure_rate: f64,
+    /// Mean query latency (simulated seconds).
+    pub mean_latency_secs: f64,
+    /// 95th-percentile query latency (simulated seconds; gated).
+    pub p95_latency_secs: f64,
+    /// Fraction of served answers at the master version (gated).
+    pub fresh_fraction: f64,
+    /// Queries answered with a superseded version.
+    pub stale_served: u64,
+    /// Label of the most frequent stale-serve blame cause, `none` when
+    /// nothing stale was served or the observatory was off.
+    pub dominant_blame: String,
+    /// World events handled (0 when the cell ran unprofiled).
+    pub events: u64,
+    /// Wall-clock seconds of the event loop (0 when unprofiled).
+    pub wall_secs: f64,
+    /// Event-loop throughput (gated; 0 when unprofiled).
+    pub events_per_sec: f64,
+}
+
+impl MatrixCell {
+    /// `scenario/strategy/s<seed>` — the cell's display and file key.
+    pub fn key(&self) -> String {
+        format!("{}/{}/s{}", self.scenario, self.strategy, self.seed)
+    }
+
+    /// Freezes one finished run into a cell. `report` must come from
+    /// the world that `(scenario, strategy, seed)` describes.
+    pub fn from_report(
+        scenario: &Scenario,
+        strategy: Strategy,
+        seed: u64,
+        report: &RunReport,
+    ) -> Self {
+        let dominant_blame = report
+            .consistency
+            .filter(|c| c.blamed_total() > 0)
+            .map(|c| {
+                let top = BlameCause::ALL
+                    .iter()
+                    .copied()
+                    // max_by_key takes the last maximum; reversing keeps
+                    // ties on the higher-priority (earlier) cause.
+                    .rev()
+                    .max_by_key(|cause| c.blame[cause.index()])
+                    .expect("ALL is non-empty");
+                top.label().to_owned()
+            })
+            .unwrap_or_else(|| "none".to_owned());
+        MatrixCell {
+            scenario: scenario.name.clone(),
+            strategy: strategy_token(strategy).to_owned(),
+            seed,
+            peers: scenario.peers as u64,
+            sim_ms: secs_to_ms(scenario.sim_secs),
+            warmup_ms: secs_to_ms(scenario.warmup_secs),
+            traffic_per_min: report.traffic_per_minute(),
+            transmissions: report.traffic.transmissions(),
+            bytes: report.traffic.bytes(),
+            queries_served: report.queries_served(),
+            failure_rate: report.failure_rate(),
+            mean_latency_secs: report.mean_latency_secs(),
+            p95_latency_secs: report.latency.percentile(0.95).as_secs_f64(),
+            fresh_fraction: report.audit.fresh_fraction(),
+            stale_served: report.audit.stale_served(),
+            dominant_blame,
+            events: report.perf.as_ref().map_or(0, |p| p.events()),
+            wall_secs: report.perf.as_ref().map_or(0.0, |p| p.wall_secs()),
+            events_per_sec: report.perf.as_ref().map_or(0.0, |p| p.events_per_sec()),
+        }
+    }
+
+    /// Serialises the cell as one JSON object, `matrix_schema` first.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(512);
+        let _ = write!(
+            s,
+            "{{\"matrix_schema\":{MATRIX_SCHEMA},\"scenario\":{},\"strategy\":{},\"seed\":{},\"peers\":{},\"sim_ms\":{},\"warmup_ms\":{}",
+            json::escape(&self.scenario),
+            json::escape(&self.strategy),
+            self.seed,
+            self.peers,
+            self.sim_ms,
+            self.warmup_ms,
+        );
+        let _ = write!(
+            s,
+            ",\"traffic_per_min\":{},\"transmissions\":{},\"bytes\":{},\"queries_served\":{},\"failure_rate\":{}",
+            self.traffic_per_min,
+            self.transmissions,
+            self.bytes,
+            self.queries_served,
+            self.failure_rate,
+        );
+        let _ = write!(
+            s,
+            ",\"mean_latency_secs\":{},\"p95_latency_secs\":{},\"fresh_fraction\":{},\"stale_served\":{},\"dominant_blame\":{}",
+            self.mean_latency_secs,
+            self.p95_latency_secs,
+            self.fresh_fraction,
+            self.stale_served,
+            json::escape(&self.dominant_blame),
+        );
+        let _ = write!(
+            s,
+            ",\"events\":{},\"wall_secs\":{},\"events_per_sec\":{}}}",
+            self.events, self.wall_secs, self.events_per_sec,
+        );
+        s
+    }
+
+    /// Parses a cell back, refusing unknown schema versions and any
+    /// structural mismatch with a descriptive error.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = json::parse(text).ok_or("matrix cell is not valid JSON")?;
+        Self::from_value(&v)
+    }
+
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let schema = v
+            .get("matrix_schema")
+            .and_then(Value::as_u64)
+            .ok_or("matrix cell has no numeric matrix_schema field")?;
+        if schema != MATRIX_SCHEMA {
+            return Err(format!(
+                "matrix schema {schema} unsupported (this build speaks {MATRIX_SCHEMA})"
+            ));
+        }
+        let str_field = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("missing string field {key:?}"))
+        };
+        let u64_field = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("missing integer field {key:?}"))
+        };
+        let f64_field = |key: &str| -> Result<f64, String> {
+            v.get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("missing numeric field {key:?}"))
+        };
+        let strategy = str_field("strategy")?;
+        if parse_strategy(&strategy).is_none() {
+            return Err(format!("unknown strategy token {strategy:?}"));
+        }
+        Ok(MatrixCell {
+            scenario: str_field("scenario")?,
+            strategy,
+            seed: u64_field("seed")?,
+            peers: u64_field("peers")?,
+            sim_ms: u64_field("sim_ms")?,
+            warmup_ms: u64_field("warmup_ms")?,
+            traffic_per_min: f64_field("traffic_per_min")?,
+            transmissions: u64_field("transmissions")?,
+            bytes: u64_field("bytes")?,
+            queries_served: u64_field("queries_served")?,
+            failure_rate: f64_field("failure_rate")?,
+            mean_latency_secs: f64_field("mean_latency_secs")?,
+            p95_latency_secs: f64_field("p95_latency_secs")?,
+            fresh_fraction: f64_field("fresh_fraction")?,
+            stale_served: u64_field("stale_served")?,
+            dominant_blame: str_field("dominant_blame")?,
+            events: u64_field("events")?,
+            wall_secs: f64_field("wall_secs")?,
+            events_per_sec: f64_field("events_per_sec")?,
+        })
+    }
+}
+
+fn secs_to_ms(secs: f64) -> u64 {
+    (secs * 1000.0).round() as u64
+}
+
+/// The fleet scorecard: every cell of one matrix sweep, in sweep order
+/// (scenarios sorted by name, then file strategy order, then seeds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixReport {
+    /// All swept cells.
+    pub cells: Vec<MatrixCell>,
+}
+
+impl MatrixReport {
+    /// Looks a cell up by its identity triple.
+    pub fn cell(&self, scenario: &str, strategy: &str, seed: u64) -> Option<&MatrixCell> {
+        self.cells
+            .iter()
+            .find(|c| c.scenario == scenario && c.strategy == strategy && c.seed == seed)
+    }
+
+    /// Serialises the report: `{"matrix_schema":1,"cells":[...]}`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(64 + 512 * self.cells.len());
+        s.push_str(&format!("{{\"matrix_schema\":{MATRIX_SCHEMA},\"cells\":["));
+        for (i, cell) in self.cells.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&cell.to_json());
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Parses a report back, refusing unknown schemata.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = json::parse(text).ok_or("matrix report is not valid JSON")?;
+        let schema = v
+            .get("matrix_schema")
+            .and_then(Value::as_u64)
+            .ok_or("matrix report has no numeric matrix_schema field")?;
+        if schema != MATRIX_SCHEMA {
+            return Err(format!(
+                "matrix schema {schema} unsupported (this build speaks {MATRIX_SCHEMA})"
+            ));
+        }
+        let Some(Value::Arr(items)) = v.get("cells") else {
+            return Err("missing cells array".to_owned());
+        };
+        let cells = items
+            .iter()
+            .map(MatrixCell::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(MatrixReport { cells })
+    }
+}
+
+/// Runs one matrix cell and freezes it. With `profile` the world's
+/// profiler is enabled, filling the wall-clock fields — strictly
+/// observational, so the deterministic fields are identical either way.
+pub fn run_cell(scenario: &Scenario, strategy: Strategy, seed: u64, profile: bool) -> MatrixCell {
+    let mut world = World::new(scenario.world_config(strategy, seed));
+    if profile {
+        world.enable_profiling();
+    }
+    let report = world.run();
+    MatrixCell::from_report(scenario, strategy, seed, &report)
+}
+
+/// Sweeps every scenario × strategy × seed cell in parallel (the same
+/// executor the figure sweeps use) and folds the cells into a report.
+pub fn run_matrix(scenarios: &[Scenario], profile: bool) -> MatrixReport {
+    let mut jobs: Vec<(&Scenario, Strategy, u64)> = Vec::new();
+    for scenario in scenarios {
+        for &strategy in &scenario.strategies {
+            for &seed in &scenario.seeds {
+                jobs.push((scenario, strategy, seed));
+            }
+        }
+    }
+    let cells = run_parallel(&jobs, |&(scenario, strategy, seed)| {
+        run_cell(scenario, strategy, seed, profile)
+    });
+    MatrixReport { cells }
+}
+
+/// The three baseline-gated axes of a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateAxis {
+    /// Event-loop events/sec (wall-clock).
+    Throughput,
+    /// Served fresh fraction (deterministic).
+    FreshFraction,
+    /// 95th-percentile query latency (deterministic).
+    Latency,
+}
+
+impl GateAxis {
+    /// Human label used in diff tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            GateAxis::Throughput => "events/sec",
+            GateAxis::FreshFraction => "fresh-fraction",
+            GateAxis::Latency => "p95-latency",
+        }
+    }
+}
+
+/// One cell that fell outside its allowed band on one axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRegression {
+    /// `scenario/strategy/s<seed>` of the offending cell.
+    pub cell: String,
+    /// The axis that regressed.
+    pub axis: GateAxis,
+    /// Baseline value (or the absolute floor for gate violations).
+    pub baseline: f64,
+    /// Freshly measured value.
+    pub measured: f64,
+    /// The value the measurement had to stay within.
+    pub limit: f64,
+}
+
+impl std::fmt::Display for CellRegression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} {:.4} vs baseline {:.4} (limit {:.4})",
+            self.cell,
+            self.axis.label(),
+            self.measured,
+            self.baseline,
+            self.limit
+        )
+    }
+}
+
+/// Compares a fresh sweep against a committed baseline, cell by cell,
+/// on all three gated axes. Returns every regression found (empty =
+/// pass).
+///
+/// Errs — without a verdict — when any baseline cell is missing from
+/// the measurement or describes a different scenario (peer count,
+/// simulated duration or warm-up differ): numbers from different
+/// workloads must never be compared. Cells the measurement has beyond
+/// the baseline are ignored (new scenarios are not regressions).
+///
+/// `tolerance` bounds the two deterministic axes (fresh fraction may
+/// drop by at most that fraction; p95 latency may grow by at most that
+/// fraction). `wall_tolerance` separately bounds the wall-clock
+/// throughput axis, which is noisy across machines; the axis is skipped
+/// when either side ran unprofiled (events/sec of 0).
+pub fn compare_matrix(
+    baseline: &MatrixReport,
+    measured: &MatrixReport,
+    tolerance: f64,
+    wall_tolerance: f64,
+) -> Result<Vec<CellRegression>, String> {
+    for (name, t) in [("tolerance", tolerance), ("wall-tolerance", wall_tolerance)] {
+        if !(0.0..1.0).contains(&t) {
+            return Err(format!("{name} must be in [0, 1), got {t}"));
+        }
+    }
+    let mut regressions = Vec::new();
+    for base in &baseline.cells {
+        let Some(fresh) = measured.cell(&base.scenario, &base.strategy, base.seed) else {
+            return Err(format!(
+                "baseline cell {} missing from the measured sweep",
+                base.key()
+            ));
+        };
+        for (what, b, m) in [
+            ("peers", base.peers, fresh.peers),
+            ("sim_ms", base.sim_ms, fresh.sim_ms),
+            ("warmup_ms", base.warmup_ms, fresh.warmup_ms),
+        ] {
+            if b != m {
+                return Err(format!("cell {} {what} differs: {b} vs {m}", base.key()));
+            }
+        }
+        let fresh_floor = base.fresh_fraction * (1.0 - tolerance);
+        if fresh.fresh_fraction < fresh_floor {
+            regressions.push(CellRegression {
+                cell: base.key(),
+                axis: GateAxis::FreshFraction,
+                baseline: base.fresh_fraction,
+                measured: fresh.fresh_fraction,
+                limit: fresh_floor,
+            });
+        }
+        let latency_ceiling = base.p95_latency_secs * (1.0 + tolerance);
+        if fresh.p95_latency_secs > latency_ceiling {
+            regressions.push(CellRegression {
+                cell: base.key(),
+                axis: GateAxis::Latency,
+                baseline: base.p95_latency_secs,
+                measured: fresh.p95_latency_secs,
+                limit: latency_ceiling,
+            });
+        }
+        if base.events_per_sec > 0.0 && fresh.events_per_sec > 0.0 {
+            let eps_floor = base.events_per_sec * (1.0 - wall_tolerance);
+            if fresh.events_per_sec < eps_floor {
+                regressions.push(CellRegression {
+                    cell: base.key(),
+                    axis: GateAxis::Throughput,
+                    baseline: base.events_per_sec,
+                    measured: fresh.events_per_sec,
+                    limit: eps_floor,
+                });
+            }
+        }
+    }
+    Ok(regressions)
+}
+
+/// Checks every cell against its scenario's absolute `[gates]` floors
+/// (no baseline involved). Cells of scenarios absent from `scenarios`
+/// are skipped. Returned entries reuse [`CellRegression`] with
+/// `baseline` set to the floor itself.
+pub fn gate_violations(scenarios: &[Scenario], report: &MatrixReport) -> Vec<CellRegression> {
+    let mut violations = Vec::new();
+    for cell in &report.cells {
+        let Some(scenario) = scenarios.iter().find(|s| s.name == cell.scenario) else {
+            continue;
+        };
+        let g = &scenario.gates;
+        if let Some(floor) = g.min_fresh_fraction {
+            if cell.fresh_fraction < floor {
+                violations.push(CellRegression {
+                    cell: cell.key(),
+                    axis: GateAxis::FreshFraction,
+                    baseline: floor,
+                    measured: cell.fresh_fraction,
+                    limit: floor,
+                });
+            }
+        }
+        if let Some(ceiling) = g.max_p95_latency_secs {
+            if cell.p95_latency_secs > ceiling {
+                violations.push(CellRegression {
+                    cell: cell.key(),
+                    axis: GateAxis::Latency,
+                    baseline: ceiling,
+                    measured: cell.p95_latency_secs,
+                    limit: ceiling,
+                });
+            }
+        }
+        if let Some(floor) = g.min_events_per_sec {
+            if cell.events_per_sec > 0.0 && cell.events_per_sec < floor {
+                violations.push(CellRegression {
+                    cell: cell.key(),
+                    axis: GateAxis::Throughput,
+                    baseline: floor,
+                    measured: cell.events_per_sec,
+                    limit: floor,
+                });
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cell() -> MatrixCell {
+        MatrixCell {
+            scenario: "mini".into(),
+            strategy: "rpcc".into(),
+            seed: 42,
+            peers: 8,
+            sim_ms: 300_000,
+            warmup_ms: 60_000,
+            traffic_per_min: 120.5,
+            transmissions: 482,
+            bytes: 96_400,
+            queries_served: 95,
+            failure_rate: 0.05,
+            mean_latency_secs: 0.21,
+            p95_latency_secs: 0.8,
+            fresh_fraction: 0.93,
+            stale_served: 7,
+            dominant_blame: "invalidate_lost".into(),
+            events: 10_000,
+            wall_secs: 0.05,
+            events_per_sec: 200_000.0,
+        }
+    }
+
+    fn sample_report() -> MatrixReport {
+        let mut push = sample_cell();
+        push.strategy = "push".into();
+        push.fresh_fraction = 0.99;
+        MatrixReport {
+            cells: vec![sample_cell(), push],
+        }
+    }
+
+    #[test]
+    fn cell_and_report_json_roundtrip() {
+        let cell = sample_cell();
+        let json = cell.to_json();
+        assert!(json.starts_with("{\"matrix_schema\":1,\"scenario\":\"mini\""));
+        assert!(mp2p_trace::json::is_valid(&json));
+        assert_eq!(MatrixCell::from_json(&json).expect("roundtrip"), cell);
+
+        let report = sample_report();
+        let back = MatrixReport::from_json(&report.to_json()).expect("roundtrip");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn wrong_schema_and_garbage_are_refused() {
+        let future =
+            sample_cell()
+                .to_json()
+                .replacen("\"matrix_schema\":1", "\"matrix_schema\":9", 1);
+        assert!(MatrixCell::from_json(&future)
+            .unwrap_err()
+            .contains("schema 9"));
+        assert!(MatrixCell::from_json("nope").is_err());
+        assert!(MatrixReport::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn each_axis_trips_the_gate_independently() {
+        let base = sample_report();
+
+        // Fresh fraction drops below the floor.
+        let mut worse = sample_report();
+        worse.cells[0].fresh_fraction = 0.5;
+        let regs = compare_matrix(&base, &worse, 0.02, 0.5).unwrap();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].axis, GateAxis::FreshFraction);
+        assert_eq!(regs[0].cell, "mini/rpcc/s42");
+
+        // p95 latency grows past the ceiling.
+        let mut worse = sample_report();
+        worse.cells[1].p95_latency_secs = 2.0;
+        let regs = compare_matrix(&base, &worse, 0.02, 0.5).unwrap();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].axis, GateAxis::Latency);
+        assert_eq!(regs[0].cell, "mini/push/s42");
+
+        // Throughput halves (outside even the loose wall band).
+        let mut worse = sample_report();
+        worse.cells[0].events_per_sec = 50_000.0;
+        let regs = compare_matrix(&base, &worse, 0.02, 0.5).unwrap();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].axis, GateAxis::Throughput);
+
+        // And an identical sweep passes clean.
+        assert!(compare_matrix(&base, &base, 0.02, 0.5).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unprofiled_cells_skip_the_wall_clock_axis() {
+        let base = sample_report();
+        let mut unprofiled = sample_report();
+        for cell in &mut unprofiled.cells {
+            cell.events = 0;
+            cell.wall_secs = 0.0;
+            cell.events_per_sec = 0.0;
+        }
+        assert!(compare_matrix(&base, &unprofiled, 0.02, 0.5)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn identity_mismatch_is_an_error_not_a_verdict() {
+        let base = sample_report();
+        let mut other = sample_report();
+        other.cells[0].peers = 9;
+        assert!(compare_matrix(&base, &other, 0.02, 0.5).is_err());
+
+        // A baseline cell the measurement never ran is an error too.
+        let mut short = sample_report();
+        short.cells.pop();
+        assert!(compare_matrix(&base, &short, 0.02, 0.5).is_err());
+
+        // But extra measured cells (a new scenario) are fine.
+        let mut extra = sample_report();
+        let mut cell = sample_cell();
+        cell.scenario = "new-town".into();
+        extra.cells.push(cell);
+        assert!(compare_matrix(&base, &extra, 0.02, 0.5).unwrap().is_empty());
+
+        assert!(compare_matrix(&base, &base, 1.5, 0.5).is_err());
+    }
+
+    #[test]
+    fn scenario_floors_flag_violating_cells() {
+        use crate::scenario::Scenario;
+        let mut scenario = Scenario::parse(crate::scenario::tests::MINIMAL).unwrap();
+        scenario.gates.min_fresh_fraction = Some(0.95);
+        let report = sample_report(); // rpcc cell sits at 0.93
+        let violations = gate_violations(&[scenario], &report);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].axis, GateAxis::FreshFraction);
+        assert_eq!(violations[0].cell, "mini/rpcc/s42");
+    }
+}

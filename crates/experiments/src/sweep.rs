@@ -171,6 +171,45 @@ fn average(x: f64, reports: &[RunReport]) -> MeasuredPoint {
     }
 }
 
+/// Runs every job on a pool of OS threads and returns the results in
+/// job order.
+///
+/// This is the sweep executor shared by [`sweep`] and the `matrix`
+/// runner: jobs are pulled off a shared atomic index, so threads stay
+/// busy regardless of how unevenly the jobs are sized, and each result
+/// is written back to its job's slot, so the output order is
+/// deterministic no matter which thread ran what.
+pub fn run_parallel<J, R, F>(jobs: &[J], run: F) -> Vec<R>
+where
+    J: Sync,
+    R: Send,
+    F: Fn(&J) -> R + Sync,
+{
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..jobs.len()).map(|_| None).collect());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(jobs.len().max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(job) = jobs.get(i) else {
+                    break;
+                };
+                let result = run(job);
+                results.lock().expect("no panics hold the lock")[i] = Some(result);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("threads joined")
+        .into_iter()
+        .map(|r| r.expect("every job slot filled"))
+        .collect()
+}
+
 /// Runs a full sweep: for every strategy and every x value, `configure`
 /// derives the scenario from a paper-default config, runs `opts.seeds`
 /// seeds, and the results are seed-averaged into one [`Series`] per
@@ -196,31 +235,19 @@ where
             }
         }
     }
-    let results: Mutex<Vec<Vec<Vec<RunReport>>>> =
-        Mutex::new(vec![vec![Vec::new(); xs.len()]; strategies.len()]);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4);
-    std::thread::scope(|scope| {
-        for _ in 0..workers.min(jobs.len().max(1)) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(&(si, xi, x, spec, seed)) = jobs.get(i) else {
-                    break;
-                };
-                let mut cfg = WorldConfig::paper_default(seed);
-                cfg.sim_time = opts.sim_time;
-                cfg.warmup = opts.warmup;
-                cfg.strategy = spec.strategy;
-                cfg.level_mix = spec.mix;
-                configure(&mut cfg, x);
-                let report = World::new(cfg).run();
-                results.lock().expect("no panics hold the lock")[si][xi].push(report);
-            });
-        }
+    let reports = run_parallel(&jobs, |&(_, _, x, spec, seed)| {
+        let mut cfg = WorldConfig::paper_default(seed);
+        cfg.sim_time = opts.sim_time;
+        cfg.warmup = opts.warmup;
+        cfg.strategy = spec.strategy;
+        cfg.level_mix = spec.mix;
+        configure(&mut cfg, x);
+        World::new(cfg).run()
     });
-    let results = results.into_inner().expect("threads joined");
+    let mut results: Vec<Vec<Vec<RunReport>>> = vec![vec![Vec::new(); xs.len()]; strategies.len()];
+    for (&(si, xi, ..), report) in jobs.iter().zip(reports) {
+        results[si][xi].push(report);
+    }
     strategies
         .iter()
         .enumerate()
